@@ -1,0 +1,930 @@
+//! The event-driven simulation engine.
+//!
+//! The engine advances a set of software threads over `n_cores` hardware
+//! cores in strict global time order (a binary heap of timestamped
+//! events), so all shared state — the memory hierarchy, locks, barriers,
+//! the run queue — is mutated causally. Everything is deterministic:
+//! identical configuration and op streams produce identical cycle counts.
+//!
+//! ## Synchronization model
+//!
+//! Waiters on locks and barriers follow a *spin-then-yield* policy: a
+//! waiter spins on its core for [`SyncConfig::spin_threshold`] cycles
+//! (charged as spinning, detected by the configured spin detector), then
+//! the OS schedules it out (charged as yielding until it next runs).
+//! Releases hand off FIFO: still-spinning waiters resume after a cache-line
+//! handoff; yielded waiters take the slow wake-up path through the
+//! scheduler and wait for a free core.
+//!
+//! [`SyncConfig::spin_threshold`]: crate::config::SyncConfig::spin_threshold
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+use memsim::{LineAddr, MemoryHierarchy, ServedBy};
+use speedup_stacks::{AccountingConfig, SpeedupStack, StackError, ThreadCounters};
+
+use crate::config::MachineConfig;
+use crate::ops::{Op, OpStream};
+use crate::spin::{build_detector, SpinDetector, SpinEpisode};
+
+/// Line-address region reserved for lock variables.
+const LOCK_REGION: LineAddr = 1 << 40;
+/// Line-address region reserved for barrier variables.
+const BARRIER_REGION: LineAddr = (1 << 40) + (1 << 20);
+/// Cycles to commit a transaction (write-set publication).
+const TX_COMMIT_COST: u64 = 30;
+
+type ThreadId = usize;
+
+/// Errors terminating a simulation abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The cycle safety valve ([`MachineConfig::max_cycles`]) fired.
+    CycleLimitExceeded {
+        /// Cycle count at abort.
+        at: u64,
+    },
+    /// No more events but some threads never finished (e.g. a barrier that
+    /// can never fill, or a lock released by nobody).
+    Deadlock {
+        /// Simulation time when the event queue drained.
+        time: u64,
+        /// Threads that had not finished.
+        unfinished: Vec<usize>,
+    },
+    /// A thread released a lock it does not hold, or similar misuse.
+    ProtocolViolation {
+        /// Offending thread.
+        thread: usize,
+        /// Human-readable description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimitExceeded { at } => write!(f, "cycle limit exceeded at cycle {at}"),
+            SimError::Deadlock { time, unfinished } => {
+                write!(f, "deadlock at cycle {time}: threads {unfinished:?} never finished")
+            }
+            SimError::ProtocolViolation { thread, what } => {
+                write!(f, "thread {thread} violated the sync protocol: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Ground-truth statistics per thread (not available to real accounting
+/// hardware; used for validation and ablations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadTruth {
+    /// Exact cycles spent spinning (every wait episode's on-core portion).
+    pub true_spin_cycles: u64,
+    /// Exact inter-thread LLC hits (line inserted by another core).
+    pub interthread_hits_truth: u64,
+    /// LLC accesses (L1 misses).
+    pub llc_accesses: u64,
+    /// LLC misses (DRAM accesses).
+    pub llc_misses: u64,
+    /// L1 misses on lines previously invalidated by coherence.
+    pub coherency_misses: u64,
+    /// Remote L1 copies invalidated by this thread's stores.
+    pub invalidations_sent: u64,
+    /// Number of completed wait episodes (lock + barrier).
+    pub wait_episodes: u64,
+    /// Committed transactions.
+    pub tx_commits: u64,
+    /// Aborted (rolled back and replayed) transactions.
+    pub tx_aborts: u64,
+}
+
+/// Cumulative per-thread accounting state captured at one barrier
+/// release (the boundary between two barrier-delimited regions, §4.6).
+#[derive(Debug, Clone)]
+pub struct RegionSnapshot {
+    /// Cycle of the barrier release that ends the region.
+    pub release_cycle: u64,
+    /// Per-thread arrival cycle at the boundary barrier.
+    pub arrivals: Vec<u64>,
+    /// Cumulative counters at the release.
+    pub counters: Vec<ThreadCounters>,
+    /// Cumulative detected spin cycles spent in *barrier* waits.
+    pub barrier_spin: Vec<f64>,
+    /// Cumulative yield cycles spent in *barrier* waits.
+    pub barrier_yield: Vec<f64>,
+}
+
+/// Result of a completed simulation.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Duration of the run in cycles (`Tp`: finish time of the slowest
+    /// thread).
+    pub tp_cycles: u64,
+    /// Raw accounting counters per thread (what the paper's hardware
+    /// would expose).
+    pub counters: Vec<ThreadCounters>,
+    /// Ground truth per thread.
+    pub truth: Vec<ThreadTruth>,
+    /// Barrier-release snapshots, when
+    /// [`MachineConfig::record_regions`] is enabled (§4.6 region stacks).
+    pub regions: Vec<RegionSnapshot>,
+}
+
+impl SimResult {
+    /// Total dynamic instruction count across threads.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.counters.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Builds the speedup stack for this run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StackError`] when the counters are inconsistent
+    /// (cannot happen for engine-produced results with `tp_cycles > 0`).
+    pub fn stack(&self, cfg: &AccountingConfig) -> Result<SpeedupStack, StackError> {
+        SpeedupStack::from_counters(&self.counters, self.tp_cycles, cfg)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// Execute the next op of `thread`, which is running on `core`.
+    Run { core: usize, thread: ThreadId },
+    /// Spin-threshold expiry: if `thread` still waits (token matches),
+    /// schedule it out.
+    YieldDeadline { thread: ThreadId, token: u64 },
+    /// A woken thread becomes runnable.
+    Wakeup { thread: ThreadId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Running (or actively spinning) on a core.
+    Running { core: usize },
+    /// In the scheduler's ready queue.
+    Ready,
+    /// Spinning on a contended lock while occupying a core.
+    SpinLock { lock: u32, core: usize },
+    /// Spinning on a barrier while occupying a core.
+    SpinBarrier { core: usize },
+    /// Scheduled out, waiting for a lock.
+    YieldLock,
+    /// Scheduled out, waiting for a barrier.
+    YieldBarrier,
+    /// Released/granted while scheduled out; wake-up event in flight.
+    WakePending,
+    /// Stream exhausted.
+    Finished,
+}
+
+impl TState {
+    fn is_spinning(self) -> bool {
+        matches!(self, TState::SpinLock { .. } | TState::SpinBarrier { .. })
+    }
+}
+
+#[derive(Debug, Default)]
+struct TxState {
+    start: u64,
+    attempts: u32,
+    ops: Vec<Op>,
+    doomed: bool,
+}
+
+struct Thread {
+    stream: Box<dyn OpStream>,
+    state: TState,
+    wait_token: u64,
+    spin_start: u64,
+    yield_start: u64,
+    quantum_end: u64,
+    last_core: usize,
+    pending_acquire: Option<u32>,
+    detector: Box<dyn SpinDetector>,
+    /// Cycle at which this thread arrived at the most recent barrier.
+    barrier_arrival: u64,
+    /// Detected spin cycles attributable to barrier waits (cumulative).
+    barrier_spin: f64,
+    /// Yield cycles attributable to barrier waits (cumulative).
+    barrier_yield: f64,
+    /// The current scheduled-out episode started at a barrier.
+    yield_from_barrier: bool,
+    /// Active transaction, if any (§4.3).
+    tx: Option<TxState>,
+    /// Ops to replay after a transaction rollback, before reading the
+    /// stream again.
+    replay: VecDeque<Op>,
+    c: ThreadCounters,
+    truth: ThreadTruth,
+}
+
+impl fmt::Debug for Thread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Thread").field("state", &self.state).finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<ThreadId>,
+    waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: usize,
+    waiters: Vec<ThreadId>,
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim::{MachineConfig, Op, Simulation, VecStream};
+///
+/// let cfg = MachineConfig::with_cores(2);
+/// let streams: Vec<Box<dyn cmpsim::OpStream>> = vec![
+///     Box::new(VecStream::new(vec![Op::Compute(100)])),
+///     Box::new(VecStream::new(vec![Op::Compute(50)])),
+/// ];
+/// let result = Simulation::new(cfg, streams).run()?;
+/// assert_eq!(result.tp_cycles, 100);
+/// # Ok::<(), cmpsim::SimError>(())
+/// ```
+pub struct Simulation {
+    cfg: MachineConfig,
+    mem: MemoryHierarchy,
+    threads: Vec<Thread>,
+    locks: HashMap<u32, LockState>,
+    barriers: HashMap<u32, BarrierState>,
+    cores: Vec<Option<ThreadId>>,
+    ready: VecDeque<ThreadId>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    finished: usize,
+    regions: Vec<RegionSnapshot>,
+    /// Lines read inside active transactions -> reading threads.
+    tx_readers: HashMap<LineAddr, Vec<ThreadId>>,
+    /// Lines written inside active transactions -> writing threads.
+    tx_writers: HashMap<LineAddr, Vec<ThreadId>>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n_cores", &self.cores.len())
+            .field("n_threads", &self.threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation of the given op streams (one per software
+    /// thread) on the configured machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or the configuration has zero cores.
+    #[must_use]
+    pub fn new(cfg: MachineConfig, streams: Vec<Box<dyn OpStream>>) -> Self {
+        assert!(!streams.is_empty(), "at least one thread required");
+        assert!(cfg.n_cores > 0, "at least one core required");
+        let mem = MemoryHierarchy::new(&cfg.mem, cfg.n_cores);
+        let threads = streams
+            .into_iter()
+            .map(|stream| Thread {
+                stream,
+                state: TState::Ready,
+                wait_token: 0,
+                spin_start: 0,
+                yield_start: 0,
+                quantum_end: 0,
+                last_core: 0,
+                pending_acquire: None,
+                detector: build_detector(cfg.spin_detector),
+                barrier_arrival: 0,
+                barrier_spin: 0.0,
+                barrier_yield: 0.0,
+                yield_from_barrier: false,
+                tx: None,
+                replay: VecDeque::new(),
+                c: ThreadCounters::default(),
+                truth: ThreadTruth::default(),
+            })
+            .collect();
+        Simulation {
+            cfg,
+            mem,
+            threads,
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            cores: vec![None; cfg.n_cores],
+            ready: VecDeque::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            finished: 0,
+            regions: Vec::new(),
+            tx_readers: HashMap::new(),
+            tx_writers: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, time: u64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimitExceeded`] if the safety valve fires,
+    /// [`SimError::Deadlock`] if threads can never finish, and
+    /// [`SimError::ProtocolViolation`] on sync misuse (releasing a lock
+    /// not held, acquiring a lock twice without release).
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        // Initial placement: thread i on core i; the rest queue up and are
+        // charged scheduled-out time from cycle 0 (this is what makes the
+        // 16-threads-on-2-cores experiment of Figure 7 meaningful).
+        let n_threads = self.threads.len();
+        for t in 0..n_threads {
+            if t < self.cores.len() {
+                self.cores[t] = Some(t);
+                self.threads[t].state = TState::Running { core: t };
+                self.threads[t].last_core = t;
+                self.threads[t].quantum_end = self.cfg.sched.quantum;
+                self.push(0, EventKind::Run { core: t, thread: t });
+            } else {
+                self.threads[t].state = TState::Ready;
+                self.threads[t].yield_start = 0;
+                self.ready.push_back(t);
+            }
+        }
+
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if ev.time > self.cfg.max_cycles {
+                return Err(SimError::CycleLimitExceeded { at: ev.time });
+            }
+            match ev.kind {
+                EventKind::Run { core, thread } => self.on_run(core, thread, ev.time)?,
+                EventKind::YieldDeadline { thread, token } => self.on_yield_deadline(thread, token, ev.time),
+                EventKind::Wakeup { thread } => self.on_wakeup(thread, ev.time),
+            }
+            if self.finished == n_threads {
+                break;
+            }
+        }
+
+        let unfinished: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state != TState::Finished)
+            .map(|(i, _)| i)
+            .collect();
+        let tp = self
+            .threads
+            .iter()
+            .map(|t| t.c.active_end_cycle)
+            .max()
+            .unwrap_or(0);
+        if !unfinished.is_empty() {
+            return Err(SimError::Deadlock {
+                time: tp,
+                unfinished,
+            });
+        }
+
+        Ok(SimResult {
+            tp_cycles: tp,
+            counters: self.threads.iter().map(|t| t.c).collect(),
+            truth: self.threads.iter().map(|t| t.truth).collect(),
+            regions: std::mem::take(&mut self.regions),
+        })
+    }
+
+    // ---- event handlers -------------------------------------------------
+
+    fn on_run(&mut self, core: usize, thread: ThreadId, now: u64) -> Result<(), SimError> {
+        debug_assert_eq!(self.threads[thread].state, TState::Running { core });
+
+        // Round-robin preemption when others are waiting for a core.
+        if now >= self.threads[thread].quantum_end && !self.ready.is_empty() {
+            self.threads[thread].state = TState::Ready;
+            self.threads[thread].yield_start = now;
+            self.threads[thread].yield_from_barrier = false;
+            self.ready.push_back(thread);
+            self.cores[core] = None;
+            self.dispatch(now);
+            return Ok(());
+        }
+
+        // A thread woken to retry a lock acquisition does so before
+        // consuming further ops.
+        if let Some(id) = self.threads[thread].pending_acquire {
+            return self.acquire_or_wait(thread, core, id, now);
+        }
+
+        // A doomed transaction rolls back at the next instruction
+        // boundary (lazy conflict resolution): the elapsed transaction
+        // time is a synchronization penalty (§4.3) and the transaction
+        // body replays after a bounded exponential backoff.
+        if self.threads[thread].tx.as_ref().is_some_and(|t| t.doomed) {
+            self.rollback(thread, now);
+            let backoff = {
+                let tx = self.threads[thread].tx.as_ref().expect("tx restarted");
+                100 * u64::from(1u32 << tx.attempts.min(6))
+            };
+            self.push(now + backoff, EventKind::Run { core, thread });
+            return Ok(());
+        }
+
+        let replayed = self.threads[thread].replay.pop_front();
+        let from_stream = match replayed {
+            Some(op) => Some(op),
+            None => self.threads[thread].stream.next_op(),
+        };
+        let Some(op) = from_stream else {
+            if self.threads[thread].tx.is_some() {
+                return Err(SimError::ProtocolViolation {
+                    thread,
+                    what: "thread ended inside a transaction",
+                });
+            }
+            self.threads[thread].c.active_end_cycle = now;
+            self.threads[thread].state = TState::Finished;
+            self.finished += 1;
+            self.cores[core] = None;
+            self.dispatch(now);
+            return Ok(());
+        };
+
+        match op {
+            Op::Compute(n) => {
+                self.threads[thread].c.instructions += u64::from(n);
+                if let Some(tx) = self.threads[thread].tx.as_mut() {
+                    tx.ops.push(op);
+                }
+                self.push(now + u64::from(n), EventKind::Run { core, thread });
+            }
+            Op::Load(line) => {
+                let stall = self.mem_access(core, thread, line, false, now, true);
+                if self.threads[thread].tx.is_some() {
+                    self.tx_track(thread, op, line, false);
+                }
+                self.push(now + 1 + stall, EventKind::Run { core, thread });
+            }
+            Op::Store(line) => {
+                self.mem_access(core, thread, line, true, now, false);
+                if self.threads[thread].tx.is_some() {
+                    self.tx_track(thread, op, line, true);
+                }
+                self.push(now + 1, EventKind::Run { core, thread });
+            }
+            Op::LockAcquire(id) => {
+                if self.threads[thread].tx.is_some() {
+                    return Err(SimError::ProtocolViolation {
+                        thread,
+                        what: "lock acquire inside a transaction",
+                    });
+                }
+                // The atomic RMW on the lock word stalls like a load.
+                let stall = self.mem_access(core, thread, LOCK_REGION + u64::from(id), true, now, true);
+                let t_op = now + 1 + stall;
+                self.acquire_or_wait(thread, core, id, t_op)?;
+            }
+            Op::LockRelease(id) => {
+                self.mem_access(core, thread, LOCK_REGION + u64::from(id), true, now, false);
+                let holder = self.locks.get(&id).and_then(|l| l.holder);
+                if holder != Some(thread) {
+                    return Err(SimError::ProtocolViolation {
+                        thread,
+                        what: "released a lock it does not hold",
+                    });
+                }
+                self.locks.get_mut(&id).expect("lock exists").holder = None;
+                self.hand_over(id, now);
+                self.push(now + 1, EventKind::Run { core, thread });
+            }
+            Op::Barrier(id) => {
+                if self.threads[thread].tx.is_some() {
+                    return Err(SimError::ProtocolViolation {
+                        thread,
+                        what: "barrier inside a transaction",
+                    });
+                }
+                self.mem_access(core, thread, BARRIER_REGION + u64::from(id), true, now, false);
+                self.threads[thread].barrier_arrival = now;
+                let n_threads = self.threads.len();
+                let barrier = self.barriers.entry(id).or_default();
+                barrier.arrived += 1;
+                if barrier.arrived == n_threads {
+                    let waiters = std::mem::take(&mut barrier.waiters);
+                    barrier.arrived = 0;
+                    for w in waiters {
+                        self.resume_waiter(w, id, now);
+                    }
+                    if self.cfg.record_regions {
+                        // Snapshot after the resume loop so the boundary
+                        // barrier's spin episodes are already accounted
+                        // (and can be reclassified as imbalance).
+                        self.regions.push(RegionSnapshot {
+                            release_cycle: now,
+                            arrivals: self.threads.iter().map(|t| t.barrier_arrival).collect(),
+                            counters: self.threads.iter().map(|t| t.c).collect(),
+                            barrier_spin: self.threads.iter().map(|t| t.barrier_spin).collect(),
+                            barrier_yield: self.threads.iter().map(|t| t.barrier_yield).collect(),
+                        });
+                    }
+                    self.push(now + 1, EventKind::Run { core, thread });
+                } else {
+                    barrier.waiters.push(thread);
+                    let th = &mut self.threads[thread];
+                    th.state = TState::SpinBarrier { core };
+                    th.spin_start = now;
+                    th.wait_token += 1;
+                    let token = th.wait_token;
+                    self.push(now + self.cfg.sync.spin_threshold, EventKind::YieldDeadline { thread, token });
+                }
+            }
+            Op::TxBegin => {
+                let th = &mut self.threads[thread];
+                if th.tx.is_some() {
+                    return Err(SimError::ProtocolViolation {
+                        thread,
+                        what: "nested transaction",
+                    });
+                }
+                th.c.instructions += 1;
+                th.tx = Some(TxState {
+                    start: now,
+                    attempts: 0,
+                    ops: Vec::new(),
+                    doomed: false,
+                });
+                self.push(now + 1, EventKind::Run { core, thread });
+            }
+            Op::TxEnd => {
+                let th = &mut self.threads[thread];
+                if th.tx.is_none() {
+                    return Err(SimError::ProtocolViolation {
+                        thread,
+                        what: "commit without a transaction",
+                    });
+                }
+                th.c.instructions += 1;
+                th.truth.tx_commits += 1;
+                th.tx = None;
+                self.tx_release_lines(thread);
+                // Commit publishes the write set (coherence-visible).
+                self.push(now + TX_COMMIT_COST, EventKind::Run { core, thread });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a transactional access and dooms conflicting transactions
+    /// (requester wins: writer aborts concurrent readers and writers;
+    /// reader aborts concurrent writers).
+    fn tx_track(&mut self, thread: ThreadId, op: Op, line: LineAddr, write: bool) {
+        let mut doom: Vec<ThreadId> = Vec::new();
+        if write {
+            for &t in self.tx_readers.get(&line).into_iter().flatten() {
+                if t != thread {
+                    doom.push(t);
+                }
+            }
+        }
+        for &t in self.tx_writers.get(&line).into_iter().flatten() {
+            if t != thread {
+                doom.push(t);
+            }
+        }
+        for t in doom {
+            if let Some(tx) = self.threads[t].tx.as_mut() {
+                tx.doomed = true;
+            }
+        }
+        let map = if write { &mut self.tx_writers } else { &mut self.tx_readers };
+        let entry = map.entry(line).or_default();
+        if !entry.contains(&thread) {
+            entry.push(thread);
+        }
+        let tx = self.threads[thread].tx.as_mut().expect("in transaction");
+        tx.ops.push(op);
+    }
+
+    /// Removes `thread` from all transactional conflict tracking.
+    fn tx_release_lines(&mut self, thread: ThreadId) {
+        self.tx_readers.retain(|_, v| {
+            v.retain(|&t| t != thread);
+            !v.is_empty()
+        });
+        self.tx_writers.retain(|_, v| {
+            v.retain(|&t| t != thread);
+            !v.is_empty()
+        });
+    }
+
+    /// Rolls back `thread`'s doomed transaction at cycle `now`: the time
+    /// since the (re)start is charged as a synchronization penalty
+    /// (§4.3), tracked lines are released, and the recorded body is
+    /// queued for replay.
+    fn rollback(&mut self, thread: ThreadId, now: u64) {
+        self.tx_release_lines(thread);
+        let th = &mut self.threads[thread];
+        let tx = th.tx.as_mut().expect("doomed transaction exists");
+        let wasted = (now - tx.start) as f64;
+        th.c.spin_cycles += wasted;
+        th.truth.true_spin_cycles += wasted as u64;
+        th.truth.tx_aborts += 1;
+        let ops = std::mem::take(&mut tx.ops);
+        let attempts = tx.attempts + 1;
+        th.replay = ops.into();
+        th.tx = Some(TxState {
+            start: now,
+            attempts,
+            ops: Vec::new(),
+            doomed: false,
+        });
+    }
+
+    /// Attempts to take `id` for `thread` (running on `core`) at `t_op`;
+    /// registers as a waiter otherwise (spin-then-yield). Also used to
+    /// *retry* the acquire after a wake-up — the lock may have been barged
+    /// by a spinning waiter or a fresh arrival in the meantime, which is
+    /// exactly what keeps contended locks from convoying behind the slow
+    /// OS wake path.
+    fn acquire_or_wait(&mut self, thread: ThreadId, core: usize, id: u32, t_op: u64) -> Result<(), SimError> {
+        let lock = self.locks.entry(id).or_default();
+        if lock.holder.is_none() {
+            lock.holder = Some(thread);
+            self.threads[thread].pending_acquire = None;
+            self.push(t_op, EventKind::Run { core, thread });
+        } else if lock.holder == Some(thread) {
+            return Err(SimError::ProtocolViolation {
+                thread,
+                what: "recursive lock acquisition",
+            });
+        } else {
+            if !lock.waiters.contains(&thread) {
+                lock.waiters.push_back(thread);
+            }
+            let th = &mut self.threads[thread];
+            th.pending_acquire = Some(id);
+            th.state = TState::SpinLock { lock: id, core };
+            th.spin_start = t_op;
+            th.wait_token += 1;
+            let token = th.wait_token;
+            self.push(t_op + self.cfg.sync.spin_threshold, EventKind::YieldDeadline { thread, token });
+        }
+        Ok(())
+    }
+
+    /// Passes a just-released lock on: the first still-spinning waiter (in
+    /// FIFO order) gets it directly after a cache-line handoff; otherwise
+    /// the first yielded waiter is woken to retry, leaving the lock free
+    /// in the interim.
+    fn hand_over(&mut self, id: u32, now: u64) {
+        let Some(lock) = self.locks.get_mut(&id) else {
+            return;
+        };
+        if let Some(pos) = {
+            let threads = &self.threads;
+            lock.waiters.iter().position(|&w| threads[w].state.is_spinning())
+        } {
+            let w = lock.waiters.remove(pos).expect("position is valid");
+            lock.holder = Some(w);
+            let TState::SpinLock { core, .. } = self.threads[w].state else {
+                unreachable!("spinning lock waiter has a core");
+            };
+            let resume = now + self.cfg.sync.lock_handoff;
+            self.account_spin(w, id, resume);
+            let th = &mut self.threads[w];
+            th.wait_token += 1; // cancel the pending yield deadline
+            th.pending_acquire = None;
+            th.state = TState::Running { core };
+            self.push(resume, EventKind::Run { core, thread: w });
+        } else if let Some(pos) = {
+            let threads = &self.threads;
+            lock.waiters.iter().position(|&w| threads[w].state == TState::YieldLock)
+        } {
+            let w = lock.waiters.remove(pos).expect("position is valid");
+            self.threads[w].state = TState::WakePending;
+            self.push(now + self.cfg.sync.wake_latency, EventKind::Wakeup { thread: w });
+        }
+    }
+
+    /// Resumes a barrier waiter at broadcast time `now`: still-spinning
+    /// waiters restart on their own core after a handoff; yielded waiters
+    /// take the wake-up path.
+    fn resume_waiter(&mut self, w: ThreadId, sync_id: u32, now: u64) {
+        match self.threads[w].state {
+            TState::SpinBarrier { core } => {
+                let resume = now + self.cfg.sync.lock_handoff;
+                self.account_spin(w, sync_id, resume);
+                self.threads[w].wait_token += 1; // cancel the yield deadline
+                self.threads[w].state = TState::Running { core };
+                self.push(resume, EventKind::Run { core, thread: w });
+            }
+            TState::YieldBarrier => {
+                self.threads[w].state = TState::WakePending;
+                self.push(now + self.cfg.sync.wake_latency, EventKind::Wakeup { thread: w });
+            }
+            other => unreachable!("resume_waiter on thread in state {other:?}"),
+        }
+    }
+
+    fn on_yield_deadline(&mut self, thread: ThreadId, token: u64, now: u64) {
+        let th = &self.threads[thread];
+        if th.wait_token != token {
+            return; // already granted or resumed
+        }
+        let (core, next_state, sync_id) = match th.state {
+            TState::SpinLock { lock, core } => (core, TState::YieldLock, lock),
+            TState::SpinBarrier { core } => (core, TState::YieldBarrier, u32::MAX),
+            _ => return,
+        };
+        self.account_spin(thread, sync_id, now);
+        let th = &mut self.threads[thread];
+        th.yield_from_barrier = matches!(next_state, TState::YieldBarrier);
+        th.state = next_state;
+        th.yield_start = now;
+        self.cores[core] = None;
+        self.dispatch(now);
+    }
+
+    fn on_wakeup(&mut self, thread: ThreadId, now: u64) {
+        debug_assert_eq!(self.threads[thread].state, TState::WakePending);
+        self.threads[thread].state = TState::Ready;
+        self.ready.push_back(thread);
+        self.dispatch(now);
+    }
+
+    // ---- helpers ---------------------------------------------------------
+
+    /// Closes the current spin interval of `thread` ending at `end`:
+    /// accumulates ground truth, runs the configured detector for the
+    /// accounted spin cycles, and charges spin-loop instructions.
+    fn account_spin(&mut self, thread: ThreadId, sync_id: u32, end: u64) {
+        let th = &mut self.threads[thread];
+        let cycles = end.saturating_sub(th.spin_start);
+        if cycles == 0 {
+            return;
+        }
+        th.truth.true_spin_cycles += cycles;
+        th.truth.wait_episodes += 1;
+        let is_barrier = matches!(th.state, TState::SpinBarrier { .. });
+        let (pc, line) = if is_barrier {
+            (2_000_000 + u64::from(sync_id), BARRIER_REGION + u64::from(sync_id))
+        } else {
+            (1_000_000 + u64::from(sync_id), LOCK_REGION + u64::from(sync_id))
+        };
+        let episode = SpinEpisode {
+            pc,
+            line,
+            cycles,
+            iter_cycles: self.cfg.sync.spin_iter_cycles,
+        };
+        let detected = th.detector.observe(&episode) as f64;
+        th.c.spin_cycles += detected;
+        if is_barrier {
+            th.barrier_spin += detected;
+        }
+        let iters = episode.iterations();
+        let instrs = iters * self.cfg.sync.spin_iter_instrs;
+        th.c.instructions += instrs;
+        th.c.spin_instructions += instrs;
+    }
+
+    /// Fills idle cores from the ready queue, preferring each thread's
+    /// last core to limit migration. Charges scheduled-out time.
+    fn dispatch(&mut self, now: u64) {
+        while !self.ready.is_empty() && self.cores.iter().any(Option::is_none) {
+            let thread = self.ready.pop_front().expect("non-empty");
+            let preferred = self.threads[thread].last_core;
+            let core = if self.cores[preferred].is_none() {
+                preferred
+            } else {
+                self.cores
+                    .iter()
+                    .position(Option::is_none)
+                    .expect("an idle core exists")
+            };
+            let start = now + self.cfg.sched.context_switch;
+            let th = &mut self.threads[thread];
+            let charged = (start - th.yield_start) as f64;
+            th.c.yield_cycles += charged;
+            if th.yield_from_barrier {
+                th.barrier_yield += charged;
+                th.yield_from_barrier = false;
+            }
+            th.state = TState::Running { core };
+            th.last_core = core;
+            th.quantum_end = start + self.cfg.sched.quantum;
+            self.cores[core] = Some(thread);
+            self.push(start, EventKind::Run { core, thread });
+        }
+    }
+
+    /// Performs a memory access, updates accounting counters, and returns
+    /// the exposed stall in cycles (0 for plain stores).
+    fn mem_access(
+        &mut self,
+        core: usize,
+        thread: ThreadId,
+        line: LineAddr,
+        write: bool,
+        now: u64,
+        stalls: bool,
+    ) -> u64 {
+        let ev = self.mem.access(core, line, write, now);
+        let th = &mut self.threads[thread];
+        th.c.instructions += 1;
+
+        let exposed = if stalls {
+            ev.latency_beyond_l1.saturating_sub(self.cfg.core.overlap_window)
+        } else {
+            0
+        };
+
+        if ev.level != ServedBy::L1 {
+            th.c.llc_accesses += 1;
+            th.truth.llc_accesses += 1;
+            if ev.sampled {
+                th.c.sampled_llc_accesses += 1;
+            }
+            if ev.interthread_hit_sampled {
+                th.c.sampled_interthread_hits += 1;
+            }
+            if ev.interthread_hit_truth {
+                th.truth.interthread_hits_truth += 1;
+            }
+        }
+        if ev.level == ServedBy::Dram {
+            th.truth.llc_misses += 1;
+            if stalls {
+                th.c.llc_load_misses += 1;
+                th.c.llc_load_miss_stall_cycles += exposed as f64;
+                if ev.interthread_miss_sampled {
+                    th.c.sampled_interthread_misses += 1;
+                    th.c.sampled_interthread_miss_stall_cycles += exposed as f64;
+                }
+                // Interference is the part of the exposed stall that would
+                // vanish without the waits caused by other cores: compare
+                // the exposure with and without those waits.
+                let waits = ev.bus_wait_other + ev.bank_wait_other + ev.page_conflict_other;
+                let base_exposed = (ev.latency_beyond_l1 - waits.min(ev.latency_beyond_l1))
+                    .saturating_sub(self.cfg.core.overlap_window);
+                th.c.mem_interference_cycles += exposed.saturating_sub(base_exposed) as f64;
+            }
+        }
+        if ev.coherency_miss {
+            th.truth.coherency_misses += 1;
+            th.c.coherency_miss_cycles += exposed as f64;
+        }
+        th.truth.invalidations_sent += u64::from(ev.invalidations_sent);
+        exposed
+    }
+}
+
+/// Convenience: build and run a simulation in one call.
+///
+/// # Errors
+///
+/// See [`Simulation::run`].
+pub fn simulate(cfg: MachineConfig, streams: Vec<Box<dyn OpStream>>) -> Result<SimResult, SimError> {
+    Simulation::new(cfg, streams).run()
+}

@@ -1,0 +1,275 @@
+//! Per-region speedup stacks (§4.6).
+//!
+//! The paper notes that hardware accounting cannot distinguish lock
+//! spinning from barrier spinning, so program-wide stacks fold barrier
+//! imbalance into the synchronization components — but "this problem can
+//! be solved by computing speedup stacks for each region between
+//! consecutive barriers; the imbalance before each barrier then
+//! quantifies barrier overhead."
+//!
+//! This module implements exactly that: with
+//! [`MachineConfig::record_regions`](crate::MachineConfig) enabled, the
+//! engine snapshots cumulative counters at every barrier release;
+//! [`region_counters`] turns consecutive snapshots into per-region
+//! [`ThreadCounters`] where
+//!
+//! - each thread's `active_end_cycle` is its *arrival* at the boundary
+//!   barrier (so the barrier wait becomes the imbalance component), and
+//! - the spin/yield cycles spent waiting on that barrier are subtracted
+//!   from the sync components (they are imbalance now, not
+//!   synchronization).
+
+use speedup_stacks::{AccountingConfig, SpeedupStack, StackError, ThreadCounters};
+
+use crate::engine::{RegionSnapshot, SimResult};
+
+/// A tail shorter than this after the last barrier is just the barrier's
+/// own exit latency (handoff / wake-up), not a program region.
+const TAIL_EPSILON_CYCLES: u64 = 1_000;
+
+/// One barrier-delimited region, ready for stack construction.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// First cycle of the region.
+    pub start_cycle: u64,
+    /// Last cycle of the region (the barrier release, or program end for
+    /// the tail region).
+    pub end_cycle: u64,
+    /// Per-thread counters, rebased to the region (cycle 0 = `start_cycle`).
+    pub counters: Vec<ThreadCounters>,
+}
+
+impl Region {
+    /// Region duration in cycles.
+    #[must_use]
+    pub fn tp_cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+
+    /// Builds this region's speedup stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StackError`] for degenerate regions (zero duration).
+    pub fn stack(&self, cfg: &AccountingConfig) -> Result<SpeedupStack, StackError> {
+        SpeedupStack::from_counters(&self.counters, self.tp_cycles(), cfg)
+    }
+}
+
+fn diff_counters(
+    later: &ThreadCounters,
+    earlier: &ThreadCounters,
+    barrier_spin_delta: f64,
+    barrier_yield_delta: f64,
+    arrival_in_region: u64,
+) -> ThreadCounters {
+    ThreadCounters {
+        // Arrival at the boundary barrier: the wait until the release
+        // becomes imbalance (§4.6).
+        active_end_cycle: arrival_in_region,
+        spin_cycles: (later.spin_cycles - earlier.spin_cycles - barrier_spin_delta).max(0.0),
+        yield_cycles: (later.yield_cycles - earlier.yield_cycles - barrier_yield_delta).max(0.0),
+        mem_interference_cycles: later.mem_interference_cycles - earlier.mem_interference_cycles,
+        sampled_interthread_miss_stall_cycles: later.sampled_interthread_miss_stall_cycles
+            - earlier.sampled_interthread_miss_stall_cycles,
+        sampled_interthread_misses: later.sampled_interthread_misses - earlier.sampled_interthread_misses,
+        sampled_interthread_hits: later.sampled_interthread_hits - earlier.sampled_interthread_hits,
+        sampled_llc_accesses: later.sampled_llc_accesses - earlier.sampled_llc_accesses,
+        llc_accesses: later.llc_accesses - earlier.llc_accesses,
+        llc_load_misses: later.llc_load_misses - earlier.llc_load_misses,
+        llc_load_miss_stall_cycles: later.llc_load_miss_stall_cycles - earlier.llc_load_miss_stall_cycles,
+        coherency_miss_cycles: later.coherency_miss_cycles - earlier.coherency_miss_cycles,
+        instructions: later.instructions - earlier.instructions,
+        spin_instructions: later.spin_instructions - earlier.spin_instructions,
+    }
+}
+
+fn snapshot_region(start: u64, prev: Option<&RegionSnapshot>, cur: &RegionSnapshot) -> Region {
+    let n = cur.counters.len();
+    let zero_counters: Vec<ThreadCounters> = vec![ThreadCounters::default(); n];
+    let zeros: Vec<f64> = vec![0.0; n];
+    let (earlier_c, earlier_bs, earlier_by) = match prev {
+        Some(p) => (&p.counters, &p.barrier_spin, &p.barrier_yield),
+        None => (&zero_counters, &zeros, &zeros),
+    };
+    let counters = (0..n)
+        .map(|i| {
+            // A thread's arrival can precede the region start only through
+            // boundary rounding (wake-up charged after release); clamp.
+            let arrival = cur.arrivals[i].max(start) - start;
+            diff_counters(
+                &cur.counters[i],
+                &earlier_c[i],
+                cur.barrier_spin[i] - earlier_bs[i],
+                cur.barrier_yield[i] - earlier_by[i],
+                arrival,
+            )
+        })
+        .collect();
+    Region {
+        start_cycle: start,
+        end_cycle: cur.release_cycle,
+        counters,
+    }
+}
+
+/// Splits a region-recorded run into barrier-delimited [`Region`]s.
+///
+/// The final region (between the last barrier and program end) is
+/// included when it is longer than the barrier exit latency; there the
+/// true `active_end_cycle` is used, so end-of-program imbalance appears
+/// as usual.
+///
+/// Returns an empty vector when the run recorded no snapshots (workload
+/// without barriers, or [`record_regions`] disabled).
+///
+/// [`record_regions`]: crate::MachineConfig::record_regions
+#[must_use]
+pub fn region_counters(result: &SimResult) -> Vec<Region> {
+    let mut out = Vec::with_capacity(result.regions.len() + 1);
+    let mut start = 0u64;
+    let mut prev: Option<&RegionSnapshot> = None;
+    for snap in &result.regions {
+        if snap.release_cycle > start {
+            out.push(snapshot_region(start, prev, snap));
+        }
+        start = snap.release_cycle;
+        prev = Some(snap);
+    }
+    // Tail region after the last barrier (ignoring the barrier's own
+    // exit latency when the program ends right there).
+    if let Some(last) = prev {
+        if result.tp_cycles > last.release_cycle + TAIL_EPSILON_CYCLES {
+            let tail = RegionSnapshot {
+                release_cycle: result.tp_cycles,
+                arrivals: result.counters.iter().map(|c| c.active_end_cycle).collect(),
+                counters: result.counters.clone(),
+                barrier_spin: last.barrier_spin.clone(),
+                barrier_yield: last.barrier_yield.clone(),
+            };
+            out.push(snapshot_region(start, prev, &tail));
+        }
+    }
+    out
+}
+
+/// Builds one speedup stack per barrier-delimited region.
+///
+/// # Errors
+///
+/// Propagates [`StackError`] from stack construction.
+pub fn region_stacks(result: &SimResult, cfg: &AccountingConfig) -> Result<Vec<SpeedupStack>, StackError> {
+    region_counters(result).iter().map(|r| r.stack(cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MachineConfig, Op, OpStream, Simulation, VecStream};
+    use speedup_stacks::Component;
+
+    fn run_with_regions(streams: Vec<Box<dyn OpStream>>, cores: usize) -> SimResult {
+        let mut cfg = MachineConfig::with_cores(cores);
+        cfg.record_regions = true;
+        Simulation::new(cfg, streams).run().unwrap()
+    }
+
+    fn boxed(ops: Vec<Op>) -> Box<dyn OpStream> {
+        Box::new(VecStream::new(ops))
+    }
+
+    #[test]
+    fn no_barriers_no_regions() {
+        let r = run_with_regions(vec![boxed(vec![Op::Compute(100)])], 1);
+        assert!(region_counters(&r).is_empty());
+    }
+
+    #[test]
+    fn regions_cover_the_run() {
+        let mk = |a: u32, b: u32| {
+            boxed(vec![Op::Compute(a), Op::Barrier(0), Op::Compute(b), Op::Barrier(0)])
+        };
+        let r = run_with_regions(vec![mk(1000, 2000), mk(1000, 2000)], 2);
+        let regions = region_counters(&r);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].start_cycle, 0);
+        assert_eq!(regions[0].end_cycle, regions[1].start_cycle);
+        // The run ends at the last barrier (plus its exit latency, which
+        // is not a region).
+        assert!(regions[1].end_cycle <= r.tp_cycles);
+        assert!(r.tp_cycles - regions[1].end_cycle < TAIL_EPSILON_CYCLES);
+    }
+
+    #[test]
+    fn barrier_wait_becomes_region_imbalance() {
+        // Thread 0 is slow in region 0: thread 1's barrier wait must show
+        // as *imbalance* in region 0's stack, not as spinning/yielding.
+        let t0 = boxed(vec![Op::Compute(50_000), Op::Barrier(0), Op::Compute(100)]);
+        let t1 = boxed(vec![Op::Compute(100), Op::Barrier(0), Op::Compute(100)]);
+        let r = run_with_regions(vec![t0, t1], 2);
+        let stacks = region_stacks(&r, &AccountingConfig::default()).unwrap();
+        assert_eq!(stacks.len(), 2);
+        let region0 = &stacks[0];
+        assert!(
+            region0.component(Component::Imbalance) > 0.8,
+            "barrier wait must be imbalance, got {:?}",
+            region0.overheads()
+        );
+        assert!(
+            region0.component(Component::Spinning) + region0.component(Component::Yielding) < 0.1,
+            "sync components must be reclassified: {:?}",
+            region0.overheads()
+        );
+    }
+
+    #[test]
+    fn lock_spinning_stays_synchronization_within_region() {
+        // Contended lock inside a region: that spin must remain in the
+        // spinning component (only *barrier* waits are reclassified).
+        let mk = || {
+            boxed(vec![
+                Op::LockAcquire(0),
+                Op::Compute(800),
+                Op::LockRelease(0),
+                Op::Barrier(0),
+            ])
+        };
+        let r = run_with_regions(vec![mk(), mk()], 2);
+        let stacks = region_stacks(&r, &AccountingConfig::default()).unwrap();
+        let total_spin: f64 = stacks.iter().map(|s| s.component(Component::Spinning)).sum();
+        assert!(total_spin > 0.1, "lock spin must survive regioning: {total_spin}");
+    }
+
+    #[test]
+    fn tail_region_present_when_work_follows_last_barrier() {
+        let mk = |tail: u32| boxed(vec![Op::Compute(500), Op::Barrier(0), Op::Compute(tail)]);
+        let r = run_with_regions(vec![mk(5_000), mk(100)], 2);
+        let regions = region_counters(&r);
+        assert_eq!(regions.len(), 2);
+        let tail = &regions[1];
+        let stack = tail.stack(&AccountingConfig::default()).unwrap();
+        // Thread 1 finishes early in the tail: end-of-program imbalance.
+        assert!(stack.component(Component::Imbalance) > 0.5);
+    }
+
+    #[test]
+    fn region_components_sum_to_whole_run_modulo_boundary() {
+        // Sanity: total instructions across regions equal the run's.
+        let mk = || {
+            boxed(vec![
+                Op::Compute(1_000),
+                Op::Barrier(0),
+                Op::Compute(2_000),
+                Op::Barrier(0),
+            ])
+        };
+        let r = run_with_regions(vec![mk(), mk()], 2);
+        let regions = region_counters(&r);
+        let per_region: u64 = regions
+            .iter()
+            .flat_map(|reg| reg.counters.iter().map(|c| c.instructions))
+            .sum();
+        let total: u64 = r.counters.iter().map(|c| c.instructions).sum();
+        assert_eq!(per_region, total);
+    }
+}

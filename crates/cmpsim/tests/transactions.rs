@@ -1,0 +1,165 @@
+//! Tests of the §4.3 transactional-memory extension: conflicting
+//! transactions roll back, replay, and charge their wasted time as a
+//! synchronization penalty.
+
+use cmpsim::{simulate, MachineConfig, Op, OpStream, SimError, VecStream};
+use speedup_stacks::{AccountingConfig, Component};
+
+fn boxed(ops: Vec<Op>) -> Box<dyn OpStream> {
+    Box::new(VecStream::new(ops))
+}
+
+fn tx_counter_update(iterations: u32, line: u64, work: u32) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for _ in 0..iterations {
+        ops.push(Op::TxBegin);
+        ops.push(Op::Load(line));
+        ops.push(Op::Compute(work));
+        ops.push(Op::Store(line));
+        ops.push(Op::TxEnd);
+        ops.push(Op::Compute(50));
+    }
+    ops
+}
+
+#[test]
+fn uncontended_transactions_commit_without_aborts() {
+    // Two threads transact on disjoint lines: no conflicts.
+    let r = simulate(
+        MachineConfig::with_cores(2),
+        vec![boxed(tx_counter_update(20, 100, 80)), boxed(tx_counter_update(20, 200, 80))],
+    )
+    .unwrap();
+    let commits: u64 = r.truth.iter().map(|t| t.tx_commits).sum();
+    let aborts: u64 = r.truth.iter().map(|t| t.tx_aborts).sum();
+    assert_eq!(commits, 40);
+    assert_eq!(aborts, 0);
+}
+
+#[test]
+fn conflicting_transactions_abort_and_still_complete() {
+    // Four threads hammer the same counter line transactionally.
+    let streams: Vec<Box<dyn OpStream>> =
+        (0..4).map(|_| boxed(tx_counter_update(25, 7, 120))).collect();
+    let r = simulate(MachineConfig::with_cores(4), streams).unwrap();
+    let commits: u64 = r.truth.iter().map(|t| t.tx_commits).sum();
+    let aborts: u64 = r.truth.iter().map(|t| t.tx_aborts).sum();
+    assert_eq!(commits, 100, "every transaction must eventually commit");
+    assert!(aborts > 0, "contended counter must cause rollbacks");
+}
+
+#[test]
+fn aborted_time_is_a_synchronization_penalty() {
+    let streams: Vec<Box<dyn OpStream>> =
+        (0..4).map(|_| boxed(tx_counter_update(25, 7, 200))).collect();
+    let r = simulate(MachineConfig::with_cores(4), streams).unwrap();
+    let aborts: u64 = r.truth.iter().map(|t| t.tx_aborts).sum();
+    assert!(aborts > 0);
+    let stack = r.stack(&AccountingConfig::default()).unwrap();
+    assert!(
+        stack.component(Component::Spinning) > 0.05,
+        "rollback time must appear in the sync (spinning) component: {:?}",
+        stack.overheads()
+    );
+}
+
+#[test]
+fn rollback_replays_the_whole_body() {
+    // The replayed body re-executes loads/stores/compute, so total
+    // committed work (instructions beyond aborts) stays consistent:
+    // every thread commits all its transactions exactly once.
+    let streams: Vec<Box<dyn OpStream>> =
+        (0..2).map(|_| boxed(tx_counter_update(30, 9, 60))).collect();
+    let r = simulate(MachineConfig::with_cores(2), streams).unwrap();
+    for t in &r.truth {
+        assert_eq!(t.tx_commits, 30);
+    }
+}
+
+#[test]
+fn transactions_are_deterministic() {
+    let mk = || -> Vec<Box<dyn OpStream>> {
+        (0..4).map(|_| boxed(tx_counter_update(15, 3, 90))).collect()
+    };
+    let a = simulate(MachineConfig::with_cores(4), mk()).unwrap();
+    let b = simulate(MachineConfig::with_cores(4), mk()).unwrap();
+    assert_eq!(a.tp_cycles, b.tp_cycles);
+    assert_eq!(a.truth, b.truth);
+}
+
+#[test]
+fn read_only_sharing_does_not_conflict() {
+    // Concurrent transactional readers of the same line never abort.
+    let reader = || {
+        let mut ops = vec![Op::TxBegin];
+        for _ in 0..10 {
+            ops.push(Op::Load(42));
+            ops.push(Op::Compute(100));
+        }
+        ops.push(Op::TxEnd);
+        boxed(ops)
+    };
+    let r = simulate(MachineConfig::with_cores(4), vec![reader(), reader(), reader(), reader()]).unwrap();
+    let aborts: u64 = r.truth.iter().map(|t| t.tx_aborts).sum();
+    assert_eq!(aborts, 0);
+}
+
+#[test]
+fn nested_transaction_is_a_protocol_violation() {
+    let r = simulate(
+        MachineConfig::with_cores(1),
+        vec![boxed(vec![Op::TxBegin, Op::TxBegin])],
+    );
+    assert!(matches!(r, Err(SimError::ProtocolViolation { .. })));
+}
+
+#[test]
+fn commit_without_begin_is_a_protocol_violation() {
+    let r = simulate(MachineConfig::with_cores(1), vec![boxed(vec![Op::TxEnd])]);
+    assert!(matches!(r, Err(SimError::ProtocolViolation { .. })));
+}
+
+#[test]
+fn ending_inside_transaction_is_a_protocol_violation() {
+    let r = simulate(
+        MachineConfig::with_cores(1),
+        vec![boxed(vec![Op::TxBegin, Op::Compute(10)])],
+    );
+    assert!(matches!(r, Err(SimError::ProtocolViolation { .. })));
+}
+
+#[test]
+fn locks_and_barriers_forbidden_inside_transactions() {
+    for bad in [Op::LockAcquire(0), Op::Barrier(0)] {
+        let r = simulate(
+            MachineConfig::with_cores(1),
+            vec![boxed(vec![Op::TxBegin, bad, Op::TxEnd])],
+        );
+        assert!(matches!(r, Err(SimError::ProtocolViolation { .. })), "op {bad:?}");
+    }
+}
+
+#[test]
+fn tm_versus_locks_comparison_runs() {
+    // A library use case: compare the same kernel with a lock vs TM.
+    let lock_worker = || {
+        let mut ops = Vec::new();
+        for _ in 0..25 {
+            ops.push(Op::LockAcquire(0));
+            ops.push(Op::Load(7));
+            ops.push(Op::Compute(120));
+            ops.push(Op::Store(7));
+            ops.push(Op::LockRelease(0));
+            ops.push(Op::Compute(50));
+        }
+        boxed(ops)
+    };
+    let streams_lock: Vec<Box<dyn OpStream>> = (0..4).map(|_| lock_worker()).collect();
+    let streams_tm: Vec<Box<dyn OpStream>> =
+        (0..4).map(|_| boxed(tx_counter_update(25, 7, 120))).collect();
+    let lock = simulate(MachineConfig::with_cores(4), streams_lock).unwrap();
+    let tm = simulate(MachineConfig::with_cores(4), streams_tm).unwrap();
+    // Both complete; each produces a valid stack.
+    assert!(lock.stack(&AccountingConfig::default()).unwrap().is_valid());
+    assert!(tm.stack(&AccountingConfig::default()).unwrap().is_valid());
+}

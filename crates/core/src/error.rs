@@ -1,0 +1,54 @@
+//! Error types for speedup-stack construction.
+
+use core::fmt;
+
+/// Error returned when a speedup stack cannot be built from the provided
+/// counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StackError {
+    /// No per-thread counters were provided.
+    NoThreads,
+    /// The parallel-section duration `Tp` was zero.
+    ZeroDuration,
+    /// A thread reported a cycle quantity that is negative or not finite,
+    /// or an `active_end_cycle` beyond `Tp`.
+    InvalidCounters {
+        /// Index of the offending thread.
+        thread: usize,
+    },
+}
+
+impl fmt::Display for StackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackError::NoThreads => f.write_str("no per-thread counters provided"),
+            StackError::ZeroDuration => f.write_str("parallel-section duration Tp is zero"),
+            StackError::InvalidCounters { thread } => {
+                write!(f, "thread {thread} reported invalid counters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(StackError::NoThreads.to_string(), "no per-thread counters provided");
+        assert_eq!(
+            StackError::InvalidCounters { thread: 3 }.to_string(),
+            "thread 3 reported invalid counters"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StackError>();
+    }
+}

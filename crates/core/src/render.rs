@@ -1,0 +1,251 @@
+//! ASCII rendering of speedup stacks (Figure 2 / Figure 5 style).
+//!
+//! The renderer draws each stack as a horizontal bar of fixed character
+//! width, where each segment's width is proportional to its share of `N`:
+//! `#` for base speedup, `+` for positive interference, and the
+//! [`Component::code`] letter for each overhead component. A legend with
+//! exact values accompanies the bar.
+
+use crate::components::Component;
+use crate::stack::SpeedupStack;
+use std::fmt::Write as _;
+
+/// Options controlling stack rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// Total bar width in characters (the full width represents `N`).
+    pub width: usize,
+    /// Hide components contributing less than this fraction of `N` from
+    /// the legend (they still occupy bar space if they round to ≥1 char).
+    pub legend_cutoff_permille: u32,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 64,
+            legend_cutoff_permille: 5,
+        }
+    }
+}
+
+/// Renders one stack as a bar plus legend.
+///
+/// # Examples
+///
+/// ```
+/// use speedup_stacks::{render, SpeedupStack, ThreadCounters, AccountingConfig};
+/// let threads = vec![
+///     ThreadCounters { active_end_cycle: 1000, spin_cycles: 500.0,
+///                      ..ThreadCounters::default() },
+///     ThreadCounters { active_end_cycle: 1000, ..ThreadCounters::default() },
+/// ];
+/// let stack = SpeedupStack::from_counters(&threads, 1000, &AccountingConfig::default())?;
+/// let art = render::render_stack("demo", &stack, &render::RenderOptions::default());
+/// assert!(art.contains("demo"));
+/// assert!(art.contains("spinning"));
+/// # Ok::<(), speedup_stacks::StackError>(())
+/// ```
+#[must_use]
+pub fn render_stack(label: &str, stack: &SpeedupStack, opts: &RenderOptions) -> String {
+    let n = stack.num_threads() as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{label}: N={} estimated speedup={:.2}{}",
+        stack.num_threads(),
+        stack.estimated_speedup(),
+        match stack.actual_speedup() {
+            Some(a) => format!(" actual={a:.2}"),
+            None => String::new(),
+        }
+    );
+
+    // Bar: base, then positive, then overheads in stack order.
+    let mut segments: Vec<(char, f64)> = vec![('#', stack.base_speedup()), ('+', stack.positive_interference())];
+    for (c, v) in stack.overheads().iter() {
+        segments.push((c.code(), v));
+    }
+    let mut bar = String::with_capacity(opts.width + 2);
+    bar.push('|');
+    let mut used = 0usize;
+    let mut carried = 0.0f64;
+    for (ch, v) in &segments {
+        let exact = v / n * opts.width as f64 + carried;
+        let w = exact.round() as usize;
+        carried = exact - w as f64;
+        for _ in 0..w.min(opts.width - used) {
+            bar.push(*ch);
+        }
+        used = (used + w).min(opts.width);
+    }
+    while used < opts.width {
+        bar.push(' ');
+        used += 1;
+    }
+    bar.push('|');
+    let _ = writeln!(out, "  {bar}");
+
+    // Legend.
+    let _ = writeln!(
+        out,
+        "  # base speedup          {:>8.3}  ({:>5.1}% of N)",
+        stack.base_speedup(),
+        stack.base_speedup() / n * 100.0
+    );
+    if stack.positive_interference() > 0.0 {
+        let _ = writeln!(
+            out,
+            "  + positive interference {:>8.3}  ({:>5.1}% of N)",
+            stack.positive_interference(),
+            stack.positive_interference() / n * 100.0
+        );
+    }
+    let cutoff = opts.legend_cutoff_permille as f64 / 1000.0 * n;
+    for (c, v) in stack.overheads().iter() {
+        if v >= cutoff {
+            let _ = writeln!(
+                out,
+                "  {} {:<22} {:>8.3}  ({:>5.1}% of N)",
+                c.code(),
+                c.to_string(),
+                v,
+                v / n * 100.0
+            );
+        }
+    }
+    out
+}
+
+/// Renders several stacks as an aligned comparison table (Figure 5 style):
+/// one row per stack, one column per component.
+///
+/// # Examples
+///
+/// ```
+/// use speedup_stacks::{render, SpeedupStack, ThreadCounters, AccountingConfig};
+/// let t = vec![ThreadCounters { active_end_cycle: 100, ..Default::default() }];
+/// let s = SpeedupStack::from_counters(&t, 100, &AccountingConfig::default())?;
+/// let table = render::render_table(&[("run".to_string(), s)]);
+/// assert!(table.contains("base"));
+/// # Ok::<(), speedup_stacks::StackError>(())
+/// ```
+#[must_use]
+pub fn render_table(stacks: &[(String, SpeedupStack)]) -> String {
+    let mut out = String::new();
+    let name_w = stacks
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(std::iter::once("benchmark".len()))
+        .max()
+        .unwrap_or(9);
+    let _ = write!(out, "{:<name_w$}  {:>3}  {:>7}  {:>7}", "benchmark", "N", "base", "pos");
+    for c in Component::ALL {
+        let _ = write!(out, "  {:>9}", c.label());
+    }
+    let _ = writeln!(out, "  {:>7}  {:>7}", "est.S", "act.S");
+    for (name, s) in stacks {
+        let _ = write!(
+            out,
+            "{:<name_w$}  {:>3}  {:>7.3}  {:>7.3}",
+            name,
+            s.num_threads(),
+            s.base_speedup(),
+            s.positive_interference()
+        );
+        for c in Component::ALL {
+            let _ = write!(out, "  {:>9.3}", s.component(c));
+        }
+        let _ = write!(out, "  {:>7.3}", s.estimated_speedup());
+        match s.actual_speedup() {
+            Some(a) => {
+                let _ = writeln!(out, "  {a:>7.3}");
+            }
+            None => {
+                let _ = writeln!(out, "  {:>7}", "-");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accounting::AccountingConfig;
+    use crate::counters::ThreadCounters;
+
+    fn demo_stack() -> SpeedupStack {
+        let threads = vec![
+            ThreadCounters {
+                active_end_cycle: 1000,
+                spin_cycles: 250.0,
+                yield_cycles: 250.0,
+                ..ThreadCounters::default()
+            },
+            ThreadCounters {
+                active_end_cycle: 500,
+                ..ThreadCounters::default()
+            },
+        ];
+        SpeedupStack::from_counters(&threads, 1000, &AccountingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn bar_has_requested_width() {
+        let opts = RenderOptions {
+            width: 40,
+            ..RenderOptions::default()
+        };
+        let art = render_stack("x", &demo_stack(), &opts);
+        let bar_line = art.lines().nth(1).unwrap().trim();
+        assert_eq!(bar_line.len(), 42); // 40 + two '|'
+    }
+
+    #[test]
+    fn legend_mentions_components() {
+        let art = render_stack("x", &demo_stack(), &RenderOptions::default());
+        assert!(art.contains("spinning"));
+        assert!(art.contains("yielding"));
+        assert!(art.contains("imbalance"));
+        assert!(art.contains("base speedup"));
+    }
+
+    #[test]
+    fn legend_cutoff_hides_small() {
+        let opts = RenderOptions {
+            legend_cutoff_permille: 990,
+            ..RenderOptions::default()
+        };
+        let art = render_stack("x", &demo_stack(), &opts);
+        assert!(!art.contains("spinning"));
+    }
+
+    #[test]
+    fn bar_segment_chars_proportional() {
+        // base = 0.5 of N => half the bar is '#'.
+        let opts = RenderOptions {
+            width: 40,
+            ..RenderOptions::default()
+        };
+        let art = render_stack("x", &demo_stack(), &opts);
+        let bar = art.lines().nth(1).unwrap();
+        let hashes = bar.chars().filter(|&c| c == '#').count();
+        assert!((19..=21).contains(&hashes), "got {hashes} hashes");
+    }
+
+    #[test]
+    fn table_contains_rows_and_header() {
+        let table = render_table(&[("demo".to_string(), demo_stack())]);
+        assert!(table.starts_with("benchmark"));
+        assert!(table.contains("demo"));
+        assert!(table.contains("yielding"));
+    }
+
+    #[test]
+    fn table_shows_actual_when_present() {
+        let s = demo_stack().with_actual_speedup(1.23);
+        let table = render_table(&[("demo".to_string(), s)]);
+        assert!(table.contains("1.230"));
+    }
+}

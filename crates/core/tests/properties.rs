@@ -1,0 +1,126 @@
+//! Property-based tests of the accounting and stack invariants.
+
+use proptest::prelude::*;
+use speedup_stacks::{accounting, AccountingConfig, Breakdown, Component, SpeedupStack, ThreadCounters};
+
+fn arb_counters(tp: u64) -> impl Strategy<Value = ThreadCounters> {
+    (
+        0..=tp,
+        0.0f64..2e6,
+        0.0f64..2e6,
+        0.0f64..2e6,
+        0.0f64..5e5,
+        0u64..500,
+        0u64..500,
+        1u64..2000,
+        0u64..20_000,
+        0u64..2000,
+        0.0f64..2e6,
+    )
+        .prop_map(
+            move |(end, spin, yld, mem, s_stall, s_miss, s_hit, s_acc, acc, misses, stall)| {
+                ThreadCounters {
+                    active_end_cycle: end,
+                    spin_cycles: spin,
+                    yield_cycles: yld,
+                    mem_interference_cycles: mem,
+                    sampled_interthread_miss_stall_cycles: s_stall,
+                    sampled_interthread_misses: s_miss,
+                    sampled_interthread_hits: s_hit,
+                    sampled_llc_accesses: s_acc,
+                    llc_accesses: acc.max(s_acc),
+                    llc_load_misses: misses,
+                    llc_load_miss_stall_cycles: stall,
+                    coherency_miss_cycles: 0.0,
+                    instructions: 0,
+                    spin_instructions: 0,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn stacks_always_sum_to_n(
+        threads in prop::collection::vec(arb_counters(1_000_000), 1..17)
+    ) {
+        let tp = 1_000_000u64;
+        let stack = SpeedupStack::from_counters(&threads, tp, &AccountingConfig::default()).unwrap();
+        prop_assert!(stack.is_valid());
+        let n = threads.len() as f64;
+        prop_assert!((stack.base_speedup() + stack.total_overhead() - n).abs() < 1e-6);
+        prop_assert!(stack.positive_interference() >= 0.0);
+    }
+
+    #[test]
+    fn estimate_reverses_breakup(
+        threads in prop::collection::vec(arb_counters(500_000), 1..9)
+    ) {
+        // Eq. 2/3 consistency: Ŝ == T̂s / Tp.
+        let tp = 500_000u64;
+        let stack = SpeedupStack::from_counters(&threads, tp, &AccountingConfig::default()).unwrap();
+        let via_ts = stack.estimated_single_thread_cycles() / tp as f64;
+        prop_assert!((via_ts - stack.estimated_speedup()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamped_accounting_never_negative(
+        threads in prop::collection::vec(arb_counters(100_000), 1..9)
+    ) {
+        let b = accounting::account(&threads, 100_000, &AccountingConfig::default()).unwrap();
+        for t in &b {
+            prop_assert!(t.estimated_single_thread_cycles >= 0.0);
+            prop_assert!(t.overheads.is_valid());
+            prop_assert!(t.positive_cycles >= 0.0);
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_manual_sum(
+        threads in prop::collection::vec(arb_counters(200_000), 1..9)
+    ) {
+        let tp = 200_000u64;
+        let b = accounting::account(&threads, tp, &AccountingConfig::default()).unwrap();
+        let (agg, pos) = accounting::aggregate(&b, tp);
+        let manual: f64 = b.iter().map(|t| t.overheads.total()).sum::<f64>() / tp as f64;
+        prop_assert!((agg.total() - manual).abs() < 1e-9);
+        let manual_pos: f64 = b.iter().map(|t| t.positive_cycles).sum::<f64>() / tp as f64;
+        prop_assert!((pos - manual_pos).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_add_is_commutative_and_total_linear(
+        a in prop::collection::vec(0.0f64..1e6, Component::COUNT),
+        b in prop::collection::vec(0.0f64..1e6, Component::COUNT),
+    ) {
+        let mut ba = Breakdown::zero();
+        let mut bb = Breakdown::zero();
+        for (i, c) in Component::ALL.iter().enumerate() {
+            ba[*c] = a[i];
+            bb[*c] = b[i];
+        }
+        let ab = ba + bb;
+        let ba2 = bb + ba;
+        prop_assert_eq!(ab, ba2);
+        prop_assert!((ab.total() - (ba.total() + bb.total())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ranked_is_a_permutation_in_descending_order(
+        vals in prop::collection::vec(0.0f64..1e6, Component::COUNT)
+    ) {
+        let mut b = Breakdown::zero();
+        for (i, c) in Component::ALL.iter().enumerate() {
+            b[*c] = vals[i];
+        }
+        let ranked = b.ranked();
+        prop_assert_eq!(ranked.len(), Component::COUNT);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        let sum: f64 = ranked.iter().map(|(_, v)| v).sum();
+        prop_assert!((sum - b.total()).abs() < 1e-6);
+    }
+}

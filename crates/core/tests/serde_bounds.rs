@@ -1,0 +1,27 @@
+//! Compile-time verification that the `serde` feature derives
+//! `Serialize`/`Deserialize` for every data type a downstream consumer
+//! would persist (C-SERDE).
+#![cfg(feature = "serde")]
+
+use speedup_stacks::{
+    AccountingConfig, Breakdown, ClassificationConfig, ClassifiedBenchmark, Component,
+    HardwareCostModel, ScalingClass, SpeedupStack, ThreadBreakdown, ThreadCounters,
+};
+use speedup_stacks::estimate::ValidationPoint;
+
+fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+
+#[test]
+fn all_data_types_are_serde() {
+    assert_serde::<Component>();
+    assert_serde::<Breakdown>();
+    assert_serde::<ThreadCounters>();
+    assert_serde::<ThreadBreakdown>();
+    assert_serde::<AccountingConfig>();
+    assert_serde::<SpeedupStack>();
+    assert_serde::<ScalingClass>();
+    assert_serde::<ClassificationConfig>();
+    assert_serde::<ClassifiedBenchmark>();
+    assert_serde::<HardwareCostModel>();
+    assert_serde::<ValidationPoint>();
+}

@@ -1,0 +1,72 @@
+//! `repro` — regenerate every figure and table of the speedup-stacks
+//! paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|hwcost|all> [--scale F]
+//! ```
+//!
+//! `--scale` scales the workload sizes (default 1.0; use e.g. 0.25 for a
+//! quick pass).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut scale = 1.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => scale = v,
+                _ => {
+                    eprintln!("--scale requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if which.is_none() => which = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(which) = which else {
+        eprintln!("usage: repro <fig1..fig9|hwcost|regions|all> [--scale F]");
+        return ExitCode::FAILURE;
+    };
+
+    let run_one = |name: &str| match name {
+        "fig1" => println!("{}", experiments::fig1::run(scale)),
+        "fig2" => println!("{}", experiments::fig23::run_fig2(scale)),
+        "fig3" => println!("{}", experiments::fig23::run_fig3(scale)),
+        "fig4" => println!("{}", experiments::fig45::run(scale)),
+        "fig5" => println!("{}", experiments::fig45::run_fig5(scale)),
+        "fig6" => println!("{}", experiments::fig6::run(scale)),
+        "fig7" => println!("{}", experiments::fig7::run(scale)),
+        "fig8" => println!("{}", experiments::fig89::run_fig8(scale)),
+        "fig9" => println!("{}", experiments::fig89::run_fig9(scale)),
+        "hwcost" => println!("{}", experiments::hwcost::run()),
+        "regions" => println!("{}", experiments::regions_demo::run(scale)),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(1);
+        }
+    };
+
+    if which == "all" {
+        for name in [
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "hwcost",
+            "regions",
+        ] {
+            println!("================================================================");
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(&which);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,92 @@
+//! Figure 1: speedup as a function of the number of cores for
+//! blackscholes, facesim (both PARSEC) and cholesky (SPLASH-2).
+
+use std::fmt;
+
+use workloads::Suite;
+
+use crate::runner::{run_profile, scaled_profile, single_thread_reference, RunOptions};
+
+/// The thread counts of the paper's sweep.
+pub const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One benchmark's speedup curve.
+#[derive(Debug, Clone)]
+pub struct SpeedupCurve {
+    /// Benchmark display name.
+    pub name: String,
+    /// `(threads, actual speedup)` per point; 1 thread is 1.0 by
+    /// definition.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl SpeedupCurve {
+    /// Speedup at a given thread count, if measured.
+    #[must_use]
+    pub fn at(&self, threads: usize) -> Option<f64> {
+        self.points.iter().find(|(t, _)| *t == threads).map(|(_, s)| *s)
+    }
+}
+
+/// The figure's data: three curves.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// Curves for blackscholes, facesim and cholesky.
+    pub curves: Vec<SpeedupCurve>,
+}
+
+/// Regenerates Figure 1. `scale` scales workload sizes (1.0 = full).
+///
+/// # Panics
+///
+/// Panics if a catalog benchmark is missing or a simulation fails (the
+/// catalog workloads are deadlock-free by construction).
+#[must_use]
+pub fn run(scale: f64) -> Fig1 {
+    let benchmarks = [
+        workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
+        workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry"),
+        workloads::find("cholesky", Suite::Splash2).expect("catalog entry"),
+    ];
+    let curves = benchmarks
+        .iter()
+        .map(|p| {
+            let p = scaled_profile(p, scale);
+            let opts = RunOptions::symmetric(1);
+            let st = single_thread_reference(&p, &opts).expect("single-thread run");
+            let mut points = vec![(1usize, 1.0f64)];
+            for &n in &THREAD_COUNTS[1..] {
+                let out = run_profile(&p, &RunOptions::symmetric(n), Some(st)).expect("run");
+                points.push((n, out.actual));
+            }
+            SpeedupCurve {
+                name: workloads::display_name(&p),
+                points,
+            }
+        })
+        .collect();
+    Fig1 { curves }
+}
+
+impl fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 1: speedup vs number of threads/cores")?;
+        write!(f, "{:<22}", "benchmark")?;
+        for t in THREAD_COUNTS {
+            write!(f, " {t:>3}t  ")?;
+        }
+        writeln!(f)?;
+        for c in &self.curves {
+            write!(f, "{:<22}", c.name)?;
+            for t in THREAD_COUNTS {
+                match c.at(t) {
+                    Some(s) => write!(f, " {s:>5.2}")?,
+                    None => write!(f, " {:>5}", "-")?,
+                }
+                write!(f, " ")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}

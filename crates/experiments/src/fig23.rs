@@ -1,0 +1,116 @@
+//! Figures 2 and 3: the illustrative speedup stack and the per-thread
+//! execution-time breakup.
+//!
+//! These are didactic figures in the paper; here they render real data —
+//! an annotated stack for one benchmark (Figure 2) and the per-thread
+//! cycle-component breakup that underlies it (Figure 3).
+
+use std::fmt;
+
+use speedup_stacks::render::{render_stack, RenderOptions};
+use speedup_stacks::{Component, SpeedupStack};
+use workloads::Suite;
+
+use crate::runner::{run_profile, scaled_profile, RunOptions};
+
+/// Figure 2 data: one annotated stack.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Benchmark display name.
+    pub name: String,
+    /// The stack (actual speedup attached).
+    pub stack: SpeedupStack,
+}
+
+/// Regenerates Figure 2 (facesim at 16 threads, which exercises most
+/// components).
+///
+/// # Panics
+///
+/// Panics if the simulation fails.
+#[must_use]
+pub fn run_fig2(scale: f64) -> Fig2 {
+    let p = workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry");
+    let p = scaled_profile(&p, scale);
+    let out = run_profile(&p, &RunOptions::symmetric(16), None).expect("run");
+    Fig2 {
+        name: out.name.clone(),
+        stack: out.stack,
+    }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 2: illustrative speedup stack ({})", self.name)?;
+        writeln!(f)?;
+        write!(f, "{}", render_stack(&self.name, &self.stack, &RenderOptions::default()))?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "net negative LLC interference = negative − positive = {:.3}",
+            self.stack.net_negative_llc()
+        )?;
+        writeln!(
+            f,
+            "max theoretical speedup = N = {}; actual speedup = {:.2}",
+            self.stack.num_threads(),
+            self.stack.actual_speedup().unwrap_or(f64::NAN)
+        )
+    }
+}
+
+/// Figure 3 data: the per-thread breakup of multi-threaded execution time.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// Benchmark display name.
+    pub name: String,
+    /// `Tp` in cycles.
+    pub tp_cycles: u64,
+    /// The stack whose per-thread breakdowns are shown.
+    pub stack: SpeedupStack,
+}
+
+/// Regenerates Figure 3 (cholesky at 4 threads: spin, yield, memory and
+/// imbalance all visible).
+///
+/// # Panics
+///
+/// Panics if the simulation fails.
+#[must_use]
+pub fn run_fig3(scale: f64) -> Fig3 {
+    let p = workloads::find("cholesky", Suite::Splash2).expect("catalog entry");
+    let p = scaled_profile(&p, scale);
+    let out = run_profile(&p, &RunOptions::symmetric(4), None).expect("run");
+    Fig3 {
+        name: out.name.clone(),
+        tp_cycles: out.mt_cycles,
+        stack: out.stack,
+    }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 3: per-thread execution time breakup ({}, Tp = {} cycles)",
+            self.name, self.tp_cycles
+        )?;
+        write!(f, "{:<8} {:>12}", "thread", "T̂_i (est.)")?;
+        for c in Component::ALL {
+            write!(f, " {:>9}", c.label())?;
+        }
+        writeln!(f, " {:>9}", "positive")?;
+        for (i, t) in self.stack.per_thread().iter().enumerate() {
+            write!(f, "{i:<8} {:>12.0}", t.estimated_single_thread_cycles)?;
+            for c in Component::ALL {
+                write!(f, " {:>9.0}", t.overheads[c])?;
+            }
+            writeln!(f, " {:>9.0}", t.positive_cycles)?;
+        }
+        writeln!(
+            f,
+            "sum of T̂_i = estimated single-threaded time = {:.0} cycles",
+            self.stack.estimated_single_thread_cycles()
+        )
+    }
+}

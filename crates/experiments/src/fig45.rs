@@ -1,0 +1,155 @@
+//! Figures 4 and 5 plus the §6 validation numbers.
+//!
+//! - **Figure 4**: actual vs estimated speedup for all 28 benchmarks at 2,
+//!   4, 8 and 16 threads, with the average absolute error per thread
+//!   count (paper: 3.0 / 3.4 / 2.8 / 5.1 %).
+//! - **Figure 5**: speedup stacks for blackscholes, facesim and cholesky
+//!   as a function of the thread count.
+
+use std::fmt;
+
+use speedup_stacks::estimate::{average_absolute_error, ValidationPoint};
+use speedup_stacks::render;
+use speedup_stacks::SpeedupStack;
+use workloads::Suite;
+
+use crate::runner::{run_profile, scaled_profile, single_thread_reference, RunOptions};
+
+/// The multi-threaded counts validated in the paper.
+pub const THREAD_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+/// Figure 4 data: every benchmark × thread count, plus per-benchmark
+/// instruction overhead (the §6 parallelization-overhead measure).
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// One point per benchmark × thread count.
+    pub points: Vec<ValidationPoint>,
+    /// `(benchmark, instruction overhead fraction at 16 threads)`.
+    pub instruction_overhead: Vec<(String, f64)>,
+}
+
+impl Fig4 {
+    /// Average absolute error for one thread count.
+    #[must_use]
+    pub fn average_error(&self, threads: usize) -> f64 {
+        let pts: Vec<ValidationPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.threads == threads)
+            .cloned()
+            .collect();
+        average_absolute_error(&pts)
+    }
+}
+
+/// Regenerates Figure 4 over the full 28-benchmark suite.
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run(scale: f64) -> Fig4 {
+    let mut points = Vec::new();
+    let mut overheads = Vec::new();
+    for p in workloads::paper_suite() {
+        let p = scaled_profile(&p, scale);
+        let st = single_thread_reference(&p, &RunOptions::symmetric(1)).expect("single-thread run");
+        for &n in &THREAD_COUNTS {
+            let out = run_profile(&p, &RunOptions::symmetric(n), Some(st)).expect("run");
+            points.push(ValidationPoint {
+                name: out.name.clone(),
+                threads: n,
+                actual: out.actual,
+                estimated: out.estimated,
+            });
+            if n == 16 {
+                overheads.push((out.name.clone(), out.instruction_overhead));
+            }
+        }
+    }
+    Fig4 {
+        points,
+        instruction_overhead: overheads,
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 4: actual vs estimated speedup (all benchmarks)")?;
+        writeln!(
+            f,
+            "{:<22} {:>3}  {:>8} {:>8} {:>8}",
+            "benchmark", "N", "actual", "estim.", "err%"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:<22} {:>3}  {:>8.2} {:>8.2} {:>8.1}",
+                p.name,
+                p.threads,
+                p.actual,
+                p.estimated,
+                p.error() * 100.0
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "average absolute error per thread count (paper: 3.0/3.4/2.8/5.1%):")?;
+        for &n in &THREAD_COUNTS {
+            writeln!(f, "  {:>2} threads: {:>5.1}%", n, self.average_error(n) * 100.0)?;
+        }
+        writeln!(f)?;
+        writeln!(f, "instruction-count overhead at 16 threads (§6 measure):")?;
+        let mut sorted = self.instruction_overhead.clone();
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (name, ovh) in sorted.iter().take(6) {
+            writeln!(f, "  {:<22} {:>5.1}% more instructions", name, ovh * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 5 data: stacks for the three case-study benchmarks across
+/// thread counts.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// `(label, stack)` in presentation order.
+    pub stacks: Vec<(String, SpeedupStack)>,
+}
+
+/// Regenerates Figure 5.
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run_fig5(scale: f64) -> Fig5 {
+    let benchmarks = [
+        workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
+        workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry"),
+        workloads::find("cholesky", Suite::Splash2).expect("catalog entry"),
+    ];
+    let mut stacks = Vec::new();
+    for p in &benchmarks {
+        let p = scaled_profile(p, scale);
+        let st = single_thread_reference(&p, &RunOptions::symmetric(1)).expect("single-thread run");
+        for &n in &THREAD_COUNTS {
+            let out = run_profile(&p, &RunOptions::symmetric(n), Some(st)).expect("run");
+            stacks.push((format!("{} {}t", out.name, n), out.stack));
+        }
+    }
+    Fig5 { stacks }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 5: speedup stacks vs thread count")?;
+        write!(f, "{}", render::render_table(&self.stacks))?;
+        writeln!(f)?;
+        for (label, stack) in &self.stacks {
+            if label.ends_with("16t") {
+                writeln!(f, "{}", render::render_stack(label, stack, &render::RenderOptions::default()))?;
+            }
+        }
+        Ok(())
+    }
+}

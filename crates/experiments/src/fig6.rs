@@ -1,0 +1,66 @@
+//! Figure 6: the benchmark classification tree at 16 threads.
+
+use std::fmt;
+
+use speedup_stacks::{ClassificationConfig, ClassificationTree, ClassifiedBenchmark, Component, ScalingClass};
+
+use crate::runner::{run_profile, scaled_profile, RunOptions};
+
+/// Figure 6 data: the classification tree.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// The tree over all 28 benchmarks.
+    pub tree: ClassificationTree,
+}
+
+impl Fig6 {
+    /// Number of benchmarks whose largest component is `c`.
+    #[must_use]
+    pub fn count_largest(&self, c: Component) -> usize {
+        self.tree.count_largest(c)
+    }
+
+    /// Number of good scalers (paper: 5 of 28).
+    #[must_use]
+    pub fn good_scalers(&self) -> usize {
+        self.tree.in_class(ScalingClass::Good).count()
+    }
+}
+
+/// Regenerates Figure 6: runs every benchmark at 16 threads and
+/// classifies it by actual speedup and dominant components.
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run(scale: f64) -> Fig6 {
+    let cfg = ClassificationConfig::default();
+    let entries = workloads::paper_suite()
+        .iter()
+        .map(|p| {
+            let p = scaled_profile(p, scale);
+            let out = run_profile(&p, &RunOptions::symmetric(16), None).expect("run");
+            ClassifiedBenchmark::from_stack(out.name.clone(), out.suite.clone(), &out.stack, &cfg)
+        })
+        .collect();
+    Fig6 {
+        tree: ClassificationTree::build(entries),
+    }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6: classification tree (16 threads)")?;
+        write!(f, "{}", self.tree.render())?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "good scalers: {} of {}  |  yielding largest for {} benchmarks  |  no visible bottleneck for {}",
+            self.good_scalers(),
+            self.tree.entries().len(),
+            self.count_largest(Component::Yielding),
+            self.tree.count_unlimited()
+        )
+    }
+}

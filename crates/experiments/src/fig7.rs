@@ -1,0 +1,88 @@
+//! Figure 7: ferret speedup as a function of the number of cores, with
+//! `#threads = #cores` versus a fixed 16 threads.
+//!
+//! The paper's insight: for yield-dominated benchmarks the speedup number
+//! approximates the average number of *active* threads, so performance
+//! saturates once the core count exceeds it — and oversubscribing
+//! (16 threads on fewer cores) performs at least as well as
+//! threads = cores.
+
+use std::fmt;
+
+use workloads::Suite;
+
+use crate::runner::{run_profile, scaled_profile, single_thread_reference, RunOptions};
+
+/// Core counts of the sweep.
+pub const CORE_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+/// Figure 7 data.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// `(cores, speedup)` with `threads == cores`.
+    pub threads_eq_cores: Vec<(usize, f64)>,
+    /// `(cores, speedup)` with 16 threads regardless of cores.
+    pub sixteen_threads: Vec<(usize, f64)>,
+}
+
+impl Fig7 {
+    /// Speedup with 16 threads on `cores` cores.
+    #[must_use]
+    pub fn sixteen_at(&self, cores: usize) -> Option<f64> {
+        self.sixteen_threads
+            .iter()
+            .find(|(c, _)| *c == cores)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Regenerates Figure 7 for the paper's ferret (simsmall).
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run(scale: f64) -> Fig7 {
+    let p = workloads::find("ferret", Suite::ParsecSmall).expect("catalog entry");
+    let p = scaled_profile(&p, scale);
+    let st = single_thread_reference(&p, &RunOptions::symmetric(1)).expect("single-thread run");
+
+    let threads_eq_cores = CORE_COUNTS
+        .iter()
+        .map(|&c| {
+            let out = run_profile(&p, &RunOptions::symmetric(c), Some(st)).expect("run");
+            (c, out.actual)
+        })
+        .collect();
+    let sixteen_threads = CORE_COUNTS
+        .iter()
+        .map(|&c| {
+            let opts = RunOptions {
+                cores: c,
+                threads: 16,
+                ..RunOptions::symmetric(c)
+            };
+            let out = run_profile(&p, &opts, Some(st)).expect("run");
+            (c, out.actual)
+        })
+        .collect();
+    Fig7 {
+        threads_eq_cores,
+        sixteen_threads,
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 7: ferret speedup vs number of cores")?;
+        writeln!(f, "{:<10} {:>16} {:>14}", "cores", "#threads=#cores", "16 threads")?;
+        for (i, &c) in CORE_COUNTS.iter().enumerate() {
+            writeln!(
+                f,
+                "{:<10} {:>16.2} {:>14.2}",
+                c, self.threads_eq_cores[i].1, self.sixteen_threads[i].1
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,158 @@
+//! Figures 8 and 9: understanding LLC performance.
+//!
+//! - **Figure 8**: negative, positive and net LLC interference components
+//!   for the benchmarks with non-negligible positive interference, at 16
+//!   cores and the default 2 MB LLC.
+//! - **Figure 9**: the same components for cholesky as the LLC grows from
+//!   2 MB to 16 MB — negative interference shrinks (fewer capacity
+//!   misses) while positive interference stays roughly constant, so the
+//!   net effect of sharing eventually becomes a win.
+
+use std::fmt;
+
+use memsim::MemConfig;
+use speedup_stacks::Component;
+use workloads::Suite;
+
+use crate::runner::{run_profile, scaled_profile, RunOptions};
+
+/// One benchmark's LLC interference decomposition (a bar triple in
+/// Figures 8/9).
+#[derive(Debug, Clone)]
+pub struct InterferenceBar {
+    /// Row label (benchmark or LLC size).
+    pub label: String,
+    /// Negative LLC interference, in speedup units.
+    pub negative: f64,
+    /// Positive LLC interference, in speedup units.
+    pub positive: f64,
+}
+
+impl InterferenceBar {
+    /// Net interference (negative − positive); positive values hurt.
+    #[must_use]
+    pub fn net(&self) -> f64 {
+        self.negative - self.positive
+    }
+}
+
+/// Figure 8 data.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// One bar triple per benchmark.
+    pub bars: Vec<InterferenceBar>,
+}
+
+/// The paper's Figure 8 benchmark set (those with non-negligible positive
+/// interference). The paper shows canneal small and large; the sizes
+/// available here are small and medium.
+#[must_use]
+pub fn fig8_benchmarks() -> Vec<workloads::WorkloadProfile> {
+    [
+        ("cholesky", Suite::Splash2),
+        ("lu.cont", Suite::Splash2),
+        ("canneal", Suite::ParsecSmall),
+        ("canneal", Suite::ParsecMedium),
+        ("bfs", Suite::Rodinia),
+        ("lu.ncont", Suite::Splash2),
+        ("needle", Suite::Rodinia),
+    ]
+    .iter()
+    .map(|(n, s)| workloads::find(n, *s).expect("catalog entry"))
+    .collect()
+}
+
+/// Regenerates Figure 8.
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run_fig8(scale: f64) -> Fig8 {
+    let bars = fig8_benchmarks()
+        .iter()
+        .map(|p| {
+            let p = scaled_profile(p, scale);
+            let out = run_profile(&p, &RunOptions::symmetric(16), None).expect("run");
+            InterferenceBar {
+                label: out.name.clone(),
+                negative: out.stack.component(Component::NegativeLlc),
+                positive: out.stack.positive_interference(),
+            }
+        })
+        .collect();
+    Fig8 { bars }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 8: negative, positive and net LLC interference (16 cores, 2 MB LLC)")?;
+        writeln!(f, "{:<18} {:>9} {:>9} {:>9}", "benchmark", "negative", "positive", "net")?;
+        for b in &self.bars {
+            writeln!(
+                f,
+                "{:<18} {:>9.3} {:>9.3} {:>9.3}",
+                b.label,
+                b.negative,
+                b.positive,
+                b.net()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 9 data: cholesky across LLC sizes.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// One bar triple per LLC size.
+    pub bars: Vec<InterferenceBar>,
+}
+
+/// The LLC sizes of the sweep, in MiB.
+pub const LLC_SIZES_MIB: [usize; 4] = [2, 4, 8, 16];
+
+/// Regenerates Figure 9.
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run_fig9(scale: f64) -> Fig9 {
+    let p = workloads::find("cholesky", Suite::Splash2).expect("catalog entry");
+    let p = scaled_profile(&p, scale);
+    let bars = LLC_SIZES_MIB
+        .iter()
+        .map(|&mib| {
+            let opts = RunOptions {
+                mem: MemConfig::default().with_llc_mib(mib),
+                ..RunOptions::symmetric(16)
+            };
+            let out = run_profile(&p, &opts, None).expect("run");
+            InterferenceBar {
+                label: format!("{mib}MB"),
+                negative: out.stack.component(Component::NegativeLlc),
+                positive: out.stack.positive_interference(),
+            }
+        })
+        .collect();
+    Fig9 { bars }
+}
+
+impl fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 9: cholesky LLC interference vs LLC size (16 cores)")?;
+        writeln!(f, "{:<8} {:>9} {:>9} {:>9}", "LLC", "negative", "positive", "net")?;
+        for b in &self.bars {
+            writeln!(
+                f,
+                "{:<8} {:>9.3} {:>9.3} {:>9.3}",
+                b.label,
+                b.negative,
+                b.positive,
+                b.net()
+            )?;
+        }
+        Ok(())
+    }
+}

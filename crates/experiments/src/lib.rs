@@ -1,0 +1,24 @@
+//! # experiments — the paper's evaluation, regenerated
+//!
+//! One module per figure/table of *"Speedup Stacks: Identifying Scaling
+//! Bottlenecks in Multi-Threaded Applications"* (ISPASS 2012), plus the
+//! shared [`runner`]. Each module exposes a `run` function returning
+//! structured data and implements `Display` to print the same rows/series
+//! the paper reports. The `repro` binary drives them
+//! (`cargo run -p experiments --bin repro -- fig4`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fig1;
+pub mod fig23;
+pub mod fig45;
+pub mod fig6;
+pub mod fig7;
+pub mod fig89;
+pub mod hwcost;
+pub mod regions_demo;
+pub mod runner;
+
+pub use runner::{run_profile, scaled_profile, single_thread_reference, RunOptions, RunOutcome};

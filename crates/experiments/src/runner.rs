@@ -1,0 +1,181 @@
+//! Running one workload on one machine and producing its speedup stack.
+//!
+//! Every experiment in the paper reduces to this recipe: run the workload
+//! multi-threaded on the configured CMP (that run drives the accounting
+//! and yields the *estimated* speedup), run it single-threaded on one core
+//! of the same machine (Eq. 1's `Ts`), and attach the resulting *actual*
+//! speedup to the stack for validation.
+
+use cmpsim::{simulate, MachineConfig, SimError, SimResult};
+use memsim::MemConfig;
+use speedup_stacks::{accounting, AccountingConfig, SpeedupStack};
+use workloads::{display_name, streams_for, WorkloadProfile};
+
+/// Machine/accounting options for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Memory hierarchy configuration.
+    pub mem: MemConfig,
+    /// Number of hardware cores for the multi-threaded run.
+    pub cores: usize,
+    /// Number of software threads (usually equal to `cores`; Figure 7
+    /// decouples them).
+    pub threads: usize,
+    /// Spin detector for the accounting.
+    pub detector: cmpsim::SpinDetectorKind,
+    /// Accounting post-processing options.
+    pub accounting: AccountingConfig,
+}
+
+impl RunOptions {
+    /// `n` threads on `n` cores with default memory and accounting.
+    #[must_use]
+    pub fn symmetric(n: usize) -> Self {
+        RunOptions {
+            mem: MemConfig::default(),
+            cores: n,
+            threads: n,
+            detector: cmpsim::SpinDetectorKind::default(),
+            accounting: AccountingConfig::default(),
+        }
+    }
+
+    fn machine(&self, cores: usize) -> MachineConfig {
+        MachineConfig {
+            n_cores: cores,
+            mem: self.mem,
+            spin_detector: self.detector,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+/// Full outcome of one benchmark run (multi-threaded + single-threaded
+/// reference).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Display name (with input-size suffix).
+    pub name: String,
+    /// Suite label.
+    pub suite: String,
+    /// Software thread count of the multi-threaded run.
+    pub threads: usize,
+    /// The speedup stack, with the actual speedup attached.
+    pub stack: SpeedupStack,
+    /// Actual speedup `S = Ts / Tp` (Eq. 1).
+    pub actual: f64,
+    /// Estimated speedup `Ŝ` (Eq. 4).
+    pub estimated: f64,
+    /// Single-threaded execution cycles `Ts`.
+    pub st_cycles: u64,
+    /// Multi-threaded execution cycles `Tp`.
+    pub mt_cycles: u64,
+    /// The paper's §6 software overhead measure: relative dynamic
+    /// instruction increase, spin instructions excluded.
+    pub instruction_overhead: f64,
+    /// Raw multi-threaded simulation result (counters + ground truth).
+    pub mt: SimResult,
+}
+
+impl RunOutcome {
+    /// Signed validation error `(Ŝ − S)/N` (Eq. 6).
+    #[must_use]
+    pub fn error(&self) -> f64 {
+        speedup_stacks::estimate::speedup_error(self.estimated, self.actual, self.threads)
+    }
+}
+
+/// Runs `profile` single-threaded and returns `(cycles, instructions)`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn single_thread_reference(
+    profile: &WorkloadProfile,
+    opts: &RunOptions,
+) -> Result<(u64, u64), SimError> {
+    let st = simulate(opts.machine(1), streams_for(profile, 1))?;
+    Ok((st.tp_cycles, st.total_instructions()))
+}
+
+/// Runs `profile` with `opts` and builds the validated speedup stack.
+///
+/// `st_reference` (from [`single_thread_reference`]) can be supplied to
+/// amortize the single-threaded run across a thread-count sweep.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from either run.
+pub fn run_profile(
+    profile: &WorkloadProfile,
+    opts: &RunOptions,
+    st_reference: Option<(u64, u64)>,
+) -> Result<RunOutcome, SimError> {
+    let (st_cycles, st_instructions) = match st_reference {
+        Some(r) => r,
+        None => single_thread_reference(profile, opts)?,
+    };
+    let mt = simulate(opts.machine(opts.cores), streams_for(profile, opts.threads))?;
+    let actual = st_cycles as f64 / mt.tp_cycles as f64;
+    let stack = mt
+        .stack(&opts.accounting)
+        .expect("engine produces valid counters")
+        .with_actual_speedup(actual);
+    let estimated = stack.estimated_speedup();
+    Ok(RunOutcome {
+        name: display_name(profile),
+        suite: profile.suite.label().to_string(),
+        threads: opts.threads,
+        actual,
+        estimated,
+        st_cycles,
+        mt_cycles: mt.tp_cycles,
+        instruction_overhead: accounting::instruction_overhead(&mt.counters, st_instructions),
+        mt,
+        stack,
+    })
+}
+
+/// Returns a copy of `profile` with its total work scaled by `factor`
+/// (used by the Criterion benches to keep regeneration fast). The result
+/// keeps at least one item per thread and phase.
+#[must_use]
+pub fn scaled_profile(profile: &WorkloadProfile, factor: f64) -> WorkloadProfile {
+    let mut p = profile.clone();
+    let min_items = u64::from(p.phases.max(1)) * 16;
+    p.total_items = ((p.total_items as f64 * factor) as u64).max(min_items);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{find, Suite};
+
+    #[test]
+    fn blackscholes_small_scales_well_on_4() {
+        let p = scaled_profile(&find("blackscholes", Suite::ParsecSmall).unwrap(), 0.25);
+        let out = run_profile(&p, &RunOptions::symmetric(4), None).unwrap();
+        assert!(out.actual > 3.0, "actual speedup {}", out.actual);
+        assert!(out.estimated > 3.0, "estimated {}", out.estimated);
+        assert!(out.error().abs() < 0.2);
+    }
+
+    #[test]
+    fn st_reference_reused() {
+        let p = scaled_profile(&find("blackscholes", Suite::ParsecSmall).unwrap(), 0.1);
+        let opts = RunOptions::symmetric(2);
+        let st = single_thread_reference(&p, &opts).unwrap();
+        let a = run_profile(&p, &opts, Some(st)).unwrap();
+        let b = run_profile(&p, &opts, None).unwrap();
+        assert_eq!(a.st_cycles, b.st_cycles);
+        assert_eq!(a.mt_cycles, b.mt_cycles);
+    }
+
+    #[test]
+    fn scaled_profile_floors() {
+        let p = find("srad", Suite::Rodinia).unwrap();
+        let tiny = scaled_profile(&p, 0.000001);
+        assert!(tiny.total_items >= u64::from(tiny.phases) * 16);
+    }
+}

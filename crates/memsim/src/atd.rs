@@ -1,0 +1,164 @@
+//! Auxiliary tag directories (ATDs) with set sampling (§4.1–4.2).
+//!
+//! One ATD per core tracks what that core's LLC accesses would have done
+//! in a *private* LLC of the same size. To bound hardware cost only every
+//! `sample_period`-th LLC set is monitored; penalties are later
+//! extrapolated by the sampling factor.
+//!
+//! Classification (performed by the hierarchy, from the two outcomes):
+//!
+//! - shared-LLC **miss** that **hits** in the ATD → *inter-thread miss*
+//!   (negative interference: another thread evicted this thread's data);
+//! - shared-LLC **hit** that **misses** in the ATD → *inter-thread hit*
+//!   (positive interference: another thread prefetched this data).
+
+use crate::cache::{Cache, CacheConfig};
+use crate::LineAddr;
+
+/// Outcome of an ATD probe for a sampled set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtdOutcome {
+    /// The access would have hit in a private LLC.
+    pub hit: bool,
+}
+
+/// One core's auxiliary tag directory.
+///
+/// # Examples
+///
+/// ```
+/// use memsim::{Atd, CacheConfig};
+/// // LLC with 64 sets, sampling every 8th set: the ATD holds 8 sets.
+/// let mut atd = Atd::new(CacheConfig::new(64, 4), 8);
+/// assert!(atd.is_sampled(0));
+/// assert!(!atd.is_sampled(1));
+/// // Line 0 maps to LLC set 0 (sampled): first access misses, second hits.
+/// assert_eq!(atd.access(0, false).map(|o| o.hit), Some(false));
+/// assert_eq!(atd.access(0, false).map(|o| o.hit), Some(true));
+/// // Line 1 maps to set 1 (not sampled): no outcome.
+/// assert_eq!(atd.access(1, false), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Atd {
+    llc_cfg: CacheConfig,
+    sample_period: usize,
+    tags: Cache<()>,
+}
+
+impl Atd {
+    /// Creates an ATD for an LLC with geometry `llc_cfg`, monitoring every
+    /// `sample_period`-th set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_period` is zero, exceeds the set count, or does
+    /// not divide it into a power of two (the backing store is itself a
+    /// power-of-two cache).
+    #[must_use]
+    pub fn new(llc_cfg: CacheConfig, sample_period: usize) -> Self {
+        assert!(sample_period > 0, "sample period must be non-zero");
+        assert!(
+            sample_period <= llc_cfg.sets(),
+            "sample period exceeds LLC set count"
+        );
+        let sampled_sets = llc_cfg.sets() / sample_period;
+        assert!(
+            sampled_sets.is_power_of_two(),
+            "LLC sets / sample period must be a power of two"
+        );
+        Atd {
+            llc_cfg,
+            sample_period,
+            tags: Cache::new(CacheConfig::new(sampled_sets, llc_cfg.ways())),
+        }
+    }
+
+    /// The sampling period (an LLC set is monitored iff
+    /// `set % sample_period == 0`).
+    #[must_use]
+    pub fn sample_period(&self) -> usize {
+        self.sample_period
+    }
+
+    /// Whether an LLC set index is monitored.
+    #[must_use]
+    pub fn is_sampled(&self, llc_set: usize) -> bool {
+        llc_set.is_multiple_of(self.sample_period)
+    }
+
+    /// Probes the ATD for `line`. Returns `None` when the line's LLC set
+    /// is not monitored; otherwise updates the ATD (fill on miss, LRU on
+    /// hit) and reports whether a private LLC would have hit.
+    pub fn access(&mut self, line: LineAddr, write: bool) -> Option<AtdOutcome> {
+        let llc_set = self.llc_cfg.set_of(line);
+        if !self.is_sampled(llc_set) {
+            return None;
+        }
+        // Re-index the line into the compact sampled-set store. Dividing
+        // the set bits by the period keeps distinct sampled sets distinct.
+        let sampled_index = (llc_set / self.sample_period) as u64;
+        let tag_bits = line >> self.llc_cfg.sets().trailing_zeros();
+        let compact = (tag_bits << self.tags.config().sets().trailing_zeros()) | sampled_index;
+        let out = self.tags.access(compact, write, ());
+        Some(AtdOutcome { hit: out.hit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atd() -> Atd {
+        Atd::new(CacheConfig::new(64, 2), 8)
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_period() {
+        let _ = Atd::new(CacheConfig::new(64, 2), 0);
+    }
+
+    #[test]
+    fn sampling_filter() {
+        let a = atd();
+        assert!(a.is_sampled(0));
+        assert!(a.is_sampled(8));
+        assert!(!a.is_sampled(9));
+    }
+
+    #[test]
+    fn unsampled_lines_return_none() {
+        let mut a = atd();
+        assert_eq!(a.access(3, false), None);
+    }
+
+    #[test]
+    fn private_lru_behaviour() {
+        let mut a = atd();
+        // Lines mapping to sampled LLC set 0: multiples of 64.
+        assert!(!a.access(0, false).unwrap().hit);
+        assert!(!a.access(64, false).unwrap().hit);
+        assert!(a.access(0, false).unwrap().hit);
+        // Third distinct line evicts LRU (64) in the 2-way set.
+        assert!(!a.access(128, false).unwrap().hit);
+        assert!(!a.access(64, false).unwrap().hit);
+    }
+
+    #[test]
+    fn distinct_sampled_sets_do_not_collide() {
+        let mut a = atd();
+        // LLC sets 0 and 8 are both sampled and must map to different ATD sets.
+        assert!(!a.access(0, false).unwrap().hit);
+        assert!(!a.access(8, false).unwrap().hit);
+        assert!(a.access(0, false).unwrap().hit);
+        assert!(a.access(8, false).unwrap().hit);
+    }
+
+    #[test]
+    fn full_sampling_period_one() {
+        let mut a = Atd::new(CacheConfig::new(64, 2), 1);
+        for line in 0..64u64 {
+            assert!(a.access(line, false).is_some());
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Generic set-associative cache with true-LRU replacement.
+//!
+//! Used for the private L1s, the shared LLC and the ATDs. The cache is
+//! generic over per-line metadata `M` (the LLC stores the inserting core,
+//! the L1s and ATDs store nothing).
+//!
+//! Invalidations keep the tag in place with the valid bit cleared, so a
+//! later refill of the same line can be recognized as a *coherency miss*
+//! (paper §4.5: "in case of an invalidation, usually only the status bits
+//! are adapted, while the tag remains in the tag array").
+
+use crate::LineAddr;
+
+/// Geometry of a set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use memsim::CacheConfig;
+/// let c = CacheConfig::new(2048, 16);
+/// assert_eq!(c.lines(), 32768); // 2 MB at 64-byte lines
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheConfig {
+    sets: usize,
+    ways: usize,
+}
+
+impl CacheConfig {
+    /// Creates a geometry with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two, or if `ways` is
+    /// zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        CacheConfig { sets, ways }
+    }
+
+    /// Geometry from a capacity in kibibytes, a line size in bytes and an
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived set count is zero or not a power of two.
+    ///
+    /// ```
+    /// use memsim::CacheConfig;
+    /// let llc = CacheConfig::from_kib(2048, 64, 16); // 2 MB, 16-way
+    /// assert_eq!(llc.sets(), 2048);
+    /// ```
+    #[must_use]
+    pub fn from_kib(kib: usize, line_bytes: usize, ways: usize) -> Self {
+        let lines = kib * 1024 / line_bytes;
+        Self::new(lines / ways, ways)
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways per set.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total line capacity.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Set index for a line address.
+    #[must_use]
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way<M> {
+    tag: LineAddr,
+    valid: bool,
+    dirty: bool,
+    /// Tag is present but was invalidated by coherence (valid == false).
+    coherence_invalidated: bool,
+    lru: u64,
+    meta: M,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOutcome<M> {
+    /// The access hit a valid line.
+    pub hit: bool,
+    /// On a miss, the refilled line's tag matched an invalid entry that was
+    /// invalidated by coherence — a *coherency miss*.
+    pub coherency_miss: bool,
+    /// On a miss that evicted a valid line: `(line, was_dirty, metadata)`.
+    pub evicted: Option<(LineAddr, bool, M)>,
+    /// Metadata of the line *before* this access (for hits: the line's
+    /// stored metadata, e.g. the LLC inserter).
+    pub hit_meta: Option<M>,
+}
+
+/// A set-associative, write-back, allocate-on-miss cache with true LRU.
+#[derive(Debug, Clone)]
+pub struct Cache<M> {
+    cfg: CacheConfig,
+    ways: Vec<Way<M>>,
+    clock: u64,
+}
+
+impl<M: Copy + Default> Cache<M> {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let ways = vec![
+            Way {
+                tag: 0,
+                valid: false,
+                dirty: false,
+                coherence_invalidated: false,
+                lru: 0,
+                meta: M::default(),
+            };
+            cfg.lines()
+        ];
+        Cache { cfg, ways, clock: 0 }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    fn set_range(&self, line: LineAddr) -> core::ops::Range<usize> {
+        let set = self.cfg.set_of(line);
+        let start = set * self.cfg.ways();
+        start..start + self.cfg.ways()
+    }
+
+    /// Accesses `line`; on a miss the line is allocated with metadata
+    /// `fill_meta`, evicting the LRU way if necessary. `write` marks the
+    /// line dirty.
+    pub fn access(&mut self, line: LineAddr, write: bool, fill_meta: M) -> CacheOutcome<M> {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line);
+
+        // Hit?
+        for w in &mut self.ways[range.clone()] {
+            if w.valid && w.tag == line {
+                w.lru = clock;
+                if write {
+                    w.dirty = true;
+                }
+                return CacheOutcome {
+                    hit: true,
+                    coherency_miss: false,
+                    evicted: None,
+                    hit_meta: Some(w.meta),
+                };
+            }
+        }
+
+        // Miss: prefer an invalid way (remembering coherence invalidation),
+        // else evict LRU.
+        let mut victim: Option<usize> = None;
+        let mut victim_lru = u64::MAX;
+        let mut coherency_miss = false;
+        for i in range.clone() {
+            if !self.ways[i].valid {
+                if self.ways[i].coherence_invalidated && self.ways[i].tag == line {
+                    coherency_miss = true;
+                    victim = Some(i);
+                    break;
+                }
+                if victim.is_none() || self.ways[victim.unwrap()].valid {
+                    victim = Some(i);
+                    victim_lru = 0;
+                }
+            } else if self.ways[i].lru < victim_lru {
+                victim = Some(i);
+                victim_lru = self.ways[i].lru;
+            }
+        }
+        let vi = victim.expect("set has at least one way");
+        let v = &mut self.ways[vi];
+        let evicted = if v.valid {
+            Some((v.tag, v.dirty, v.meta))
+        } else {
+            None
+        };
+        *v = Way {
+            tag: line,
+            valid: true,
+            dirty: write,
+            coherence_invalidated: false,
+            lru: clock,
+            meta: fill_meta,
+        };
+        CacheOutcome {
+            hit: false,
+            coherency_miss,
+            evicted,
+            hit_meta: None,
+        }
+    }
+
+    /// Non-destructive lookup: is the line present and valid?
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.ways[self.set_range(line)]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+
+    /// Invalidates `line` due to a coherence action. The tag is retained so
+    /// a later refill can be classified as a coherency miss. Returns
+    /// `Some(was_dirty)` if the line was present and valid.
+    pub fn invalidate_coherence(&mut self, line: LineAddr) -> Option<bool> {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line {
+                w.valid = false;
+                w.coherence_invalidated = true;
+                let dirty = w.dirty;
+                w.dirty = false;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Silently removes `line` (back-invalidation on LLC eviction; no
+    /// coherency-miss marking). Returns `Some(was_dirty)` if present.
+    pub fn remove(&mut self, line: LineAddr) -> Option<bool> {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line {
+                w.valid = false;
+                w.coherence_invalidated = false;
+                let dirty = w.dirty;
+                w.dirty = false;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Marks an already-present line dirty (used when an L1 writeback
+    /// lands in the LLC). Returns `true` if the line was present.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line {
+                w.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident (O(capacity); for tests
+    /// and diagnostics).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache<()> {
+        Cache::new(CacheConfig::new(4, 2))
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        let _ = CacheConfig::new(3, 2);
+    }
+
+    #[test]
+    fn from_kib_geometry() {
+        let cfg = CacheConfig::from_kib(64, 64, 8); // 64 KB L1
+        assert_eq!(cfg.lines(), 1024);
+        assert_eq!(cfg.sets(), 128);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        let first = c.access(100, false, ());
+        assert!(!first.hit);
+        assert!(first.evicted.is_none());
+        let second = c.access(100, false, ());
+        assert!(second.hit);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Set 0 holds lines 0, 4, 8, ... (4 sets). Fill both ways.
+        c.access(0, false, ());
+        c.access(4, false, ());
+        // Touch 0 so 4 is LRU.
+        c.access(0, false, ());
+        let out = c.access(8, false, ());
+        assert_eq!(out.evicted, Some((4, false, ())));
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = small();
+        c.access(0, true, ());
+        c.access(4, false, ());
+        let out = c.access(8, false, ());
+        assert_eq!(out.evicted, Some((0, true, ())));
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit() {
+        let mut c = small();
+        c.access(0, false, ());
+        c.access(0, true, ());
+        c.access(4, false, ());
+        let out = c.access(8, false, ());
+        // line 0 was LRU? 0 accessed twice then 4: LRU is 0? no: order 0,0,4 → 0 older.
+        assert_eq!(out.evicted, Some((0, true, ())));
+    }
+
+    #[test]
+    fn coherence_invalidation_and_coherency_miss() {
+        let mut c = small();
+        c.access(0, false, ());
+        assert_eq!(c.invalidate_coherence(0), Some(false));
+        assert!(!c.contains(0));
+        let refill = c.access(0, false, ());
+        assert!(!refill.hit);
+        assert!(refill.coherency_miss);
+        // A second invalidate on absent line returns None.
+        assert_eq!(c.invalidate_coherence(99), None);
+    }
+
+    #[test]
+    fn remove_does_not_mark_coherency() {
+        let mut c = small();
+        c.access(0, true, ());
+        assert_eq!(c.remove(0), Some(true));
+        let refill = c.access(0, false, ());
+        assert!(!refill.coherency_miss);
+    }
+
+    #[test]
+    fn mark_dirty() {
+        let mut c = small();
+        c.access(0, false, ());
+        assert!(c.mark_dirty(0));
+        assert!(!c.mark_dirty(4));
+        c.access(4, false, ());
+        let out = c.access(8, false, ());
+        assert_eq!(out.evicted, Some((0, true, ())));
+    }
+
+    #[test]
+    fn metadata_stored_and_returned() {
+        let mut c: Cache<u16> = Cache::new(CacheConfig::new(4, 2));
+        c.access(0, false, 7);
+        let out = c.access(0, false, 9);
+        assert_eq!(out.hit_meta, Some(7)); // fill meta ignored on hit
+    }
+
+    #[test]
+    fn occupancy_bounded_by_capacity() {
+        let mut c = small();
+        for line in 0..100u64 {
+            c.access(line, false, ());
+        }
+        assert!(c.occupancy() <= c.config().lines());
+        assert_eq!(c.occupancy(), 8);
+    }
+}

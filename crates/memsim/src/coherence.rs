@@ -1,0 +1,128 @@
+//! A directory tracking which private L1 caches hold each line.
+//!
+//! The hierarchy keeps the directory in sync with the actual L1 contents
+//! (fills, evictions, invalidations) so that a store only walks the cores
+//! that genuinely share the line. This models the coherence traffic the
+//! paper attributes to cache coherency (§3.2, §4.5): upgrades invalidate
+//! remote copies, and re-references of invalidated lines are *coherency
+//! misses*.
+
+use std::collections::HashMap;
+
+use crate::{CoreId, LineAddr};
+
+/// Sharer directory for the private L1s. Supports up to 64 cores.
+///
+/// # Examples
+///
+/// ```
+/// use memsim::Directory;
+/// let mut dir = Directory::new(4);
+/// dir.add_sharer(0, 100);
+/// dir.add_sharer(2, 100);
+/// assert_eq!(dir.sharers_other_than(1, 100), vec![0, 2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    sharers: HashMap<LineAddr, u64>,
+    n_cores: usize,
+}
+
+impl Directory {
+    /// Creates a directory for `n_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero or greater than 64.
+    #[must_use]
+    pub fn new(n_cores: usize) -> Self {
+        assert!(n_cores > 0 && n_cores <= 64, "1..=64 cores supported");
+        Directory {
+            sharers: HashMap::new(),
+            n_cores,
+        }
+    }
+
+    /// Records that `core`'s L1 now holds `line`.
+    pub fn add_sharer(&mut self, core: CoreId, line: LineAddr) {
+        debug_assert!(core < self.n_cores);
+        *self.sharers.entry(line).or_insert(0) |= 1 << core;
+    }
+
+    /// Records that `core`'s L1 no longer holds `line`.
+    pub fn remove_sharer(&mut self, core: CoreId, line: LineAddr) {
+        if let Some(mask) = self.sharers.get_mut(&line) {
+            *mask &= !(1 << core);
+            if *mask == 0 {
+                self.sharers.remove(&line);
+            }
+        }
+    }
+
+    /// Cores other than `core` whose L1 holds `line` (the invalidation
+    /// targets of a store by `core`).
+    #[must_use]
+    pub fn sharers_other_than(&self, core: CoreId, line: LineAddr) -> Vec<CoreId> {
+        let mask = self.sharers.get(&line).copied().unwrap_or(0) & !(1 << core);
+        (0..self.n_cores).filter(|c| mask & (1 << c) != 0).collect()
+    }
+
+    /// Whether any core's L1 holds `line`.
+    #[must_use]
+    pub fn is_shared(&self, line: LineAddr) -> bool {
+        self.sharers.get(&line).is_some_and(|m| *m != 0)
+    }
+
+    /// Number of tracked lines (diagnostics).
+    #[must_use]
+    pub fn tracked_lines(&self) -> usize {
+        self.sharers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn rejects_zero_cores() {
+        let _ = Directory::new(0);
+    }
+
+    #[test]
+    fn add_remove_sharers() {
+        let mut d = Directory::new(8);
+        d.add_sharer(1, 5);
+        d.add_sharer(3, 5);
+        assert!(d.is_shared(5));
+        assert_eq!(d.sharers_other_than(1, 5), vec![3]);
+        d.remove_sharer(3, 5);
+        assert_eq!(d.sharers_other_than(1, 5), Vec::<usize>::new());
+        d.remove_sharer(1, 5);
+        assert!(!d.is_shared(5));
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn self_excluded_from_invalidation_targets() {
+        let mut d = Directory::new(4);
+        d.add_sharer(2, 9);
+        assert!(d.sharers_other_than(2, 9).is_empty());
+    }
+
+    #[test]
+    fn idempotent_add() {
+        let mut d = Directory::new(4);
+        d.add_sharer(0, 1);
+        d.add_sharer(0, 1);
+        assert_eq!(d.sharers_other_than(3, 1), vec![0]);
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut d = Directory::new(4);
+        d.remove_sharer(0, 123);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+}

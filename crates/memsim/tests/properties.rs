@@ -1,0 +1,113 @@
+//! Property-based tests of the memory-hierarchy invariants.
+
+use memsim::{Cache, CacheConfig, Dram, DramConfig, MemConfig, MemoryHierarchy, ServedBy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_never_exceeds_capacity(
+        sets_log2 in 1u32..6, ways in 1usize..9, accesses in prop::collection::vec((0u64..4096, prop::bool::ANY), 1..400)
+    ) {
+        let cfg = CacheConfig::new(1 << sets_log2, ways);
+        let mut c: Cache<()> = Cache::new(cfg);
+        for (line, write) in accesses {
+            c.access(line, write, ());
+            prop_assert!(c.occupancy() <= cfg.lines());
+        }
+    }
+
+    #[test]
+    fn cache_hit_after_access_until_capacity(
+        line in 0u64..10_000, others in prop::collection::vec(0u64..10_000, 0..4)
+    ) {
+        // With fewer distinct lines than ways in the set, a line stays
+        // resident.
+        let mut c: Cache<()> = Cache::new(CacheConfig::new(1, 8));
+        c.access(line, false, ());
+        for o in others {
+            c.access(o, false, ());
+        }
+        prop_assert!(c.contains(line));
+    }
+
+    #[test]
+    fn invalidated_lines_are_not_hits(
+        lines in prop::collection::vec(0u64..256, 1..50)
+    ) {
+        let mut c: Cache<()> = Cache::new(CacheConfig::new(8, 4));
+        for &l in &lines {
+            c.access(l, true, ());
+            c.invalidate_coherence(l);
+            prop_assert!(!c.contains(l));
+        }
+    }
+
+    #[test]
+    fn dram_latency_bounds(
+        accesses in prop::collection::vec((0usize..4, 0u64..100_000, 0u64..50), 1..300)
+    ) {
+        let cfg = DramConfig::default();
+        let mut d = Dram::new(cfg, 4);
+        let mut now = 0u64;
+        for (core, line, gap) in accesses {
+            now += gap;
+            let a = d.access(core, line, now);
+            // Lower bound: a row hit with a free bus.
+            prop_assert!(a.latency >= cfg.row_hit_latency() + cfg.t_bus);
+            // All attributed waits are within the total latency.
+            prop_assert!(a.bank_wait_other + a.bus_wait_other <= a.latency);
+            prop_assert!(a.page_conflict_other <= cfg.row_conflict_latency());
+        }
+    }
+
+    #[test]
+    fn hierarchy_event_consistency(
+        accesses in prop::collection::vec((0usize..4, 0u64..4096, prop::bool::ANY, 0u64..100), 1..300)
+    ) {
+        let cfg = MemConfig {
+            l1: CacheConfig::new(16, 2),
+            llc: CacheConfig::new(64, 4),
+            atd_sample_period: 8,
+            ..MemConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(&cfg, 4);
+        let mut now = 0u64;
+        for (core, line, write, gap) in accesses {
+            now += gap;
+            let ev = m.access(core, line, write, now);
+            match ev.level {
+                ServedBy::L1 => prop_assert_eq!(ev.latency_beyond_l1, 0),
+                ServedBy::Llc => prop_assert_eq!(ev.latency_beyond_l1, cfg.llc_hit_latency),
+                ServedBy::Dram => prop_assert!(ev.latency_beyond_l1 > cfg.llc_hit_latency),
+            }
+            // Sampled classifications imply a sampled set.
+            if ev.interthread_hit_sampled || ev.interthread_miss_sampled {
+                prop_assert!(ev.sampled);
+            }
+            // A hit cannot be an inter-thread miss and vice versa.
+            prop_assert!(!(ev.interthread_hit_sampled && ev.interthread_miss_sampled));
+            // Interference attribution only on DRAM accesses.
+            if ev.level != ServedBy::Dram {
+                prop_assert_eq!(ev.bus_wait_other + ev.bank_wait_other + ev.page_conflict_other, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn atd_matches_private_cache_of_same_geometry(
+        accesses in prop::collection::vec(0u64..2048, 1..400)
+    ) {
+        // An ATD with sampling period 1 must behave exactly like a
+        // private cache with the LLC's geometry.
+        let llc_cfg = CacheConfig::new(32, 2);
+        let mut atd = memsim::Atd::new(llc_cfg, 1);
+        let mut reference: Cache<()> = Cache::new(llc_cfg);
+        for line in accesses {
+            let atd_hit = atd.access(line, false).expect("period 1 samples all").hit;
+            let ref_hit = reference.access(line, false, ()).hit;
+            prop_assert_eq!(atd_hit, ref_hit);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # workloads — synthetic multi-threaded benchmark models
+//!
+//! The speedup-stacks paper evaluates 28 benchmark/input pairs from
+//! SPLASH-2, PARSEC and Rodinia on gem5. Those binaries (and an Alpha
+//! full-system simulator to run them) are not reproducible here, so this
+//! crate substitutes *synthetic workload models*: deterministic op-stream
+//! generators parameterized per benchmark so that each model's scaling
+//! class and dominant scaling bottlenecks match the paper's Figure 6
+//! (see DESIGN.md for the substitution argument).
+//!
+//! - [`WorkloadProfile`] — the parameter space (work distribution, barrier
+//!   phases with a rotating heavy thread, critical sections, working sets
+//!   and sharing fractions, parallelization overhead).
+//! - [`streams_for`] — builds the per-thread [`cmpsim::OpStream`]s.
+//! - [`paper_suite`] — the 28 paper benchmark models.
+//!
+//! ## Example
+//!
+//! ```
+//! use cmpsim::{simulate, MachineConfig};
+//! use workloads::{find, streams_for, Suite};
+//!
+//! let profile = find("blackscholes", Suite::ParsecSmall).unwrap();
+//! let cfg = MachineConfig::with_cores(4);
+//! let result = simulate(cfg, streams_for(&profile, 4))?;
+//! assert!(result.tp_cycles > 0);
+//! # Ok::<(), cmpsim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod generator;
+pub mod profile;
+
+pub use catalog::{display_name, find, paper_suite};
+pub use generator::{streams_for, ProfileStream};
+pub use profile::{AccessPattern, CsProfile, Suite, WorkloadProfile};

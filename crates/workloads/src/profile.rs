@@ -1,0 +1,258 @@
+//! Workload profiles: the parameter space of the synthetic benchmark
+//! models.
+//!
+//! Each paper benchmark is modelled as a [`WorkloadProfile`] built from
+//! parallel-pattern primitives:
+//!
+//! - **barrier-phased** execution with a *rotating heavy thread*
+//!   (`phase_skew`), which shapes barrier waiting (spinning/yielding) and
+//!   the achievable speedup `S ≈ 1 + (n−1)/(1+skew)`;
+//! - **critical sections** (`cs`), which serialize a fraction `f` of the
+//!   work and cap speedup at `≈ 1/f`, with short sections producing
+//!   spinning and long sections producing yielding;
+//! - **memory behaviour** (working sets, load/store mix, sharing
+//!   fractions), which produces LLC and memory-subsystem interference.
+
+/// Benchmark suite labels matching the paper's Figure 6 column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPLASH-2.
+    Splash2,
+    /// PARSEC with the `simsmall` input.
+    ParsecSmall,
+    /// PARSEC with the `simmedium` input.
+    ParsecMedium,
+    /// Rodinia.
+    Rodinia,
+}
+
+impl Suite {
+    /// The label used in the paper's tree figure.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Suite::Splash2 => "splash2",
+            Suite::ParsecSmall => "parsec_small",
+            Suite::ParsecMedium => "parsec_medium",
+            Suite::Rodinia => "rodinia",
+        }
+    }
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How a thread walks its private data partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Uniform random accesses within the partition (pointer-chasing,
+    /// hash-table style reuse).
+    Random,
+    /// Sequential streaming through the partition with wrap-around
+    /// (radix/sort/stencil style; row-buffer friendly, no temporal reuse
+    /// beyond the L1).
+    Streaming,
+}
+
+/// Critical-section behaviour of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsProfile {
+    /// Enter a critical section every `every_items` work items.
+    pub every_items: u32,
+    /// Compute cycles inside the critical section. Short sections (below
+    /// the machine's spin threshold × contention) manifest as spinning,
+    /// long ones as yielding.
+    pub len_cycles: u32,
+    /// Number of independent locks the sections are striped over
+    /// (1 = fully contended global lock).
+    pub n_locks: u32,
+}
+
+/// A complete synthetic workload model.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{Suite, WorkloadProfile};
+/// let p = WorkloadProfile::compute_bound("demo", Suite::Splash2, 4_000);
+/// assert_eq!(p.name, "demo");
+/// assert!(p.cs.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (with input-size suffix where applicable).
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Total work items across all threads (strong scaling divides these
+    /// over the threads).
+    pub total_items: u64,
+    /// Number of barrier-delimited phases (≥ 1; the final barrier is the
+    /// convergence point of the parallel section).
+    pub phases: u32,
+    /// Extra work multiplier of the per-phase heavy thread (the heavy
+    /// role rotates round-robin across phases). 0.0 = balanced.
+    pub phase_skew: f64,
+    /// Compute cycles per item.
+    pub item_compute: u32,
+    /// Loads per item.
+    pub item_loads: u32,
+    /// Stores per item.
+    pub item_stores: u32,
+    /// **Total** private data footprint, in cache lines. Threads work on
+    /// disjoint `1/n` slices (strong scaling); the single-threaded
+    /// reference walks the whole footprint, exactly like a real
+    /// partitioned workload.
+    pub private_lines: u64,
+    /// How the private partition is accessed.
+    pub access_pattern: AccessPattern,
+    /// Shared working set, in cache lines.
+    pub shared_lines: u64,
+    /// Fraction of loads targeting the shared working set.
+    pub shared_read_frac: f64,
+    /// Fraction of stores targeting the shared working set.
+    pub shared_write_frac: f64,
+    /// Critical-section behaviour, if any.
+    pub cs: Option<CsProfile>,
+    /// Extra instructions per item when running multi-threaded, as a
+    /// fraction of `item_compute` (parallelization overhead, §3.5 — the
+    /// accounting deliberately cannot see this).
+    pub par_overhead: f64,
+    /// Weak scaling: keep per-thread work constant instead of dividing
+    /// `total_items` over threads (models small inputs where adding
+    /// threads adds sync overhead without adding useful parallelism...
+    /// the paper's swaptions-simsmall behaviour is modelled with strong
+    /// scaling on a tiny `total_items` instead; weak scaling here grows
+    /// total work with n).
+    pub weak_scaling: bool,
+    /// RNG seed for address generation.
+    pub seed: u64,
+    /// The paper's reported 16-thread speedup (for EXPERIMENTS.md
+    /// comparisons; not used by the generator).
+    pub paper_speedup16: f64,
+}
+
+impl WorkloadProfile {
+    /// A balanced, compute-heavy profile that should scale almost
+    /// linearly (the blackscholes archetype).
+    #[must_use]
+    pub fn compute_bound(name: &'static str, suite: Suite, total_items: u64) -> Self {
+        WorkloadProfile {
+            name,
+            suite,
+            total_items,
+            phases: 4,
+            phase_skew: 0.0,
+            item_compute: 400,
+            item_loads: 2,
+            item_stores: 1,
+            private_lines: 8_192,
+            access_pattern: AccessPattern::Random,
+            shared_lines: 256,
+            shared_read_frac: 0.05,
+            shared_write_frac: 0.0,
+            cs: None,
+            par_overhead: 0.01,
+            weak_scaling: false,
+            seed: 0x5eed,
+            paper_speedup16: 16.0,
+        }
+    }
+
+    /// Items for `thread` in `phase` when running with `n_threads`.
+    ///
+    /// The heavy role rotates: thread `phase % n` carries `1 + phase_skew`
+    /// times the balanced share. Shares are exact in expectation; rounding
+    /// keeps totals within one item per thread.
+    #[must_use]
+    pub fn items_for(&self, thread: usize, phase: u32, n_threads: usize) -> u64 {
+        let per_phase = self.total_items / u64::from(self.phases.max(1));
+        if n_threads <= 1 {
+            return per_phase;
+        }
+        let heavy = phase as usize % n_threads;
+        let k = 1.0 + self.phase_skew;
+        let sum_w = (n_threads - 1) as f64 + k;
+        let w = if thread == heavy { k } else { 1.0 };
+        ((per_phase as f64) * w / sum_w).round() as u64
+    }
+
+    /// Effective compute cycles per item for an `n_threads` run,
+    /// including parallelization overhead.
+    #[must_use]
+    pub fn effective_compute(&self, n_threads: usize) -> u32 {
+        if n_threads > 1 {
+            (f64::from(self.item_compute) * (1.0 + self.par_overhead)).round() as u32
+        } else {
+            self.item_compute
+        }
+    }
+
+    /// Analytic speedup bound from the rotating heavy thread alone:
+    /// `1 + (n−1)/(1+skew)` — useful for choosing `phase_skew` to target a
+    /// paper speedup.
+    #[must_use]
+    pub fn skew_speedup_bound(&self, n_threads: usize) -> f64 {
+        1.0 + (n_threads as f64 - 1.0) / (1.0 + self.phase_skew)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_labels() {
+        assert_eq!(Suite::Splash2.label(), "splash2");
+        assert_eq!(Suite::ParsecMedium.to_string(), "parsec_medium");
+    }
+
+    #[test]
+    fn items_balanced_split() {
+        let p = WorkloadProfile::compute_bound("x", Suite::Rodinia, 16_000);
+        // 4 phases → 4000 per phase; 4 threads balanced → 1000 each.
+        for t in 0..4 {
+            assert_eq!(p.items_for(t, 0, 4), 1000);
+        }
+    }
+
+    #[test]
+    fn items_skewed_heavy_rotates() {
+        let mut p = WorkloadProfile::compute_bound("x", Suite::Rodinia, 16_000);
+        p.phase_skew = 3.0; // heavy thread does 4× a balanced share
+        let heavy0 = p.items_for(0, 0, 4);
+        let light0 = p.items_for(1, 0, 4);
+        assert!(heavy0 > 3 * light0);
+        // Phase 1: heavy role moves to thread 1.
+        assert_eq!(p.items_for(1, 1, 4), heavy0);
+        assert_eq!(p.items_for(0, 1, 4), light0);
+        // Total is approximately preserved.
+        let total: u64 = (0..4).map(|t| p.items_for(t, 0, 4)).sum();
+        assert!((total as i64 - 4000).abs() <= 2);
+    }
+
+    #[test]
+    fn single_thread_gets_everything() {
+        let p = WorkloadProfile::compute_bound("x", Suite::Rodinia, 16_000);
+        assert_eq!(p.items_for(0, 0, 1), 4000);
+    }
+
+    #[test]
+    fn par_overhead_only_multithreaded() {
+        let mut p = WorkloadProfile::compute_bound("x", Suite::Rodinia, 100);
+        p.par_overhead = 0.26;
+        assert_eq!(p.effective_compute(1), 400);
+        assert_eq!(p.effective_compute(16), 504);
+    }
+
+    #[test]
+    fn skew_bound_formula() {
+        let mut p = WorkloadProfile::compute_bound("x", Suite::Rodinia, 100);
+        p.phase_skew = 3.0;
+        assert!((p.skew_speedup_bound(16) - 4.75).abs() < 1e-12);
+        assert!((p.skew_speedup_bound(1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Catalog-wide invariants: every benchmark model must be well-formed
+//! and structurally consistent with its paper identity, without running
+//! any simulation.
+
+use workloads::{display_name, paper_suite, streams_for, Suite};
+
+/// The 2 MB LLC holds this many 64-byte lines.
+const LLC_LINES: u64 = 32_768;
+
+#[test]
+fn every_profile_generates_nonempty_terminating_streams() {
+    for p in paper_suite() {
+        for n in [1usize, 4, 16] {
+            let mut streams = streams_for(&p, n);
+            let mut ops = 0usize;
+            let mut stream = streams.remove(0);
+            while let Some(_op) = cmpsim::OpStream::next_op(&mut *stream) {
+                ops += 1;
+                assert!(
+                    ops < 50_000_000,
+                    "{} at {n} threads: stream does not terminate",
+                    display_name(&p)
+                );
+            }
+            assert!(ops > 0, "{} at {n} threads: empty stream", display_name(&p));
+        }
+    }
+}
+
+#[test]
+fn work_is_conserved_across_thread_counts() {
+    for p in paper_suite() {
+        let single: u64 = (0..p.phases).map(|ph| p.items_for(0, ph, 1)).sum();
+        for n in [2usize, 8, 16] {
+            let total: u64 = (0..p.phases)
+                .map(|ph| (0..n).map(|t| p.items_for(t, ph, n)).sum::<u64>())
+                .sum();
+            let slack = u64::from(p.phases) * n as u64;
+            assert!(
+                total + slack >= single && total <= single + slack,
+                "{}: {n}-thread total {total} vs single {single}",
+                display_name(&p)
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_speedups_define_the_published_classes() {
+    let suite = paper_suite();
+    let good: Vec<_> = suite.iter().filter(|p| p.paper_speedup16 >= 10.0).collect();
+    let poor: Vec<_> = suite.iter().filter(|p| p.paper_speedup16 < 5.0).collect();
+    assert_eq!(good.len(), 5, "paper has 5 good scalers");
+    // Poor scalers per Figure 6: ferret_s/m?, water-spatial, dedup x2,
+    // freqmine x2, swaptions_s, bodytrack, needle, ferret_s.
+    assert!(poor.len() >= 9, "paper has a large poor class, got {}", poor.len());
+    assert!(poor.iter().any(|p| p.name == "ferret" && p.suite == Suite::ParsecSmall));
+}
+
+#[test]
+fn fig8_benchmarks_pressure_the_llc() {
+    // The Figure 8 set needs footprints beyond the LLC to exhibit
+    // negative interference.
+    for (name, suite) in [
+        ("cholesky", Suite::Splash2),
+        ("lu.cont", Suite::Splash2),
+        ("lu.ncont", Suite::Splash2),
+        ("canneal", Suite::ParsecSmall),
+        ("canneal", Suite::ParsecMedium),
+        ("bfs", Suite::Rodinia),
+        ("needle", Suite::Rodinia),
+    ] {
+        let p = workloads::find(name, suite).expect("catalog entry");
+        assert!(
+            p.private_lines + p.shared_lines > LLC_LINES,
+            "{}: footprint {} lines fits the LLC",
+            display_name(&p),
+            p.private_lines + p.shared_lines
+        );
+        assert!(p.shared_lines > 0 && p.shared_read_frac > 0.05, "{name} needs sharing for positive interference");
+    }
+}
+
+#[test]
+fn spin_dominated_benchmarks_have_short_sections() {
+    // Spinning requires waits below the default 1500-cycle spin
+    // threshold at 16-way contention.
+    let cholesky = workloads::find("cholesky", Suite::Splash2).unwrap();
+    let cs = cholesky.cs.unwrap();
+    assert!(cs.len_cycles < 150);
+    // Yield-dominated pipelines have sections well above it.
+    for name in ["dedup", "freqmine", "bodytrack", "ferret"] {
+        let suite = paper_suite();
+        let p = suite
+            .iter()
+            .find(|p| p.name == name && p.cs.is_some())
+            .unwrap_or_else(|| panic!("{name} has a CS model"));
+        assert!(p.cs.unwrap().len_cycles > 1_000, "{name} should yield, not spin");
+    }
+}
+
+#[test]
+fn input_sizes_scale_work_not_identity() {
+    for name in ["blackscholes", "swaptions", "canneal", "dedup", "freqmine", "ferret", "facesim"] {
+        let small = workloads::find(name, Suite::ParsecSmall);
+        let medium = workloads::find(name, Suite::ParsecMedium);
+        if let (Some(s), Some(m)) = (small, medium) {
+            assert!(
+                m.total_items > s.total_items || m.paper_speedup16 != s.paper_speedup16,
+                "{name}: medium input must differ from small"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeds_are_distinct_enough() {
+    let suite = paper_suite();
+    let mut seeds: Vec<u64> = suite.iter().map(|p| p.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    // At least most benchmarks get distinct address streams.
+    assert!(seeds.len() >= suite.len() - 4, "too many duplicate seeds: {}", seeds.len());
+}

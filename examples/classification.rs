@@ -1,0 +1,38 @@
+//! Benchmark classification: build the paper's Figure 6 tree over a
+//! subset of the suite (use `repro fig6` for the full 28 benchmarks).
+//!
+//! Run with: `cargo run --release --example classification`
+
+use experiments::{run_profile, scaled_profile, RunOptions};
+use speedup_stacks::{ClassificationConfig, ClassificationTree, ClassifiedBenchmark};
+use workloads::{find, Suite};
+
+fn main() {
+    let picks = [
+        ("blackscholes", Suite::ParsecMedium),
+        ("radix", Suite::Splash2),
+        ("cholesky", Suite::Splash2),
+        ("facesim", Suite::ParsecMedium),
+        ("srad", Suite::Rodinia),
+        ("ferret", Suite::ParsecSmall),
+        ("dedup", Suite::ParsecSmall),
+        ("needle", Suite::Rodinia),
+    ];
+    let cfg = ClassificationConfig::default();
+    let entries: Vec<ClassifiedBenchmark> = picks
+        .iter()
+        .map(|(name, suite)| {
+            let p = find(name, *suite).expect("catalog entry");
+            let p = scaled_profile(&p, 0.5);
+            let out = run_profile(&p, &RunOptions::symmetric(16), None).expect("simulation");
+            ClassifiedBenchmark::from_stack(out.name.clone(), out.suite.clone(), &out.stack, &cfg)
+        })
+        .collect();
+
+    let tree = ClassificationTree::build(entries);
+    println!("{}", tree.render());
+    println!(
+        "(good >= {:.0}x, poor < {:.0}x at 16 threads, per the paper)",
+        cfg.good_threshold, cfg.poor_threshold
+    );
+}

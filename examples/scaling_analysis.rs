@@ -1,0 +1,31 @@
+//! Scaling analysis: sweep thread counts for a few benchmarks and watch
+//! how each scaling delimiter grows — the paper's Figure 5 methodology.
+//!
+//! Run with: `cargo run --release --example scaling_analysis`
+
+use experiments::{run_profile, scaled_profile, single_thread_reference, RunOptions};
+use speedup_stacks::render::render_table;
+use workloads::{find, Suite};
+
+fn main() {
+    let benchmarks = [
+        find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
+        find("cholesky", Suite::Splash2).expect("catalog entry"),
+        find("ferret", Suite::ParsecSmall).expect("catalog entry"),
+    ];
+
+    let mut rows = Vec::new();
+    for p in &benchmarks {
+        // Scale the work down for a fast demo; the shapes survive.
+        let p = scaled_profile(p, 0.5);
+        let st = single_thread_reference(&p, &RunOptions::symmetric(1)).expect("single-thread run");
+        for n in [2usize, 4, 8, 16] {
+            let out = run_profile(&p, &RunOptions::symmetric(n), Some(st)).expect("simulation");
+            rows.push((format!("{} {}t", out.name, n), out.stack));
+        }
+    }
+    println!("{}", render_table(&rows));
+    println!("Reading guide: a growing 'spinning'/'yielding' column means");
+    println!("synchronization limits scaling; growing 'cache'/'memory' columns");
+    println!("mean shared-resource interference does.");
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate for the speedup-stacks reproduction: hosts the runnable
+//! examples and cross-crate integration tests. See the individual crates
+//! (`speedup-stacks`, `memsim`, `cmpsim`, `workloads`, `experiments`) for
+//! the actual library surface.
+pub use cmpsim;
+pub use experiments;
+pub use memsim;
+pub use speedup_stacks;
+pub use workloads;

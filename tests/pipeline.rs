@@ -1,0 +1,123 @@
+//! Cross-crate plumbing tests: counters flow correctly from the
+//! simulator through the accounting into stacks, deterministically.
+
+use cmpsim::{simulate, MachineConfig, SpinDetectorKind};
+use experiments::{run_profile, scaled_profile, RunOptions};
+use speedup_stacks::{accounting, AccountingConfig, SpeedupStack};
+use workloads::{find, streams_for, Suite};
+
+fn demo_profile() -> workloads::WorkloadProfile {
+    scaled_profile(&find("cholesky", Suite::Splash2).expect("catalog entry"), 0.2)
+}
+
+#[test]
+fn stack_from_sim_equals_manual_accounting() {
+    let p = demo_profile();
+    let r = simulate(MachineConfig::with_cores(8), streams_for(&p, 8)).unwrap();
+    let via_sim = r.stack(&AccountingConfig::default()).unwrap();
+    let breakdowns = accounting::account(&r.counters, r.tp_cycles, &AccountingConfig::default()).unwrap();
+    let manual = SpeedupStack::from_breakdowns(breakdowns, r.tp_cycles);
+    assert_eq!(via_sim, manual);
+}
+
+#[test]
+fn full_runs_are_deterministic_end_to_end() {
+    let p = demo_profile();
+    let a = run_profile(&p, &RunOptions::symmetric(8), None).unwrap();
+    let b = run_profile(&p, &RunOptions::symmetric(8), None).unwrap();
+    assert_eq!(a.mt_cycles, b.mt_cycles);
+    assert_eq!(a.st_cycles, b.st_cycles);
+    assert_eq!(a.stack, b.stack);
+    assert_eq!(a.mt.counters, b.mt.counters);
+}
+
+#[test]
+fn detector_choice_changes_spin_not_truth() {
+    let p = demo_profile();
+    let mk = |d: SpinDetectorKind| {
+        let mut cfg = MachineConfig::with_cores(8);
+        cfg.spin_detector = d;
+        simulate(cfg, streams_for(&p, 8)).unwrap()
+    };
+    let tian = mk(SpinDetectorKind::Tian { mark_threshold: 16 });
+    let oracle = mk(SpinDetectorKind::Oracle);
+    let li = mk(SpinDetectorKind::Li { confirm_iterations: 2 });
+    // Timing and ground truth are identical across detectors.
+    assert_eq!(tian.tp_cycles, oracle.tp_cycles);
+    assert_eq!(tian.truth, oracle.truth);
+    assert_eq!(tian.truth, li.truth);
+    // Detected spin: oracle >= li >= tian, and oracle equals truth.
+    let spin = |r: &cmpsim::SimResult| r.counters.iter().map(|c| c.spin_cycles).sum::<f64>();
+    let truth: u64 = oracle.truth.iter().map(|t| t.true_spin_cycles).sum();
+    assert!((spin(&oracle) - truth as f64).abs() < 1e-6);
+    assert!(spin(&li) <= spin(&oracle) + 1e-9);
+    assert!(spin(&tian) <= spin(&li) + 1e-9);
+    assert!(spin(&tian) > 0.0, "cholesky must show detected spinning");
+}
+
+#[test]
+fn oracle_detector_tightens_estimation() {
+    // With a perfect spin oracle, the estimate should not get worse for a
+    // spin-dominated benchmark.
+    let p = demo_profile();
+    let tian = run_profile(&p, &RunOptions::symmetric(8), None).unwrap();
+    let opts = RunOptions {
+        detector: SpinDetectorKind::Oracle,
+        ..RunOptions::symmetric(8)
+    };
+    let oracle = run_profile(&p, &opts, None).unwrap();
+    assert!(oracle.error().abs() <= tian.error().abs() + 0.02);
+}
+
+#[test]
+fn coherency_charging_is_optional_and_additive() {
+    let p = demo_profile();
+    let base = run_profile(&p, &RunOptions::symmetric(4), None).unwrap();
+    let opts = RunOptions {
+        accounting: AccountingConfig {
+            charge_coherency: true,
+            ..AccountingConfig::default()
+        },
+        ..RunOptions::symmetric(4)
+    };
+    let charged = run_profile(&p, &opts, None).unwrap();
+    use speedup_stacks::Component;
+    assert_eq!(base.stack.component(Component::CacheCoherency), 0.0);
+    assert!(charged.stack.component(Component::CacheCoherency) >= 0.0);
+    // Same run, same timing: only the accounting differs.
+    assert_eq!(base.mt_cycles, charged.mt_cycles);
+}
+
+#[test]
+fn threads_can_exceed_cores_in_runner() {
+    let p = demo_profile();
+    let opts = RunOptions {
+        cores: 2,
+        threads: 8,
+        ..RunOptions::symmetric(2)
+    };
+    let out = run_profile(&p, &opts, None).unwrap();
+    assert_eq!(out.stack.num_threads(), 8);
+    assert!(out.actual < 3.0, "2 cores cannot give more than ~2x");
+    use speedup_stacks::Component;
+    assert!(
+        out.stack.component(Component::Yielding) > 3.0,
+        "oversubscription must show as yielding"
+    );
+}
+
+#[test]
+fn weak_vs_strong_input_contrast_swaptions() {
+    // The paper's §7.2 observation: swaptions scales far better with the
+    // bigger input.
+    let small = scaled_profile(&find("swaptions", Suite::ParsecSmall).unwrap(), 1.0);
+    let medium = scaled_profile(&find("swaptions", Suite::ParsecMedium).unwrap(), 0.3);
+    let s = run_profile(&small, &RunOptions::symmetric(16), None).unwrap();
+    let m = run_profile(&medium, &RunOptions::symmetric(16), None).unwrap();
+    assert!(
+        m.actual > s.actual + 4.0,
+        "medium ({:.2}) must scale far better than small ({:.2})",
+        m.actual,
+        s.actual
+    );
+}

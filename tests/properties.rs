@@ -1,0 +1,172 @@
+//! Property-based tests over the whole pipeline: random (but valid)
+//! workloads and machines must always produce well-formed speedup stacks.
+
+use cmpsim::{simulate, MachineConfig, Op, OpStream, VecStream};
+use proptest::prelude::*;
+use speedup_stacks::{AccountingConfig, Component, ThreadCounters};
+use workloads::{streams_for, AccessPattern, Suite, WorkloadProfile};
+
+/// A small random workload profile.
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        64u64..512,           // total_items
+        1u32..5,              // phases
+        0.0f64..3.0,          // phase_skew
+        20u32..400,           // item_compute
+        0u32..4,              // item_loads
+        0u32..3,              // item_stores
+        256u64..8192,         // private_lines
+        0u64..2048,           // shared_lines
+        0.0f64..0.8,          // shared_read_frac
+        prop::bool::ANY,      // streaming?
+        prop::bool::ANY,      // critical sections?
+    )
+        .prop_map(
+            |(items, phases, skew, compute, loads, stores, private, shared, frac, streaming, with_cs)| {
+                let mut p = WorkloadProfile::compute_bound("prop", Suite::Rodinia, items);
+                p.phases = phases;
+                p.phase_skew = skew;
+                p.item_compute = compute;
+                p.item_loads = loads;
+                p.item_stores = stores;
+                p.private_lines = private;
+                p.shared_lines = shared;
+                p.shared_read_frac = frac;
+                p.access_pattern = if streaming {
+                    AccessPattern::Streaming
+                } else {
+                    AccessPattern::Random
+                };
+                p.cs = with_cs.then_some(workloads::CsProfile {
+                    every_items: 2,
+                    len_cycles: 120,
+                    n_locks: 2,
+                });
+                p
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_workloads_produce_valid_stacks(p in arb_profile(), n in 1usize..9) {
+        let r = simulate(MachineConfig::with_cores(n), streams_for(&p, n)).unwrap();
+        prop_assert!(r.tp_cycles > 0);
+        let stack = r.stack(&AccountingConfig::default()).unwrap();
+        prop_assert!(stack.is_valid());
+        prop_assert_eq!(stack.num_threads(), n);
+        // Components plus base always sum to N.
+        let total = stack.base_speedup() + stack.total_overhead();
+        prop_assert!((total - n as f64).abs() < 1e-6);
+        // Estimated speedup is within the physical range.
+        prop_assert!(stack.estimated_speedup() >= 0.0);
+        prop_assert!(stack.estimated_speedup() <= n as f64 + stack.positive_interference() + 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(p in arb_profile(), n in 1usize..6) {
+        let a = simulate(MachineConfig::with_cores(n), streams_for(&p, n)).unwrap();
+        let b = simulate(MachineConfig::with_cores(n), streams_for(&p, n)).unwrap();
+        prop_assert_eq!(a.tp_cycles, b.tp_cycles);
+        prop_assert_eq!(a.counters, b.counters);
+        prop_assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn oversubscription_preserves_correctness(p in arb_profile(), threads in 2usize..10) {
+        // More threads than cores: everything still completes and yields
+        // are charged.
+        let r = simulate(MachineConfig::with_cores(2), streams_for(&p, threads)).unwrap();
+        let stack = r.stack(&AccountingConfig::default()).unwrap();
+        prop_assert!(stack.is_valid());
+        prop_assert_eq!(r.counters.len(), threads);
+        for c in &r.counters {
+            prop_assert!(c.active_end_cycle <= r.tp_cycles);
+        }
+    }
+
+    #[test]
+    fn total_work_is_thread_count_invariant(p in arb_profile(), n in 2usize..9) {
+        // Strong scaling: total items across threads stays within
+        // rounding of the single-thread run, phase by phase.
+        for phase in 0..p.phases {
+            let total: u64 = (0..n).map(|t| p.items_for(t, phase, n)).sum();
+            let single = p.items_for(0, phase, 1);
+            let slack = n as u64; // rounding: at most one item per thread
+            prop_assert!(total >= single.saturating_sub(slack) && total <= single + slack,
+                "phase {}: {} threads give {} items vs {} single", phase, n, total, single);
+        }
+    }
+
+    #[test]
+    fn accounting_components_non_negative(
+        spin in 0.0f64..1e6, yielded in 0.0f64..1e6, mem in 0.0f64..1e6,
+        end in 1u64..1_000_000, tp in 1_000_000u64..2_000_000,
+    ) {
+        let t = ThreadCounters {
+            active_end_cycle: end,
+            spin_cycles: spin,
+            yield_cycles: yielded,
+            mem_interference_cycles: mem,
+            ..ThreadCounters::default()
+        };
+        let b = speedup_stacks::accounting::account(&[t], tp, &AccountingConfig::default()).unwrap();
+        for c in Component::ALL {
+            prop_assert!(b[0].overheads[c] >= 0.0);
+        }
+        prop_assert!(b[0].estimated_single_thread_cycles >= 0.0);
+        prop_assert!(b[0].overheads.total() <= tp as f64 + 1e-6);
+    }
+}
+
+#[test]
+fn barrier_safety_under_stress() {
+    // Many threads, many barriers: nobody may pass a barrier before all
+    // arrive. We verify via a monotone phase invariant encoded in ops:
+    // each thread's active_end must be >= the slowest thread's work time.
+    let n = 12;
+    let heavy_work = 40_000u32;
+    let streams: Vec<Box<dyn OpStream>> = (0..n)
+        .map(|t| {
+            let mut ops = Vec::new();
+            for phase in 0..5u32 {
+                let work = if (phase as usize % n) == t { heavy_work } else { 500 };
+                ops.push(Op::Compute(work));
+                ops.push(Op::Barrier(0));
+            }
+            Box::new(VecStream::new(ops)) as Box<dyn OpStream>
+        })
+        .collect();
+    let r = simulate(MachineConfig::with_cores(n), streams).unwrap();
+    // 5 phases × one heavy thread each: Tp at least 5 × heavy work.
+    assert!(r.tp_cycles >= 5 * u64::from(heavy_work));
+    // All threads converge at the last barrier: ends within a wake-up of
+    // each other.
+    let ends: Vec<u64> = r.counters.iter().map(|c| c.active_end_cycle).collect();
+    let min = *ends.iter().min().unwrap();
+    let max = *ends.iter().max().unwrap();
+    assert!(max - min < 50_000, "ends spread too far: {ends:?}");
+}
+
+#[test]
+fn lock_stress_all_threads_complete() {
+    let n = 8;
+    let streams: Vec<Box<dyn OpStream>> = (0..n)
+        .map(|_| {
+            let mut ops = Vec::new();
+            for i in 0..300u32 {
+                ops.push(Op::LockAcquire(i % 3));
+                ops.push(Op::Compute(20 + (i % 50)));
+                ops.push(Op::LockRelease(i % 3));
+                ops.push(Op::Compute(30));
+            }
+            Box::new(VecStream::new(ops)) as Box<dyn OpStream>
+        })
+        .collect();
+    let r = simulate(MachineConfig::with_cores(n), streams).unwrap();
+    assert_eq!(r.counters.len(), n);
+    let spin: u64 = r.truth.iter().map(|t| t.true_spin_cycles).sum();
+    assert!(spin > 0, "contended locks must cause spinning");
+}
