@@ -8,79 +8,79 @@
 //! - **stall exposure**: out-of-order overlap window vs an in-order core
 //!   (window 0, where coherency charging matters, §4.5).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bench_support::Harness;
 use cmpsim::{simulate, MachineConfig, SpinDetectorKind};
 use experiments::{run_profile, scaled_profile, RunOptions};
 use speedup_stacks::AccountingConfig;
 use workloads::{find, streams_for, Suite};
 
 fn cholesky(scale: f64) -> workloads::WorkloadProfile {
-    scaled_profile(&find("cholesky", Suite::Splash2).expect("catalog entry"), scale)
+    scaled_profile(
+        &find("cholesky", Suite::Splash2).expect("catalog entry"),
+        scale,
+    )
 }
 
-fn bench_spin_detectors(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
+
     let p = cholesky(0.25);
-    let mut g = c.benchmark_group("ablation_spin_detector");
-    g.sample_size(10);
     for (label, det) in [
         ("tian", SpinDetectorKind::Tian { mark_threshold: 16 }),
-        ("li", SpinDetectorKind::Li { confirm_iterations: 2 }),
+        (
+            "li",
+            SpinDetectorKind::Li {
+                confirm_iterations: 2,
+            },
+        ),
         ("oracle", SpinDetectorKind::Oracle),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut cfg = MachineConfig::with_cores(16);
-                cfg.spin_detector = det;
-                let r = simulate(cfg, streams_for(&p, 16)).unwrap();
-                let spin: f64 = r.counters.iter().map(|t| t.spin_cycles).sum();
-                black_box((r.tp_cycles, spin))
-            });
+        let p = p.clone();
+        h.bench(&format!("ablation_spin_detector/{label}"), move || {
+            let mut cfg = MachineConfig::with_cores(16);
+            cfg.spin_detector = det;
+            let r = simulate(cfg, streams_for(&p, 16)).unwrap();
+            let spin: f64 = r.counters.iter().map(|t| t.spin_cycles).sum();
+            black_box((r.tp_cycles, spin))
         });
     }
-    g.finish();
-}
 
-fn bench_atd_sampling(c: &mut Criterion) {
-    let p = scaled_profile(&find("facesim", Suite::ParsecMedium).expect("catalog entry"), 0.5);
-    let mut g = c.benchmark_group("ablation_atd_sampling");
-    g.sample_size(10);
+    let p = scaled_profile(
+        &find("facesim", Suite::ParsecMedium).expect("catalog entry"),
+        0.5,
+    );
     for period in [1usize, 8, 32] {
-        g.bench_function(format!("period_{period}"), |b| {
-            b.iter(|| {
+        let p = p.clone();
+        h.bench(
+            &format!("ablation_atd_sampling/period_{period}"),
+            move || {
                 let mut opts = RunOptions::symmetric(16);
                 opts.mem.atd_sample_period = period;
                 let out = run_profile(&p, &opts, None).unwrap();
                 black_box((out.estimated, out.actual))
-            });
-        });
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_stall_exposure(c: &mut Criterion) {
     let p = scaled_profile(&find("srad", Suite::Rodinia).expect("catalog entry"), 0.25);
-    let mut g = c.benchmark_group("ablation_core_model");
-    g.sample_size(10);
-    for (label, window, charge_coherency) in
-        [("out_of_order_w30", 30u64, false), ("in_order_w0_coherency_charged", 0, true)]
-    {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut cfg = MachineConfig::with_cores(16);
-                cfg.core.overlap_window = window;
-                let r = simulate(cfg, streams_for(&p, 16)).unwrap();
-                let acct = AccountingConfig {
-                    charge_coherency,
-                    ..AccountingConfig::default()
-                };
-                black_box(r.stack(&acct).unwrap())
-            });
+    for (label, window, charge_coherency) in [
+        ("out_of_order_w30", 30u64, false),
+        ("in_order_w0_coherency_charged", 0, true),
+    ] {
+        let p = p.clone();
+        h.bench(&format!("ablation_core_model/{label}"), move || {
+            let mut cfg = MachineConfig::with_cores(16);
+            cfg.core.overlap_window = window;
+            let r = simulate(cfg, streams_for(&p, 16)).unwrap();
+            let acct = AccountingConfig {
+                charge_coherency,
+                ..AccountingConfig::default()
+            };
+            black_box(r.stack(&acct).unwrap())
         });
     }
-    g.finish();
-}
 
-criterion_group!(ablations, bench_spin_detectors, bench_atd_sampling, bench_stall_exposure);
-criterion_main!(ablations);
+    h.finish();
+}

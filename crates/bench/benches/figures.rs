@@ -1,141 +1,78 @@
-//! One Criterion bench per paper table/figure: each target regenerates
-//! its figure's data at reduced workload scale, so the harness both
-//! exercises the full pipeline and tracks regeneration cost.
+//! One bench per paper table/figure: each case regenerates its figure's
+//! data at reduced workload scale, so the harness both exercises the full
+//! pipeline and tracks regeneration cost.
 //!
 //! (`repro --scale 1.0 <figN>` prints the full-scale numbers; these
 //! benches use smaller scales to keep wall-clock sane. Figures whose
 //! *content* depends on absolute LLC pressure — 4, 6, 8, 9 — still verify
 //! their headline property on every iteration at the reduced scale where
-//! it remains observable.)
+//! it remains observable. Smoke mode skips the two 28-benchmark grids.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bench_support::Harness;
 use experiments::{fig1, fig23, fig45, fig6, fig7, fig89, hwcost};
 
-fn bench_fig1_speedup_curves(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_speedup_curves");
-    g.sample_size(10);
-    g.bench_function("three_benchmarks_1_to_16_threads", |b| {
-        b.iter(|| {
-            let fig = fig1::run(black_box(0.25));
-            assert!(fig.curves[0].at(16).unwrap() > 8.0);
-            black_box(fig)
-        });
-    });
-    g.finish();
-}
+fn main() {
+    let mut h = Harness::from_args();
+    let smoke = h.is_smoke();
 
-fn bench_fig2_stack_render(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_stack");
-    g.sample_size(10);
-    g.bench_function("facesim_16t_stack", |b| {
-        b.iter(|| black_box(fig23::run_fig2(black_box(0.25))));
+    h.bench("fig1/three_benchmarks_1_to_16_threads", || {
+        let fig = fig1::run(black_box(0.25));
+        assert!(fig.curves[0].at(16).unwrap() > 8.0);
+        black_box(fig)
     });
-    g.finish();
-}
 
-fn bench_fig3_per_thread_breakup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_breakup");
-    g.sample_size(10);
-    g.bench_function("cholesky_4t_breakup", |b| {
-        b.iter(|| black_box(fig23::run_fig3(black_box(0.25))));
+    h.bench("fig2/facesim_16t_stack", || {
+        black_box(fig23::run_fig2(black_box(0.25)))
     });
-    g.finish();
-}
 
-fn bench_fig4_validation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_validation");
-    g.sample_size(10);
-    g.bench_function("all_28_benchmarks_4_thread_counts", |b| {
-        b.iter(|| {
+    h.bench("fig3/cholesky_4t_breakup", || {
+        black_box(fig23::run_fig3(black_box(0.25)))
+    });
+
+    if !smoke {
+        h.bench("fig4/all_28_benchmarks_4_thread_counts", || {
             let fig = fig45::run(black_box(0.2));
             assert_eq!(fig.points.len(), 112);
             black_box(fig)
         });
-    });
-    g.finish();
-}
+    }
 
-fn bench_fig5_stacks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_stacks");
-    g.sample_size(10);
-    g.bench_function("three_benchmarks_2_to_16_threads", |b| {
-        b.iter(|| black_box(fig45::run_fig5(black_box(0.25))));
+    h.bench("fig5/three_benchmarks_2_to_16_threads", || {
+        black_box(fig45::run_fig5(black_box(0.25)))
     });
-    g.finish();
-}
 
-fn bench_fig6_classification(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_classification");
-    g.sample_size(10);
-    g.bench_function("classify_28_benchmarks_16t", |b| {
-        b.iter(|| {
+    if !smoke {
+        h.bench("fig6/classify_28_benchmarks_16t", || {
             let fig = fig6::run(black_box(0.25));
             assert_eq!(fig.tree.entries().len(), 28);
             black_box(fig)
         });
-    });
-    g.finish();
-}
+    }
 
-fn bench_fig7_ferret_cores(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_ferret_cores");
-    g.sample_size(10);
-    g.bench_function("threads_vs_cores_sweep", |b| {
-        b.iter(|| black_box(fig7::run(black_box(0.25))));
+    h.bench("fig7/threads_vs_cores_sweep", || {
+        black_box(fig7::run(black_box(0.25)))
     });
-    g.finish();
-}
 
-fn bench_fig8_llc_interference(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_llc_interference");
-    g.sample_size(10);
-    g.bench_function("seven_benchmarks_neg_pos_net", |b| {
-        b.iter(|| {
-            let fig = fig89::run_fig8(black_box(0.5));
-            assert_eq!(fig.bars.len(), 7);
-            black_box(fig)
-        });
+    h.bench("fig8/seven_benchmarks_neg_pos_net", || {
+        let fig = fig89::run_fig8(black_box(0.5));
+        assert_eq!(fig.bars.len(), 7);
+        black_box(fig)
     });
-    g.finish();
-}
 
-fn bench_fig9_llc_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_llc_sweep");
-    g.sample_size(10);
-    g.bench_function("cholesky_2_to_16_mb", |b| {
-        b.iter(|| {
-            let fig = fig89::run_fig9(black_box(0.5));
-            // Negative interference never grows with LLC size.
-            assert!(fig.bars[0].negative >= fig.bars[3].negative);
-            black_box(fig)
-        });
+    h.bench("fig9/cholesky_2_to_16_mb", || {
+        let fig = fig89::run_fig9(black_box(0.5));
+        // Negative interference never grows with LLC size.
+        assert!(fig.bars[0].negative >= fig.bars[3].negative);
+        black_box(fig)
     });
-    g.finish();
-}
 
-fn bench_hwcost(c: &mut Criterion) {
-    c.bench_function("hwcost_table", |b| {
-        b.iter(|| {
-            let cost = hwcost::run();
-            assert_eq!(cost.model.total_bytes_per_core(), 1169);
-            black_box(cost)
-        });
+    h.bench("hwcost/table", || {
+        let cost = hwcost::run();
+        assert_eq!(cost.model.total_bytes_per_core(), 1169);
+        black_box(cost)
     });
-}
 
-criterion_group!(
-    figures,
-    bench_fig1_speedup_curves,
-    bench_fig2_stack_render,
-    bench_fig3_per_thread_breakup,
-    bench_fig4_validation,
-    bench_fig5_stacks,
-    bench_fig6_classification,
-    bench_fig7_ferret_cores,
-    bench_fig8_llc_interference,
-    bench_fig9_llc_sweep,
-    bench_hwcost,
-);
-criterion_main!(figures);
+    h.finish();
+}

@@ -3,88 +3,67 @@
 //! simulator's own performance (the accounting architecture is supposed
 //! to be cheap).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use bench_support::Harness;
 use cmpsim::{simulate, MachineConfig, Op, OpStream, VecStream};
 use memsim::{Atd, Cache, CacheConfig, Dram, DramConfig, MemConfig, MemoryHierarchy};
 
-fn bench_cache_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_cache");
+fn main() {
+    let mut h = Harness::from_args();
     let n = 10_000u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("set_assoc_lru_access", |b| {
+
+    h.bench_elems("micro_cache/set_assoc_lru_access", n, {
         let mut cache: Cache<()> = Cache::new(CacheConfig::from_kib(64, 64, 8));
         let mut i = 0u64;
-        b.iter(|| {
+        move || {
             for _ in 0..n {
                 i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
                 black_box(cache.access(i % 4096, i.is_multiple_of(3), ()));
             }
-        });
+        }
     });
-    g.finish();
-}
 
-fn bench_atd_probe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_atd");
-    let n = 10_000u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("sampled_probe", |b| {
+    h.bench_elems("micro_atd/sampled_probe", n, {
         let mut atd = Atd::new(CacheConfig::from_kib(2048, 64, 16), 8);
         let mut i = 0u64;
-        b.iter(|| {
+        move || {
             for _ in 0..n {
                 i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
                 black_box(atd.access(i % 100_000, false));
             }
-        });
+        }
     });
-    g.finish();
-}
 
-fn bench_dram_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_dram");
-    let n = 10_000u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("banked_open_page", |b| {
+    h.bench_elems("micro_dram/banked_open_page", n, {
         let mut dram = Dram::new(DramConfig::default(), 16);
         let mut t = 0u64;
-        b.iter(|| {
+        move || {
             for i in 0..n {
                 t += 50;
                 black_box(dram.access((i % 16) as usize, i * 7, t));
             }
-        });
+        }
     });
-    g.finish();
-}
 
-fn bench_hierarchy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_hierarchy");
-    let n = 10_000u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("full_access_path", |b| {
+    h.bench_elems("micro_hierarchy/full_access_path", n, {
         let mut mem = MemoryHierarchy::new(&MemConfig::default(), 16);
         let mut t = 0u64;
         let mut i = 0u64;
-        b.iter(|| {
+        move || {
             for _ in 0..n {
                 i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
                 t += 10;
                 black_box(mem.access((i % 16) as usize, i % 200_000, i.is_multiple_of(5), t));
             }
-        });
+        }
     });
-    g.finish();
-}
 
-fn bench_engine_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_engine");
     let ops_per_thread = 4_000usize;
-    g.throughput(Throughput::Elements((ops_per_thread * 8) as u64));
-    g.bench_function("event_loop_8_threads", |b| {
-        b.iter(|| {
+    h.bench_elems(
+        "micro_engine/event_loop_8_threads",
+        (ops_per_thread * 8) as u64,
+        move || {
             let streams: Vec<Box<dyn OpStream>> = (0..8)
                 .map(|t| {
                     let ops: Vec<Op> = (0..ops_per_thread)
@@ -99,17 +78,8 @@ fn bench_engine_ops(c: &mut Criterion) {
                 })
                 .collect();
             black_box(simulate(MachineConfig::with_cores(8), streams).unwrap())
-        });
-    });
-    g.finish();
-}
+        },
+    );
 
-criterion_group!(
-    micro,
-    bench_cache_access,
-    bench_atd_probe,
-    bench_dram_access,
-    bench_hierarchy,
-    bench_engine_ops
-);
-criterion_main!(micro);
+    h.finish();
+}

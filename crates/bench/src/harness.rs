@@ -1,0 +1,178 @@
+//! Minimal benchmark harness: warm-up, sampling, throughput.
+//!
+//! Usage from a `harness = false` bench target:
+//!
+//! ```no_run
+//! let mut h = bench_support::Harness::from_args();
+//! h.bench("my_case", || 40 + 2);
+//! h.finish();
+//! ```
+//!
+//! CLI: an optional substring filters cases by name; `--smoke` runs one
+//! sample per case (CI compile-and-run coverage); `--samples N` overrides
+//! the sample count. The `BENCH_SMOKE=1` environment variable is
+//! equivalent to `--smoke`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One case's timing summary.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case name.
+    pub name: String,
+    /// Wall-time per sample.
+    pub samples: Vec<Duration>,
+    /// Elements processed per sample (for throughput), if declared.
+    pub elements: Option<u64>,
+}
+
+impl CaseResult {
+    /// Mean sample duration.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        let total: Duration = self.samples.iter().sum();
+        total / self.samples.len().max(1) as u32
+    }
+
+    /// Fastest sample.
+    #[must_use]
+    pub fn min(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or_default()
+    }
+
+    /// Slowest sample.
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        self.samples.iter().max().copied().unwrap_or_default()
+    }
+
+    /// Elements per second at the mean sample time.
+    #[must_use]
+    pub fn throughput(&self) -> Option<f64> {
+        let elems = self.elements? as f64;
+        let secs = self.mean().as_secs_f64();
+        (secs > 0.0).then(|| elems / secs)
+    }
+}
+
+/// The harness: collects and prints case results.
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    samples: usize,
+    smoke: bool,
+    results: Vec<CaseResult>,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments (see module docs).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut samples = 10usize;
+        let mut smoke = std::env::var_os("BENCH_SMOKE").is_some();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => smoke = true,
+                "--samples" => {
+                    samples = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--samples requires a positive integer");
+                }
+                // `cargo bench` passes --bench to harness=false targets.
+                "--bench" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        if smoke {
+            samples = 1;
+        }
+        Harness {
+            filter,
+            samples: samples.max(1),
+            smoke,
+            results: Vec::new(),
+        }
+    }
+
+    /// Whether smoke mode is active (`--smoke` or `BENCH_SMOKE=1`; an
+    /// explicit `--samples 1` is *not* smoke mode — cases gated on smoke
+    /// still run in full).
+    #[must_use]
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter
+            .as_ref()
+            .is_none_or(|f| name.contains(f.as_str()))
+    }
+
+    fn run_case<R>(&mut self, name: &str, elements: Option<u64>, mut f: impl FnMut() -> R) {
+        if !self.selected(name) {
+            return;
+        }
+        // Warm-up sample (not recorded) only when sampling repeatedly.
+        if self.samples > 1 {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        let case = CaseResult {
+            name: name.to_string(),
+            samples,
+            elements,
+        };
+        let mean = case.mean();
+        match case.throughput() {
+            Some(tp) => println!(
+                "{name:<44} {:>10.3} ms  [{:.3} .. {:.3}]  {:>12.0} elem/s",
+                mean.as_secs_f64() * 1e3,
+                case.min().as_secs_f64() * 1e3,
+                case.max().as_secs_f64() * 1e3,
+                tp
+            ),
+            None => println!(
+                "{name:<44} {:>10.3} ms  [{:.3} .. {:.3}]",
+                mean.as_secs_f64() * 1e3,
+                case.min().as_secs_f64() * 1e3,
+                case.max().as_secs_f64() * 1e3,
+            ),
+        }
+        self.results.push(case);
+    }
+
+    /// Times `f` over the configured number of samples.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        self.run_case(name, None, f);
+    }
+
+    /// Times `f`, reporting throughput for `elements` processed per call.
+    pub fn bench_elems<R>(&mut self, name: &str, elements: u64, f: impl FnMut() -> R) {
+        self.run_case(name, Some(elements), f);
+    }
+
+    /// All collected results.
+    #[must_use]
+    pub fn results(&self) -> &[CaseResult] {
+        &self.results
+    }
+
+    /// Prints the closing summary line.
+    pub fn finish(self) {
+        println!(
+            "-- {} case(s), {} sample(s) each --",
+            self.results.len(),
+            self.samples
+        );
+    }
+}

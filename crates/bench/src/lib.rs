@@ -1,1 +1,20 @@
-//! Criterion bench crate; see `benches/`.
+//! # bench_support — in-repo benchmark harness and perf reporting
+//!
+//! The container this workspace is developed in has no registry access,
+//! so Criterion is unavailable; the benches under `benches/` run on this
+//! minimal harness instead (`harness = false` targets). It keeps the
+//! parts that matter for tracking simulator performance across PRs:
+//! warm-up, repeated samples, min/mean/max wall-time and element
+//! throughput, plus a `--smoke` mode for CI.
+//!
+//! The [`report`] module emits the machine-readable `BENCH_PR*.json`
+//! perf-trajectory files (see the `bench_report` binary).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::Harness;

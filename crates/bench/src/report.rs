@@ -1,0 +1,132 @@
+//! Machine-readable perf reports (`BENCH_PR*.json`).
+//!
+//! No serde offline, so this is a tiny hand-rolled JSON writer for the
+//! flat structure the perf-trajectory files need: a report header plus a
+//! list of measured sweep entries.
+
+use std::fmt::Write as _;
+
+/// One measured entry of a perf report.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Entry name (e.g. `fig1_sweep`).
+    pub name: String,
+    /// Configuration label (e.g. `wheel+parallel`).
+    pub config: String,
+    /// Wall time in seconds.
+    pub wall_s: f64,
+    /// Engine events processed.
+    pub events: u64,
+    /// Simulation points in the sweep.
+    pub points: u64,
+}
+
+impl Entry {
+    /// Events per wall-clock second.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A whole report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Free-form metadata (`key: value`) rendered into the header.
+    pub meta: Vec<(String, String)>,
+    /// The measured entries.
+    pub entries: Vec<Entry>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// Adds a metadata pair.
+    pub fn meta(&mut self, key: &str, value: impl ToString) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Adds a measured entry.
+    pub fn push(&mut self, entry: Entry) {
+        self.entries.push(entry);
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        for (k, v) in &self.meta {
+            let _ = writeln!(s, "  \"{}\": \"{}\",", esc(k), esc(v));
+        }
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"config\": \"{}\", \"wall_s\": {:.6}, \"points\": {}, \"events\": {}, \"events_per_sec\": {:.0}}}{}",
+                esc(&e.name),
+                esc(&e.config),
+                e.wall_s,
+                e.points,
+                e.events,
+                e.events_per_sec(),
+                comma
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let mut r = Report::default();
+        r.meta("note", "a \"quoted\"\nline");
+        r.push(Entry {
+            name: "sweep".into(),
+            config: "baseline".into(),
+            wall_s: 1.5,
+            events: 3_000_000,
+            points: 12,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\\\"quoted\\\"\\n"));
+        assert!(json.contains("\"events_per_sec\": 2000000"));
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn events_per_sec_zero_guard() {
+        let e = Entry {
+            name: "x".into(),
+            config: "c".into(),
+            wall_s: 0.0,
+            events: 10,
+            points: 1,
+        };
+        assert_eq!(e.events_per_sec(), 0.0);
+    }
+}

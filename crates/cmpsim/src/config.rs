@@ -76,6 +76,23 @@ impl Default for SchedConfig {
     }
 }
 
+/// Which event-queue implementation drives the engine.
+///
+/// The timing wheel is the production queue; the binary heap is the
+/// original implementation, kept as a reference for equivalence testing
+/// and baseline benchmarking. Both implement the identical `(time, seq)`
+/// total order, so simulation results are bit-identical across the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EventQueueKind {
+    /// Indexed calendar/timing wheel with an overflow heap
+    /// ([`TimingWheel`](crate::event_queue::TimingWheel)).
+    #[default]
+    TimingWheel,
+    /// Global binary heap ([`HeapQueue`](crate::event_queue::HeapQueue)).
+    BinaryHeap,
+}
+
 /// Which spin-detection mechanism feeds the accounting (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -121,6 +138,9 @@ pub struct MachineConfig {
     pub sched: SchedConfig,
     /// Spin detector used by the accounting.
     pub spin_detector: SpinDetectorKind,
+    /// Event-queue implementation (timing wheel by default; the binary
+    /// heap reference is for equivalence tests and baselines).
+    pub event_queue: EventQueueKind,
     /// Record per-thread accounting snapshots at every barrier release,
     /// enabling per-region speedup stacks (§4.6: the imbalance before
     /// each barrier then quantifies barrier overhead).
@@ -138,6 +158,7 @@ impl Default for MachineConfig {
             sync: SyncConfig::default(),
             sched: SchedConfig::default(),
             spin_detector: SpinDetectorKind::default(),
+            event_queue: EventQueueKind::default(),
             record_regions: false,
             max_cycles: 50_000_000_000,
         }

@@ -1,10 +1,28 @@
 //! The event-driven simulation engine.
 //!
 //! The engine advances a set of software threads over `n_cores` hardware
-//! cores in strict global time order (a binary heap of timestamped
-//! events), so all shared state — the memory hierarchy, locks, barriers,
-//! the run queue — is mutated causally. Everything is deterministic:
-//! identical configuration and op streams produce identical cycle counts.
+//! cores in strict global time order, so all shared state — the memory
+//! hierarchy, locks, barriers, the run queue — is mutated causally.
+//! Everything is deterministic: identical configuration and op streams
+//! produce identical cycle counts.
+//!
+//! ## Hot-path data structures
+//!
+//! Events flow through an **indexed timing wheel**
+//! ([`event_queue::TimingWheel`](crate::event_queue::TimingWheel)): a
+//! calendar ring of single-cycle slots with a bitmap index, sized for the
+//! engine's near-monotonic event horizon, with an overflow heap for the
+//! rare far-future event. The original `BinaryHeap` remains available as
+//! [`EventQueueKind::BinaryHeap`](crate::config::EventQueueKind) — both
+//! implement the same `(time, seq)` total order, so results are
+//! bit-identical (asserted by the equivalence test-suite).
+//!
+//! Lock and barrier state lives in **dense `Vec`-indexed tables**: sync
+//! ids are small integers minted by the workload generator, so resolving
+//! a lock is an array index instead of a `HashMap` probe. Only the
+//! transactional read/write line-sets — genuinely sparse over the line
+//! address space — use a hash map, keyed with
+//! [`memsim::fx::FxHasher`] rather than SipHash.
 //!
 //! ## Synchronization model
 //!
@@ -18,21 +36,28 @@
 //!
 //! [`SyncConfig::spin_threshold`]: crate::config::SyncConfig::spin_threshold
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
-use memsim::{LineAddr, MemoryHierarchy, ServedBy};
+use memsim::{FxHashMap, LineAddr, MemoryHierarchy, ServedBy};
 use speedup_stacks::{AccountingConfig, SpeedupStack, StackError, ThreadCounters};
 
-use crate::config::MachineConfig;
+use crate::config::{EventQueueKind, MachineConfig};
+use crate::event_queue::{HeapQueue, TimingWheel};
 use crate::ops::{Op, OpStream};
 use crate::spin::{build_detector, SpinDetector, SpinEpisode};
 
-/// Line-address region reserved for lock variables.
-const LOCK_REGION: LineAddr = 1 << 40;
+/// Line-address region reserved for lock variables. Sits above every
+/// workload data region but low enough that tags stay within `memsim`'s
+/// compact-tag range for all supported cache geometries.
+const LOCK_REGION: LineAddr = 1 << 33;
 /// Line-address region reserved for barrier variables.
-const BARRIER_REGION: LineAddr = (1 << 40) + (1 << 20);
+const BARRIER_REGION: LineAddr = (1 << 33) + (1 << 20);
+/// Sync ids must stay below the lock/barrier region spacing — this also
+/// bounds the dense lock/barrier tables (a rogue id would otherwise ask
+/// for a gigantic allocation, and its lock line would alias a barrier
+/// line).
+const MAX_SYNC_IDS: u64 = 1 << 20;
 /// Cycles to commit a transaction (write-set publication).
 const TX_COMMIT_COST: u64 = 30;
 
@@ -69,7 +94,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::CycleLimitExceeded { at } => write!(f, "cycle limit exceeded at cycle {at}"),
             SimError::Deadlock { time, unfinished } => {
-                write!(f, "deadlock at cycle {time}: threads {unfinished:?} never finished")
+                write!(
+                    f,
+                    "deadlock at cycle {time}: threads {unfinished:?} never finished"
+                )
             }
             SimError::ProtocolViolation { thread, what } => {
                 write!(f, "thread {thread} violated the sync protocol: {what}")
@@ -134,6 +162,9 @@ pub struct SimResult {
     /// Barrier-release snapshots, when
     /// [`MachineConfig::record_regions`] is enabled (§4.6 region stacks).
     pub regions: Vec<RegionSnapshot>,
+    /// Engine events processed during the run (throughput accounting for
+    /// the perf-trajectory reports).
+    pub events: u64,
 }
 
 impl SimResult {
@@ -154,33 +185,60 @@ impl SimResult {
     }
 }
 
+/// Event payloads are kept at 12 bytes (u32 fields) so queue nodes stay
+/// small; core/thread counts are bounded far below 2^32 and wait tokens
+/// count wait episodes (bounded by `max_cycles / spin_threshold`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
     /// Execute the next op of `thread`, which is running on `core`.
-    Run { core: usize, thread: ThreadId },
+    Run { core: u32, thread: u32 },
     /// Spin-threshold expiry: if `thread` still waits (token matches),
     /// schedule it out.
-    YieldDeadline { thread: ThreadId, token: u64 },
+    YieldDeadline { thread: u32, token: u32 },
     /// A woken thread becomes runnable.
-    Wakeup { thread: ThreadId },
+    Wakeup { thread: u32 },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    time: u64,
-    seq: u64,
-    kind: EventKind,
+/// The engine's event queue: the timing wheel in production, the original
+/// binary heap as the equivalence/baseline reference (selected by
+/// [`EventQueueKind`]). Both implement the identical `(time, seq)` order.
+#[derive(Debug)]
+enum EventQueue {
+    Wheel(TimingWheel<EventKind>),
+    Heap(HeapQueue<EventKind>),
 }
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+impl EventQueue {
+    fn new(kind: EventQueueKind) -> Self {
+        match kind {
+            EventQueueKind::TimingWheel => EventQueue::Wheel(TimingWheel::new()),
+            EventQueueKind::BinaryHeap => EventQueue::Heap(HeapQueue::new()),
+        }
     }
-}
 
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+    #[inline]
+    fn push(&mut self, time: u64, seq: u64, kind: EventKind) {
+        match self {
+            EventQueue::Wheel(q) => q.push(time, seq, kind),
+            EventQueue::Heap(q) => q.push(time, seq, kind),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, u64, EventKind)> {
+        match self {
+            EventQueue::Wheel(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Time of the earliest queued event, if any.
+    #[inline]
+    fn peek_time(&mut self) -> Option<u64> {
+        match self {
+            EventQueue::Wheel(q) => q.peek_time(),
+            EventQueue::Heap(q) => q.peek_time(),
+        }
     }
 }
 
@@ -221,7 +279,7 @@ struct TxState {
 struct Thread {
     stream: Box<dyn OpStream>,
     state: TState,
-    wait_token: u64,
+    wait_token: u32,
     spin_start: u64,
     yield_start: u64,
     quantum_end: u64,
@@ -241,13 +299,18 @@ struct Thread {
     /// Ops to replay after a transaction rollback, before reading the
     /// stream again.
     replay: VecDeque<Op>,
+    /// An op fetched ahead by the compute-fusion fast path that turned
+    /// out not to be fusible; consumed before reading the stream again.
+    carried: Option<Op>,
     c: ThreadCounters,
     truth: ThreadTruth,
 }
 
 impl fmt::Debug for Thread {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Thread").field("state", &self.state).finish_non_exhaustive()
+        f.debug_struct("Thread")
+            .field("state", &self.state)
+            .finish_non_exhaustive()
     }
 }
 
@@ -283,18 +346,24 @@ pub struct Simulation {
     cfg: MachineConfig,
     mem: MemoryHierarchy,
     threads: Vec<Thread>,
-    locks: HashMap<u32, LockState>,
-    barriers: HashMap<u32, BarrierState>,
+    /// Dense lock table indexed by lock id (ids are small integers minted
+    /// by the workload generator); grown on first touch.
+    locks: Vec<LockState>,
+    /// Dense barrier table indexed by barrier id.
+    barriers: Vec<BarrierState>,
     cores: Vec<Option<ThreadId>>,
     ready: VecDeque<ThreadId>,
-    heap: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue,
     seq: u64,
+    /// Events processed so far (exposed in [`SimResult::events`]).
+    events: u64,
     finished: usize,
     regions: Vec<RegionSnapshot>,
-    /// Lines read inside active transactions -> reading threads.
-    tx_readers: HashMap<LineAddr, Vec<ThreadId>>,
+    /// Lines read inside active transactions -> reading threads. Sparse
+    /// over the line space, hence a (Fx-keyed) map rather than a table.
+    tx_readers: FxHashMap<LineAddr, Vec<ThreadId>>,
     /// Lines written inside active transactions -> writing threads.
-    tx_writers: HashMap<LineAddr, Vec<ThreadId>>,
+    tx_writers: FxHashMap<LineAddr, Vec<ThreadId>>,
 }
 
 impl fmt::Debug for Simulation {
@@ -336,6 +405,7 @@ impl Simulation {
                 yield_from_barrier: false,
                 tx: None,
                 replay: VecDeque::new(),
+                carried: None,
                 c: ThreadCounters::default(),
                 truth: ThreadTruth::default(),
             })
@@ -344,26 +414,59 @@ impl Simulation {
             cfg,
             mem,
             threads,
-            locks: HashMap::new(),
-            barriers: HashMap::new(),
+            locks: Vec::new(),
+            barriers: Vec::new(),
             cores: vec![None; cfg.n_cores],
             ready: VecDeque::new(),
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(cfg.event_queue),
             seq: 0,
+            events: 0,
             finished: 0,
             regions: Vec::new(),
-            tx_readers: HashMap::new(),
-            tx_writers: HashMap::new(),
+            tx_readers: FxHashMap::default(),
+            tx_writers: FxHashMap::default(),
         }
     }
 
     fn push(&mut self, time: u64, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(Reverse(Event {
-            time,
-            seq: self.seq,
-            kind,
-        }));
+        self.queue.push(time, self.seq, kind);
+    }
+
+    /// Validates a workload-supplied sync id against [`MAX_SYNC_IDS`]
+    /// (dense-table bound, and the spacing of the lock/barrier line
+    /// regions).
+    fn check_sync_id(id: u32, thread: ThreadId) -> Result<(), SimError> {
+        if u64::from(id) < MAX_SYNC_IDS {
+            Ok(())
+        } else {
+            Err(SimError::ProtocolViolation {
+                thread,
+                what: "sync id out of range (must be < 2^20)",
+            })
+        }
+    }
+
+    /// The lock-table entry for `id` (validated), growing the dense table
+    /// on first touch.
+    #[inline]
+    fn lock_mut(&mut self, id: u32) -> &mut LockState {
+        let idx = id as usize;
+        if idx >= self.locks.len() {
+            self.locks.resize_with(idx + 1, LockState::default);
+        }
+        &mut self.locks[idx]
+    }
+
+    /// The barrier-table entry for `id` (validated), growing the dense
+    /// table on first touch.
+    #[inline]
+    fn barrier_mut(&mut self, id: u32) -> &mut BarrierState {
+        let idx = id as usize;
+        if idx >= self.barriers.len() {
+            self.barriers.resize_with(idx + 1, BarrierState::default);
+        }
+        &mut self.barriers[idx]
     }
 
     /// Runs the simulation to completion.
@@ -385,7 +488,13 @@ impl Simulation {
                 self.threads[t].state = TState::Running { core: t };
                 self.threads[t].last_core = t;
                 self.threads[t].quantum_end = self.cfg.sched.quantum;
-                self.push(0, EventKind::Run { core: t, thread: t });
+                self.push(
+                    0,
+                    EventKind::Run {
+                        core: t as u32,
+                        thread: t as u32,
+                    },
+                );
             } else {
                 self.threads[t].state = TState::Ready;
                 self.threads[t].yield_start = 0;
@@ -393,14 +502,19 @@ impl Simulation {
             }
         }
 
-        while let Some(Reverse(ev)) = self.heap.pop() {
-            if ev.time > self.cfg.max_cycles {
-                return Err(SimError::CycleLimitExceeded { at: ev.time });
+        while let Some((time, _seq, kind)) = self.queue.pop() {
+            if time > self.cfg.max_cycles {
+                return Err(SimError::CycleLimitExceeded { at: time });
             }
-            match ev.kind {
-                EventKind::Run { core, thread } => self.on_run(core, thread, ev.time)?,
-                EventKind::YieldDeadline { thread, token } => self.on_yield_deadline(thread, token, ev.time),
-                EventKind::Wakeup { thread } => self.on_wakeup(thread, ev.time),
+            self.events += 1;
+            match kind {
+                EventKind::Run { core, thread } => {
+                    self.on_run(core as usize, thread as usize, time)?
+                }
+                EventKind::YieldDeadline { thread, token } => {
+                    self.on_yield_deadline(thread as usize, token, time)
+                }
+                EventKind::Wakeup { thread } => self.on_wakeup(thread as usize, time),
             }
             if self.finished == n_threads {
                 break;
@@ -432,88 +546,176 @@ impl Simulation {
             counters: self.threads.iter().map(|t| t.c).collect(),
             truth: self.threads.iter().map(|t| t.truth).collect(),
             regions: std::mem::take(&mut self.regions),
+            events: self.events,
         })
     }
 
     // ---- event handlers -------------------------------------------------
 
-    fn on_run(&mut self, core: usize, thread: ThreadId, now: u64) -> Result<(), SimError> {
-        debug_assert_eq!(self.threads[thread].state, TState::Running { core });
+    /// Handles a `Run` event at `now` — and then keeps running the same
+    /// thread *inline* for as long as its next resumption time is
+    /// strictly earlier than every queued event.
+    ///
+    /// Inlining `Run` at time `t` is exactly equivalent to pushing the
+    /// event and immediately popping it: with `t <` every queued time it
+    /// would be the queue minimum regardless of its sequence number, and
+    /// no other handler can run in between to change the shared state the
+    /// checks below observe (`ready`, doomed flags, lock holders). On a
+    /// strict tie the event is pushed so the lower-seq queued event keeps
+    /// its turn. This removes the queue round-trip from the common case —
+    /// a single-threaded run needs almost no queue traffic at all.
+    fn on_run(&mut self, core: usize, thread: ThreadId, mut now: u64) -> Result<(), SimError> {
+        loop {
+            debug_assert_eq!(self.threads[thread].state, TState::Running { core });
 
-        // Round-robin preemption when others are waiting for a core.
-        if now >= self.threads[thread].quantum_end && !self.ready.is_empty() {
-            self.threads[thread].state = TState::Ready;
-            self.threads[thread].yield_start = now;
-            self.threads[thread].yield_from_barrier = false;
-            self.ready.push_back(thread);
-            self.cores[core] = None;
-            self.dispatch(now);
-            return Ok(());
-        }
-
-        // A thread woken to retry a lock acquisition does so before
-        // consuming further ops.
-        if let Some(id) = self.threads[thread].pending_acquire {
-            return self.acquire_or_wait(thread, core, id, now);
-        }
-
-        // A doomed transaction rolls back at the next instruction
-        // boundary (lazy conflict resolution): the elapsed transaction
-        // time is a synchronization penalty (§4.3) and the transaction
-        // body replays after a bounded exponential backoff.
-        if self.threads[thread].tx.as_ref().is_some_and(|t| t.doomed) {
-            self.rollback(thread, now);
-            let backoff = {
-                let tx = self.threads[thread].tx.as_ref().expect("tx restarted");
-                100 * u64::from(1u32 << tx.attempts.min(6))
-            };
-            self.push(now + backoff, EventKind::Run { core, thread });
-            return Ok(());
-        }
-
-        let replayed = self.threads[thread].replay.pop_front();
-        let from_stream = match replayed {
-            Some(op) => Some(op),
-            None => self.threads[thread].stream.next_op(),
-        };
-        let Some(op) = from_stream else {
-            if self.threads[thread].tx.is_some() {
-                return Err(SimError::ProtocolViolation {
-                    thread,
-                    what: "thread ended inside a transaction",
-                });
+            // Round-robin preemption when others are waiting for a core.
+            if now >= self.threads[thread].quantum_end && !self.ready.is_empty() {
+                self.threads[thread].state = TState::Ready;
+                self.threads[thread].yield_start = now;
+                self.threads[thread].yield_from_barrier = false;
+                self.ready.push_back(thread);
+                self.cores[core] = None;
+                self.dispatch(now);
+                return Ok(());
             }
-            self.threads[thread].c.active_end_cycle = now;
-            self.threads[thread].state = TState::Finished;
-            self.finished += 1;
-            self.cores[core] = None;
-            self.dispatch(now);
-            return Ok(());
-        };
 
+            // A thread woken to retry a lock acquisition does so before
+            // consuming further ops.
+            let next: Option<u64> = if let Some(id) = self.threads[thread].pending_acquire {
+                self.acquire_or_wait(thread, core, id, now)?
+            } else if self.threads[thread].tx.as_ref().is_some_and(|t| t.doomed) {
+                // A doomed transaction rolls back at the next instruction
+                // boundary (lazy conflict resolution): the elapsed
+                // transaction time is a synchronization penalty (§4.3)
+                // and the transaction body replays after a bounded
+                // exponential backoff.
+                self.rollback(thread, now);
+                let backoff = {
+                    let tx = self.threads[thread].tx.as_ref().expect("tx restarted");
+                    100 * u64::from(1u32 << tx.attempts.min(6))
+                };
+                Some(now + backoff)
+            } else {
+                let th = &mut self.threads[thread];
+                let from_stream = match th.carried.take() {
+                    Some(op) => Some(op),
+                    None => match th.replay.pop_front() {
+                        Some(op) => Some(op),
+                        None => th.stream.next_op(),
+                    },
+                };
+                let Some(op) = from_stream else {
+                    if self.threads[thread].tx.is_some() {
+                        return Err(SimError::ProtocolViolation {
+                            thread,
+                            what: "thread ended inside a transaction",
+                        });
+                    }
+                    self.threads[thread].c.active_end_cycle = now;
+                    self.threads[thread].state = TState::Finished;
+                    self.finished += 1;
+                    self.cores[core] = None;
+                    self.dispatch(now);
+                    return Ok(());
+                };
+                self.execute_op(op, core, thread, now)?
+            };
+
+            // `Some(t)`: the thread resumes at `t`; `None`: it waits and
+            // its continuation is already scheduled (or state-driven).
+            let Some(mut t) = next else {
+                return Ok(());
+            };
+
+            // Compute fusion: a `Compute` op touches only thread-local
+            // state (its own clock and instruction counter), so the
+            // global event order is irrelevant to it. As long as the
+            // thread stays strictly inside its quantum (the preemption
+            // check at each skipped boundary is then false regardless of
+            // the ready queue), is outside any transaction (no doom flag
+            // to observe) and under the cycle valve (checked by whoever
+            // handles the boundary), consecutive compute work is absorbed
+            // into the current event. Workload items interleave compute
+            // with memory accesses, so this removes roughly the compute
+            // half of all queue round-trips.
+            if self.threads[thread].tx.is_none() {
+                while t < self.threads[thread].quantum_end && t <= self.cfg.max_cycles {
+                    let th = &mut self.threads[thread];
+                    debug_assert!(
+                        th.replay.is_empty(),
+                        "replay is only non-empty inside a transaction"
+                    );
+                    match th.carried.take().or_else(|| th.stream.next_op()) {
+                        Some(Op::Compute(n)) => {
+                            th.c.instructions += u64::from(n);
+                            t += u64::from(n);
+                            self.events += 1;
+                        }
+                        // Not fusible: hold it for the next boundary.
+                        other => {
+                            self.threads[thread].carried = other;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Inline continuation only when strictly ahead of the queue
+            // (and the thread is done if the whole machine is idle).
+            if self.queue.peek_time().is_none_or(|qmin| t < qmin) {
+                // The cycle safety valve applies to inline continuations
+                // exactly as it does to popped events.
+                if t > self.cfg.max_cycles {
+                    return Err(SimError::CycleLimitExceeded { at: t });
+                }
+                self.events += 1;
+                now = t;
+            } else {
+                self.push(
+                    t,
+                    EventKind::Run {
+                        core: core as u32,
+                        thread: thread as u32,
+                    },
+                );
+                return Ok(());
+            }
+        }
+    }
+
+    /// Executes one operation of `thread` at `now`. Returns the cycle at
+    /// which the thread resumes, or `None` when it blocks (its wake-up is
+    /// scheduled by the sync machinery).
+    fn execute_op(
+        &mut self,
+        op: Op,
+        core: usize,
+        thread: ThreadId,
+        now: u64,
+    ) -> Result<Option<u64>, SimError> {
         match op {
             Op::Compute(n) => {
                 self.threads[thread].c.instructions += u64::from(n);
                 if let Some(tx) = self.threads[thread].tx.as_mut() {
                     tx.ops.push(op);
                 }
-                self.push(now + u64::from(n), EventKind::Run { core, thread });
+                Ok(Some(now + u64::from(n)))
             }
             Op::Load(line) => {
                 let stall = self.mem_access(core, thread, line, false, now, true);
                 if self.threads[thread].tx.is_some() {
                     self.tx_track(thread, op, line, false);
                 }
-                self.push(now + 1 + stall, EventKind::Run { core, thread });
+                Ok(Some(now + 1 + stall))
             }
             Op::Store(line) => {
                 self.mem_access(core, thread, line, true, now, false);
                 if self.threads[thread].tx.is_some() {
                     self.tx_track(thread, op, line, true);
                 }
-                self.push(now + 1, EventKind::Run { core, thread });
+                Ok(Some(now + 1))
             }
             Op::LockAcquire(id) => {
+                Self::check_sync_id(id, thread)?;
                 if self.threads[thread].tx.is_some() {
                     return Err(SimError::ProtocolViolation {
                         thread,
@@ -521,34 +723,44 @@ impl Simulation {
                     });
                 }
                 // The atomic RMW on the lock word stalls like a load.
-                let stall = self.mem_access(core, thread, LOCK_REGION + u64::from(id), true, now, true);
+                let stall =
+                    self.mem_access(core, thread, LOCK_REGION + u64::from(id), true, now, true);
                 let t_op = now + 1 + stall;
-                self.acquire_or_wait(thread, core, id, t_op)?;
+                self.acquire_or_wait(thread, core, id, t_op)
             }
             Op::LockRelease(id) => {
+                Self::check_sync_id(id, thread)?;
                 self.mem_access(core, thread, LOCK_REGION + u64::from(id), true, now, false);
-                let holder = self.locks.get(&id).and_then(|l| l.holder);
+                let holder = self.locks.get(id as usize).and_then(|l| l.holder);
                 if holder != Some(thread) {
                     return Err(SimError::ProtocolViolation {
                         thread,
                         what: "released a lock it does not hold",
                     });
                 }
-                self.locks.get_mut(&id).expect("lock exists").holder = None;
+                self.locks[id as usize].holder = None;
                 self.hand_over(id, now);
-                self.push(now + 1, EventKind::Run { core, thread });
+                Ok(Some(now + 1))
             }
             Op::Barrier(id) => {
+                Self::check_sync_id(id, thread)?;
                 if self.threads[thread].tx.is_some() {
                     return Err(SimError::ProtocolViolation {
                         thread,
                         what: "barrier inside a transaction",
                     });
                 }
-                self.mem_access(core, thread, BARRIER_REGION + u64::from(id), true, now, false);
+                self.mem_access(
+                    core,
+                    thread,
+                    BARRIER_REGION + u64::from(id),
+                    true,
+                    now,
+                    false,
+                );
                 self.threads[thread].barrier_arrival = now;
                 let n_threads = self.threads.len();
-                let barrier = self.barriers.entry(id).or_default();
+                let barrier = self.barrier_mut(id);
                 barrier.arrived += 1;
                 if barrier.arrived == n_threads {
                     let waiters = std::mem::take(&mut barrier.waiters);
@@ -568,7 +780,7 @@ impl Simulation {
                             barrier_yield: self.threads.iter().map(|t| t.barrier_yield).collect(),
                         });
                     }
-                    self.push(now + 1, EventKind::Run { core, thread });
+                    Ok(Some(now + 1))
                 } else {
                     barrier.waiters.push(thread);
                     let th = &mut self.threads[thread];
@@ -576,7 +788,14 @@ impl Simulation {
                     th.spin_start = now;
                     th.wait_token += 1;
                     let token = th.wait_token;
-                    self.push(now + self.cfg.sync.spin_threshold, EventKind::YieldDeadline { thread, token });
+                    self.push(
+                        now + self.cfg.sync.spin_threshold,
+                        EventKind::YieldDeadline {
+                            thread: thread as u32,
+                            token,
+                        },
+                    );
+                    Ok(None)
                 }
             }
             Op::TxBegin => {
@@ -594,7 +813,7 @@ impl Simulation {
                     ops: Vec::new(),
                     doomed: false,
                 });
-                self.push(now + 1, EventKind::Run { core, thread });
+                Ok(Some(now + 1))
             }
             Op::TxEnd => {
                 let th = &mut self.threads[thread];
@@ -609,10 +828,9 @@ impl Simulation {
                 th.tx = None;
                 self.tx_release_lines(thread);
                 // Commit publishes the write set (coherence-visible).
-                self.push(now + TX_COMMIT_COST, EventKind::Run { core, thread });
+                Ok(Some(now + TX_COMMIT_COST))
             }
         }
-        Ok(())
     }
 
     /// Records a transactional access and dooms conflicting transactions
@@ -637,7 +855,11 @@ impl Simulation {
                 tx.doomed = true;
             }
         }
-        let map = if write { &mut self.tx_writers } else { &mut self.tx_readers };
+        let map = if write {
+            &mut self.tx_writers
+        } else {
+            &mut self.tx_readers
+        };
         let entry = map.entry(line).or_default();
         if !entry.contains(&thread) {
             entry.push(thread);
@@ -687,17 +909,26 @@ impl Simulation {
     /// by a spinning waiter or a fresh arrival in the meantime, which is
     /// exactly what keeps contended locks from convoying behind the slow
     /// OS wake path.
-    fn acquire_or_wait(&mut self, thread: ThreadId, core: usize, id: u32, t_op: u64) -> Result<(), SimError> {
-        let lock = self.locks.entry(id).or_default();
+    ///
+    /// Returns `Some(t_op)` when the lock was taken (the thread resumes
+    /// then), `None` when it registered as a waiter.
+    fn acquire_or_wait(
+        &mut self,
+        thread: ThreadId,
+        core: usize,
+        id: u32,
+        t_op: u64,
+    ) -> Result<Option<u64>, SimError> {
+        let lock = self.lock_mut(id);
         if lock.holder.is_none() {
             lock.holder = Some(thread);
             self.threads[thread].pending_acquire = None;
-            self.push(t_op, EventKind::Run { core, thread });
+            Ok(Some(t_op))
         } else if lock.holder == Some(thread) {
-            return Err(SimError::ProtocolViolation {
+            Err(SimError::ProtocolViolation {
                 thread,
                 what: "recursive lock acquisition",
-            });
+            })
         } else {
             if !lock.waiters.contains(&thread) {
                 lock.waiters.push_back(thread);
@@ -708,9 +939,15 @@ impl Simulation {
             th.spin_start = t_op;
             th.wait_token += 1;
             let token = th.wait_token;
-            self.push(t_op + self.cfg.sync.spin_threshold, EventKind::YieldDeadline { thread, token });
+            self.push(
+                t_op + self.cfg.sync.spin_threshold,
+                EventKind::YieldDeadline {
+                    thread: thread as u32,
+                    token,
+                },
+            );
+            Ok(None)
         }
-        Ok(())
     }
 
     /// Passes a just-released lock on: the first still-spinning waiter (in
@@ -718,12 +955,14 @@ impl Simulation {
     /// the first yielded waiter is woken to retry, leaving the lock free
     /// in the interim.
     fn hand_over(&mut self, id: u32, now: u64) {
-        let Some(lock) = self.locks.get_mut(&id) else {
+        let Some(lock) = self.locks.get_mut(id as usize) else {
             return;
         };
         if let Some(pos) = {
             let threads = &self.threads;
-            lock.waiters.iter().position(|&w| threads[w].state.is_spinning())
+            lock.waiters
+                .iter()
+                .position(|&w| threads[w].state.is_spinning())
         } {
             let w = lock.waiters.remove(pos).expect("position is valid");
             lock.holder = Some(w);
@@ -736,14 +975,25 @@ impl Simulation {
             th.wait_token += 1; // cancel the pending yield deadline
             th.pending_acquire = None;
             th.state = TState::Running { core };
-            self.push(resume, EventKind::Run { core, thread: w });
+            self.push(
+                resume,
+                EventKind::Run {
+                    core: core as u32,
+                    thread: w as u32,
+                },
+            );
         } else if let Some(pos) = {
             let threads = &self.threads;
-            lock.waiters.iter().position(|&w| threads[w].state == TState::YieldLock)
+            lock.waiters
+                .iter()
+                .position(|&w| threads[w].state == TState::YieldLock)
         } {
             let w = lock.waiters.remove(pos).expect("position is valid");
             self.threads[w].state = TState::WakePending;
-            self.push(now + self.cfg.sync.wake_latency, EventKind::Wakeup { thread: w });
+            self.push(
+                now + self.cfg.sync.wake_latency,
+                EventKind::Wakeup { thread: w as u32 },
+            );
         }
     }
 
@@ -757,17 +1007,26 @@ impl Simulation {
                 self.account_spin(w, sync_id, resume);
                 self.threads[w].wait_token += 1; // cancel the yield deadline
                 self.threads[w].state = TState::Running { core };
-                self.push(resume, EventKind::Run { core, thread: w });
+                self.push(
+                    resume,
+                    EventKind::Run {
+                        core: core as u32,
+                        thread: w as u32,
+                    },
+                );
             }
             TState::YieldBarrier => {
                 self.threads[w].state = TState::WakePending;
-                self.push(now + self.cfg.sync.wake_latency, EventKind::Wakeup { thread: w });
+                self.push(
+                    now + self.cfg.sync.wake_latency,
+                    EventKind::Wakeup { thread: w as u32 },
+                );
             }
             other => unreachable!("resume_waiter on thread in state {other:?}"),
         }
     }
 
-    fn on_yield_deadline(&mut self, thread: ThreadId, token: u64, now: u64) {
+    fn on_yield_deadline(&mut self, thread: ThreadId, token: u32, now: u64) {
         let th = &self.threads[thread];
         if th.wait_token != token {
             return; // already granted or resumed
@@ -808,9 +1067,15 @@ impl Simulation {
         th.truth.wait_episodes += 1;
         let is_barrier = matches!(th.state, TState::SpinBarrier { .. });
         let (pc, line) = if is_barrier {
-            (2_000_000 + u64::from(sync_id), BARRIER_REGION + u64::from(sync_id))
+            (
+                2_000_000 + u64::from(sync_id),
+                BARRIER_REGION + u64::from(sync_id),
+            )
         } else {
-            (1_000_000 + u64::from(sync_id), LOCK_REGION + u64::from(sync_id))
+            (
+                1_000_000 + u64::from(sync_id),
+                LOCK_REGION + u64::from(sync_id),
+            )
         };
         let episode = SpinEpisode {
             pc,
@@ -855,7 +1120,13 @@ impl Simulation {
             th.last_core = core;
             th.quantum_end = start + self.cfg.sched.quantum;
             self.cores[core] = Some(thread);
-            self.push(start, EventKind::Run { core, thread });
+            self.push(
+                start,
+                EventKind::Run {
+                    core: core as u32,
+                    thread: thread as u32,
+                },
+            );
         }
     }
 
@@ -875,7 +1146,8 @@ impl Simulation {
         th.c.instructions += 1;
 
         let exposed = if stalls {
-            ev.latency_beyond_l1.saturating_sub(self.cfg.core.overlap_window)
+            ev.latency_beyond_l1
+                .saturating_sub(self.cfg.core.overlap_window)
         } else {
             0
         };
@@ -925,6 +1197,9 @@ impl Simulation {
 /// # Errors
 ///
 /// See [`Simulation::run`].
-pub fn simulate(cfg: MachineConfig, streams: Vec<Box<dyn OpStream>>) -> Result<SimResult, SimError> {
+pub fn simulate(
+    cfg: MachineConfig,
+    streams: Vec<Box<dyn OpStream>>,
+) -> Result<SimResult, SimError> {
     Simulation::new(cfg, streams).run()
 }

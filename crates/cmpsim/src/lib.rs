@@ -45,11 +45,14 @@
 
 pub mod config;
 pub mod engine;
+pub mod event_queue;
 pub mod ops;
 pub mod regions;
 pub mod spin;
 
-pub use config::{CoreModelConfig, MachineConfig, SchedConfig, SpinDetectorKind, SyncConfig};
+pub use config::{
+    CoreModelConfig, EventQueueKind, MachineConfig, SchedConfig, SpinDetectorKind, SyncConfig,
+};
 pub use engine::{simulate, RegionSnapshot, SimError, SimResult, Simulation, ThreadTruth};
 pub use ops::{BarrierId, LockId, Op, OpStream, VecStream};
 pub use regions::{region_counters, region_stacks, Region};

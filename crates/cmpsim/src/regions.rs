@@ -72,12 +72,14 @@ fn diff_counters(
         mem_interference_cycles: later.mem_interference_cycles - earlier.mem_interference_cycles,
         sampled_interthread_miss_stall_cycles: later.sampled_interthread_miss_stall_cycles
             - earlier.sampled_interthread_miss_stall_cycles,
-        sampled_interthread_misses: later.sampled_interthread_misses - earlier.sampled_interthread_misses,
+        sampled_interthread_misses: later.sampled_interthread_misses
+            - earlier.sampled_interthread_misses,
         sampled_interthread_hits: later.sampled_interthread_hits - earlier.sampled_interthread_hits,
         sampled_llc_accesses: later.sampled_llc_accesses - earlier.sampled_llc_accesses,
         llc_accesses: later.llc_accesses - earlier.llc_accesses,
         llc_load_misses: later.llc_load_misses - earlier.llc_load_misses,
-        llc_load_miss_stall_cycles: later.llc_load_miss_stall_cycles - earlier.llc_load_miss_stall_cycles,
+        llc_load_miss_stall_cycles: later.llc_load_miss_stall_cycles
+            - earlier.llc_load_miss_stall_cycles,
         coherency_miss_cycles: later.coherency_miss_cycles - earlier.coherency_miss_cycles,
         instructions: later.instructions - earlier.instructions,
         spin_instructions: later.spin_instructions - earlier.spin_instructions,
@@ -158,8 +160,14 @@ pub fn region_counters(result: &SimResult) -> Vec<Region> {
 /// # Errors
 ///
 /// Propagates [`StackError`] from stack construction.
-pub fn region_stacks(result: &SimResult, cfg: &AccountingConfig) -> Result<Vec<SpeedupStack>, StackError> {
-    region_counters(result).iter().map(|r| r.stack(cfg)).collect()
+pub fn region_stacks(
+    result: &SimResult,
+    cfg: &AccountingConfig,
+) -> Result<Vec<SpeedupStack>, StackError> {
+    region_counters(result)
+        .iter()
+        .map(|r| r.stack(cfg))
+        .collect()
 }
 
 #[cfg(test)]
@@ -187,7 +195,12 @@ mod tests {
     #[test]
     fn regions_cover_the_run() {
         let mk = |a: u32, b: u32| {
-            boxed(vec![Op::Compute(a), Op::Barrier(0), Op::Compute(b), Op::Barrier(0)])
+            boxed(vec![
+                Op::Compute(a),
+                Op::Barrier(0),
+                Op::Compute(b),
+                Op::Barrier(0),
+            ])
         };
         let r = run_with_regions(vec![mk(1000, 2000), mk(1000, 2000)], 2);
         let regions = region_counters(&r);
@@ -236,8 +249,14 @@ mod tests {
         };
         let r = run_with_regions(vec![mk(), mk()], 2);
         let stacks = region_stacks(&r, &AccountingConfig::default()).unwrap();
-        let total_spin: f64 = stacks.iter().map(|s| s.component(Component::Spinning)).sum();
-        assert!(total_spin > 0.1, "lock spin must survive regioning: {total_spin}");
+        let total_spin: f64 = stacks
+            .iter()
+            .map(|s| s.component(Component::Spinning))
+            .sum();
+        assert!(
+            total_spin > 0.1,
+            "lock spin must survive regioning: {total_spin}"
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub trait SpinDetector {
 pub fn build_detector(kind: SpinDetectorKind) -> Box<dyn SpinDetector> {
     match kind {
         SpinDetectorKind::Tian { mark_threshold } => Box::new(TianDetector::new(8, mark_threshold)),
-        SpinDetectorKind::Li { confirm_iterations } => Box::new(LiDetector::new(confirm_iterations)),
+        SpinDetectorKind::Li { confirm_iterations } => {
+            Box::new(LiDetector::new(confirm_iterations))
+        }
         SpinDetectorKind::Oracle => Box::new(OracleDetector),
     }
 }
@@ -259,7 +261,9 @@ mod tests {
     fn build_detector_dispatch() {
         let mut d = build_detector(SpinDetectorKind::Oracle);
         assert_eq!(d.observe(&ep(0, 10)), 10);
-        let mut d = build_detector(SpinDetectorKind::Li { confirm_iterations: 1 });
+        let mut d = build_detector(SpinDetectorKind::Li {
+            confirm_iterations: 1,
+        });
         assert_eq!(d.observe(&ep(0, 10)), 10);
         let mut d = build_detector(SpinDetectorKind::default());
         assert_eq!(d.observe(&ep(0, 10)), 0);

@@ -23,7 +23,10 @@ fn single_thread_compute_timing() {
 fn two_independent_threads_run_in_parallel() {
     let r = simulate(
         small_machine(2),
-        vec![boxed(vec![Op::Compute(1000)]), boxed(vec![Op::Compute(1000)])],
+        vec![
+            boxed(vec![Op::Compute(1000)]),
+            boxed(vec![Op::Compute(1000)]),
+        ],
     )
     .unwrap();
     assert_eq!(r.tp_cycles, 1000, "threads must overlap fully");
@@ -33,7 +36,10 @@ fn two_independent_threads_run_in_parallel() {
 fn imbalance_recorded_via_active_end() {
     let r = simulate(
         small_machine(2),
-        vec![boxed(vec![Op::Compute(1000)]), boxed(vec![Op::Compute(400)])],
+        vec![
+            boxed(vec![Op::Compute(1000)]),
+            boxed(vec![Op::Compute(400)]),
+        ],
     )
     .unwrap();
     assert_eq!(r.counters[0].active_end_cycle, 1000);
@@ -151,7 +157,11 @@ fn barrier_reusable_across_phases() {
 
 #[test]
 fn single_thread_barrier_passes_through() {
-    let r = simulate(small_machine(1), vec![boxed(vec![Op::Barrier(0), Op::Compute(5)])]).unwrap();
+    let r = simulate(
+        small_machine(1),
+        vec![boxed(vec![Op::Barrier(0), Op::Compute(5)])],
+    )
+    .unwrap();
     assert!(r.tp_cycles < 100);
 }
 
@@ -200,7 +210,10 @@ fn deadlock_detected_for_unreleasable_lock() {
 #[test]
 fn releasing_unheld_lock_is_a_protocol_violation() {
     let r = simulate(small_machine(1), vec![boxed(vec![Op::LockRelease(0)])]);
-    assert!(matches!(r, Err(SimError::ProtocolViolation { thread: 0, .. })));
+    assert!(matches!(
+        r,
+        Err(SimError::ProtocolViolation { thread: 0, .. })
+    ));
 }
 
 #[test]
@@ -209,7 +222,10 @@ fn recursive_acquire_is_a_protocol_violation() {
         small_machine(1),
         vec![boxed(vec![Op::LockAcquire(0), Op::LockAcquire(0)])],
     );
-    assert!(matches!(r, Err(SimError::ProtocolViolation { thread: 0, .. })));
+    assert!(matches!(
+        r,
+        Err(SimError::ProtocolViolation { thread: 0, .. })
+    ));
 }
 
 #[test]
@@ -244,7 +260,14 @@ fn tian_detector_misses_very_short_spins_oracle_does_not() {
     // below Tian's mark threshold.
     let mk = || {
         let ops: Vec<Op> = (0..50)
-            .flat_map(|_| vec![Op::LockAcquire(0), Op::Compute(40), Op::LockRelease(0), Op::Compute(5)])
+            .flat_map(|_| {
+                vec![
+                    Op::LockAcquire(0),
+                    Op::Compute(40),
+                    Op::LockRelease(0),
+                    Op::Compute(5),
+                ]
+            })
             .collect();
         boxed(ops)
     };
@@ -279,7 +302,10 @@ fn coherence_traffic_counted() {
     let invals: u64 = r.truth.iter().map(|t| t.invalidations_sent).sum();
     let coh: u64 = r.truth.iter().map(|t| t.coherency_misses).sum();
     assert!(invals > 0, "stores to a shared line must invalidate");
-    assert!(coh > 0, "re-references after invalidation are coherency misses");
+    assert!(
+        coh > 0,
+        "re-references after invalidation are coherency misses"
+    );
 }
 
 #[test]
@@ -304,13 +330,21 @@ fn interthread_hits_truth_on_shared_reads() {
 #[test]
 fn speedup_stack_integrates() {
     let mk = |c: u32| boxed(vec![Op::Compute(c), Op::Barrier(0)]);
-    let r = simulate(small_machine(4), vec![mk(4000), mk(4000), mk(4000), mk(8000)]).unwrap();
+    let r = simulate(
+        small_machine(4),
+        vec![mk(4000), mk(4000), mk(4000), mk(8000)],
+    )
+    .unwrap();
     let stack = r.stack(&AccountingConfig::default()).unwrap();
     assert_eq!(stack.num_threads(), 4);
     assert!(stack.is_valid());
     // Three threads wait ~4000 cycles on the barrier: spinning + yielding
     // + imbalance must be visible.
-    assert!(stack.total_overhead() > 0.5, "overhead = {}", stack.total_overhead());
+    assert!(
+        stack.total_overhead() > 0.5,
+        "overhead = {}",
+        stack.total_overhead()
+    );
 }
 
 #[test]
@@ -319,4 +353,31 @@ fn cycle_limit_enforced() {
     cfg.max_cycles = 100;
     let r = simulate(cfg, vec![boxed(vec![Op::Compute(1000), Op::Compute(1000)])]);
     assert!(matches!(r, Err(SimError::CycleLimitExceeded { .. })));
+}
+
+#[test]
+fn out_of_range_sync_ids_are_protocol_violations() {
+    // A rogue id must fail cleanly instead of growing the dense sync
+    // tables towards u32::MAX entries (and aliasing lock lines into the
+    // barrier region).
+    for bad in [
+        Op::LockAcquire(1 << 20),
+        Op::LockRelease(u32::MAX),
+        Op::Barrier(1 << 20),
+    ] {
+        let r = simulate(small_machine(1), vec![boxed(vec![bad])]);
+        assert!(
+            matches!(r, Err(SimError::ProtocolViolation { thread: 0, .. })),
+            "op {bad:?} gave {r:?}"
+        );
+    }
+    // The largest valid id still works.
+    let ok = simulate(
+        small_machine(1),
+        vec![boxed(vec![
+            Op::LockAcquire((1 << 20) - 1),
+            Op::LockRelease((1 << 20) - 1),
+        ])],
+    );
+    assert!(ok.is_ok());
 }

@@ -1,0 +1,154 @@
+//! Whole-simulation equivalence between the timing-wheel event queue and
+//! the original `BinaryHeap` reference.
+//!
+//! Both queues implement the identical `(time, seq)` total order, so the
+//! engine must produce **bit-identical** results on any workload. These
+//! tests drive randomized (but protocol-valid) op streams — compute,
+//! clustered loads/stores, contended critical sections, transactions and
+//! barrier rounds, with more threads than cores — through both engines
+//! and compare final cycle counts, every raw counter, the full ground
+//! truth and the processed event count.
+
+use cmpsim::{simulate, EventQueueKind, MachineConfig, Op, OpStream, VecStream};
+
+/// Deterministic SplitMix64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Generates one thread's ops for one barrier round: a random mix of
+/// compute, memory traffic, a contended critical section and a
+/// transaction, closed by the shared barrier. Identical barrier counts
+/// across threads keep the workload deadlock-free by construction.
+fn round_ops(rng: &mut Rng, thread: usize, ops: &mut Vec<Op>) {
+    let blocks = 1 + rng.below(6);
+    for _ in 0..blocks {
+        match rng.below(10) {
+            0..=2 => ops.push(Op::Compute(1 + rng.below(700) as u32)),
+            3 | 4 => ops.push(Op::Load(rng.below(2_048))),
+            5 => ops.push(Op::Store(rng.below(512))),
+            6 => {
+                // Private traffic: per-thread region.
+                ops.push(Op::Load(
+                    100_000 + thread as u64 * 10_000 + rng.below(4_096),
+                ));
+            }
+            7 | 8 => {
+                let lock = rng.below(3) as u32;
+                ops.push(Op::LockAcquire(lock));
+                ops.push(Op::Compute(1 + rng.below(2_500) as u32));
+                if rng.below(2) == 0 {
+                    ops.push(Op::Store(900 + u64::from(lock)));
+                }
+                ops.push(Op::LockRelease(lock));
+            }
+            _ => {
+                ops.push(Op::TxBegin);
+                ops.push(Op::Load(7_000 + rng.below(4)));
+                ops.push(Op::Compute(1 + rng.below(200) as u32));
+                ops.push(Op::Store(7_000 + rng.below(4)));
+                ops.push(Op::TxEnd);
+            }
+        }
+    }
+    ops.push(Op::Barrier(0));
+}
+
+fn random_streams(seed: u64, n_threads: usize, rounds: u64) -> Vec<Box<dyn OpStream>> {
+    let mut rng = Rng(seed);
+    (0..n_threads)
+        .map(|t| {
+            let mut ops = Vec::new();
+            for _ in 0..rounds {
+                round_ops(&mut rng, t, &mut ops);
+            }
+            Box::new(VecStream::new(ops)) as Box<dyn OpStream>
+        })
+        .collect()
+}
+
+fn assert_equivalent(mut cfg: MachineConfig, mk: impl Fn() -> Vec<Box<dyn OpStream>>, label: &str) {
+    cfg.event_queue = EventQueueKind::TimingWheel;
+    let wheel = simulate(cfg, mk()).unwrap();
+    cfg.event_queue = EventQueueKind::BinaryHeap;
+    let heap = simulate(cfg, mk()).unwrap();
+    assert_eq!(wheel.tp_cycles, heap.tp_cycles, "{label}: tp_cycles");
+    assert_eq!(wheel.counters, heap.counters, "{label}: counters");
+    assert_eq!(wheel.truth, heap.truth, "{label}: truth");
+    assert_eq!(wheel.events, heap.events, "{label}: events processed");
+}
+
+#[test]
+fn randomized_streams_match_across_queues() {
+    for seed in 0..12u64 {
+        let n_threads = 2 + (seed % 5) as usize;
+        let rounds = 3 + seed % 4;
+        assert_equivalent(
+            MachineConfig::with_cores(4),
+            || random_streams(seed * 7 + 1, n_threads, rounds),
+            &format!("seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_machine_matches_across_queues() {
+    // More threads than cores: quanta and wake-ups go through the
+    // overflow path of the wheel.
+    for seed in 0..6u64 {
+        assert_equivalent(
+            MachineConfig::with_cores(2),
+            || random_streams(0xBEEF + seed, 7, 4),
+            &format!("oversub seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn long_compute_blocks_cross_the_wheel_window() {
+    // Compute blocks far beyond the wheel window (16384 cycles) force
+    // overflow-heap round trips interleaved with short events.
+    let mk = || -> Vec<Box<dyn cmpsim::OpStream>> {
+        (0..3)
+            .map(|t| {
+                let mut ops = Vec::new();
+                for i in 0..20u32 {
+                    ops.push(Op::Compute(if i % 3 == 0 { 50_000 } else { 40 }));
+                    ops.push(Op::Load((t * 1000 + i as usize) as u64));
+                    ops.push(Op::Barrier(0));
+                }
+                Box::new(VecStream::new(ops)) as Box<dyn cmpsim::OpStream>
+            })
+            .collect()
+    };
+    assert_equivalent(MachineConfig::with_cores(2), mk, "long compute");
+}
+
+#[test]
+fn region_snapshots_match_across_queues() {
+    let mut cfg = MachineConfig::with_cores(3);
+    cfg.record_regions = true;
+    let mk = || random_streams(0x51AB, 3, 5);
+    cfg.event_queue = EventQueueKind::TimingWheel;
+    let wheel = simulate(cfg, mk()).unwrap();
+    cfg.event_queue = EventQueueKind::BinaryHeap;
+    let heap = simulate(cfg, mk()).unwrap();
+    assert_eq!(wheel.regions.len(), heap.regions.len());
+    for (a, b) in wheel.regions.iter().zip(&heap.regions) {
+        assert_eq!(a.release_cycle, b.release_cycle);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.counters, b.counters);
+    }
+}

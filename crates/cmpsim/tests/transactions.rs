@@ -27,7 +27,10 @@ fn uncontended_transactions_commit_without_aborts() {
     // Two threads transact on disjoint lines: no conflicts.
     let r = simulate(
         MachineConfig::with_cores(2),
-        vec![boxed(tx_counter_update(20, 100, 80)), boxed(tx_counter_update(20, 200, 80))],
+        vec![
+            boxed(tx_counter_update(20, 100, 80)),
+            boxed(tx_counter_update(20, 200, 80)),
+        ],
     )
     .unwrap();
     let commits: u64 = r.truth.iter().map(|t| t.tx_commits).sum();
@@ -39,8 +42,9 @@ fn uncontended_transactions_commit_without_aborts() {
 #[test]
 fn conflicting_transactions_abort_and_still_complete() {
     // Four threads hammer the same counter line transactionally.
-    let streams: Vec<Box<dyn OpStream>> =
-        (0..4).map(|_| boxed(tx_counter_update(25, 7, 120))).collect();
+    let streams: Vec<Box<dyn OpStream>> = (0..4)
+        .map(|_| boxed(tx_counter_update(25, 7, 120)))
+        .collect();
     let r = simulate(MachineConfig::with_cores(4), streams).unwrap();
     let commits: u64 = r.truth.iter().map(|t| t.tx_commits).sum();
     let aborts: u64 = r.truth.iter().map(|t| t.tx_aborts).sum();
@@ -50,8 +54,9 @@ fn conflicting_transactions_abort_and_still_complete() {
 
 #[test]
 fn aborted_time_is_a_synchronization_penalty() {
-    let streams: Vec<Box<dyn OpStream>> =
-        (0..4).map(|_| boxed(tx_counter_update(25, 7, 200))).collect();
+    let streams: Vec<Box<dyn OpStream>> = (0..4)
+        .map(|_| boxed(tx_counter_update(25, 7, 200)))
+        .collect();
     let r = simulate(MachineConfig::with_cores(4), streams).unwrap();
     let aborts: u64 = r.truth.iter().map(|t| t.tx_aborts).sum();
     assert!(aborts > 0);
@@ -68,8 +73,9 @@ fn rollback_replays_the_whole_body() {
     // The replayed body re-executes loads/stores/compute, so total
     // committed work (instructions beyond aborts) stays consistent:
     // every thread commits all its transactions exactly once.
-    let streams: Vec<Box<dyn OpStream>> =
-        (0..2).map(|_| boxed(tx_counter_update(30, 9, 60))).collect();
+    let streams: Vec<Box<dyn OpStream>> = (0..2)
+        .map(|_| boxed(tx_counter_update(30, 9, 60)))
+        .collect();
     let r = simulate(MachineConfig::with_cores(2), streams).unwrap();
     for t in &r.truth {
         assert_eq!(t.tx_commits, 30);
@@ -79,7 +85,9 @@ fn rollback_replays_the_whole_body() {
 #[test]
 fn transactions_are_deterministic() {
     let mk = || -> Vec<Box<dyn OpStream>> {
-        (0..4).map(|_| boxed(tx_counter_update(15, 3, 90))).collect()
+        (0..4)
+            .map(|_| boxed(tx_counter_update(15, 3, 90)))
+            .collect()
     };
     let a = simulate(MachineConfig::with_cores(4), mk()).unwrap();
     let b = simulate(MachineConfig::with_cores(4), mk()).unwrap();
@@ -99,7 +107,11 @@ fn read_only_sharing_does_not_conflict() {
         ops.push(Op::TxEnd);
         boxed(ops)
     };
-    let r = simulate(MachineConfig::with_cores(4), vec![reader(), reader(), reader(), reader()]).unwrap();
+    let r = simulate(
+        MachineConfig::with_cores(4),
+        vec![reader(), reader(), reader(), reader()],
+    )
+    .unwrap();
     let aborts: u64 = r.truth.iter().map(|t| t.tx_aborts).sum();
     assert_eq!(aborts, 0);
 }
@@ -135,7 +147,10 @@ fn locks_and_barriers_forbidden_inside_transactions() {
             MachineConfig::with_cores(1),
             vec![boxed(vec![Op::TxBegin, bad, Op::TxEnd])],
         );
-        assert!(matches!(r, Err(SimError::ProtocolViolation { .. })), "op {bad:?}");
+        assert!(
+            matches!(r, Err(SimError::ProtocolViolation { .. })),
+            "op {bad:?}"
+        );
     }
 }
 
@@ -155,8 +170,9 @@ fn tm_versus_locks_comparison_runs() {
         boxed(ops)
     };
     let streams_lock: Vec<Box<dyn OpStream>> = (0..4).map(|_| lock_worker()).collect();
-    let streams_tm: Vec<Box<dyn OpStream>> =
-        (0..4).map(|_| boxed(tx_counter_update(25, 7, 120))).collect();
+    let streams_tm: Vec<Box<dyn OpStream>> = (0..4)
+        .map(|_| boxed(tx_counter_update(25, 7, 120)))
+        .collect();
     let lock = simulate(MachineConfig::with_cores(4), streams_lock).unwrap();
     let tm = simulate(MachineConfig::with_cores(4), streams_tm).unwrap();
     // Both complete; each produces a valid stack.

@@ -98,7 +98,9 @@ impl ClassifiedBenchmark {
         stack: &SpeedupStack,
         cfg: &ClassificationConfig,
     ) -> Self {
-        let speedup = stack.actual_speedup().unwrap_or_else(|| stack.estimated_speedup());
+        let speedup = stack
+            .actual_speedup()
+            .unwrap_or_else(|| stack.estimated_speedup());
         let cutoff = cfg.negligible_fraction * stack.num_threads() as f64;
         let top_components = stack
             .overheads()
@@ -146,7 +148,11 @@ impl ClassificationTree {
                     let pb: Vec<&str> = (0..3).map(|i| b.component_label(i)).collect();
                     pa.cmp(&pb)
                 })
-                .then_with(|| b.speedup.partial_cmp(&a.speedup).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| {
+                    b.speedup
+                        .partial_cmp(&a.speedup)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
         });
         ClassificationTree { entries }
     }
@@ -174,7 +180,10 @@ impl ClassificationTree {
     /// Count of benchmarks with no non-negligible component at all.
     #[must_use]
     pub fn count_unlimited(&self) -> usize {
-        self.entries.iter().filter(|e| e.top_components.is_empty()).count()
+        self.entries
+            .iter()
+            .filter(|e| e.top_components.is_empty())
+            .count()
     }
 
     /// Renders the tree as a Figure 6-style table: scaling class, top-3
@@ -190,7 +199,11 @@ impl ClassificationTree {
         );
         let mut prev: Option<(ScalingClass, [&str; 3])> = None;
         for e in &self.entries {
-            let path = [e.component_label(0), e.component_label(1), e.component_label(2)];
+            let path = [
+                e.component_label(0),
+                e.component_label(1),
+                e.component_label(2),
+            ];
             let (show_class, show) = match prev {
                 Some((pc, pp)) => {
                     let show_class = pc != e.class;
@@ -206,7 +219,11 @@ impl ClassificationTree {
             let _ = writeln!(
                 out,
                 "{:<9} {:<10} {:<10} {:<10} {:<22} {:<14} {:>7.2}",
-                if show_class { e.class.to_string() } else { String::new() },
+                if show_class {
+                    e.class.to_string()
+                } else {
+                    String::new()
+                },
                 if show[0] { path[0] } else { "" },
                 if show[1] { path[1] } else { "" },
                 if show[2] { path[2] } else { "" },
@@ -254,7 +271,10 @@ mod tests {
         let s = stack_with(100.0, 50.0, 16, 1000);
         let cfg = ClassificationConfig::default();
         let c = ClassifiedBenchmark::from_stack("x", "s", &s, &cfg);
-        assert_eq!(c.top_components, vec![Component::Spinning, Component::Yielding]);
+        assert_eq!(
+            c.top_components,
+            vec![Component::Spinning, Component::Yielding]
+        );
         // cutoff 3% of 16 = 0.48 units: raise yield cutoff above it
         let cfg = ClassificationConfig {
             negligible_fraction: 0.06,
@@ -279,7 +299,8 @@ mod tests {
             let s = stack_with(0.0, 0.0, 16, 1000).with_actual_speedup(sp);
             ClassifiedBenchmark::from_stack(name, "s", &s, &cfg)
         };
-        let tree = ClassificationTree::build(vec![mk("poor", 3.0), mk("good", 15.0), mk("mod", 7.0)]);
+        let tree =
+            ClassificationTree::build(vec![mk("poor", 3.0), mk("good", 15.0), mk("mod", 7.0)]);
         let names: Vec<&str> = tree.entries().iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, vec!["good", "mod", "poor"]);
     }
@@ -287,8 +308,10 @@ mod tests {
     #[test]
     fn counts() {
         let cfg = ClassificationConfig::default();
-        let spin_heavy = ClassifiedBenchmark::from_stack("a", "s", &stack_with(200.0, 0.0, 16, 1000), &cfg);
-        let clean = ClassifiedBenchmark::from_stack("b", "s", &stack_with(0.0, 0.0, 16, 1000), &cfg);
+        let spin_heavy =
+            ClassifiedBenchmark::from_stack("a", "s", &stack_with(200.0, 0.0, 16, 1000), &cfg);
+        let clean =
+            ClassifiedBenchmark::from_stack("b", "s", &stack_with(0.0, 0.0, 16, 1000), &cfg);
         let tree = ClassificationTree::build(vec![spin_heavy, clean]);
         assert_eq!(tree.count_largest(Component::Spinning), 1);
         assert_eq!(tree.count_unlimited(), 1);

@@ -197,16 +197,16 @@ impl Breakdown {
     /// Ties resolve to the earliest component in stack order.
     #[must_use]
     pub fn largest(&self) -> Option<(Component, f64)> {
-        let (c, v) = Component::ALL
-            .iter()
-            .map(|&c| (c, self.get(c)))
-            .fold((Component::NegativeLlc, f64::NEG_INFINITY), |acc, cur| {
+        let (c, v) = Component::ALL.iter().map(|&c| (c, self.get(c))).fold(
+            (Component::NegativeLlc, f64::NEG_INFINITY),
+            |acc, cur| {
                 if cur.1 > acc.1 {
                     cur
                 } else {
                     acc
                 }
-            });
+            },
+        );
         if v > 0.0 {
             Some((c, v))
         } else {
@@ -374,7 +374,10 @@ mod tests {
     #[test]
     fn display_labels() {
         assert_eq!(Component::Yielding.label(), "yielding");
-        assert_eq!(format!("{}", Component::NegativeLlc), "negative LLC interference");
+        assert_eq!(
+            format!("{}", Component::NegativeLlc),
+            "negative LLC interference"
+        );
     }
 
     #[test]

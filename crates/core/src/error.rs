@@ -39,7 +39,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(StackError::NoThreads.to_string(), "no per-thread counters provided");
+        assert_eq!(
+            StackError::NoThreads.to_string(),
+            "no per-thread counters provided"
+        );
         assert_eq!(
             StackError::InvalidCounters { thread: 3 }.to_string(),
             "thread 3 reported invalid counters"

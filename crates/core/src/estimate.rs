@@ -11,7 +11,10 @@
 /// ```
 #[must_use]
 pub fn actual_speedup(ts_cycles: u64, tp_cycles: u64) -> f64 {
-    assert!(tp_cycles > 0, "multi-threaded execution time must be non-zero");
+    assert!(
+        tp_cycles > 0,
+        "multi-threaded execution time must be non-zero"
+    );
     ts_cycles as f64 / tp_cycles as f64
 }
 
@@ -23,7 +26,10 @@ pub fn actual_speedup(ts_cycles: u64, tp_cycles: u64) -> f64 {
 /// Panics if `tp_cycles` is zero.
 #[must_use]
 pub fn estimated_speedup(estimated_ts_cycles: f64, tp_cycles: u64) -> f64 {
-    assert!(tp_cycles > 0, "multi-threaded execution time must be non-zero");
+    assert!(
+        tp_cycles > 0,
+        "multi-threaded execution time must be non-zero"
+    );
     estimated_ts_cycles / tp_cycles as f64
 }
 

@@ -64,7 +64,9 @@ impl HardwareCostModel {
     /// Bytes for the ATD of one core.
     #[must_use]
     pub const fn atd_bytes(&self) -> u64 {
-        bits_to_bytes(self.atd_sampled_sets as u64 * self.atd_ways as u64 * self.atd_entry_bits as u64)
+        bits_to_bytes(
+            self.atd_sampled_sets as u64 * self.atd_ways as u64 * self.atd_entry_bits as u64,
+        )
     }
 
     /// Bytes for the open row array of one core.

@@ -62,7 +62,10 @@ pub fn render_stack(label: &str, stack: &SpeedupStack, opts: &RenderOptions) -> 
     );
 
     // Bar: base, then positive, then overheads in stack order.
-    let mut segments: Vec<(char, f64)> = vec![('#', stack.base_speedup()), ('+', stack.positive_interference())];
+    let mut segments: Vec<(char, f64)> = vec![
+        ('#', stack.base_speedup()),
+        ('+', stack.positive_interference()),
+    ];
     for (c, v) in stack.overheads().iter() {
         segments.push((c.code(), v));
     }
@@ -139,7 +142,11 @@ pub fn render_table(stacks: &[(String, SpeedupStack)]) -> String {
         .chain(std::iter::once("benchmark".len()))
         .max()
         .unwrap_or(9);
-    let _ = write!(out, "{:<name_w$}  {:>3}  {:>7}  {:>7}", "benchmark", "N", "base", "pos");
+    let _ = write!(
+        out,
+        "{:<name_w$}  {:>3}  {:>7}  {:>7}",
+        "benchmark", "N", "base", "pos"
+    );
     for c in Component::ALL {
         let _ = write!(out, "  {:>9}", c.label());
     }

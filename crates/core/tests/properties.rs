@@ -1,126 +1,153 @@
-//! Property-based tests of the accounting and stack invariants.
+//! Property-style tests of the accounting and stack invariants.
+//!
+//! No proptest offline, so these run deterministic randomized sweeps: a
+//! SplitMix64 generator drives a fixed number of cases per property. The
+//! case streams are stable, so failures reproduce exactly.
 
-use proptest::prelude::*;
-use speedup_stacks::{accounting, AccountingConfig, Breakdown, Component, SpeedupStack, ThreadCounters};
+use speedup_stacks::{
+    accounting, AccountingConfig, Breakdown, Component, SpeedupStack, ThreadCounters,
+};
 
-fn arb_counters(tp: u64) -> impl Strategy<Value = ThreadCounters> {
-    (
-        0..=tp,
-        0.0f64..2e6,
-        0.0f64..2e6,
-        0.0f64..2e6,
-        0.0f64..5e5,
-        0u64..500,
-        0u64..500,
-        1u64..2000,
-        0u64..20_000,
-        0u64..2000,
-        0.0f64..2e6,
-    )
-        .prop_map(
-            move |(end, spin, yld, mem, s_stall, s_miss, s_hit, s_acc, acc, misses, stall)| {
-                ThreadCounters {
-                    active_end_cycle: end,
-                    spin_cycles: spin,
-                    yield_cycles: yld,
-                    mem_interference_cycles: mem,
-                    sampled_interthread_miss_stall_cycles: s_stall,
-                    sampled_interthread_misses: s_miss,
-                    sampled_interthread_hits: s_hit,
-                    sampled_llc_accesses: s_acc,
-                    llc_accesses: acc.max(s_acc),
-                    llc_load_misses: misses,
-                    llc_load_miss_stall_cycles: stall,
-                    coherency_miss_cycles: 0.0,
-                    instructions: 0,
-                    spin_instructions: 0,
-                }
-            },
-        )
+/// Deterministic SplitMix64 stream (inlined: this crate has no deps).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn float(&mut self, hi: f64) -> f64 {
+        self.unit() * hi
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_counters(rng: &mut Rng, tp: u64) -> ThreadCounters {
+    let s_acc = 1 + rng.below(1999);
+    let acc = rng.below(20_000);
+    ThreadCounters {
+        active_end_cycle: rng.below(tp + 1),
+        spin_cycles: rng.float(2e6),
+        yield_cycles: rng.float(2e6),
+        mem_interference_cycles: rng.float(2e6),
+        sampled_interthread_miss_stall_cycles: rng.float(5e5),
+        sampled_interthread_misses: rng.below(500),
+        sampled_interthread_hits: rng.below(500),
+        sampled_llc_accesses: s_acc,
+        llc_accesses: acc.max(s_acc),
+        llc_load_misses: rng.below(2000),
+        llc_load_miss_stall_cycles: rng.float(2e6),
+        coherency_miss_cycles: 0.0,
+        instructions: 0,
+        spin_instructions: 0,
+    }
+}
 
-    #[test]
-    fn stacks_always_sum_to_n(
-        threads in prop::collection::vec(arb_counters(1_000_000), 1..17)
-    ) {
+fn arb_thread_vec(rng: &mut Rng, tp: u64, max_threads: u64) -> Vec<ThreadCounters> {
+    let n = 1 + rng.below(max_threads) as usize;
+    (0..n).map(|_| arb_counters(rng, tp)).collect()
+}
+
+#[test]
+fn stacks_always_sum_to_n() {
+    let mut rng = Rng(0x00A1_1CE5);
+    for _ in 0..128 {
         let tp = 1_000_000u64;
-        let stack = SpeedupStack::from_counters(&threads, tp, &AccountingConfig::default()).unwrap();
-        prop_assert!(stack.is_valid());
+        let threads = arb_thread_vec(&mut rng, tp, 16);
+        let stack =
+            SpeedupStack::from_counters(&threads, tp, &AccountingConfig::default()).unwrap();
+        assert!(stack.is_valid());
         let n = threads.len() as f64;
-        prop_assert!((stack.base_speedup() + stack.total_overhead() - n).abs() < 1e-6);
-        prop_assert!(stack.positive_interference() >= 0.0);
+        assert!((stack.base_speedup() + stack.total_overhead() - n).abs() < 1e-6);
+        assert!(stack.positive_interference() >= 0.0);
     }
+}
 
-    #[test]
-    fn estimate_reverses_breakup(
-        threads in prop::collection::vec(arb_counters(500_000), 1..9)
-    ) {
-        // Eq. 2/3 consistency: Ŝ == T̂s / Tp.
+#[test]
+fn estimate_reverses_breakup() {
+    // Eq. 2/3 consistency: Ŝ == T̂s / Tp.
+    let mut rng = Rng(0xB0B);
+    for _ in 0..128 {
         let tp = 500_000u64;
-        let stack = SpeedupStack::from_counters(&threads, tp, &AccountingConfig::default()).unwrap();
+        let threads = arb_thread_vec(&mut rng, tp, 8);
+        let stack =
+            SpeedupStack::from_counters(&threads, tp, &AccountingConfig::default()).unwrap();
         let via_ts = stack.estimated_single_thread_cycles() / tp as f64;
-        prop_assert!((via_ts - stack.estimated_speedup()).abs() < 1e-6);
+        assert!((via_ts - stack.estimated_speedup()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn clamped_accounting_never_negative(
-        threads in prop::collection::vec(arb_counters(100_000), 1..9)
-    ) {
+#[test]
+fn clamped_accounting_never_negative() {
+    let mut rng = Rng(0xC0FFEE);
+    for _ in 0..128 {
+        let threads = arb_thread_vec(&mut rng, 100_000, 8);
         let b = accounting::account(&threads, 100_000, &AccountingConfig::default()).unwrap();
         for t in &b {
-            prop_assert!(t.estimated_single_thread_cycles >= 0.0);
-            prop_assert!(t.overheads.is_valid());
-            prop_assert!(t.positive_cycles >= 0.0);
+            assert!(t.estimated_single_thread_cycles >= 0.0);
+            assert!(t.overheads.is_valid());
+            assert!(t.positive_cycles >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn aggregate_matches_manual_sum(
-        threads in prop::collection::vec(arb_counters(200_000), 1..9)
-    ) {
+#[test]
+fn aggregate_matches_manual_sum() {
+    let mut rng = Rng(0xD00D);
+    for _ in 0..128 {
         let tp = 200_000u64;
+        let threads = arb_thread_vec(&mut rng, tp, 8);
         let b = accounting::account(&threads, tp, &AccountingConfig::default()).unwrap();
         let (agg, pos) = accounting::aggregate(&b, tp);
         let manual: f64 = b.iter().map(|t| t.overheads.total()).sum::<f64>() / tp as f64;
-        prop_assert!((agg.total() - manual).abs() < 1e-9);
+        assert!((agg.total() - manual).abs() < 1e-9);
         let manual_pos: f64 = b.iter().map(|t| t.positive_cycles).sum::<f64>() / tp as f64;
-        prop_assert!((pos - manual_pos).abs() < 1e-9);
+        assert!((pos - manual_pos).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn breakdown_add_is_commutative_and_total_linear(
-        a in prop::collection::vec(0.0f64..1e6, Component::COUNT),
-        b in prop::collection::vec(0.0f64..1e6, Component::COUNT),
-    ) {
+#[test]
+fn breakdown_add_is_commutative_and_total_linear() {
+    let mut rng = Rng(0xE44);
+    for _ in 0..128 {
         let mut ba = Breakdown::zero();
         let mut bb = Breakdown::zero();
-        for (i, c) in Component::ALL.iter().enumerate() {
-            ba[*c] = a[i];
-            bb[*c] = b[i];
+        for c in Component::ALL {
+            ba[c] = rng.float(1e6);
+            bb[c] = rng.float(1e6);
         }
         let ab = ba + bb;
         let ba2 = bb + ba;
-        prop_assert_eq!(ab, ba2);
-        prop_assert!((ab.total() - (ba.total() + bb.total())).abs() < 1e-6);
+        assert_eq!(ab, ba2);
+        assert!((ab.total() - (ba.total() + bb.total())).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn ranked_is_a_permutation_in_descending_order(
-        vals in prop::collection::vec(0.0f64..1e6, Component::COUNT)
-    ) {
+#[test]
+fn ranked_is_a_permutation_in_descending_order() {
+    let mut rng = Rng(0xF00);
+    for _ in 0..128 {
         let mut b = Breakdown::zero();
-        for (i, c) in Component::ALL.iter().enumerate() {
-            b[*c] = vals[i];
+        for c in Component::ALL {
+            b[c] = rng.float(1e6);
         }
         let ranked = b.ranked();
-        prop_assert_eq!(ranked.len(), Component::COUNT);
+        assert_eq!(ranked.len(), Component::COUNT);
         for w in ranked.windows(2) {
-            prop_assert!(w[0].1 >= w[1].1);
+            assert!(w[0].1 >= w[1].1);
         }
         let sum: f64 = ranked.iter().map(|(_, v)| v).sum();
-        prop_assert!((sum - b.total()).abs() < 1e-6);
+        assert!((sum - b.total()).abs() < 1e-6);
     }
 }

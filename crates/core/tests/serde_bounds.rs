@@ -3,11 +3,11 @@
 //! would persist (C-SERDE).
 #![cfg(feature = "serde")]
 
+use speedup_stacks::estimate::ValidationPoint;
 use speedup_stacks::{
     AccountingConfig, Breakdown, ClassificationConfig, ClassifiedBenchmark, Component,
     HardwareCostModel, ScalingClass, SpeedupStack, ThreadBreakdown, ThreadCounters,
 };
-use speedup_stacks::estimate::ValidationPoint;
 
 fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
 

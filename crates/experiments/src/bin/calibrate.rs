@@ -2,7 +2,7 @@
 //! single-threaded reference) and prints measured vs paper speedups plus
 //! the dominant stack components, so catalog parameters can be tuned.
 
-use experiments::{run_profile, scaled_profile, RunOptions};
+use experiments::{par_map, run_profile, scaled_profile, RunOptions};
 use speedup_stacks::Component;
 use workloads::display_name;
 
@@ -16,16 +16,19 @@ fn main() {
         "{:<22} {:>7} {:>7} {:>7} {:>6}  components (top, in speedup units)",
         "benchmark", "paper", "actual", "est", "err%"
     );
-    for p in workloads::paper_suite() {
+    let selected: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
+        .into_iter()
+        .filter(|p| {
+            only.as_ref()
+                .is_none_or(|f| display_name(p).contains(f.as_str()))
+        })
+        .collect();
+    // All benchmarks as one parallel sweep; rows print in catalog order.
+    let rows = par_map(selected, |p| {
         let name = display_name(&p);
-        if let Some(f) = &only {
-            if !name.contains(f.as_str()) {
-                continue;
-            }
-        }
-        let p = scaled_profile(&p, scale);
+        let scaled = scaled_profile(&p, scale);
         let t0 = std::time::Instant::now();
-        match run_profile(&p, &RunOptions::symmetric(16), None) {
+        let line = match run_profile(&scaled, &RunOptions::symmetric(16), None) {
             Ok(out) => {
                 let ranked = out.stack.overheads().ranked();
                 let comps: Vec<String> = ranked
@@ -34,7 +37,8 @@ fn main() {
                     .filter(|(_, v)| *v > 0.16)
                     .map(|(c, v)| format!("{}={:.2}", c.label(), v))
                     .collect();
-                println!(
+                let _ = Component::ALL; // keep import used
+                format!(
                     "{:<22} {:>7.2} {:>7.2} {:>7.2} {:>6.1}  pos={:.2} {}  [{:.1}s]",
                     name,
                     p.paper_speedup16,
@@ -44,10 +48,13 @@ fn main() {
                     out.stack.positive_interference(),
                     comps.join(" "),
                     t0.elapsed().as_secs_f64(),
-                );
-                let _ = Component::ALL; // keep import used
+                )
             }
-            Err(e) => println!("{name:<22} ERROR: {e}"),
-        }
+            Err(e) => format!("{name:<22} ERROR: {e}"),
+        };
+        line
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

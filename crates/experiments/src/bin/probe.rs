@@ -7,7 +7,10 @@ use workloads::{display_name, streams_for};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "radix".into());
-    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
     let p = workloads::paper_suite()
         .into_iter()
         .find(|p| display_name(p).contains(&name))
@@ -23,13 +26,20 @@ fn main() {
     let ts_hat = stack.estimated_single_thread_cycles();
     println!("benchmark              {}", display_name(&p));
     println!("Ts (measured 1-thread) {ts:>14.0}");
-    println!("Ts_hat (estimated)     {ts_hat:>14.0}  (ratio {:.3})", ts_hat / ts);
+    println!(
+        "Ts_hat (estimated)     {ts_hat:>14.0}  (ratio {:.3})",
+        ts_hat / ts
+    );
     println!("Tp                     {tp:>14.0}");
     println!("actual S               {:>14.3}", ts / tp);
     println!("estimated S            {:>14.3}", stack.estimated_speedup());
     println!();
-    println!("ST: instr={} llc_acc={} llc_miss={}", st.total_instructions(),
-        st.truth[0].llc_accesses, st.truth[0].llc_misses);
+    println!(
+        "ST: instr={} llc_acc={} llc_miss={}",
+        st.total_instructions(),
+        st.truth[0].llc_accesses,
+        st.truth[0].llc_misses
+    );
     let mt_instr = mt.total_instructions();
     let mt_acc: u64 = mt.truth.iter().map(|t| t.llc_accesses).sum();
     let mt_miss: u64 = mt.truth.iter().map(|t| t.llc_misses).sum();
@@ -45,13 +55,27 @@ fn main() {
             println!("  {:<28} {v:>8.3}", c.to_string());
         }
     }
-    println!("  {:<28} {:>8.3}", "positive interference", stack.positive_interference());
+    println!(
+        "  {:<28} {:>8.3}",
+        "positive interference",
+        stack.positive_interference()
+    );
     // Average exposed miss penalty ST vs MT.
-    let st_pen = st.counters[0].llc_load_miss_stall_cycles / st.counters[0].llc_load_misses.max(1) as f64;
-    let mt_pen: f64 = mt.counters.iter().map(|c| c.llc_load_miss_stall_cycles).sum::<f64>()
-        / mt.counters.iter().map(|c| c.llc_load_misses).sum::<u64>().max(1) as f64;
+    let st_pen =
+        st.counters[0].llc_load_miss_stall_cycles / st.counters[0].llc_load_misses.max(1) as f64;
+    let mt_pen: f64 = mt
+        .counters
+        .iter()
+        .map(|c| c.llc_load_miss_stall_cycles)
+        .sum::<f64>()
+        / mt.counters
+            .iter()
+            .map(|c| c.llc_load_misses)
+            .sum::<u64>()
+            .max(1) as f64;
     println!("\navg exposed miss penalty: ST={st_pen:.1} MT={mt_pen:.1}");
-    let st_misses_per_kinstr = st.truth[0].llc_misses as f64 / st.total_instructions() as f64 * 1000.0;
+    let st_misses_per_kinstr =
+        st.truth[0].llc_misses as f64 / st.total_instructions() as f64 * 1000.0;
     let mt_misses_per_kinstr = mt_miss as f64 / mt_instr as f64 * 1000.0;
     println!("llc misses per kinstr:    ST={st_misses_per_kinstr:.2} MT={mt_misses_per_kinstr:.2}");
 }

@@ -5,7 +5,8 @@ use std::fmt;
 
 use workloads::Suite;
 
-use crate::runner::{run_profile, scaled_profile, single_thread_reference, RunOptions};
+use crate::par::Parallelism;
+use crate::runner::{run_grid, scaled_profile, RunOptions};
 
 /// The thread counts of the paper's sweep.
 pub const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -24,7 +25,10 @@ impl SpeedupCurve {
     /// Speedup at a given thread count, if measured.
     #[must_use]
     pub fn at(&self, threads: usize) -> Option<f64> {
-        self.points.iter().find(|(t, _)| *t == threads).map(|(_, s)| *s)
+        self.points
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .map(|(_, s)| *s)
     }
 }
 
@@ -43,24 +47,35 @@ pub struct Fig1 {
 /// catalog workloads are deadlock-free by construction).
 #[must_use]
 pub fn run(scale: f64) -> Fig1 {
-    let benchmarks = [
+    run_with(scale, Parallelism::Auto)
+}
+
+/// [`run`] with explicit sweep parallelism (the determinism regression
+/// test compares serial and parallel output).
+#[must_use]
+pub fn run_with(scale: f64, mode: Parallelism) -> Fig1 {
+    let benchmarks: Vec<workloads::WorkloadProfile> = [
         workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
         workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry"),
         workloads::find("cholesky", Suite::Splash2).expect("catalog entry"),
-    ];
+    ]
+    .iter()
+    .map(|p| scaled_profile(p, scale))
+    .collect();
+    let grid = run_grid(
+        &benchmarks,
+        &THREAD_COUNTS[1..],
+        &|_, n| RunOptions::symmetric(n),
+        mode,
+    );
     let curves = benchmarks
         .iter()
-        .map(|p| {
-            let p = scaled_profile(p, scale);
-            let opts = RunOptions::symmetric(1);
-            let st = single_thread_reference(&p, &opts).expect("single-thread run");
+        .zip(grid)
+        .map(|(p, outs)| {
             let mut points = vec![(1usize, 1.0f64)];
-            for &n in &THREAD_COUNTS[1..] {
-                let out = run_profile(&p, &RunOptions::symmetric(n), Some(st)).expect("run");
-                points.push((n, out.actual));
-            }
+            points.extend(outs.iter().map(|o| (o.threads, o.actual)));
             SpeedupCurve {
-                name: workloads::display_name(&p),
+                name: workloads::display_name(p),
                 points,
             }
         })

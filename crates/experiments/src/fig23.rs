@@ -43,7 +43,11 @@ impl fmt::Display for Fig2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 2: illustrative speedup stack ({})", self.name)?;
         writeln!(f)?;
-        write!(f, "{}", render_stack(&self.name, &self.stack, &RenderOptions::default()))?;
+        write!(
+            f,
+            "{}",
+            render_stack(&self.name, &self.stack, &RenderOptions::default())
+        )?;
         writeln!(f)?;
         writeln!(
             f,

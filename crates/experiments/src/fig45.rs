@@ -13,7 +13,8 @@ use speedup_stacks::render;
 use speedup_stacks::SpeedupStack;
 use workloads::Suite;
 
-use crate::runner::{run_profile, scaled_profile, single_thread_reference, RunOptions};
+use crate::par::Parallelism;
+use crate::runner::{run_grid, scaled_profile, RunOptions};
 
 /// The multi-threaded counts validated in the paper.
 pub const THREAD_COUNTS: [usize; 4] = [2, 4, 8, 16];
@@ -49,22 +50,35 @@ impl Fig4 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run(scale: f64) -> Fig4 {
+    run_with(scale, Parallelism::Auto)
+}
+
+/// [`run`] with explicit sweep parallelism.
+#[must_use]
+pub fn run_with(scale: f64, mode: Parallelism) -> Fig4 {
+    let profiles: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
+        .iter()
+        .map(|p| scaled_profile(p, scale))
+        .collect();
+    let grid = run_grid(
+        &profiles,
+        &THREAD_COUNTS,
+        &|_, n| RunOptions::symmetric(n),
+        mode,
+    );
     let mut points = Vec::new();
     let mut overheads = Vec::new();
-    for p in workloads::paper_suite() {
-        let p = scaled_profile(&p, scale);
-        let st = single_thread_reference(&p, &RunOptions::symmetric(1)).expect("single-thread run");
-        for &n in &THREAD_COUNTS {
-            let out = run_profile(&p, &RunOptions::symmetric(n), Some(st)).expect("run");
+    for outs in grid {
+        for out in outs {
+            if out.threads == 16 {
+                overheads.push((out.name.clone(), out.instruction_overhead));
+            }
             points.push(ValidationPoint {
-                name: out.name.clone(),
-                threads: n,
+                name: out.name,
+                threads: out.threads,
                 actual: out.actual,
                 estimated: out.estimated,
             });
-            if n == 16 {
-                overheads.push((out.name.clone(), out.instruction_overhead));
-            }
         }
     }
     Fig4 {
@@ -93,9 +107,17 @@ impl fmt::Display for Fig4 {
             )?;
         }
         writeln!(f)?;
-        writeln!(f, "average absolute error per thread count (paper: 3.0/3.4/2.8/5.1%):")?;
+        writeln!(
+            f,
+            "average absolute error per thread count (paper: 3.0/3.4/2.8/5.1%):"
+        )?;
         for &n in &THREAD_COUNTS {
-            writeln!(f, "  {:>2} threads: {:>5.1}%", n, self.average_error(n) * 100.0)?;
+            writeln!(
+                f,
+                "  {:>2} threads: {:>5.1}%",
+                n,
+                self.average_error(n) * 100.0
+            )?;
         }
         writeln!(f)?;
         writeln!(f, "instruction-count overhead at 16 threads (§6 measure):")?;
@@ -123,20 +145,25 @@ pub struct Fig5 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_fig5(scale: f64) -> Fig5 {
-    let benchmarks = [
+    let benchmarks: Vec<workloads::WorkloadProfile> = [
         workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
         workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry"),
         workloads::find("cholesky", Suite::Splash2).expect("catalog entry"),
-    ];
-    let mut stacks = Vec::new();
-    for p in &benchmarks {
-        let p = scaled_profile(p, scale);
-        let st = single_thread_reference(&p, &RunOptions::symmetric(1)).expect("single-thread run");
-        for &n in &THREAD_COUNTS {
-            let out = run_profile(&p, &RunOptions::symmetric(n), Some(st)).expect("run");
-            stacks.push((format!("{} {}t", out.name, n), out.stack));
-        }
-    }
+    ]
+    .iter()
+    .map(|p| scaled_profile(p, scale))
+    .collect();
+    let grid = run_grid(
+        &benchmarks,
+        &THREAD_COUNTS,
+        &|_, n| RunOptions::symmetric(n),
+        Parallelism::Auto,
+    );
+    let stacks = grid
+        .into_iter()
+        .flatten()
+        .map(|out| (format!("{} {}t", out.name, out.threads), out.stack))
+        .collect();
     Fig5 { stacks }
 }
 
@@ -147,7 +174,11 @@ impl fmt::Display for Fig5 {
         writeln!(f)?;
         for (label, stack) in &self.stacks {
             if label.ends_with("16t") {
-                writeln!(f, "{}", render::render_stack(label, stack, &render::RenderOptions::default()))?;
+                writeln!(
+                    f,
+                    "{}",
+                    render::render_stack(label, stack, &render::RenderOptions::default())
+                )?;
             }
         }
         Ok(())

@@ -2,9 +2,12 @@
 
 use std::fmt;
 
-use speedup_stacks::{ClassificationConfig, ClassificationTree, ClassifiedBenchmark, Component, ScalingClass};
+use speedup_stacks::{
+    ClassificationConfig, ClassificationTree, ClassifiedBenchmark, Component, ScalingClass,
+};
 
-use crate::runner::{run_profile, scaled_profile, RunOptions};
+use crate::par::{par_map, Parallelism};
+use crate::runner::{run_grid, scaled_profile, RunOptions};
 
 /// Figure 6 data: the classification tree.
 #[derive(Debug, Clone)]
@@ -36,14 +39,19 @@ impl Fig6 {
 #[must_use]
 pub fn run(scale: f64) -> Fig6 {
     let cfg = ClassificationConfig::default();
-    let entries = workloads::paper_suite()
+    let profiles: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
         .iter()
-        .map(|p| {
-            let p = scaled_profile(p, scale);
-            let out = run_profile(&p, &RunOptions::symmetric(16), None).expect("run");
-            ClassifiedBenchmark::from_stack(out.name.clone(), out.suite.clone(), &out.stack, &cfg)
-        })
+        .map(|p| scaled_profile(p, scale))
         .collect();
+    let grid = run_grid(
+        &profiles,
+        &[16],
+        &|_, n| RunOptions::symmetric(n),
+        Parallelism::Auto,
+    );
+    let entries = par_map(grid.into_iter().flatten().collect(), |out| {
+        ClassifiedBenchmark::from_stack(out.name.clone(), out.suite.clone(), &out.stack, &cfg)
+    });
     Fig6 {
         tree: ClassificationTree::build(entries),
     }

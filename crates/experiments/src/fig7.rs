@@ -11,6 +11,7 @@ use std::fmt;
 
 use workloads::Suite;
 
+use crate::par::par_map;
 use crate::runner::{run_profile, scaled_profile, single_thread_reference, RunOptions};
 
 /// Core counts of the sweep.
@@ -47,35 +48,43 @@ pub fn run(scale: f64) -> Fig7 {
     let p = scaled_profile(&p, scale);
     let st = single_thread_reference(&p, &RunOptions::symmetric(1)).expect("single-thread run");
 
-    let threads_eq_cores = CORE_COUNTS
+    // Both series as one parallel sweep over the eight independent points.
+    let configs: Vec<(usize, usize)> = CORE_COUNTS
         .iter()
-        .map(|&c| {
-            let out = run_profile(&p, &RunOptions::symmetric(c), Some(st)).expect("run");
-            (c, out.actual)
-        })
+        .map(|&c| (c, c))
+        .chain(CORE_COUNTS.iter().map(|&c| (c, 16)))
         .collect();
-    let sixteen_threads = CORE_COUNTS
-        .iter()
-        .map(|&c| {
-            let opts = RunOptions {
-                cores: c,
-                threads: 16,
-                ..RunOptions::symmetric(c)
-            };
-            let out = run_profile(&p, &opts, Some(st)).expect("run");
-            (c, out.actual)
-        })
-        .collect();
+    let speedups = par_map(configs, |(cores, threads)| {
+        let opts = RunOptions {
+            cores,
+            threads,
+            ..RunOptions::symmetric(cores)
+        };
+        run_profile(&p, &opts, Some(st)).expect("run").actual
+    });
+    let (eq, sixteen) = speedups.split_at(CORE_COUNTS.len());
     Fig7 {
-        threads_eq_cores,
-        sixteen_threads,
+        threads_eq_cores: CORE_COUNTS
+            .iter()
+            .copied()
+            .zip(eq.iter().copied())
+            .collect(),
+        sixteen_threads: CORE_COUNTS
+            .iter()
+            .copied()
+            .zip(sixteen.iter().copied())
+            .collect(),
     }
 }
 
 impl fmt::Display for Fig7 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 7: ferret speedup vs number of cores")?;
-        writeln!(f, "{:<10} {:>16} {:>14}", "cores", "#threads=#cores", "16 threads")?;
+        writeln!(
+            f,
+            "{:<10} {:>16} {:>14}",
+            "cores", "#threads=#cores", "16 threads"
+        )?;
         for (i, &c) in CORE_COUNTS.iter().enumerate() {
             writeln!(
                 f,

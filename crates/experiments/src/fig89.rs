@@ -14,6 +14,7 @@ use memsim::MemConfig;
 use speedup_stacks::Component;
 use workloads::Suite;
 
+use crate::par::par_map;
 use crate::runner::{run_profile, scaled_profile, RunOptions};
 
 /// One benchmark's LLC interference decomposition (a bar triple in
@@ -69,25 +70,29 @@ pub fn fig8_benchmarks() -> Vec<workloads::WorkloadProfile> {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_fig8(scale: f64) -> Fig8 {
-    let bars = fig8_benchmarks()
-        .iter()
-        .map(|p| {
-            let p = scaled_profile(p, scale);
-            let out = run_profile(&p, &RunOptions::symmetric(16), None).expect("run");
-            InterferenceBar {
-                label: out.name.clone(),
-                negative: out.stack.component(Component::NegativeLlc),
-                positive: out.stack.positive_interference(),
-            }
-        })
-        .collect();
+    let bars = par_map(fig8_benchmarks(), |p| {
+        let p = scaled_profile(&p, scale);
+        let out = run_profile(&p, &RunOptions::symmetric(16), None).expect("run");
+        InterferenceBar {
+            label: out.name.clone(),
+            negative: out.stack.component(Component::NegativeLlc),
+            positive: out.stack.positive_interference(),
+        }
+    });
     Fig8 { bars }
 }
 
 impl fmt::Display for Fig8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 8: negative, positive and net LLC interference (16 cores, 2 MB LLC)")?;
-        writeln!(f, "{:<18} {:>9} {:>9} {:>9}", "benchmark", "negative", "positive", "net")?;
+        writeln!(
+            f,
+            "Figure 8: negative, positive and net LLC interference (16 cores, 2 MB LLC)"
+        )?;
+        writeln!(
+            f,
+            "{:<18} {:>9} {:>9} {:>9}",
+            "benchmark", "negative", "positive", "net"
+        )?;
         for b in &self.bars {
             writeln!(
                 f,
@@ -121,28 +126,32 @@ pub const LLC_SIZES_MIB: [usize; 4] = [2, 4, 8, 16];
 pub fn run_fig9(scale: f64) -> Fig9 {
     let p = workloads::find("cholesky", Suite::Splash2).expect("catalog entry");
     let p = scaled_profile(&p, scale);
-    let bars = LLC_SIZES_MIB
-        .iter()
-        .map(|&mib| {
-            let opts = RunOptions {
-                mem: MemConfig::default().with_llc_mib(mib),
-                ..RunOptions::symmetric(16)
-            };
-            let out = run_profile(&p, &opts, None).expect("run");
-            InterferenceBar {
-                label: format!("{mib}MB"),
-                negative: out.stack.component(Component::NegativeLlc),
-                positive: out.stack.positive_interference(),
-            }
-        })
-        .collect();
+    let bars = par_map(LLC_SIZES_MIB.to_vec(), |mib| {
+        let opts = RunOptions {
+            mem: MemConfig::default().with_llc_mib(mib),
+            ..RunOptions::symmetric(16)
+        };
+        let out = run_profile(&p, &opts, None).expect("run");
+        InterferenceBar {
+            label: format!("{mib}MB"),
+            negative: out.stack.component(Component::NegativeLlc),
+            positive: out.stack.positive_interference(),
+        }
+    });
     Fig9 { bars }
 }
 
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 9: cholesky LLC interference vs LLC size (16 cores)")?;
-        writeln!(f, "{:<8} {:>9} {:>9} {:>9}", "LLC", "negative", "positive", "net")?;
+        writeln!(
+            f,
+            "Figure 9: cholesky LLC interference vs LLC size (16 cores)"
+        )?;
+        writeln!(
+            f,
+            "{:<8} {:>9} {:>9} {:>9}",
+            "LLC", "negative", "positive", "net"
+        )?;
         for b in &self.bars {
             writeln!(
                 f,

@@ -25,13 +25,48 @@ pub fn run() -> HwCost {
 impl fmt::Display for HwCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let m = &self.model;
-        writeln!(f, "Hardware cost of the cycle accounting architecture (§4.7)")?;
-        writeln!(f, "  ATD ({} sets × {} ways × {} bits)      {:>6} B", m.atd_sampled_sets, m.atd_ways, m.atd_entry_bits, m.atd_bytes())?;
-        writeln!(f, "  ORA ({} banks × {} bits)                {:>6} B", m.ora_banks, m.ora_entry_bits, m.ora_bytes())?;
-        writeln!(f, "  raw event counters ({} × 64 bits)        {:>6} B", m.interference_counters, m.counter_bytes())?;
-        writeln!(f, "  interference accounting total            {:>6} B   (paper: 952 B)", m.interference_bytes())?;
-        writeln!(f, "  spin load table ({} × {} bits)          {:>6} B   (paper: 217 B)", m.spin_table_entries, m.spin_entry_bits, m.spin_table_bytes())?;
-        writeln!(f, "  total per core                           {:>6} B   (paper: ~1.1 KB)", m.total_bytes_per_core())?;
+        writeln!(
+            f,
+            "Hardware cost of the cycle accounting architecture (§4.7)"
+        )?;
+        writeln!(
+            f,
+            "  ATD ({} sets × {} ways × {} bits)      {:>6} B",
+            m.atd_sampled_sets,
+            m.atd_ways,
+            m.atd_entry_bits,
+            m.atd_bytes()
+        )?;
+        writeln!(
+            f,
+            "  ORA ({} banks × {} bits)                {:>6} B",
+            m.ora_banks,
+            m.ora_entry_bits,
+            m.ora_bytes()
+        )?;
+        writeln!(
+            f,
+            "  raw event counters ({} × 64 bits)        {:>6} B",
+            m.interference_counters,
+            m.counter_bytes()
+        )?;
+        writeln!(
+            f,
+            "  interference accounting total            {:>6} B   (paper: 952 B)",
+            m.interference_bytes()
+        )?;
+        writeln!(
+            f,
+            "  spin load table ({} × {} bits)          {:>6} B   (paper: 217 B)",
+            m.spin_table_entries,
+            m.spin_entry_bits,
+            m.spin_table_bytes()
+        )?;
+        writeln!(
+            f,
+            "  total per core                           {:>6} B   (paper: ~1.1 KB)",
+            m.total_bytes_per_core()
+        )?;
         writeln!(
             f,
             "  total for {}-core CMP                    {:>6} B   (paper: ~18 KB)",

@@ -18,7 +18,11 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig89;
 pub mod hwcost;
+pub mod par;
 pub mod regions_demo;
 pub mod runner;
 
-pub use runner::{run_profile, scaled_profile, single_thread_reference, RunOptions, RunOutcome};
+pub use par::{map_mode, par_map, Parallelism};
+pub use runner::{
+    run_grid, run_profile, scaled_profile, single_thread_reference, RunOptions, RunOutcome,
+};

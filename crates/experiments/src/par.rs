@@ -1,0 +1,123 @@
+//! Deterministic parallel map over independent simulation points.
+//!
+//! Figure grids are embarrassingly parallel: every (benchmark ×
+//! thread-count) point is a self-contained, deterministic `Engine` run.
+//! [`par_map`] fans the points out over a scoped thread pool (no `rayon`
+//! offline — plain `std::thread::scope` with an atomic work index) and
+//! collects results **in input order**, so a sweep produces byte-identical
+//! output whether it ran serially or in parallel — guarded by the
+//! `sweep_determinism` integration test.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Execution mode for [`map_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run on the calling thread, in input order.
+    Serial,
+    /// One worker per available CPU (serial when only one is available).
+    #[default]
+    Auto,
+    /// Exactly this many workers (used by the determinism tests to force
+    /// real cross-thread execution regardless of the host).
+    Workers(usize),
+}
+
+impl Parallelism {
+    fn workers(self, items: usize) -> usize {
+        let n = match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Parallelism::Workers(n) => n.max(1),
+        };
+        n.min(items.max(1))
+    }
+}
+
+/// Applies `f` to every item with the default parallelism, returning
+/// results in input order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    map_mode(Parallelism::Auto, items, f)
+}
+
+/// Applies `f` to every item under the given [`Parallelism`], returning
+/// results in input order regardless of completion order.
+pub fn map_mode<T, R, F>(mode: Parallelism, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = mode.workers(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("unpoisoned")
+                    .take()
+                    .expect("item taken once");
+                let r = f(item);
+                *results[i].lock().expect("unpoisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("unpoisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = map_mode(Parallelism::Workers(4), items, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_equals_parallel() {
+        let f = |x: u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7);
+        let a = map_mode(Parallelism::Serial, (0..257).collect(), f);
+        let b = map_mode(Parallelism::Workers(7), (0..257).collect(), f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(empty, |x: u32| x).is_empty());
+        assert_eq!(par_map(vec![5], |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = map_mode(Parallelism::Workers(16), vec![1, 2, 3], |x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+}

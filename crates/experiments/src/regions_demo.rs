@@ -58,8 +58,12 @@ pub fn run(scale: f64) -> RegionsDemo {
     let p = scaled_profile(&p, scale);
     let mut cfg = MachineConfig::with_cores(16);
     cfg.record_regions = true;
-    let result = Simulation::new(cfg, streams_for(&p, 16)).run().expect("run");
-    let whole = result.stack(&AccountingConfig::default()).expect("valid counters");
+    let result = Simulation::new(cfg, streams_for(&p, 16))
+        .run()
+        .expect("run");
+    let whole = result
+        .stack(&AccountingConfig::default())
+        .expect("valid counters");
     let regions = region_stacks(&result, &AccountingConfig::default()).expect("valid regions");
     RegionsDemo {
         name: workloads::display_name(&p),
@@ -120,7 +124,11 @@ mod tests {
         let demo = run(0.25);
         assert!(!demo.regions.is_empty());
         // Whole-program: barrier waits are sync; per-region: imbalance.
-        assert!(demo.whole_sync() > 2.0, "whole-program sync {:.2}", demo.whole_sync());
+        assert!(
+            demo.whole_sync() > 2.0,
+            "whole-program sync {:.2}",
+            demo.whole_sync()
+        );
         assert!(
             demo.mean_region_imbalance() > 2.0,
             "mean region imbalance {:.2}",

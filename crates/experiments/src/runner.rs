@@ -25,6 +25,10 @@ pub struct RunOptions {
     pub detector: cmpsim::SpinDetectorKind,
     /// Accounting post-processing options.
     pub accounting: AccountingConfig,
+    /// Engine event-queue implementation (results are bit-identical
+    /// across queues; the binary heap exists for baseline benchmarks and
+    /// equivalence tests).
+    pub queue: cmpsim::EventQueueKind,
 }
 
 impl RunOptions {
@@ -37,6 +41,7 @@ impl RunOptions {
             threads: n,
             detector: cmpsim::SpinDetectorKind::default(),
             accounting: AccountingConfig::default(),
+            queue: cmpsim::EventQueueKind::default(),
         }
     }
 
@@ -45,6 +50,7 @@ impl RunOptions {
             n_cores: cores,
             mem: self.mem,
             spin_detector: self.detector,
+            event_queue: self.queue,
             ..MachineConfig::default()
         }
     }
@@ -136,8 +142,51 @@ pub fn run_profile(
     })
 }
 
+/// Runs a (benchmark × thread-count) figure grid, in parallel over the
+/// independent simulation points.
+///
+/// Single-threaded references are computed once per benchmark (with
+/// `mk_opts(profile, 1)`) and shared across that benchmark's points.
+/// Results are collected in deterministic `(profile, count)` order, so a
+/// serial and a parallel sweep produce identical figures — guarded by the
+/// `sweep_determinism` integration test.
+///
+/// # Panics
+///
+/// Panics if any simulation fails (catalog workloads are deadlock-free
+/// by construction).
+pub fn run_grid(
+    profiles: &[WorkloadProfile],
+    counts: &[usize],
+    mk_opts: &(impl Fn(&WorkloadProfile, usize) -> RunOptions + Sync),
+    mode: crate::par::Parallelism,
+) -> Vec<Vec<RunOutcome>> {
+    // Phase 1: single-threaded references, one per benchmark.
+    let refs = crate::par::map_mode(mode, profiles.iter().collect(), |p| {
+        single_thread_reference(p, &mk_opts(p, 1)).expect("single-thread run")
+    });
+    // Phase 2: every (benchmark, thread-count) point.
+    let points: Vec<(usize, usize)> = (0..profiles.len())
+        .flat_map(|pi| counts.iter().map(move |&n| (pi, n)))
+        .collect();
+    let outcomes = crate::par::map_mode(mode, points, |(pi, n)| {
+        run_profile(&profiles[pi], &mk_opts(&profiles[pi], n), Some(refs[pi])).expect("run")
+    });
+    // Regroup flat results per benchmark, in counts order.
+    let mut iter = outcomes.into_iter();
+    profiles
+        .iter()
+        .map(|_| {
+            counts
+                .iter()
+                .map(|_| iter.next().expect("one outcome per point"))
+                .collect()
+        })
+        .collect()
+}
+
 /// Returns a copy of `profile` with its total work scaled by `factor`
-/// (used by the Criterion benches to keep regeneration fast). The result
+/// (used by the benches to keep regeneration fast). The result
 /// keeps at least one item per thread and phase.
 #[must_use]
 pub fn scaled_profile(profile: &WorkloadProfile, factor: f64) -> WorkloadProfile {

@@ -42,6 +42,9 @@ pub struct AtdOutcome {
 pub struct Atd {
     llc_cfg: CacheConfig,
     sample_period: usize,
+    /// `log2(sample_period)`; the period is a power of two because both
+    /// the LLC set count and the sampled set count are.
+    period_shift: u32,
     tags: Cache<()>,
 }
 
@@ -66,9 +69,14 @@ impl Atd {
             sampled_sets.is_power_of_two(),
             "LLC sets / sample period must be a power of two"
         );
+        assert!(
+            sample_period.is_power_of_two(),
+            "sample period must be a power of two"
+        );
         Atd {
             llc_cfg,
             sample_period,
+            period_shift: sample_period.trailing_zeros(),
             tags: Cache::new(CacheConfig::new(sampled_sets, llc_cfg.ways())),
         }
     }
@@ -82,8 +90,9 @@ impl Atd {
 
     /// Whether an LLC set index is monitored.
     #[must_use]
+    #[inline]
     pub fn is_sampled(&self, llc_set: usize) -> bool {
-        llc_set.is_multiple_of(self.sample_period)
+        llc_set & (self.sample_period - 1) == 0
     }
 
     /// Probes the ATD for `line`. Returns `None` when the line's LLC set
@@ -96,7 +105,7 @@ impl Atd {
         }
         // Re-index the line into the compact sampled-set store. Dividing
         // the set bits by the period keeps distinct sampled sets distinct.
-        let sampled_index = (llc_set / self.sample_period) as u64;
+        let sampled_index = (llc_set >> self.period_shift) as u64;
         let tag_bits = line >> self.llc_cfg.sets().trailing_zeros();
         let compact = (tag_bits << self.tags.config().sets().trailing_zeros()) | sampled_index;
         let out = self.tags.access(compact, write, ());

@@ -8,6 +8,27 @@
 //! later refill of the same line can be recognized as a *coherency miss*
 //! (paper §4.5: "in case of an invalidation, usually only the status bits
 //! are adapted, while the tag remains in the tag array").
+//!
+//! ## Representation
+//!
+//! The cache is flat structure-of-arrays state:
+//!
+//! - `tags` — compact 32-bit tags (`line >> log2(sets)`), contiguous per
+//!   set, probed with a branchless equality scan that reduces to a
+//!   bitmask (an 8-way probe touches 32 bytes, a 16-way probe one cache
+//!   line);
+//! - `valid`/`dirty`/`coh` — per-set way bitmasks, so status checks and
+//!   victim selection are O(1) bit arithmetic over the probe mask;
+//! - `lru` — a *packed per-set recency ordering*: one `u64` per set
+//!   holding way indices as nibbles, most-recent in the low nibble. A
+//!   touch promotes a way with a SWAR rank lookup plus shifts, and the
+//!   true-LRU victim is read off the top nibble.
+//!
+//! No per-way timestamps, no clock, no allocation anywhere on the access
+//! path. Associativity is bounded at 16 ways (the paper's largest
+//! configuration), asserted in [`CacheConfig::new`]; randomized op
+//! streams are checked against a reference implementation of the
+//! original timestamp-LRU semantics in `tests/flat_equivalence.rs`.
 
 use crate::LineAddr;
 
@@ -33,11 +54,16 @@ impl CacheConfig {
     /// # Panics
     ///
     /// Panics if `sets` is zero or not a power of two, or if `ways` is
-    /// zero.
+    /// zero or greater than 16 (the packed LRU encoding holds one nibble
+    /// per way).
     #[must_use]
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
+        assert!(ways <= 16, "at most 16 ways supported (packed LRU)");
         CacheConfig { sets, ways }
     }
 
@@ -84,16 +110,9 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way<M> {
-    tag: LineAddr,
-    valid: bool,
-    dirty: bool,
-    /// Tag is present but was invalidated by coherence (valid == false).
-    coherence_invalidated: bool,
-    lru: u64,
-    meta: M,
-}
+// Per-way status lives in per-set bitmasks (one bit per way), so the
+// probe and victim selection are pure bit arithmetic over a branchless
+// tag scan.
 
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,32 +127,116 @@ pub struct CacheOutcome<M> {
     /// Metadata of the line *before* this access (for hits: the line's
     /// stored metadata, e.g. the LLC inserter).
     pub hit_meta: Option<M>,
+    /// The way the line lives in after this access (hit way or fill way).
+    /// A line keeps its way until eviction, so callers may cache it as a
+    /// probe-free handle (see [`Cache::set_meta_at`] /
+    /// [`crate::SharedLlc::writeback_at`]).
+    pub way: u8,
+}
+
+/// Packed recency ordering of one set: way indices as nibbles, rank 0
+/// (most recent) in the low nibble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LruOrder(u64);
+
+impl LruOrder {
+    /// Identity permutation: way 0 most recent, way `w-1` least recent.
+    fn identity(ways: usize) -> Self {
+        let mut order = 0u64;
+        for w in (0..ways).rev() {
+            order = (order << 4) | w as u64;
+        }
+        LruOrder(order)
+    }
+
+    /// Recency rank of `way` (0 = most recent). Branch-free SWAR: XOR
+    /// with the way replicated into every nibble zeroes exactly the
+    /// nibble holding `way` (the order is a permutation); the classic
+    /// zero-nibble detector then locates it in O(1).
+    #[inline]
+    fn rank_of(self, way: usize, ways: usize) -> usize {
+        let x = (self.0 ^ (way as u64).wrapping_mul(0x1111_1111_1111_1111)) & mask_nibbles(ways);
+        let zero_nibbles =
+            x.wrapping_sub(0x1111_1111_1111_1111) & !x & 0x8888_8888_8888_8888 & mask_nibbles(ways);
+        debug_assert!(
+            zero_nibbles != 0,
+            "way {way} missing from LRU order {:x}",
+            self.0
+        );
+        (zero_nibbles.trailing_zeros() / 4) as usize
+    }
+
+    /// Promotes `way` to rank 0.
+    #[inline]
+    fn touch(self, way: usize, ways: usize) -> Self {
+        // Fast path: already most recent (the common case for hits with
+        // temporal locality).
+        if (self.0 & 0xF) as usize == way {
+            return self;
+        }
+        let r = self.rank_of(way, ways);
+        let below = self.0 & ((1u64 << (4 * r)) - 1);
+        // Two-step shift: `4 * (r + 1)` is 64 when promoting rank 15.
+        let above = (self.0 >> (4 * r) >> 4) << (4 * r);
+        let without = below | above;
+        LruOrder(((without << 4) | way as u64) & mask_nibbles(ways))
+    }
+
+    /// The least-recently-used way (rank `ways - 1`).
+    #[inline]
+    fn lru(self, ways: usize) -> usize {
+        ((self.0 >> (4 * (ways - 1))) & 0xF) as usize
+    }
+}
+
+#[inline]
+fn mask_nibbles(ways: usize) -> u64 {
+    if ways == 16 {
+        u64::MAX
+    } else {
+        (1u64 << (4 * ways)) - 1
+    }
 }
 
 /// A set-associative, write-back, allocate-on-miss cache with true LRU.
+///
+/// Tags are stored *compactly*: the per-way tag is `line >> log2(sets)`
+/// narrowed to 32 bits, so an 8-way probe touches 32 bytes and a 16-way
+/// probe one cache line. This bounds supported line addresses to
+/// `line >> log2(sets) <= u32::MAX` (e.g. 2^39 for a 128-set L1),
+/// asserted on every access — far above every address the simulator
+/// mints (workload regions live below 2^32, lock/barrier regions at
+/// 2^33).
 #[derive(Debug, Clone)]
 pub struct Cache<M> {
     cfg: CacheConfig,
-    ways: Vec<Way<M>>,
-    clock: u64,
+    /// log2(sets): the tag is `line >> set_shift`.
+    set_shift: u32,
+    tags: Vec<u32>,
+    /// Per-set way bitmask: way holds a valid line.
+    valid: Vec<u16>,
+    /// Per-set way bitmask: line is dirty.
+    dirty: Vec<u16>,
+    /// Per-set way bitmask: tag retained after a coherence invalidation.
+    coh: Vec<u16>,
+    meta: Vec<M>,
+    lru: Vec<LruOrder>,
 }
 
 impl<M: Copy + Default> Cache<M> {
     /// Creates an empty cache with the given geometry.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
-        let ways = vec![
-            Way {
-                tag: 0,
-                valid: false,
-                dirty: false,
-                coherence_invalidated: false,
-                lru: 0,
-                meta: M::default(),
-            };
-            cfg.lines()
-        ];
-        Cache { cfg, ways, clock: 0 }
+        Cache {
+            cfg,
+            set_shift: cfg.sets().trailing_zeros(),
+            tags: vec![0; cfg.lines()],
+            valid: vec![0; cfg.sets()],
+            dirty: vec![0; cfg.sets()],
+            coh: vec![0; cfg.sets()],
+            meta: vec![M::default(); cfg.lines()],
+            lru: vec![LruOrder::identity(cfg.ways()); cfg.sets()],
+        }
     }
 
     /// The cache geometry.
@@ -142,139 +245,201 @@ impl<M: Copy + Default> Cache<M> {
         self.cfg
     }
 
-    fn set_range(&self, line: LineAddr) -> core::ops::Range<usize> {
+    #[inline]
+    fn base(&self, line: LineAddr) -> (usize, usize) {
         let set = self.cfg.set_of(line);
-        let start = set * self.cfg.ways();
-        start..start + self.cfg.ways()
+        (set, set * self.cfg.ways)
+    }
+
+    /// The compact tag for `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address exceeds the compact-tag range for this
+    /// geometry (`line >> log2(sets)` must fit 32 bits).
+    #[inline]
+    fn tag_of(&self, line: LineAddr) -> u32 {
+        let tag = line >> self.set_shift;
+        assert!(
+            tag <= u64::from(u32::MAX),
+            "line {line:#x} beyond compact-tag range"
+        );
+        tag as u32
+    }
+
+    /// Reconstructs the full line address of `set`'s way holding `tag`.
+    #[inline]
+    fn line_of(&self, set: usize, tag: u32) -> LineAddr {
+        (u64::from(tag) << self.set_shift) | set as u64
+    }
+
+    /// Bitmask of ways whose tag equals `tag` (valid or not). The scan is
+    /// branchless over the contiguous per-set tag slice, so it
+    /// vectorizes; combined with the per-set status masks every lookup
+    /// below is O(1) bit arithmetic on top of this.
+    #[inline]
+    fn tag_matches(&self, base: usize, tag: u32) -> u16 {
+        let tags = &self.tags[base..base + self.cfg.ways];
+        let mut eq = 0u16;
+        for (w, &t) in tags.iter().enumerate() {
+            eq |= u16::from(t == tag) << w;
+        }
+        eq
+    }
+
+    /// Index of the valid way holding `line`, if any.
+    #[inline]
+    fn find_valid(&self, set: usize, base: usize, line: LineAddr) -> Option<usize> {
+        let hit = self.tag_matches(base, self.tag_of(line)) & self.valid[set];
+        (hit != 0).then(|| hit.trailing_zeros() as usize)
     }
 
     /// Accesses `line`; on a miss the line is allocated with metadata
     /// `fill_meta`, evicting the LRU way if necessary. `write` marks the
     /// line dirty.
     pub fn access(&mut self, line: LineAddr, write: bool, fill_meta: M) -> CacheOutcome<M> {
-        self.clock += 1;
-        let clock = self.clock;
-        let range = self.set_range(line);
+        let ways = self.cfg.ways;
+        let (set, base) = self.base(line);
+        let tag = self.tag_of(line);
+
+        let eq = self.tag_matches(base, tag);
 
         // Hit?
-        for w in &mut self.ways[range.clone()] {
-            if w.valid && w.tag == line {
-                w.lru = clock;
-                if write {
-                    w.dirty = true;
-                }
-                return CacheOutcome {
-                    hit: true,
-                    coherency_miss: false,
-                    evicted: None,
-                    hit_meta: Some(w.meta),
-                };
-            }
+        let hit = eq & self.valid[set];
+        if hit != 0 {
+            let w = hit.trailing_zeros() as usize;
+            self.lru[set] = self.lru[set].touch(w, ways);
+            self.dirty[set] |= u16::from(write) << w;
+            return CacheOutcome {
+                hit: true,
+                coherency_miss: false,
+                evicted: None,
+                hit_meta: Some(self.meta[base + w]),
+                way: w as u8,
+            };
         }
 
-        // Miss: prefer an invalid way (remembering coherence invalidation),
-        // else evict LRU.
-        let mut victim: Option<usize> = None;
-        let mut victim_lru = u64::MAX;
-        let mut coherency_miss = false;
-        for i in range.clone() {
-            if !self.ways[i].valid {
-                if self.ways[i].coherence_invalidated && self.ways[i].tag == line {
-                    coherency_miss = true;
-                    victim = Some(i);
-                    break;
-                }
-                if victim.is_none() || self.ways[victim.unwrap()].valid {
-                    victim = Some(i);
-                    victim_lru = 0;
-                }
-            } else if self.ways[i].lru < victim_lru {
-                victim = Some(i);
-                victim_lru = self.ways[i].lru;
-            }
-        }
-        let vi = victim.expect("set has at least one way");
-        let v = &mut self.ways[vi];
-        let evicted = if v.valid {
-            Some((v.tag, v.dirty, v.meta))
+        // Miss: prefer the coherence-invalidated way with a matching tag
+        // (a coherency miss), else the first invalid way, else true LRU.
+        let invalid = !self.valid[set] & ways_mask(ways);
+        let coh_match = eq & invalid & self.coh[set];
+        let (w, coherency_miss) = if coh_match != 0 {
+            (coh_match.trailing_zeros() as usize, true)
+        } else if invalid != 0 {
+            (invalid.trailing_zeros() as usize, false)
         } else {
-            None
+            (self.lru[set].lru(ways), false)
         };
-        *v = Way {
-            tag: line,
-            valid: true,
-            dirty: write,
-            coherence_invalidated: false,
-            lru: clock,
-            meta: fill_meta,
-        };
+        let bit = 1u16 << w;
+        let i = base + w;
+        let evicted = (self.valid[set] & bit != 0).then(|| {
+            (
+                self.line_of(set, self.tags[i]),
+                self.dirty[set] & bit != 0,
+                self.meta[i],
+            )
+        });
+        self.tags[i] = tag;
+        self.valid[set] |= bit;
+        self.coh[set] &= !bit;
+        self.dirty[set] = (self.dirty[set] & !bit) | (u16::from(write) << w);
+        self.meta[i] = fill_meta;
+        self.lru[set] = self.lru[set].touch(w, ways);
         CacheOutcome {
             hit: false,
             coherency_miss,
             evicted,
             hit_meta: None,
+            way: w as u8,
         }
+    }
+
+    /// Overwrites the metadata of `line`'s way `way` without a probe
+    /// (`way` from the access that filled the line; lines keep their way
+    /// until eviction).
+    #[inline]
+    pub fn set_meta_at(&mut self, line: LineAddr, way: u8, meta: M) {
+        let (set, base) = self.base(line);
+        debug_assert_eq!(self.tags[base + way as usize], self.tag_of(line));
+        debug_assert!(self.valid[set] & (1 << way) != 0);
+        self.meta[base + way as usize] = meta;
     }
 
     /// Non-destructive lookup: is the line present and valid?
     #[must_use]
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.ways[self.set_range(line)]
-            .iter()
-            .any(|w| w.valid && w.tag == line)
+        let (set, base) = self.base(line);
+        self.tag_matches(base, self.tag_of(line)) & self.valid[set] != 0
     }
 
     /// Invalidates `line` due to a coherence action. The tag is retained so
     /// a later refill can be classified as a coherency miss. Returns
-    /// `Some(was_dirty)` if the line was present and valid.
-    pub fn invalidate_coherence(&mut self, line: LineAddr) -> Option<bool> {
-        let range = self.set_range(line);
-        for w in &mut self.ways[range] {
-            if w.valid && w.tag == line {
-                w.valid = false;
-                w.coherence_invalidated = true;
-                let dirty = w.dirty;
-                w.dirty = false;
-                return Some(dirty);
-            }
-        }
-        None
+    /// `Some((was_dirty, metadata))` if the line was present and valid.
+    pub fn invalidate_coherence(&mut self, line: LineAddr) -> Option<(bool, M)> {
+        let (set, base) = self.base(line);
+        let w = self.find_valid(set, base, line)?;
+        let bit = 1u16 << w;
+        let dirty = self.dirty[set] & bit != 0;
+        self.valid[set] &= !bit;
+        self.coh[set] |= bit;
+        self.dirty[set] &= !bit;
+        Some((dirty, self.meta[base + w]))
     }
 
     /// Silently removes `line` (back-invalidation on LLC eviction; no
     /// coherency-miss marking). Returns `Some(was_dirty)` if present.
     pub fn remove(&mut self, line: LineAddr) -> Option<bool> {
-        let range = self.set_range(line);
-        for w in &mut self.ways[range] {
-            if w.valid && w.tag == line {
-                w.valid = false;
-                w.coherence_invalidated = false;
-                let dirty = w.dirty;
-                w.dirty = false;
-                return Some(dirty);
-            }
-        }
-        None
+        let (set, base) = self.base(line);
+        let w = self.find_valid(set, base, line)?;
+        let bit = 1u16 << w;
+        let dirty = self.dirty[set] & bit != 0;
+        self.valid[set] &= !bit;
+        self.coh[set] &= !bit;
+        self.dirty[set] &= !bit;
+        Some(dirty)
+    }
+
+    /// Marks `line` dirty at its known `way` without a probe (see
+    /// [`CacheOutcome::way`]).
+    #[inline]
+    pub fn mark_dirty_at(&mut self, line: LineAddr, way: u8) {
+        let set = self.cfg.set_of(line);
+        debug_assert_eq!(
+            self.tags[set * self.cfg.ways + way as usize],
+            self.tag_of(line)
+        );
+        debug_assert!(self.valid[set] & (1 << way) != 0);
+        self.dirty[set] |= 1 << way;
     }
 
     /// Marks an already-present line dirty (used when an L1 writeback
     /// lands in the LLC). Returns `true` if the line was present.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
-        let range = self.set_range(line);
-        for w in &mut self.ways[range] {
-            if w.valid && w.tag == line {
-                w.dirty = true;
-                return true;
+        let (set, base) = self.base(line);
+        match self.find_valid(set, base, line) {
+            Some(w) => {
+                self.dirty[set] |= 1 << w;
+                true
             }
+            None => false,
         }
-        false
     }
 
-    /// Number of valid lines currently resident (O(capacity); for tests
-    /// and diagnostics).
+    /// Number of valid lines currently resident (O(sets); for tests and
+    /// diagnostics).
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
+    }
+}
+
+/// Bitmask selecting the low `ways` bits.
+#[inline]
+fn ways_mask(ways: usize) -> u16 {
+    if ways == 16 {
+        u16::MAX
+    } else {
+        (1u16 << ways) - 1
     }
 }
 
@@ -290,6 +455,12 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_pow2_sets() {
         let _ = CacheConfig::new(3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16 ways")]
+    fn rejects_too_many_ways() {
+        let _ = CacheConfig::new(4, 17);
     }
 
     #[test]
@@ -347,7 +518,7 @@ mod tests {
     fn coherence_invalidation_and_coherency_miss() {
         let mut c = small();
         c.access(0, false, ());
-        assert_eq!(c.invalidate_coherence(0), Some(false));
+        assert_eq!(c.invalidate_coherence(0), Some((false, ())));
         assert!(!c.contains(0));
         let refill = c.access(0, false, ());
         assert!(!refill.hit);
@@ -392,5 +563,40 @@ mod tests {
         }
         assert!(c.occupancy() <= c.config().lines());
         assert_eq!(c.occupancy(), 8);
+    }
+
+    #[test]
+    fn packed_lru_permutation_ops() {
+        let o = LruOrder::identity(4);
+        assert_eq!(o.0, 0x3210);
+        assert_eq!(o.lru(4), 3);
+        let o = o.touch(2, 4); // 2,0,1,3
+        assert_eq!(o.0, 0x3102);
+        assert_eq!(o.rank_of(2, 4), 0);
+        assert_eq!(o.rank_of(0, 4), 1);
+        let o = o.touch(3, 4); // 3,2,0,1
+        assert_eq!(o.0, 0x1023);
+        assert_eq!(o.lru(4), 1);
+        // Touching the MRU way is a no-op.
+        assert_eq!(o.touch(3, 4), o);
+    }
+
+    #[test]
+    fn packed_lru_sixteen_ways() {
+        let mut o = LruOrder::identity(16);
+        assert_eq!(o.lru(16), 15);
+        for w in (0..16).rev() {
+            o = o.touch(w, 16);
+        }
+        // Touched in order 15..0: way 15 is now least recent... after
+        // touching 15 first then 14..0, the LRU is 15.
+        assert_eq!(o.lru(16), 15);
+        assert_eq!(o.rank_of(0, 16), 0);
+        // All ways still present exactly once.
+        let mut seen = [false; 16];
+        for r in 0..16 {
+            seen[((o.0 >> (4 * r)) & 0xF) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

@@ -6,10 +6,67 @@
 //! paper attributes to cache coherency (§3.2, §4.5): upgrades invalidate
 //! remote copies, and re-references of invalidated lines are *coherency
 //! misses*.
-
-use std::collections::HashMap;
+//!
+//! ## Representation
+//!
+//! The directory is probed on every store and updated on every L1 fill
+//! and eviction, so it is kept *flat*: a single contiguous open-addressing
+//! table of `(line, sharer-bitmask)` pairs with linear probing and
+//! backward-shift deletion. Compared to the original
+//! `HashMap<LineAddr, u64>` this removes the SipHash per probe and — via
+//! [`Directory::sharers_other_than`] returning a bitmask instead of a
+//! `Vec` — the per-store allocation. Capacity grows geometrically; an
+//! entry exists only while some L1 holds the line, so the table size is
+//! bounded by total L1 capacity.
 
 use crate::{CoreId, LineAddr};
+
+/// A set of sharer cores, as a bitmask over core ids.
+///
+/// Iterating yields core indices in ascending order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerSet(pub u64);
+
+impl SharerSet {
+    /// Whether no core is in the set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of cores in the set.
+    #[must_use]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The cores as a vector (diagnostics/tests; iteration is
+    /// allocation-free).
+    #[must_use]
+    pub fn to_vec(self) -> Vec<CoreId> {
+        self.into_iter().collect()
+    }
+}
+
+impl Iterator for SharerSet {
+    type Item = CoreId;
+
+    #[inline]
+    fn next(&mut self) -> Option<CoreId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let core = self.0.trailing_zeros() as CoreId;
+        self.0 &= self.0 - 1;
+        Some(core)
+    }
+}
+
+/// Sentinel marking an empty slot in the `lines` array. Real line
+/// addresses never take this value: the largest addresses the simulator
+/// mints are the lock/barrier regions just above 2^33 (kept low for the
+/// caches' compact-tag range).
+const EMPTY_LINE: LineAddr = LineAddr::MAX;
 
 /// Sharer directory for the private L1s. Supports up to 64 cores.
 ///
@@ -20,15 +77,33 @@ use crate::{CoreId, LineAddr};
 /// let mut dir = Directory::new(4);
 /// dir.add_sharer(0, 100);
 /// dir.add_sharer(2, 100);
-/// assert_eq!(dir.sharers_other_than(1, 100), vec![0, 2]);
+/// assert_eq!(dir.sharers_other_than(1, 100).to_vec(), vec![0, 2]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Directory {
-    sharers: HashMap<LineAddr, u64>,
+    /// Slot keys ([`EMPTY_LINE`] = free). Kept separate from the masks so
+    /// a probe walks only this dense 8-byte-per-slot array.
+    lines: Vec<LineAddr>,
+    /// Sharer bitmask per slot (meaningful only where `lines` is
+    /// occupied).
+    masks: Vec<u64>,
+    /// `lines.len() - 1`; capacity is a power of two.
+    index_mask: usize,
+    /// Right-shift turning a 64-bit hash into a slot index (top bits).
+    hash_shift: u32,
+    len: usize,
     n_cores: usize,
 }
 
+/// Fibonacci multiplicative hash; the top bits index the table.
+#[inline]
+fn hash(line: LineAddr) -> u64 {
+    line.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
 impl Directory {
+    const INITIAL_CAP: usize = 1024;
+
     /// Creates a directory for `n_cores` cores.
     ///
     /// # Panics
@@ -38,45 +113,143 @@ impl Directory {
     pub fn new(n_cores: usize) -> Self {
         assert!(n_cores > 0 && n_cores <= 64, "1..=64 cores supported");
         Directory {
-            sharers: HashMap::new(),
+            lines: vec![EMPTY_LINE; Self::INITIAL_CAP],
+            masks: vec![0; Self::INITIAL_CAP],
+            index_mask: Self::INITIAL_CAP - 1,
+            hash_shift: 64 - Self::INITIAL_CAP.trailing_zeros(),
+            len: 0,
             n_cores,
         }
+    }
+
+    /// Index of the slot holding `line`, or of the empty slot where it
+    /// would be inserted.
+    #[inline]
+    fn probe(&self, line: LineAddr) -> usize {
+        debug_assert_ne!(line, EMPTY_LINE, "LineAddr::MAX is reserved");
+        let mut i = (hash(line) >> self.hash_shift) as usize;
+        loop {
+            let l = self.lines[i];
+            if l == line || l == EMPTY_LINE {
+                return i;
+            }
+            i = (i + 1) & self.index_mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.lines.len() * 2;
+        let old_lines = std::mem::replace(&mut self.lines, vec![EMPTY_LINE; new_cap]);
+        let old_masks = std::mem::replace(&mut self.masks, vec![0; new_cap]);
+        self.index_mask = new_cap - 1;
+        self.hash_shift = 64 - new_cap.trailing_zeros();
+        for (line, mask) in old_lines.into_iter().zip(old_masks) {
+            if line != EMPTY_LINE {
+                let i = self.probe(line);
+                self.lines[i] = line;
+                self.masks[i] = mask;
+            }
+        }
+    }
+
+    /// Removes the entry at `i`, back-shifting the displaced cluster tail
+    /// so probe sequences stay intact (Knuth 6.4 algorithm R).
+    fn delete_at(&mut self, mut i: usize) {
+        self.len -= 1;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.index_mask;
+            let line = self.lines[j];
+            if line == EMPTY_LINE {
+                break;
+            }
+            let home = (hash(line) >> self.hash_shift) as usize;
+            // Move the entry back to i unless its home lies within (i, j].
+            let dist_home = j.wrapping_sub(home) & self.index_mask;
+            let dist_i = j.wrapping_sub(i) & self.index_mask;
+            if dist_home >= dist_i {
+                self.lines[i] = line;
+                self.masks[i] = self.masks[j];
+                i = j;
+            }
+        }
+        self.lines[i] = EMPTY_LINE;
+        self.masks[i] = 0;
     }
 
     /// Records that `core`'s L1 now holds `line`.
     pub fn add_sharer(&mut self, core: CoreId, line: LineAddr) {
         debug_assert!(core < self.n_cores);
-        *self.sharers.entry(line).or_insert(0) |= 1 << core;
+        let i = self.probe(line);
+        if self.lines[i] == EMPTY_LINE {
+            // Keep the load factor below 1/2.
+            if (self.len + 1) * 2 > self.lines.len() {
+                self.grow();
+                return self.add_sharer(core, line);
+            }
+            self.lines[i] = line;
+            self.masks[i] = 1 << core;
+            self.len += 1;
+        } else {
+            self.masks[i] |= 1 << core;
+        }
     }
 
     /// Records that `core`'s L1 no longer holds `line`.
     pub fn remove_sharer(&mut self, core: CoreId, line: LineAddr) {
-        if let Some(mask) = self.sharers.get_mut(&line) {
-            *mask &= !(1 << core);
-            if *mask == 0 {
-                self.sharers.remove(&line);
+        let i = self.probe(line);
+        if self.lines[i] != EMPTY_LINE {
+            self.masks[i] &= !(1 << core);
+            if self.masks[i] == 0 {
+                self.delete_at(i);
             }
         }
     }
 
-    /// Cores other than `core` whose L1 holds `line` (the invalidation
-    /// targets of a store by `core`).
+    /// Drops the whole entry for `line` (all sharers at once; used for
+    /// LLC back-invalidation, where every L1 copy dies together).
+    pub fn clear_line(&mut self, line: LineAddr) {
+        let i = self.probe(line);
+        if self.lines[i] != EMPTY_LINE {
+            self.delete_at(i);
+        }
+    }
+
+    /// Removes and returns `line`'s sharer set in a single probe
+    /// (`sharers` + `clear_line` fused for the LLC-eviction path).
+    pub fn take_line(&mut self, line: LineAddr) -> SharerSet {
+        let i = self.probe(line);
+        if self.lines[i] == EMPTY_LINE {
+            return SharerSet(0);
+        }
+        let mask = self.masks[i];
+        self.delete_at(i);
+        SharerSet(mask)
+    }
+
+    /// All cores whose L1 holds `line`.
     #[must_use]
-    pub fn sharers_other_than(&self, core: CoreId, line: LineAddr) -> Vec<CoreId> {
-        let mask = self.sharers.get(&line).copied().unwrap_or(0) & !(1 << core);
-        (0..self.n_cores).filter(|c| mask & (1 << c) != 0).collect()
+    pub fn sharers(&self, line: LineAddr) -> SharerSet {
+        SharerSet(self.masks[self.probe(line)])
+    }
+
+    /// Cores other than `core` whose L1 holds `line` (the invalidation
+    /// targets of a store by `core`). Allocation-free.
+    #[must_use]
+    pub fn sharers_other_than(&self, core: CoreId, line: LineAddr) -> SharerSet {
+        SharerSet(self.masks[self.probe(line)] & !(1 << core))
     }
 
     /// Whether any core's L1 holds `line`.
     #[must_use]
     pub fn is_shared(&self, line: LineAddr) -> bool {
-        self.sharers.get(&line).is_some_and(|m| *m != 0)
+        self.lines[self.probe(line)] != EMPTY_LINE
     }
 
     /// Number of tracked lines (diagnostics).
     #[must_use]
     pub fn tracked_lines(&self) -> usize {
-        self.sharers.len()
+        self.len
     }
 }
 
@@ -96,9 +269,9 @@ mod tests {
         d.add_sharer(1, 5);
         d.add_sharer(3, 5);
         assert!(d.is_shared(5));
-        assert_eq!(d.sharers_other_than(1, 5), vec![3]);
+        assert_eq!(d.sharers_other_than(1, 5).to_vec(), vec![3]);
         d.remove_sharer(3, 5);
-        assert_eq!(d.sharers_other_than(1, 5), Vec::<usize>::new());
+        assert!(d.sharers_other_than(1, 5).is_empty());
         d.remove_sharer(1, 5);
         assert!(!d.is_shared(5));
         assert_eq!(d.tracked_lines(), 0);
@@ -116,7 +289,8 @@ mod tests {
         let mut d = Directory::new(4);
         d.add_sharer(0, 1);
         d.add_sharer(0, 1);
-        assert_eq!(d.sharers_other_than(3, 1), vec![0]);
+        assert_eq!(d.sharers_other_than(3, 1).to_vec(), vec![0]);
+        assert_eq!(d.tracked_lines(), 1);
     }
 
     #[test]
@@ -124,5 +298,103 @@ mod tests {
         let mut d = Directory::new(4);
         d.remove_sharer(0, 123);
         assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn clear_line_drops_all_sharers() {
+        let mut d = Directory::new(8);
+        for c in 0..8 {
+            d.add_sharer(c, 77);
+        }
+        assert_eq!(d.sharers(77).len(), 8);
+        d.clear_line(77);
+        assert!(!d.is_shared(77));
+        assert_eq!(d.tracked_lines(), 0);
+        // Clearing an absent line is a no-op.
+        d.clear_line(77);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut d = Directory::new(2);
+        for line in 0..10_000u64 {
+            d.add_sharer((line % 2) as usize, line);
+        }
+        assert_eq!(d.tracked_lines(), 10_000);
+        for line in 0..10_000u64 {
+            assert_eq!(d.sharers(line).0, 1 << (line % 2), "line {line}");
+        }
+        for line in 0..10_000u64 {
+            d.remove_sharer((line % 2) as usize, line);
+        }
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn sharer_set_iteration_order() {
+        let s = SharerSet(0b1010_0001);
+        assert_eq!(s.to_vec(), vec![0, 5, 7]);
+        assert_eq!(s.len(), 3);
+    }
+
+    /// Randomized equivalence against the original `HashMap<LineAddr,
+    /// u64>` semantics: every operation must agree on a long random
+    /// add/remove/clear stream with clustered keys (exercises
+    /// backward-shift deletion inside probe clusters).
+    #[test]
+    fn equivalent_to_hashmap_reference() {
+        use std::collections::HashMap;
+
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let n_cores = 16;
+        let mut dir = Directory::new(n_cores);
+        let mut reference: HashMap<LineAddr, u64> = HashMap::new();
+        for step in 0..200_000u64 {
+            // Clustered key space so probe chains form.
+            let line = next() % 4096;
+            let core = (next() % n_cores as u64) as usize;
+            match next() % 5 {
+                0 | 1 => {
+                    dir.add_sharer(core, line);
+                    *reference.entry(line).or_insert(0) |= 1 << core;
+                }
+                2 => {
+                    dir.remove_sharer(core, line);
+                    if let Some(m) = reference.get_mut(&line) {
+                        *m &= !(1 << core);
+                        if *m == 0 {
+                            reference.remove(&line);
+                        }
+                    }
+                }
+                3 => {
+                    dir.clear_line(line);
+                    reference.remove(&line);
+                }
+                _ => {
+                    let taken = dir.take_line(line);
+                    assert_eq!(
+                        taken.0,
+                        reference.remove(&line).unwrap_or(0),
+                        "take at step {step}"
+                    );
+                }
+            }
+            let expect = reference.get(&line).copied().unwrap_or(0);
+            assert_eq!(dir.sharers(line).0, expect, "step {step}, line {line}");
+            assert_eq!(dir.is_shared(line), expect != 0);
+            assert_eq!(dir.sharers_other_than(core, line).0, expect & !(1 << core));
+            if step % 4096 == 0 {
+                assert_eq!(dir.tracked_lines(), reference.len(), "step {step}");
+            }
+        }
+        assert_eq!(dir.tracked_lines(), reference.len());
     }
 }

@@ -120,7 +120,10 @@ impl AccessEvent {
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
     cfg: MemConfig,
-    l1s: Vec<Cache<()>>,
+    /// Private L1s. Each line's metadata is the LLC way holding the line
+    /// (stable under inclusion until back-invalidation), so dirty
+    /// writebacks set the LLC dirty bit without a probe.
+    l1s: Vec<Cache<u8>>,
     llc: SharedLlc,
     atds: Vec<Atd>,
     dir: Directory,
@@ -169,15 +172,21 @@ impl MemoryHierarchy {
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: CoreId, line: LineAddr, write: bool, now: u64) -> AccessEvent {
         assert!(core < self.l1s.len(), "core {core} out of range");
+        // A single-core hierarchy has no remote sharers: every directory
+        // probe would be a no-op, so skip the bookkeeping wholesale (the
+        // single-threaded reference runs of every figure take this path).
+        let single_core = self.l1s.len() == 1;
 
-        // 1. Coherence: a store invalidates all remote L1 copies.
+        // 1. Coherence: a store invalidates all remote L1 copies. The
+        // directory names exactly the sharing cores, so this walks only
+        // genuine sharers (no allocation: the sharer set is a bitmask).
         let mut invalidations_sent = 0;
-        if write {
+        if write && !single_core {
             for target in self.dir.sharers_other_than(core, line) {
-                if let Some(dirty) = self.l1s[target].invalidate_coherence(line) {
+                if let Some((dirty, llc_way)) = self.l1s[target].invalidate_coherence(line) {
                     invalidations_sent += 1;
                     if dirty {
-                        self.llc.writeback(line);
+                        self.llc.writeback_at(line, llc_way);
                     }
                 }
                 self.dir.remove_sharer(target, line);
@@ -185,36 +194,56 @@ impl MemoryHierarchy {
         }
 
         // 2. Private L1.
-        let l1_out = self.l1s[core].access(line, write, ());
+        let l1_out = self.l1s[core].access(line, write, 0);
         if l1_out.hit {
             let mut ev = AccessEvent::l1_hit();
             ev.invalidations_sent = invalidations_sent;
             return ev;
         }
-        if let Some((evicted, dirty, ())) = l1_out.evicted {
-            self.dir.remove_sharer(core, evicted);
+        if let Some((evicted, dirty, llc_way)) = l1_out.evicted {
+            if !single_core {
+                self.dir.remove_sharer(core, evicted);
+            }
             if dirty {
-                self.llc.writeback(evicted);
+                self.llc.writeback_at(evicted, llc_way);
             }
         }
-        self.dir.add_sharer(core, line);
+        if !single_core {
+            self.dir.add_sharer(core, line);
+        }
 
         // 3. ATD probe (every LLC access, sampled sets only).
         let atd_out = self.atds[core].access(line, write);
 
         // 4. Shared LLC.
         let llc_out = self.llc.access(core, line, write);
+        // Remember the line's LLC way in the just-filled L1 way (a direct
+        // store — both ways are known from the two access outcomes).
+        self.l1s[core].set_meta_at(line, l1_out.way, llc_out.way);
         if let Some((evicted, dirty)) = llc_out.evicted {
-            // Inclusion: back-invalidate every L1 copy.
-            for l1 in &mut self.l1s {
-                l1.remove(evicted);
-            }
-            for c in 0..self.l1s.len() {
-                self.dir.remove_sharer(c, evicted);
+            // Inclusion: back-invalidate every L1 copy. The directory is
+            // kept in sync with the L1 contents, so only actual holders
+            // are walked (checked against all L1s under debug asserts).
+            if single_core {
+                self.l1s[0].remove(evicted);
+            } else {
+                let holders = self.dir.take_line(evicted);
+                for c in holders {
+                    self.l1s[c].remove(evicted);
+                }
+                #[cfg(debug_assertions)]
+                for (c, l1) in self.l1s.iter().enumerate() {
+                    debug_assert!(
+                        (holders.0 >> c) & 1 == 1 || !l1.contains(evicted),
+                        "directory out of sync: core {c} holds line {evicted} untracked"
+                    );
+                }
             }
             if dirty {
                 // Writeback occupies a bank and the bus; nobody stalls on it.
-                let _ = self.dram.access(core, evicted, now + self.cfg.llc_hit_latency);
+                let _ = self
+                    .dram
+                    .access(core, evicted, now + self.cfg.llc_hit_latency);
             }
         }
 
@@ -310,7 +339,7 @@ mod tests {
         // Other core floods the set.
         m.access(1, 16, false, 100);
         m.access(1, 32, false, 200); // evicts line 0 from shared LLC
-        // Core 0 misses in LLC but would have hit privately → inter-thread miss.
+                                     // Core 0 misses in LLC but would have hit privately → inter-thread miss.
         let ev = m.access(0, 0, false, 10_000);
         assert_eq!(ev.level, ServedBy::Dram);
         assert!(ev.interthread_miss_sampled);
@@ -324,7 +353,10 @@ mod tests {
         m.access(0, 32, false, 200); // self-evicts line 0
         let ev = m.access(0, 0, false, 10_000);
         assert_eq!(ev.level, ServedBy::Dram);
-        assert!(!ev.interthread_miss_sampled, "self-inflicted miss misclassified");
+        assert!(
+            !ev.interthread_miss_sampled,
+            "self-inflicted miss misclassified"
+        );
     }
 
     #[test]
@@ -356,7 +388,11 @@ mod tests {
         m.access(0, 16, false, 100);
         m.access(0, 32, false, 200); // LLC evicts line 0 → back-invalidate L1
         let ev = m.access(0, 0, false, 300);
-        assert_eq!(ev.level, ServedBy::Dram, "inclusion violated: L1 still had line 0");
+        assert_eq!(
+            ev.level,
+            ServedBy::Dram,
+            "inclusion violated: L1 still had line 0"
+        );
         // Back-invalidation is not a coherency miss.
         assert!(!ev.coherency_miss);
     }

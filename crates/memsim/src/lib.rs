@@ -24,6 +24,16 @@
 //! instructions — that lives in `cmpsim`. All state here is advanced in
 //! global time order by the caller.
 //!
+//! ## Hot-path representation
+//!
+//! Every structure on the access path is *flat*: caches are
+//! structure-of-arrays tables with compact 32-bit tags, per-set status
+//! bitmasks and packed per-set LRU orderings ([`cache`]); the coherence
+//! directory is a contiguous open-addressing table returning sharer
+//! bitmasks instead of allocating vectors ([`coherence`]); the maps that
+//! must stay sparse hash with the multiply-rotate [`fx`] hasher instead
+//! of SipHash. An access allocates nothing.
+//!
 //! ## Example
 //!
 //! ```
@@ -46,13 +56,15 @@ pub mod atd;
 pub mod cache;
 pub mod coherence;
 pub mod dram;
+pub mod fx;
 pub mod hierarchy;
 pub mod llc;
 
 pub use atd::Atd;
 pub use cache::{Cache, CacheConfig, CacheOutcome};
-pub use coherence::Directory;
+pub use coherence::{Directory, SharerSet};
 pub use dram::{Dram, DramAccess, DramConfig};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hierarchy::{AccessEvent, MemConfig, MemoryHierarchy, ServedBy};
 pub use llc::{LlcOutcome, SharedLlc};
 

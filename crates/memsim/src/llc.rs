@@ -25,6 +25,10 @@ pub struct LlcOutcome {
     /// caller must back-invalidate L1 copies (inclusion) and write back
     /// dirty data.
     pub evicted: Option<(LineAddr, bool)>,
+    /// The way now holding the line. Stable until the line is evicted
+    /// (which back-invalidates all L1 copies), so L1s may keep it as a
+    /// probe-free writeback handle for [`SharedLlc::writeback_at`].
+    pub way: u8,
 }
 
 /// The shared LLC.
@@ -66,10 +70,9 @@ impl SharedLlc {
         let out = self.cache.access(line, write, meta);
         LlcOutcome {
             hit: out.hit,
-            interthread_hit_truth: out
-                .hit_meta
-                .is_some_and(|m| m.inserter as usize != core),
+            interthread_hit_truth: out.hit_meta.is_some_and(|m| m.inserter as usize != core),
             evicted: out.evicted.map(|(l, d, _)| (l, d)),
+            way: out.way,
         }
     }
 
@@ -77,6 +80,14 @@ impl SharedLlc {
     /// Returns `true` if the line was resident.
     pub fn writeback(&mut self, line: LineAddr) -> bool {
         self.cache.mark_dirty(line)
+    }
+
+    /// Probe-free writeback: marks `line` dirty at its known `way` (the
+    /// handle from [`LlcOutcome::way`]; valid while any L1 holds the
+    /// line, since evicting the LLC line back-invalidates every copy).
+    #[inline]
+    pub fn writeback_at(&mut self, line: LineAddr, way: u8) {
+        self.cache.mark_dirty_at(line, way);
     }
 
     /// Non-destructive presence check.

@@ -1,0 +1,261 @@
+//! Equivalence of the flat (SoA + packed-LRU) cache against the original
+//! timestamp-LRU semantics.
+//!
+//! The reference model below reimplements the pre-flattening `Cache`
+//! exactly: per-way `lru` timestamps bumped from a global clock, victim
+//! selection preferring a coherence-invalidated tag match, then the first
+//! invalid way, then the minimum timestamp. Randomized op streams over
+//! clustered line spaces must produce identical outcomes — hits,
+//! coherency-miss classification, evictions (line, dirty, metadata) and
+//! occupancy — at every step.
+
+use memsim::{Cache, CacheConfig, CacheOutcome};
+
+/// Deterministic SplitMix64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The original cache representation, kept verbatim as the reference.
+struct RefWay<M> {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    coherence_invalidated: bool,
+    lru: u64,
+    meta: M,
+}
+
+struct RefCache<M> {
+    cfg: CacheConfig,
+    ways: Vec<RefWay<M>>,
+    clock: u64,
+}
+
+impl<M: Copy + Default> RefCache<M> {
+    fn new(cfg: CacheConfig) -> Self {
+        let ways = (0..cfg.lines())
+            .map(|_| RefWay {
+                tag: 0,
+                valid: false,
+                dirty: false,
+                coherence_invalidated: false,
+                lru: 0,
+                meta: M::default(),
+            })
+            .collect();
+        RefCache {
+            cfg,
+            ways,
+            clock: 0,
+        }
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = self.cfg.set_of(line);
+        let start = set * self.cfg.ways();
+        start..start + self.cfg.ways()
+    }
+
+    fn access(&mut self, line: u64, write: bool, fill_meta: M) -> CacheOutcome<M> {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line);
+
+        let set_start = range.start;
+        for (w_idx, w) in self.ways[range.clone()].iter_mut().enumerate() {
+            if w.valid && w.tag == line {
+                w.lru = clock;
+                if write {
+                    w.dirty = true;
+                }
+                return CacheOutcome {
+                    hit: true,
+                    coherency_miss: false,
+                    evicted: None,
+                    hit_meta: Some(w.meta),
+                    way: w_idx as u8,
+                };
+            }
+        }
+
+        let mut victim: Option<usize> = None;
+        let mut victim_lru = u64::MAX;
+        let mut coherency_miss = false;
+        for i in range.clone() {
+            if !self.ways[i].valid {
+                if self.ways[i].coherence_invalidated && self.ways[i].tag == line {
+                    coherency_miss = true;
+                    victim = Some(i);
+                    break;
+                }
+                if victim.is_none() || self.ways[victim.unwrap()].valid {
+                    victim = Some(i);
+                    victim_lru = 0;
+                }
+            } else if self.ways[i].lru < victim_lru {
+                victim = Some(i);
+                victim_lru = self.ways[i].lru;
+            }
+        }
+        let vi = victim.expect("set has at least one way");
+        let v = &mut self.ways[vi];
+        let evicted = if v.valid {
+            Some((v.tag, v.dirty, v.meta))
+        } else {
+            None
+        };
+        *v = RefWay {
+            tag: line,
+            valid: true,
+            dirty: write,
+            coherence_invalidated: false,
+            lru: clock,
+            meta: fill_meta,
+        };
+        CacheOutcome {
+            hit: false,
+            coherency_miss,
+            evicted,
+            hit_meta: None,
+            way: (vi - set_start) as u8,
+        }
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        self.ways[self.set_range(line)]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+
+    fn invalidate_coherence(&mut self, line: u64) -> Option<(bool, M)> {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line {
+                w.valid = false;
+                w.coherence_invalidated = true;
+                let dirty = w.dirty;
+                w.dirty = false;
+                return Some((dirty, w.meta));
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, line: u64) -> Option<bool> {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line {
+                w.valid = false;
+                w.coherence_invalidated = false;
+                let dirty = w.dirty;
+                w.dirty = false;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    fn mark_dirty(&mut self, line: u64) -> bool {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line {
+                w.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+fn drive(cfg: CacheConfig, seed: u64, steps: u64, line_space: u64) {
+    let mut rng = Rng(seed);
+    let mut flat: Cache<u8> = Cache::new(cfg);
+    let mut reference: RefCache<u8> = RefCache::new(cfg);
+    for step in 0..steps {
+        let line = rng.below(line_space);
+        let op = rng.below(16);
+        match op {
+            // Accesses dominate, as in real streams.
+            0..=10 => {
+                let write = op.is_multiple_of(3);
+                let meta = (step % 251) as u8;
+                let a = flat.access(line, write, meta);
+                let b = reference.access(line, write, meta);
+                assert_eq!(a, b, "access mismatch at step {step}, line {line}");
+            }
+            11 | 12 => {
+                assert_eq!(
+                    flat.invalidate_coherence(line),
+                    reference.invalidate_coherence(line),
+                    "invalidate mismatch at step {step}"
+                );
+            }
+            13 => {
+                assert_eq!(
+                    flat.remove(line),
+                    reference.remove(line),
+                    "remove mismatch at step {step}"
+                );
+            }
+            14 => {
+                assert_eq!(
+                    flat.mark_dirty(line),
+                    reference.mark_dirty(line),
+                    "mark_dirty mismatch at step {step}"
+                );
+            }
+            _ => {
+                assert_eq!(flat.contains(line), reference.contains(line));
+                assert_eq!(
+                    flat.occupancy(),
+                    reference.occupancy(),
+                    "occupancy at step {step}"
+                );
+            }
+        }
+    }
+    assert_eq!(flat.occupancy(), reference.occupancy());
+}
+
+#[test]
+fn flat_cache_equals_timestamp_lru_reference_small_sets() {
+    // High-pressure: 4 sets × 2 ways over 64 lines.
+    drive(CacheConfig::new(4, 2), 0xAA, 60_000, 64);
+}
+
+#[test]
+fn flat_cache_equals_timestamp_lru_reference_l1_geometry() {
+    // The paper's L1: 128 sets × 8 ways, clustered working set.
+    drive(CacheConfig::from_kib(64, 64, 8), 0xBB, 60_000, 4_096);
+}
+
+#[test]
+fn flat_cache_equals_timestamp_lru_reference_16_way() {
+    // Full associativity bound: 16 ways exercises every LRU rank,
+    // including the rank-15 promotion.
+    drive(CacheConfig::new(2, 16), 0xCC, 60_000, 96);
+}
+
+#[test]
+fn flat_cache_equals_reference_across_seeds() {
+    for seed in 0..8u64 {
+        drive(CacheConfig::new(8, 4), 0x1000 + seed, 8_000, 256);
+    }
+}

@@ -1,71 +1,107 @@
-//! Property-based tests of the memory-hierarchy invariants.
+//! Property-style tests of the memory-hierarchy invariants.
+//!
+//! No proptest offline: deterministic randomized sweeps via SplitMix64
+//! (stable case streams; failures reproduce exactly).
 
 use memsim::{Cache, CacheConfig, Dram, DramConfig, MemConfig, MemoryHierarchy, ServedBy};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Deterministic SplitMix64 stream (inlined: memsim has no deps).
+struct Rng(u64);
 
-    #[test]
-    fn cache_never_exceeds_capacity(
-        sets_log2 in 1u32..6, ways in 1usize..9, accesses in prop::collection::vec((0u64..4096, prop::bool::ANY), 1..400)
-    ) {
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn chance(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+#[test]
+fn cache_never_exceeds_capacity() {
+    let mut rng = Rng(0x10);
+    for _ in 0..48 {
+        let sets_log2 = 1 + rng.below(5) as u32;
+        let ways = 1 + rng.below(8) as usize;
         let cfg = CacheConfig::new(1 << sets_log2, ways);
         let mut c: Cache<()> = Cache::new(cfg);
-        for (line, write) in accesses {
+        let n_accesses = 1 + rng.below(399);
+        for _ in 0..n_accesses {
+            let line = rng.below(4096);
+            let write = rng.chance();
             c.access(line, write, ());
-            prop_assert!(c.occupancy() <= cfg.lines());
+            assert!(c.occupancy() <= cfg.lines());
         }
     }
+}
 
-    #[test]
-    fn cache_hit_after_access_until_capacity(
-        line in 0u64..10_000, others in prop::collection::vec(0u64..10_000, 0..4)
-    ) {
-        // With fewer distinct lines than ways in the set, a line stays
-        // resident.
+#[test]
+fn cache_hit_after_access_until_capacity() {
+    // With fewer distinct lines than ways in the set, a line stays
+    // resident.
+    let mut rng = Rng(0x20);
+    for _ in 0..48 {
+        let line = rng.below(10_000);
         let mut c: Cache<()> = Cache::new(CacheConfig::new(1, 8));
         c.access(line, false, ());
-        for o in others {
-            c.access(o, false, ());
+        let n_others = rng.below(4);
+        for _ in 0..n_others {
+            c.access(rng.below(10_000), false, ());
         }
-        prop_assert!(c.contains(line));
+        assert!(c.contains(line));
     }
+}
 
-    #[test]
-    fn invalidated_lines_are_not_hits(
-        lines in prop::collection::vec(0u64..256, 1..50)
-    ) {
+#[test]
+fn invalidated_lines_are_not_hits() {
+    let mut rng = Rng(0x30);
+    for _ in 0..48 {
         let mut c: Cache<()> = Cache::new(CacheConfig::new(8, 4));
-        for &l in &lines {
+        let n = 1 + rng.below(49);
+        for _ in 0..n {
+            let l = rng.below(256);
             c.access(l, true, ());
             c.invalidate_coherence(l);
-            prop_assert!(!c.contains(l));
+            assert!(!c.contains(l));
         }
     }
+}
 
-    #[test]
-    fn dram_latency_bounds(
-        accesses in prop::collection::vec((0usize..4, 0u64..100_000, 0u64..50), 1..300)
-    ) {
+#[test]
+fn dram_latency_bounds() {
+    let mut rng = Rng(0x40);
+    for _ in 0..48 {
         let cfg = DramConfig::default();
         let mut d = Dram::new(cfg, 4);
         let mut now = 0u64;
-        for (core, line, gap) in accesses {
-            now += gap;
+        let n = 1 + rng.below(299);
+        for _ in 0..n {
+            let core = rng.below(4) as usize;
+            let line = rng.below(100_000);
+            now += rng.below(50);
             let a = d.access(core, line, now);
             // Lower bound: a row hit with a free bus.
-            prop_assert!(a.latency >= cfg.row_hit_latency() + cfg.t_bus);
+            assert!(a.latency >= cfg.row_hit_latency() + cfg.t_bus);
             // All attributed waits are within the total latency.
-            prop_assert!(a.bank_wait_other + a.bus_wait_other <= a.latency);
-            prop_assert!(a.page_conflict_other <= cfg.row_conflict_latency());
+            assert!(a.bank_wait_other + a.bus_wait_other <= a.latency);
+            assert!(a.page_conflict_other <= cfg.row_conflict_latency());
         }
     }
+}
 
-    #[test]
-    fn hierarchy_event_consistency(
-        accesses in prop::collection::vec((0usize..4, 0u64..4096, prop::bool::ANY, 0u64..100), 1..300)
-    ) {
+#[test]
+fn hierarchy_event_consistency() {
+    let mut rng = Rng(0x50);
+    for _ in 0..48 {
         let cfg = MemConfig {
             l1: CacheConfig::new(16, 2),
             llc: CacheConfig::new(64, 4),
@@ -74,40 +110,50 @@ proptest! {
         };
         let mut m = MemoryHierarchy::new(&cfg, 4);
         let mut now = 0u64;
-        for (core, line, write, gap) in accesses {
-            now += gap;
+        let n = 1 + rng.below(299);
+        for _ in 0..n {
+            let core = rng.below(4) as usize;
+            let line = rng.below(4096);
+            let write = rng.chance();
+            now += rng.below(100);
             let ev = m.access(core, line, write, now);
             match ev.level {
-                ServedBy::L1 => prop_assert_eq!(ev.latency_beyond_l1, 0),
-                ServedBy::Llc => prop_assert_eq!(ev.latency_beyond_l1, cfg.llc_hit_latency),
-                ServedBy::Dram => prop_assert!(ev.latency_beyond_l1 > cfg.llc_hit_latency),
+                ServedBy::L1 => assert_eq!(ev.latency_beyond_l1, 0),
+                ServedBy::Llc => assert_eq!(ev.latency_beyond_l1, cfg.llc_hit_latency),
+                ServedBy::Dram => assert!(ev.latency_beyond_l1 > cfg.llc_hit_latency),
             }
             // Sampled classifications imply a sampled set.
             if ev.interthread_hit_sampled || ev.interthread_miss_sampled {
-                prop_assert!(ev.sampled);
+                assert!(ev.sampled);
             }
             // A hit cannot be an inter-thread miss and vice versa.
-            prop_assert!(!(ev.interthread_hit_sampled && ev.interthread_miss_sampled));
+            assert!(!(ev.interthread_hit_sampled && ev.interthread_miss_sampled));
             // Interference attribution only on DRAM accesses.
             if ev.level != ServedBy::Dram {
-                prop_assert_eq!(ev.bus_wait_other + ev.bank_wait_other + ev.page_conflict_other, 0);
+                assert_eq!(
+                    ev.bus_wait_other + ev.bank_wait_other + ev.page_conflict_other,
+                    0
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn atd_matches_private_cache_of_same_geometry(
-        accesses in prop::collection::vec(0u64..2048, 1..400)
-    ) {
-        // An ATD with sampling period 1 must behave exactly like a
-        // private cache with the LLC's geometry.
+#[test]
+fn atd_matches_private_cache_of_same_geometry() {
+    // An ATD with sampling period 1 must behave exactly like a private
+    // cache with the LLC's geometry.
+    let mut rng = Rng(0x60);
+    for _ in 0..48 {
         let llc_cfg = CacheConfig::new(32, 2);
         let mut atd = memsim::Atd::new(llc_cfg, 1);
         let mut reference: Cache<()> = Cache::new(llc_cfg);
-        for line in accesses {
+        let n = 1 + rng.below(399);
+        for _ in 0..n {
+            let line = rng.below(2048);
             let atd_hit = atd.access(line, false).expect("period 1 samples all").hit;
             let ref_hit = reference.access(line, false, ()).hit;
-            prop_assert_eq!(atd_hit, ref_hit);
+            assert_eq!(atd_hit, ref_hit);
         }
     }
 }

@@ -79,60 +79,404 @@ pub fn paper_suite() -> Vec<WorkloadProfile> {
     vec![
         // ---- good scaling (speedup >= 10x at 16 threads) -----------------
         // blackscholes: embarrassingly parallel, tiny working set.
-        profile("blackscholes", ParsecMedium, 15.94, 48_000, 2, 0.02, 400, 2, 1, 8_192, Random, 256, 0.05, None, 0.01),
-        profile("blackscholes", ParsecSmall, 15.71, 24_000, 2, 0.03, 400, 2, 1, 8_192, Random, 256, 0.05, None, 0.01),
+        profile(
+            "blackscholes",
+            ParsecMedium,
+            15.94,
+            48_000,
+            2,
+            0.02,
+            400,
+            2,
+            1,
+            8_192,
+            Random,
+            256,
+            0.05,
+            None,
+            0.01,
+        ),
+        profile(
+            "blackscholes",
+            ParsecSmall,
+            15.71,
+            24_000,
+            2,
+            0.03,
+            400,
+            2,
+            1,
+            8_192,
+            Random,
+            256,
+            0.05,
+            None,
+            0.01,
+        ),
         // radix: streaming sort, memory-bandwidth bound, mild phase skew.
-        profile("radix", Splash2, 11.60, 24_000, 8, 0.25, 1_100, 1, 1, 524_288, Streaming, 1_024, 0.02, None, 0.02),
+        profile(
+            "radix", Splash2, 11.60, 24_000, 8, 0.25, 1_100, 1, 1, 524_288, Streaming, 1_024, 0.02,
+            None, 0.02,
+        ),
         // swaptions simmedium: enough work per thread to scale well.
-        profile("swaptions", ParsecMedium, 12.99, 32_000, 2, 0.15, 600, 2, 1, 16_384, Random, 128, 0.02, None, 0.10),
+        profile(
+            "swaptions",
+            ParsecMedium,
+            12.99,
+            32_000,
+            2,
+            0.15,
+            600,
+            2,
+            1,
+            16_384,
+            Random,
+            128,
+            0.02,
+            None,
+            0.10,
+        ),
         // heartwall: barrier-phased tracking with moderate imbalance.
-        profile("heartwall", Rodinia, 10.39, 24_000, 12, 0.38, 560, 2, 1, 24_576, Random, 512, 0.05, None, 0.03),
+        profile(
+            "heartwall",
+            Rodinia,
+            10.39,
+            24_000,
+            12,
+            0.38,
+            560,
+            2,
+            1,
+            24_576,
+            Random,
+            512,
+            0.05,
+            None,
+            0.03,
+        ),
         // ---- moderate scaling --------------------------------------------
         // srad: stencil phases + heavy memory traffic + LLC pressure.
-        profile("srad", Rodinia, 5.20, 16_000, 16, 0.90, 420, 5, 2, 131_072, Random, 1_024, 0.05, None, 0.04),
+        profile(
+            "srad", Rodinia, 5.20, 16_000, 16, 0.90, 420, 5, 2, 131_072, Random, 1_024, 0.05, None,
+            0.04,
+        ),
         // cholesky: task queue with short, hot critical sections (spinning)
         // and a large read-shared factor working set (positive interference).
-        profile("cholesky", Splash2, 5.02, 20_000, 2, 0.20, 260, 4, 1, 98_304, Random, 6_144, 0.13, cs(1, 60, 1), 0.04),
+        profile(
+            "cholesky",
+            Splash2,
+            5.02,
+            20_000,
+            2,
+            0.20,
+            260,
+            4,
+            1,
+            98_304,
+            Random,
+            6_144,
+            0.13,
+            cs(1, 60, 1),
+            0.04,
+        ),
         // lud: triangular solve, strong rotating imbalance.
-        profile("lud", Rodinia, 5.77, 16_000, 24, 2.10, 400, 2, 1, 16_384, Random, 512, 0.10, None, 0.03),
+        profile(
+            "lud", Rodinia, 5.77, 16_000, 24, 2.10, 400, 2, 1, 16_384, Random, 512, 0.10, None,
+            0.03,
+        ),
         // water-nsquared: long force-update critical sections.
-        profile("water-nsquared", Splash2, 5.77, 8_000, 4, 0.30, 1_400, 3, 1, 16_384, Random, 1_024, 0.15, cs(1, 230, 1), 0.04),
+        profile(
+            "water-nsquared",
+            Splash2,
+            5.77,
+            8_000,
+            4,
+            0.30,
+            1_400,
+            3,
+            1,
+            16_384,
+            Random,
+            1_024,
+            0.15,
+            cs(1, 230, 1),
+            0.04,
+        ),
         // fluidanimate: fine-grain cell locks + barrier phases.
-        profile("fluidanimate", ParsecMedium, 5.71, 12_000, 8, 1.70, 420, 4, 2, 16_384, Random, 2_048, 0.15, cs(1, 40, 32), 0.18),
+        profile(
+            "fluidanimate",
+            ParsecMedium,
+            5.71,
+            12_000,
+            8,
+            1.70,
+            420,
+            4,
+            2,
+            16_384,
+            Random,
+            2_048,
+            0.15,
+            cs(1, 40, 32),
+            0.18,
+        ),
         // lu non-contiguous: block solver, shared blocks, LLC pressure.
-        profile("lu.ncont", Splash2, 5.53, 20_000, 12, 1.45, 400, 6, 1, 65_536, Random, 6_144, 0.12, None, 0.05),
+        profile(
+            "lu.ncont", Splash2, 5.53, 20_000, 12, 1.45, 400, 6, 1, 65_536, Random, 6_144, 0.12,
+            None, 0.05,
+        ),
         // lu contiguous: same structure, friendlier layout.
-        profile("lu.cont", Splash2, 5.79, 20_000, 12, 1.55, 400, 6, 1, 49_152, Random, 6_144, 0.12, None, 0.04),
+        profile(
+            "lu.cont", Splash2, 5.79, 20_000, 12, 1.55, 400, 6, 1, 49_152, Random, 6_144, 0.12,
+            None, 0.04,
+        ),
         // facesim: physics phases, per-thread partitions overflow the LLC.
-        profile("facesim", ParsecMedium, 5.50, 18_000, 10, 1.35, 450, 5, 2, 40_960, Random, 1_024, 0.05, None, 0.06),
-        profile("facesim", ParsecSmall, 5.46, 14_000, 10, 1.35, 450, 5, 2, 40_960, Random, 1_024, 0.05, None, 0.06),
+        profile(
+            "facesim",
+            ParsecMedium,
+            5.50,
+            18_000,
+            10,
+            1.35,
+            450,
+            5,
+            2,
+            40_960,
+            Random,
+            1_024,
+            0.05,
+            None,
+            0.06,
+        ),
+        profile(
+            "facesim",
+            ParsecSmall,
+            5.46,
+            14_000,
+            10,
+            1.35,
+            450,
+            5,
+            2,
+            40_960,
+            Random,
+            1_024,
+            0.05,
+            None,
+            0.06,
+        ),
         // fft: all-to-all transpose phases, bandwidth-sensitive.
-        profile("fft", Splash2, 9.43, 20_000, 10, 0.45, 400, 3, 1, 32_768, Random, 2_048, 0.10, None, 0.03),
+        profile(
+            "fft", Splash2, 9.43, 20_000, 10, 0.45, 400, 3, 1, 32_768, Random, 2_048, 0.10, None,
+            0.03,
+        ),
         // canneal: random walks over a big shared netlist.
-        profile("canneal", ParsecMedium, 7.61, 16_000, 6, 1.00, 450, 6, 1, 45_056, Random, 6_144, 0.10, None, 0.05),
-        profile("canneal", ParsecSmall, 6.93, 13_000, 6, 1.20, 450, 6, 1, 40_960, Random, 6_144, 0.10, None, 0.05),
+        profile(
+            "canneal",
+            ParsecMedium,
+            7.61,
+            16_000,
+            6,
+            1.00,
+            450,
+            6,
+            1,
+            45_056,
+            Random,
+            6_144,
+            0.10,
+            None,
+            0.05,
+        ),
+        profile(
+            "canneal",
+            ParsecSmall,
+            6.93,
+            13_000,
+            6,
+            1.20,
+            450,
+            6,
+            1,
+            40_960,
+            Random,
+            6_144,
+            0.10,
+            None,
+            0.05,
+        ),
         // bfs: level-synchronous traversal, frontier imbalance, shared graph.
-        profile("bfs", Rodinia, 5.65, 16_000, 12, 1.50, 360, 6, 1, 40_960, Random, 6_144, 0.12, None, 0.05),
+        profile(
+            "bfs", Rodinia, 5.65, 16_000, 12, 1.50, 360, 6, 1, 40_960, Random, 6_144, 0.12, None,
+            0.05,
+        ),
         // ferret simmedium: pipeline; stage queues serialize.
-        profile("ferret", ParsecMedium, 4.77, 6_000, 2, 0.20, 6_200, 4, 1, 16_384, Random, 2_048, 0.20, cs(1, 1_650, 1), 0.06),
+        profile(
+            "ferret",
+            ParsecMedium,
+            4.77,
+            6_000,
+            2,
+            0.20,
+            6_200,
+            4,
+            1,
+            16_384,
+            Random,
+            2_048,
+            0.20,
+            cs(1, 1_650, 1),
+            0.06,
+        ),
         // water-spatial: spatial decomposition, long neighbour-list sections.
-        profile("water-spatial", Splash2, 4.57, 5_000, 4, 0.30, 7_000, 3, 1, 16_384, Random, 1_024, 0.15, cs(1, 1_550, 1), 0.04),
+        profile(
+            "water-spatial",
+            Splash2,
+            4.57,
+            5_000,
+            4,
+            0.30,
+            7_000,
+            3,
+            1,
+            16_384,
+            Random,
+            1_024,
+            0.15,
+            cs(1, 1_550, 1),
+            0.04,
+        ),
         // ---- poor scaling (speedup < 5x at 16 threads) -------------------
         // dedup simmedium: pipeline with a hot hash-table lock.
-        profile("dedup", ParsecMedium, 4.12, 5_000, 2, 0.20, 8_340, 4, 2, 16_384, Random, 2_048, 0.20, cs(1, 2_000, 1), 0.08),
+        profile(
+            "dedup",
+            ParsecMedium,
+            4.12,
+            5_000,
+            2,
+            0.20,
+            8_340,
+            4,
+            2,
+            16_384,
+            Random,
+            2_048,
+            0.20,
+            cs(1, 2_000, 1),
+            0.08,
+        ),
         // freqmine: FP-tree mining, coarse sections.
-        profile("freqmine", ParsecSmall, 4.09, 5_000, 2, 0.20, 6_850, 3, 1, 16_384, Random, 1_024, 0.10, cs(1, 2_000, 1), 0.05),
-        profile("freqmine", ParsecMedium, 3.89, 6_000, 2, 0.20, 7_150, 3, 1, 16_384, Random, 1_024, 0.10, cs(1, 2_000, 1), 0.05),
+        profile(
+            "freqmine",
+            ParsecSmall,
+            4.09,
+            5_000,
+            2,
+            0.20,
+            6_850,
+            3,
+            1,
+            16_384,
+            Random,
+            1_024,
+            0.10,
+            cs(1, 2_000, 1),
+            0.05,
+        ),
+        profile(
+            "freqmine",
+            ParsecMedium,
+            3.89,
+            6_000,
+            2,
+            0.20,
+            7_150,
+            3,
+            1,
+            16_384,
+            Random,
+            1_024,
+            0.10,
+            cs(1, 2_000, 1),
+            0.05,
+        ),
         // swaptions simsmall: too little work per thread and 26%
         // parallelization overhead (weak-scaling contrast, sec. 6).
-        profile("swaptions", ParsecSmall, 3.81, 800, 10, 1.60, 600, 2, 1, 16_384, Random, 128, 0.02, None, 0.26),
-        profile("dedup", ParsecSmall, 3.56, 4_000, 2, 0.20, 6_380, 4, 2, 16_384, Random, 2_048, 0.20, cs(1, 2_000, 1), 0.08),
+        profile(
+            "swaptions",
+            ParsecSmall,
+            3.81,
+            800,
+            10,
+            1.60,
+            600,
+            2,
+            1,
+            16_384,
+            Random,
+            128,
+            0.02,
+            None,
+            0.26,
+        ),
+        profile(
+            "dedup",
+            ParsecSmall,
+            3.56,
+            4_000,
+            2,
+            0.20,
+            6_380,
+            4,
+            2,
+            16_384,
+            Random,
+            2_048,
+            0.20,
+            cs(1, 2_000, 1),
+            0.08,
+        ),
         // bodytrack: pipeline + per-frame barriers.
-        profile("bodytrack", ParsecSmall, 3.02, 4_000, 6, 0.40, 6_130, 3, 1, 16_384, Random, 1_024, 0.10, cs(1, 2_000, 1), 0.07),
+        profile(
+            "bodytrack",
+            ParsecSmall,
+            3.02,
+            4_000,
+            6,
+            0.40,
+            6_130,
+            3,
+            1,
+            16_384,
+            Random,
+            1_024,
+            0.10,
+            cs(1, 2_000, 1),
+            0.07,
+        ),
         // ferret simsmall: the paper's worst scaler.
-        profile("ferret", ParsecSmall, 2.94, 4_000, 2, 0.20, 5_390, 5, 1, 16_384, Random, 2_048, 0.25, cs(1, 2_000, 1), 0.06),
+        profile(
+            "ferret",
+            ParsecSmall,
+            2.94,
+            4_000,
+            2,
+            0.20,
+            5_390,
+            5,
+            1,
+            16_384,
+            Random,
+            2_048,
+            0.25,
+            cs(1, 2_000, 1),
+            0.06,
+        ),
         // needle (Needleman-Wunsch): wavefront with severe edge imbalance.
-        profile("needle", Rodinia, 4.14, 14_000, 20, 2.90, 400, 6, 1, 49_152, Random, 6_144, 0.12, None, 0.05),
+        profile(
+            "needle", Rodinia, 4.14, 14_000, 20, 2.90, 400, 6, 1, 49_152, Random, 6_144, 0.12,
+            None, 0.05,
+        ),
     ]
 }
 
@@ -209,7 +553,10 @@ mod tests {
         let c = find("cholesky", Suite::Splash2).unwrap();
         // Short hot critical sections: spinning dominates.
         assert!(c.cs.is_some());
-        assert!(c.cs.unwrap().len_cycles < 200, "cholesky sections must be short (spinning)");
+        assert!(
+            c.cs.unwrap().len_cycles < 200,
+            "cholesky sections must be short (spinning)"
+        );
         // A read-shared region for positive interference...
         assert!(c.shared_lines > 0 && c.shared_read_frac > 0.05);
         // ...and a footprint beyond the 2 MB LLC (32768 lines) so the

@@ -7,13 +7,10 @@
 //! end-of-program imbalance component stays near zero, as in the paper's
 //! measurement setup (§7.1).
 
-use std::collections::VecDeque;
-
 use cmpsim::{Op, OpStream};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::profile::{AccessPattern, WorkloadProfile};
+use crate::rng::SmallRng;
 
 /// Base line address of the shared working set.
 const SHARED_BASE: u64 = 1 << 30;
@@ -27,7 +24,10 @@ pub struct ProfileStream {
     thread: usize,
     n_threads: usize,
     rng: SmallRng,
-    buf: VecDeque<Op>,
+    /// Ops of the current item, drained front-to-back via `buf_head`
+    /// (refilled in place — cheaper than a deque on the per-op path).
+    buf: Vec<Op>,
+    buf_head: usize,
     phase: u32,
     items_left: u64,
     item_counter: u64,
@@ -36,6 +36,9 @@ pub struct ProfileStream {
     slice_len: u64,
     /// Streaming cursor within the slice.
     cursor: u64,
+    /// `profile.effective_compute(n_threads)`, precomputed (the rounding
+    /// arithmetic showed up in per-item profiles).
+    item_compute: u32,
     done: bool,
 }
 
@@ -65,13 +68,15 @@ impl ProfileStream {
             thread,
             n_threads,
             rng,
-            buf: VecDeque::with_capacity(32),
+            buf: Vec::with_capacity(32),
+            buf_head: 0,
             phase: 0,
             items_left: items,
             item_counter: 0,
             slice_start,
             slice_len,
             cursor,
+            item_compute: profile.effective_compute(n_threads),
             done: false,
         }
     }
@@ -93,58 +98,67 @@ impl ProfileStream {
     }
 
     fn emit_item(&mut self) {
-        let p = self.profile.clone();
+        // Copy out the scalar parameters the item needs: cloning the
+        // whole profile per item showed up in the sweep profile.
+        let cs = self.profile.cs;
+        let item_loads = self.profile.item_loads;
+        let item_stores = self.profile.item_stores;
+        let shared_read_frac = self.profile.shared_read_frac;
+        let shared_write_frac = self.profile.shared_write_frac;
+        let shared_lines = self.profile.shared_lines;
+        let compute = self.item_compute;
         self.item_counter += 1;
 
         // Optional critical section first (task-queue style: grab work,
         // then compute on it).
-        if let Some(cs) = p.cs {
+        if let Some(cs) = cs {
             if cs.every_items > 0 && self.item_counter.is_multiple_of(u64::from(cs.every_items)) {
                 let lock = if cs.n_locks > 1 {
                     self.rng.gen_range(0..cs.n_locks)
                 } else {
                     0
                 };
-                self.buf.push_back(Op::LockAcquire(lock));
+                self.buf.push(Op::LockAcquire(lock));
                 if cs.len_cycles > 0 {
-                    self.buf.push_back(Op::Compute(cs.len_cycles));
+                    self.buf.push(Op::Compute(cs.len_cycles));
                 }
-                self.buf.push_back(Op::LockRelease(lock));
+                self.buf.push(Op::LockRelease(lock));
             }
         }
 
-        let compute = p.effective_compute(self.n_threads);
         // Interleave compute with memory accesses so loads spread out in
         // time (burstiness would overstate bank conflicts).
-        let accesses = p.item_loads + p.item_stores;
-        let slice = if accesses > 0 { compute / (accesses + 1) } else { compute };
+        let accesses = item_loads + item_stores;
+        let slice = if accesses > 0 {
+            compute / (accesses + 1)
+        } else {
+            compute
+        };
         let mut emitted = 0u32;
-        for i in 0..p.item_loads {
+        for _ in 0..item_loads {
             if slice > 0 {
-                self.buf.push_back(Op::Compute(slice));
+                self.buf.push(Op::Compute(slice));
                 emitted += slice;
             }
-            let _ = i;
-            let line = self.pick_line(p.shared_read_frac, p.shared_lines);
-            self.buf.push_back(Op::Load(line));
+            let line = self.pick_line(shared_read_frac, shared_lines);
+            self.buf.push(Op::Load(line));
         }
-        for i in 0..p.item_stores {
+        for _ in 0..item_stores {
             if slice > 0 {
-                self.buf.push_back(Op::Compute(slice));
+                self.buf.push(Op::Compute(slice));
                 emitted += slice;
             }
-            let _ = i;
-            let line = self.pick_line(p.shared_write_frac, p.shared_lines);
-            self.buf.push_back(Op::Store(line));
+            let line = self.pick_line(shared_write_frac, shared_lines);
+            self.buf.push(Op::Store(line));
         }
         if compute > emitted {
-            self.buf.push_back(Op::Compute(compute - emitted));
+            self.buf.push(Op::Compute(compute - emitted));
         }
     }
 
     fn advance_phase(&mut self) {
         // Phase boundary: a barrier shared by all threads.
-        self.buf.push_back(Op::Barrier(0));
+        self.buf.push(Op::Barrier(0));
         self.phase += 1;
         if self.phase >= self.profile.phases.max(1) {
             self.done = true;
@@ -159,12 +173,15 @@ impl ProfileStream {
 impl OpStream for ProfileStream {
     fn next_op(&mut self) -> Option<Op> {
         loop {
-            if let Some(op) = self.buf.pop_front() {
+            if let Some(&op) = self.buf.get(self.buf_head) {
+                self.buf_head += 1;
                 return Some(op);
             }
             if self.done {
                 return None;
             }
+            self.buf.clear();
+            self.buf_head = 0;
             if self.items_left == 0 {
                 self.advance_phase();
                 continue;
@@ -256,8 +273,14 @@ mod tests {
             n_locks: 1,
         });
         let ops = drain(ProfileStream::new(&p, 0, 4));
-        let acquires = ops.iter().filter(|o| matches!(o, Op::LockAcquire(_))).count();
-        let releases = ops.iter().filter(|o| matches!(o, Op::LockRelease(_))).count();
+        let acquires = ops
+            .iter()
+            .filter(|o| matches!(o, Op::LockAcquire(_)))
+            .count();
+        let releases = ops
+            .iter()
+            .filter(|o| matches!(o, Op::LockRelease(_)))
+            .count();
         assert_eq!(acquires, releases);
         assert_eq!(acquires, 16);
         // Acquire always precedes its release.
@@ -318,7 +341,10 @@ mod tests {
             })
             .max()
             .unwrap();
-        assert!(max >= PRIVATE_BASE + p.private_lines / 2, "ST must roam the full footprint");
+        assert!(
+            max >= PRIVATE_BASE + p.private_lines / 2,
+            "ST must roam the full footprint"
+        );
     }
 
     #[test]
@@ -336,7 +362,11 @@ mod tests {
             })
             .collect();
         for w in lines.windows(2) {
-            let d = if w[1] > w[0] { w[1] - w[0] } else { w[0] + p.private_lines / 4 - w[1] };
+            let d = if w[1] > w[0] {
+                w[1] - w[0]
+            } else {
+                w[0] + p.private_lines / 4 - w[1]
+            };
             assert!(d <= 2, "streaming stride too large: {w:?}");
         }
     }
@@ -347,7 +377,13 @@ mod tests {
         let ops = drain(ProfileStream::new(&p, 0, 4));
         let compute: u64 = ops
             .iter()
-            .map(|o| if let Op::Compute(c) = o { u64::from(*c) } else { 0 })
+            .map(|o| {
+                if let Op::Compute(c) = o {
+                    u64::from(*c)
+                } else {
+                    0
+                }
+            })
             .sum();
         // 16 items × effective compute (400 × 1.01 = 404).
         assert_eq!(compute, 16 * u64::from(p.effective_compute(4)));

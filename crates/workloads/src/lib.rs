@@ -34,6 +34,7 @@
 pub mod catalog;
 pub mod generator;
 pub mod profile;
+pub mod rng;
 
 pub use catalog::{display_name, find, paper_suite};
 pub use generator::{streams_for, ProfileStream};

@@ -53,8 +53,14 @@ fn paper_speedups_define_the_published_classes() {
     assert_eq!(good.len(), 5, "paper has 5 good scalers");
     // Poor scalers per Figure 6: ferret_s/m?, water-spatial, dedup x2,
     // freqmine x2, swaptions_s, bodytrack, needle, ferret_s.
-    assert!(poor.len() >= 9, "paper has a large poor class, got {}", poor.len());
-    assert!(poor.iter().any(|p| p.name == "ferret" && p.suite == Suite::ParsecSmall));
+    assert!(
+        poor.len() >= 9,
+        "paper has a large poor class, got {}",
+        poor.len()
+    );
+    assert!(poor
+        .iter()
+        .any(|p| p.name == "ferret" && p.suite == Suite::ParsecSmall));
 }
 
 #[test]
@@ -77,7 +83,10 @@ fn fig8_benchmarks_pressure_the_llc() {
             display_name(&p),
             p.private_lines + p.shared_lines
         );
-        assert!(p.shared_lines > 0 && p.shared_read_frac > 0.05, "{name} needs sharing for positive interference");
+        assert!(
+            p.shared_lines > 0 && p.shared_read_frac > 0.05,
+            "{name} needs sharing for positive interference"
+        );
     }
 }
 
@@ -95,13 +104,24 @@ fn spin_dominated_benchmarks_have_short_sections() {
             .iter()
             .find(|p| p.name == name && p.cs.is_some())
             .unwrap_or_else(|| panic!("{name} has a CS model"));
-        assert!(p.cs.unwrap().len_cycles > 1_000, "{name} should yield, not spin");
+        assert!(
+            p.cs.unwrap().len_cycles > 1_000,
+            "{name} should yield, not spin"
+        );
     }
 }
 
 #[test]
 fn input_sizes_scale_work_not_identity() {
-    for name in ["blackscholes", "swaptions", "canneal", "dedup", "freqmine", "ferret", "facesim"] {
+    for name in [
+        "blackscholes",
+        "swaptions",
+        "canneal",
+        "dedup",
+        "freqmine",
+        "ferret",
+        "facesim",
+    ] {
         let small = workloads::find(name, Suite::ParsecSmall);
         let medium = workloads::find(name, Suite::ParsecMedium);
         if let (Some(s), Some(m)) = (small, medium) {
@@ -120,5 +140,9 @@ fn seeds_are_distinct_enough() {
     seeds.sort_unstable();
     seeds.dedup();
     // At least most benchmarks get distinct address streams.
-    assert!(seeds.len() >= suite.len() - 4, "too many duplicate seeds: {}", seeds.len());
+    assert!(
+        seeds.len() >= suite.len() - 4,
+        "too many duplicate seeds: {}",
+        seeds.len()
+    );
 }

@@ -40,15 +40,16 @@ fn worker(thread: usize) -> Box<dyn OpStream> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 4;
-    let result = simulate(
-        MachineConfig::with_cores(n),
-        (0..n).map(worker).collect(),
-    )?;
+    let result = simulate(MachineConfig::with_cores(n), (0..n).map(worker).collect())?;
     let stack = result.stack(&AccountingConfig::default())?;
 
     println!(
         "{}",
-        render_stack("custom kernel, 4 threads", &stack, &RenderOptions::default())
+        render_stack(
+            "custom kernel, 4 threads",
+            &stack,
+            &RenderOptions::default()
+        )
     );
 
     // Actionable diagnosis, straight from the stack.

@@ -13,7 +13,10 @@ fn main() {
     let p = scaled_profile(&p, 0.5);
 
     println!("cholesky on 16 cores, sweeping the shared LLC size:");
-    println!("{:<8} {:>9} {:>9} {:>9} {:>9}", "LLC", "negative", "positive", "net", "speedup");
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>9}",
+        "LLC", "negative", "positive", "net", "speedup"
+    );
     for mib in [2usize, 4, 8, 16] {
         let opts = RunOptions {
             mem: MemConfig::default().with_llc_mib(mib),

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{}",
-        render_stack("facesim_medium, 16 threads", &stack, &RenderOptions::default())
+        render_stack(
+            "facesim_medium, 16 threads",
+            &stack,
+            &RenderOptions::default()
+        )
     );
     println!(
         "estimated speedup {:.2} vs actual {:.2} (error {:+.1}% of N)",
@@ -40,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stack
             .overheads()
             .largest()
-            .map_or("none".to_string(), |(c, v)| format!("{c} ({v:.2} speedup units)"))
+            .map_or("none".to_string(), |(c, v)| format!(
+                "{c} ({v:.2} speedup units)"
+            ))
     );
     Ok(())
 }

@@ -35,7 +35,10 @@ fn fig2_stack_components_sum_to_n() {
     let fig = fig23::run_fig2(SCALE);
     assert!(fig.stack.is_valid());
     assert_eq!(fig.stack.num_threads(), 16);
-    assert!(fig.stack.component(Component::Yielding) > 0.5, "facesim is yield-heavy");
+    assert!(
+        fig.stack.component(Component::Yielding) > 0.5,
+        "facesim is yield-heavy"
+    );
 }
 
 #[test]
@@ -59,7 +62,11 @@ fn fig4_average_error_within_paper_ballpark() {
     // envelope: the method must stay well under 10% on average.
     for n in fig45::THREAD_COUNTS {
         let err = fig.average_error(n);
-        assert!(err < 0.10, "{n} threads: average |error| {:.1}% too high", err * 100.0);
+        assert!(
+            err < 0.10,
+            "{n} threads: average |error| {:.1}% too high",
+            err * 100.0
+        );
     }
     // The overhead measure must flag swaptions_small (paper: 26%).
     let swap = fig
@@ -67,7 +74,11 @@ fn fig4_average_error_within_paper_ballpark() {
         .iter()
         .find(|(n, _)| n == "swaptions_small")
         .expect("swaptions_small present");
-    assert!(swap.1 > 0.15, "swaptions_small overhead {:.2} too low", swap.1);
+    assert!(
+        swap.1 > 0.15,
+        "swaptions_small overhead {:.2} too low",
+        swap.1
+    );
 }
 
 #[test]
@@ -153,7 +164,10 @@ fn fig9_negative_shrinks_positive_stable_with_llc_size() {
     let fig = fig89::run_fig9(FULL);
     let first = &fig.bars[0];
     let last = &fig.bars[fig.bars.len() - 1];
-    assert!(first.negative > last.negative + 0.05, "negative must shrink with LLC size");
+    assert!(
+        first.negative > last.negative + 0.05,
+        "negative must shrink with LLC size"
+    );
     // Positive interference is a program property: roughly constant.
     assert!(
         (first.positive - last.positive).abs() < 0.6 * first.positive.max(0.05),

@@ -7,7 +7,10 @@ use speedup_stacks::{accounting, AccountingConfig, SpeedupStack};
 use workloads::{find, streams_for, Suite};
 
 fn demo_profile() -> workloads::WorkloadProfile {
-    scaled_profile(&find("cholesky", Suite::Splash2).expect("catalog entry"), 0.2)
+    scaled_profile(
+        &find("cholesky", Suite::Splash2).expect("catalog entry"),
+        0.2,
+    )
 }
 
 #[test]
@@ -15,7 +18,8 @@ fn stack_from_sim_equals_manual_accounting() {
     let p = demo_profile();
     let r = simulate(MachineConfig::with_cores(8), streams_for(&p, 8)).unwrap();
     let via_sim = r.stack(&AccountingConfig::default()).unwrap();
-    let breakdowns = accounting::account(&r.counters, r.tp_cycles, &AccountingConfig::default()).unwrap();
+    let breakdowns =
+        accounting::account(&r.counters, r.tp_cycles, &AccountingConfig::default()).unwrap();
     let manual = SpeedupStack::from_breakdowns(breakdowns, r.tp_cycles);
     assert_eq!(via_sim, manual);
 }
@@ -41,7 +45,9 @@ fn detector_choice_changes_spin_not_truth() {
     };
     let tian = mk(SpinDetectorKind::Tian { mark_threshold: 16 });
     let oracle = mk(SpinDetectorKind::Oracle);
-    let li = mk(SpinDetectorKind::Li { confirm_iterations: 2 });
+    let li = mk(SpinDetectorKind::Li {
+        confirm_iterations: 2,
+    });
     // Timing and ground truth are identical across detectors.
     assert_eq!(tian.tp_cycles, oracle.tp_cycles);
     assert_eq!(tian.truth, oracle.truth);

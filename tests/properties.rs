@@ -1,123 +1,129 @@
-//! Property-based tests over the whole pipeline: random (but valid)
+//! Property-style tests over the whole pipeline: random (but valid)
 //! workloads and machines must always produce well-formed speedup stacks.
+//!
+//! No proptest offline: deterministic randomized sweeps driven by
+//! `workloads::rng::SmallRng` (stable case streams).
 
 use cmpsim::{simulate, MachineConfig, Op, OpStream, VecStream};
-use proptest::prelude::*;
 use speedup_stacks::{AccountingConfig, Component, ThreadCounters};
+use workloads::rng::SmallRng;
 use workloads::{streams_for, AccessPattern, Suite, WorkloadProfile};
 
 /// A small random workload profile.
-fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
-    (
-        64u64..512,           // total_items
-        1u32..5,              // phases
-        0.0f64..3.0,          // phase_skew
-        20u32..400,           // item_compute
-        0u32..4,              // item_loads
-        0u32..3,              // item_stores
-        256u64..8192,         // private_lines
-        0u64..2048,           // shared_lines
-        0.0f64..0.8,          // shared_read_frac
-        prop::bool::ANY,      // streaming?
-        prop::bool::ANY,      // critical sections?
-    )
-        .prop_map(
-            |(items, phases, skew, compute, loads, stores, private, shared, frac, streaming, with_cs)| {
-                let mut p = WorkloadProfile::compute_bound("prop", Suite::Rodinia, items);
-                p.phases = phases;
-                p.phase_skew = skew;
-                p.item_compute = compute;
-                p.item_loads = loads;
-                p.item_stores = stores;
-                p.private_lines = private;
-                p.shared_lines = shared;
-                p.shared_read_frac = frac;
-                p.access_pattern = if streaming {
-                    AccessPattern::Streaming
-                } else {
-                    AccessPattern::Random
-                };
-                p.cs = with_cs.then_some(workloads::CsProfile {
-                    every_items: 2,
-                    len_cycles: 120,
-                    n_locks: 2,
-                });
-                p
-            },
-        )
+fn arb_profile(rng: &mut SmallRng) -> WorkloadProfile {
+    let mut p = WorkloadProfile::compute_bound("prop", Suite::Rodinia, rng.gen_range(64u64..512));
+    p.phases = rng.gen_range(1u32..5);
+    p.phase_skew = rng.gen_range(0u32..3000) as f64 / 1000.0;
+    p.item_compute = rng.gen_range(20u32..400);
+    p.item_loads = rng.gen_range(0u32..4);
+    p.item_stores = rng.gen_range(0u32..3);
+    p.private_lines = rng.gen_range(256u64..8192);
+    p.shared_lines = rng.gen_range(0u64..2048);
+    p.shared_read_frac = rng.gen_range(0u32..800) as f64 / 1000.0;
+    p.access_pattern = if rng.gen_bool(0.5) {
+        AccessPattern::Streaming
+    } else {
+        AccessPattern::Random
+    };
+    p.cs = rng.gen_bool(0.5).then_some(workloads::CsProfile {
+        every_items: 2,
+        len_cycles: 120,
+        n_locks: 2,
+    });
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_workloads_produce_valid_stacks(p in arb_profile(), n in 1usize..9) {
+#[test]
+fn random_workloads_produce_valid_stacks() {
+    let mut rng = SmallRng::seed_from_u64(0x51AC);
+    for _ in 0..24 {
+        let p = arb_profile(&mut rng);
+        let n = rng.gen_range(1usize..9);
         let r = simulate(MachineConfig::with_cores(n), streams_for(&p, n)).unwrap();
-        prop_assert!(r.tp_cycles > 0);
+        assert!(r.tp_cycles > 0);
         let stack = r.stack(&AccountingConfig::default()).unwrap();
-        prop_assert!(stack.is_valid());
-        prop_assert_eq!(stack.num_threads(), n);
+        assert!(stack.is_valid());
+        assert_eq!(stack.num_threads(), n);
         // Components plus base always sum to N.
         let total = stack.base_speedup() + stack.total_overhead();
-        prop_assert!((total - n as f64).abs() < 1e-6);
+        assert!((total - n as f64).abs() < 1e-6);
         // Estimated speedup is within the physical range.
-        prop_assert!(stack.estimated_speedup() >= 0.0);
-        prop_assert!(stack.estimated_speedup() <= n as f64 + stack.positive_interference() + 1e-9);
+        assert!(stack.estimated_speedup() >= 0.0);
+        assert!(stack.estimated_speedup() <= n as f64 + stack.positive_interference() + 1e-9);
     }
+}
 
-    #[test]
-    fn simulation_is_deterministic(p in arb_profile(), n in 1usize..6) {
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0xDE7);
+    for _ in 0..12 {
+        let p = arb_profile(&mut rng);
+        let n = rng.gen_range(1usize..6);
         let a = simulate(MachineConfig::with_cores(n), streams_for(&p, n)).unwrap();
         let b = simulate(MachineConfig::with_cores(n), streams_for(&p, n)).unwrap();
-        prop_assert_eq!(a.tp_cycles, b.tp_cycles);
-        prop_assert_eq!(a.counters, b.counters);
-        prop_assert_eq!(a.truth, b.truth);
+        assert_eq!(a.tp_cycles, b.tp_cycles);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.truth, b.truth);
     }
+}
 
-    #[test]
-    fn oversubscription_preserves_correctness(p in arb_profile(), threads in 2usize..10) {
+#[test]
+fn oversubscription_preserves_correctness() {
+    let mut rng = SmallRng::seed_from_u64(0x0B5);
+    for _ in 0..12 {
+        let p = arb_profile(&mut rng);
+        let threads = rng.gen_range(2usize..10);
         // More threads than cores: everything still completes and yields
         // are charged.
         let r = simulate(MachineConfig::with_cores(2), streams_for(&p, threads)).unwrap();
         let stack = r.stack(&AccountingConfig::default()).unwrap();
-        prop_assert!(stack.is_valid());
-        prop_assert_eq!(r.counters.len(), threads);
+        assert!(stack.is_valid());
+        assert_eq!(r.counters.len(), threads);
         for c in &r.counters {
-            prop_assert!(c.active_end_cycle <= r.tp_cycles);
+            assert!(c.active_end_cycle <= r.tp_cycles);
         }
     }
+}
 
-    #[test]
-    fn total_work_is_thread_count_invariant(p in arb_profile(), n in 2usize..9) {
+#[test]
+fn total_work_is_thread_count_invariant() {
+    let mut rng = SmallRng::seed_from_u64(0x11);
+    for _ in 0..24 {
+        let p = arb_profile(&mut rng);
+        let n = rng.gen_range(2usize..9);
         // Strong scaling: total items across threads stays within
         // rounding of the single-thread run, phase by phase.
         for phase in 0..p.phases {
             let total: u64 = (0..n).map(|t| p.items_for(t, phase, n)).sum();
             let single = p.items_for(0, phase, 1);
             let slack = n as u64; // rounding: at most one item per thread
-            prop_assert!(total >= single.saturating_sub(slack) && total <= single + slack,
-                "phase {}: {} threads give {} items vs {} single", phase, n, total, single);
+            assert!(
+                total >= single.saturating_sub(slack) && total <= single + slack,
+                "phase {phase}: {n} threads give {total} items vs {single} single"
+            );
         }
     }
+}
 
-    #[test]
-    fn accounting_components_non_negative(
-        spin in 0.0f64..1e6, yielded in 0.0f64..1e6, mem in 0.0f64..1e6,
-        end in 1u64..1_000_000, tp in 1_000_000u64..2_000_000,
-    ) {
+#[test]
+fn accounting_components_non_negative() {
+    let mut rng = SmallRng::seed_from_u64(0x22);
+    for _ in 0..48 {
         let t = ThreadCounters {
-            active_end_cycle: end,
-            spin_cycles: spin,
-            yield_cycles: yielded,
-            mem_interference_cycles: mem,
+            active_end_cycle: rng.gen_range(1u64..1_000_000),
+            spin_cycles: rng.gen_range(0u64..1_000_000) as f64,
+            yield_cycles: rng.gen_range(0u64..1_000_000) as f64,
+            mem_interference_cycles: rng.gen_range(0u64..1_000_000) as f64,
             ..ThreadCounters::default()
         };
-        let b = speedup_stacks::accounting::account(&[t], tp, &AccountingConfig::default()).unwrap();
+        let tp = rng.gen_range(1_000_000u64..2_000_000);
+        let b =
+            speedup_stacks::accounting::account(&[t], tp, &AccountingConfig::default()).unwrap();
         for c in Component::ALL {
-            prop_assert!(b[0].overheads[c] >= 0.0);
+            assert!(b[0].overheads[c] >= 0.0);
         }
-        prop_assert!(b[0].estimated_single_thread_cycles >= 0.0);
-        prop_assert!(b[0].overheads.total() <= tp as f64 + 1e-6);
+        assert!(b[0].estimated_single_thread_cycles >= 0.0);
+        assert!(b[0].overheads.total() <= tp as f64 + 1e-6);
     }
 }
 
@@ -132,7 +138,11 @@ fn barrier_safety_under_stress() {
         .map(|t| {
             let mut ops = Vec::new();
             for phase in 0..5u32 {
-                let work = if (phase as usize % n) == t { heavy_work } else { 500 };
+                let work = if (phase as usize % n) == t {
+                    heavy_work
+                } else {
+                    500
+                };
                 ops.push(Op::Compute(work));
                 ops.push(Op::Barrier(0));
             }

@@ -1,0 +1,82 @@
+//! Determinism regression: a figure sweep run serially and via the
+//! parallel driver must produce identical `SpeedupStack` components for
+//! every (benchmark, thread-count) point.
+//!
+//! Each `Engine` run is deterministic and self-contained, and the driver
+//! collects results in input order, so the only way this test can fail is
+//! a shared-state leak between points or a collection-order bug. The
+//! parallel side forces multiple workers even on single-CPU hosts so
+//! genuine cross-thread execution is exercised.
+
+use experiments::{fig1, fig45, run_grid, scaled_profile, Parallelism, RunOptions};
+use speedup_stacks::Component;
+use workloads::{find, Suite, WorkloadProfile};
+
+fn grid_profiles() -> Vec<WorkloadProfile> {
+    [
+        ("cholesky", Suite::Splash2),
+        ("blackscholes", Suite::ParsecSmall),
+        ("ferret", Suite::ParsecSmall),
+    ]
+    .iter()
+    .map(|(n, s)| scaled_profile(&find(n, *s).expect("catalog entry"), 0.2))
+    .collect()
+}
+
+#[test]
+fn serial_and_parallel_grids_are_identical() {
+    let profiles = grid_profiles();
+    let counts = [2usize, 4, 8];
+    let serial = run_grid(
+        &profiles,
+        &counts,
+        &|_, n| RunOptions::symmetric(n),
+        Parallelism::Serial,
+    );
+    let parallel = run_grid(
+        &profiles,
+        &counts,
+        &|_, n| RunOptions::symmetric(n),
+        Parallelism::Workers(4),
+    );
+    assert_eq!(serial.len(), parallel.len());
+    for (s_row, p_row) in serial.iter().zip(&parallel) {
+        for (s, p) in s_row.iter().zip(p_row) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.threads, p.threads);
+            assert_eq!(s.st_cycles, p.st_cycles, "{} {}t", s.name, s.threads);
+            assert_eq!(s.mt_cycles, p.mt_cycles, "{} {}t", s.name, s.threads);
+            // Byte-identical stacks: every component, both speedups.
+            assert_eq!(s.stack, p.stack, "{} {}t", s.name, s.threads);
+            assert_eq!(s.mt.counters, p.mt.counters);
+            assert_eq!(s.mt.truth, p.mt.truth);
+            assert_eq!(s.mt.events, p.mt.events);
+            for c in Component::ALL {
+                assert_eq!(
+                    s.stack.component(c).to_bits(),
+                    p.stack.component(c).to_bits()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure_entrypoints_match_across_modes() {
+    let serial = fig1::run_with(0.1, Parallelism::Serial);
+    let parallel = fig1::run_with(0.1, Parallelism::Workers(3));
+    for (a, b) in serial.curves.iter().zip(&parallel.curves) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.points, b.points);
+    }
+
+    let serial = fig45::run_with(0.1, Parallelism::Serial);
+    let parallel = fig45::run_with(0.1, Parallelism::Workers(4));
+    assert_eq!(serial.points.len(), parallel.points.len());
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.threads, b.threads);
+        assert_eq!(a.actual.to_bits(), b.actual.to_bits());
+        assert_eq!(a.estimated.to_bits(), b.estimated.to_bits());
+    }
+}
