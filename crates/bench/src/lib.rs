@@ -9,6 +9,24 @@
 //!
 //! The [`report`] module emits the machine-readable `BENCH_PR*.json`
 //! perf-trajectory files (see the `bench_report` binary).
+//!
+//! ## Example
+//!
+//! ```
+//! use bench_support::report::{Entry, Report};
+//!
+//! let mut report = Report::default();
+//! report.meta("report", "demo");
+//! report.push(Entry {
+//!     name: "sweep".into(),
+//!     config: "default".into(),
+//!     wall_s: 0.5,
+//!     events: 1_000_000,
+//!     points: 12,
+//! });
+//! let json = report.to_json();
+//! assert!(json.contains("\"events_per_sec\": 2000000"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -126,7 +126,11 @@ impl Default for SpinDetectorKind {
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineConfig {
-    /// Number of hardware cores.
+    /// Number of hardware cores. Any non-zero count is supported: the
+    /// memory hierarchy's coherence directory keeps an inline one-word
+    /// sharer mask up to 64 cores and spills to compact multi-word masks
+    /// above (`memsim::Directory`), so 128-core (and larger) machines
+    /// simulate without configuration changes.
     pub n_cores: usize,
     /// Memory hierarchy parameters.
     pub mem: MemConfig,
@@ -167,10 +171,14 @@ impl Default for MachineConfig {
 
 impl MachineConfig {
     /// A machine with `n_cores` cores and default parameters otherwise.
+    /// There is no upper core-count limit; counts above 64 switch the
+    /// coherence directory to its spilled multi-word sharer masks.
     ///
     /// ```
     /// let m = cmpsim::MachineConfig::with_cores(4);
     /// assert_eq!(m.n_cores, 4);
+    /// let many = cmpsim::MachineConfig::with_cores(128);
+    /// assert_eq!(many.n_cores, 128);
     /// ```
     #[must_use]
     pub fn with_cores(n_cores: usize) -> Self {

@@ -2,7 +2,7 @@
 //!
 //! This is the "system software" half of the paper's accounting
 //! architecture (§4.7): the hardware provides raw cycle and event counts
-//! ([`ThreadCounters`](crate::ThreadCounters)); this module applies
+//! ([`ThreadCounters`]); this module applies
 //!
 //! - **extrapolation** for negative LLC interference (sampled inter-thread
 //!   miss stalls × sampling factor, §4.1),

@@ -1,7 +1,7 @@
 //! Hardware cost model for the cycle accounting architecture (§4.7).
 //!
 //! The paper reports 952 bytes per core for the interference accounting
-//! (ATD + ORA + raw counters, from [7]) plus 217 bytes for the Tian et al.
+//! (ATD + ORA + raw counters, from reference \[7\]) plus 217 bytes for the Tian et al.
 //! spin-detection load table, totalling ~1.1 KB per core and 18 KB for a
 //! 16-core CMP. This module recomputes those budgets from the structure
 //! geometries so design-space changes (more sampled sets, wider tags,
@@ -45,7 +45,7 @@ pub struct HardwareCostModel {
 
 impl HardwareCostModel {
     /// The configuration used in the paper: 952 B interference accounting
-    /// per [7] and an 8-entry load table at 217 bits per entry
+    /// per reference \[7\] and an 8-entry load table at 217 bits per entry
     /// (64 b PC + 64 b address + 64 b data + 1 b mark + 24 b timestamp).
     #[must_use]
     pub const fn paper_default() -> Self {

@@ -5,6 +5,11 @@
 //! `#` for base speedup, `+` for positive interference, and the
 //! [`Component::code`] letter for each overhead component. A legend with
 //! exact values accompanies the bar.
+//!
+//! For core-count sweeps, [`render_sweep`] draws one bar per stack with
+//! the *bar width itself proportional to `N`*, so a 1→128-core series
+//! reads as a growth chart: the full-width bar is the widest machine and
+//! each smaller machine occupies its proportional share.
 
 use crate::components::Component;
 use crate::stack::SpeedupStack;
@@ -62,31 +67,7 @@ pub fn render_stack(label: &str, stack: &SpeedupStack, opts: &RenderOptions) -> 
     );
 
     // Bar: base, then positive, then overheads in stack order.
-    let mut segments: Vec<(char, f64)> = vec![
-        ('#', stack.base_speedup()),
-        ('+', stack.positive_interference()),
-    ];
-    for (c, v) in stack.overheads().iter() {
-        segments.push((c.code(), v));
-    }
-    let mut bar = String::with_capacity(opts.width + 2);
-    bar.push('|');
-    let mut used = 0usize;
-    let mut carried = 0.0f64;
-    for (ch, v) in &segments {
-        let exact = v / n * opts.width as f64 + carried;
-        let w = exact.round() as usize;
-        carried = exact - w as f64;
-        for _ in 0..w.min(opts.width - used) {
-            bar.push(*ch);
-        }
-        used = (used + w).min(opts.width);
-    }
-    while used < opts.width {
-        bar.push(' ');
-        used += 1;
-    }
-    bar.push('|');
+    let bar = draw_bar(stack, opts.width);
     let _ = writeln!(out, "  {bar}");
 
     // Legend.
@@ -115,6 +96,91 @@ pub fn render_stack(label: &str, stack: &SpeedupStack, opts: &RenderOptions) -> 
                 v,
                 v / n * 100.0
             );
+        }
+    }
+    out
+}
+
+/// Draws the proportional segment bar of one stack into `bar_width`
+/// characters (the shared segment logic of [`render_stack`] and
+/// [`render_sweep`]).
+fn draw_bar(stack: &SpeedupStack, bar_width: usize) -> String {
+    let n = stack.num_threads() as f64;
+    let mut segments: Vec<(char, f64)> = vec![
+        ('#', stack.base_speedup()),
+        ('+', stack.positive_interference()),
+    ];
+    for (c, v) in stack.overheads().iter() {
+        segments.push((c.code(), v));
+    }
+    let mut bar = String::with_capacity(bar_width + 2);
+    bar.push('|');
+    let mut used = 0usize;
+    let mut carried = 0.0f64;
+    for (ch, v) in &segments {
+        let exact = v / n * bar_width as f64 + carried;
+        let w = exact.round() as usize;
+        carried = exact - w as f64;
+        for _ in 0..w.min(bar_width - used) {
+            bar.push(*ch);
+        }
+        used = (used + w).min(bar_width);
+    }
+    while used < bar_width {
+        bar.push(' ');
+        used += 1;
+    }
+    bar.push('|');
+    bar
+}
+
+/// Renders a core-count sweep as a growth chart: one bar per stack, the
+/// bar *width* proportional to that stack's `N` relative to the widest
+/// stack in the series (which gets the full `opts.width`). Within each
+/// bar, segments are proportional to their share of that stack's `N` as
+/// usual, so ideal scaling shows as a solid `#` wedge and every scaling
+/// delimiter as a growing coloured tail.
+///
+/// # Examples
+///
+/// ```
+/// use speedup_stacks::{render, SpeedupStack, ThreadCounters, AccountingConfig};
+/// let mk = |n: usize| {
+///     let t = vec![ThreadCounters { active_end_cycle: 1000, ..Default::default() }; n];
+///     SpeedupStack::from_counters(&t, 1000, &AccountingConfig::default()).unwrap()
+/// };
+/// let series = vec![("N=2".to_string(), mk(2)), ("N=8".to_string(), mk(8))];
+/// let art = render::render_sweep("demo sweep", &series, &render::RenderOptions::default());
+/// assert!(art.contains("demo sweep"));
+/// assert!(art.lines().count() >= 3);
+/// ```
+#[must_use]
+pub fn render_sweep(
+    title: &str,
+    series: &[(String, SpeedupStack)],
+    opts: &RenderOptions,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} (bar width proportional to N)");
+    let Some(max_n) = series.iter().map(|(_, s)| s.num_threads()).max() else {
+        return out;
+    };
+    let label_w = series.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, stack) in series {
+        let bar_width = (opts.width * stack.num_threads() / max_n).max(1);
+        let bar = draw_bar(stack, bar_width);
+        let _ = write!(out, "  {label:<label_w$} {bar}");
+        for _ in bar_width..opts.width {
+            out.push(' ');
+        }
+        let _ = write!(out, " est={:>7.2}", stack.estimated_speedup());
+        match stack.actual_speedup() {
+            Some(a) => {
+                let _ = writeln!(out, " act={a:>7.2}");
+            }
+            None => {
+                let _ = writeln!(out);
+            }
         }
     }
     out
@@ -239,6 +305,47 @@ mod tests {
         let bar = art.lines().nth(1).unwrap();
         let hashes = bar.chars().filter(|&c| c == '#').count();
         assert!((19..=21).contains(&hashes), "got {hashes} hashes");
+    }
+
+    #[test]
+    fn sweep_bar_widths_proportional_to_n() {
+        let mk = |n: usize| {
+            let t = vec![
+                ThreadCounters {
+                    active_end_cycle: 1000,
+                    ..ThreadCounters::default()
+                };
+                n
+            ];
+            SpeedupStack::from_counters(&t, 1000, &AccountingConfig::default()).unwrap()
+        };
+        let series = vec![
+            ("N=1".to_string(), mk(1)),
+            ("N=4".to_string(), mk(4)),
+            ("N=8".to_string(), mk(8)),
+        ];
+        let opts = RenderOptions {
+            width: 40,
+            ..RenderOptions::default()
+        };
+        let art = render_sweep("sweep", &series, &opts);
+        let widths: Vec<usize> = art
+            .lines()
+            .skip(1)
+            .map(|l| {
+                let open = l.find('|').unwrap();
+                let close = l.rfind('|').unwrap();
+                close - open - 1
+            })
+            .collect();
+        assert_eq!(widths, vec![5, 20, 40]);
+    }
+
+    #[test]
+    fn sweep_handles_empty_series() {
+        let art = render_sweep("empty", &[], &RenderOptions::default());
+        assert!(art.starts_with("empty"));
+        assert_eq!(art.lines().count(), 1);
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! Usage:
 //!
 //! ```text
-//! repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|hwcost|all> [--scale F]
+//! repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|hwcost|regions|scaling|all> [--scale F]
 //! ```
+//!
+//! `scaling` is the many-core study beyond the paper: speedup stacks
+//! across a 1→128-core sweep of weak-scaling workloads and a
+//! multi-program rate mix (`experiments::scaling`).
 //!
 //! `--scale` scales the workload sizes (default 1.0; use e.g. 0.25 for a
 //! quick pass).
@@ -34,7 +38,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(which) = which else {
-        eprintln!("usage: repro <fig1..fig9|hwcost|regions|all> [--scale F]");
+        eprintln!("usage: repro <fig1..fig9|hwcost|regions|scaling|all> [--scale F]");
         return ExitCode::FAILURE;
     };
 
@@ -50,6 +54,7 @@ fn main() -> ExitCode {
         "fig9" => println!("{}", experiments::fig89::run_fig9(scale)),
         "hwcost" => println!("{}", experiments::hwcost::run()),
         "regions" => println!("{}", experiments::regions_demo::run(scale)),
+        "scaling" => println!("{}", experiments::scaling::run(scale)),
         other => {
             eprintln!("unknown experiment: {other}");
             std::process::exit(1);
@@ -59,7 +64,7 @@ fn main() -> ExitCode {
     if which == "all" {
         for name in [
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "hwcost",
-            "regions",
+            "regions", "scaling",
         ] {
             println!("================================================================");
             run_one(name);

@@ -2,10 +2,31 @@
 //!
 //! One module per figure/table of *"Speedup Stacks: Identifying Scaling
 //! Bottlenecks in Multi-Threaded Applications"* (ISPASS 2012), plus the
-//! shared [`runner`]. Each module exposes a `run` function returning
-//! structured data and implements `Display` to print the same rows/series
-//! the paper reports. The `repro` binary drives them
-//! (`cargo run -p experiments --bin repro -- fig4`).
+//! shared [`runner`] and the beyond-the-paper many-core [`scaling`]
+//! study (speedup stacks from 1 to 128 cores). Each module exposes a
+//! `run` function returning structured data and implements `Display` to
+//! print the same rows/series the paper reports. The `repro` binary
+//! drives them: `cargo run -p experiments --bin repro -- fig4`, or
+//! `repro scaling` for the many-core study.
+//!
+//! Every experiment reduces to the [`runner`] recipe: run a workload
+//! multi-threaded (that run drives the accounting and yields the
+//! *estimated* speedup), run it single-threaded for Eq. 1's `Ts`, and
+//! attach the *actual* speedup for validation. Figure grids fan their
+//! independent points out over [`par`]'s deterministic thread pool.
+//!
+//! ## Example
+//!
+//! ```
+//! use experiments::{run_profile, scaled_profile, RunOptions};
+//! use workloads::{find, Suite};
+//!
+//! // One validated point of the Figure 4 grid, scaled down for speed.
+//! let p = scaled_profile(&find("blackscholes", Suite::ParsecSmall).unwrap(), 0.05);
+//! let out = run_profile(&p, &RunOptions::symmetric(2), None).unwrap();
+//! assert_eq!(out.threads, 2);
+//! assert!(out.actual > 1.0 && out.estimated > 1.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +42,7 @@ pub mod hwcost;
 pub mod par;
 pub mod regions_demo;
 pub mod runner;
+pub mod scaling;
 
 pub use par::{map_mode, par_map, Parallelism};
 pub use runner::{

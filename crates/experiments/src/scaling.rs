@@ -1,0 +1,309 @@
+//! The many-core scaling study: speedup stacks from 1 to 128 cores.
+//!
+//! The paper evaluates speedup stacks at up to 16 cores; this study
+//! drives the same accounting architecture across a 1→128-core sweep to
+//! show where each workload's scaling delimiters take over at core
+//! counts the paper never reached. Three ingredients make the sweep
+//! meaningful beyond 16 threads:
+//!
+//! - **weak-scaling workloads** ([`workloads::weak_scaling_suite`]):
+//!   per-thread work is held at the paper's 16-thread share, so 128
+//!   threads have real work instead of a starved strong-scaled input;
+//! - a **multi-program rate mix** ([`workloads::rate_mix_streams`]):
+//!   independent single-threaded programs contending only through the
+//!   shared LLC and DRAM — the pure-interference end of the spectrum;
+//! - a **many-core memory system**: a 4 MiB, 32-way LLC, exercising the
+//!   wide (byte-ranked) LRU encoding, with the coherence directory in
+//!   its spilled multi-word sharer representation above 64 cores.
+//!
+//! Weak-scaling points report the *scaled speedup* `n · Ts / Tp` (the MT
+//! run does `n` times the ST reference work); the rate mix reports the
+//! rate speedup `Σᵢ Ts(i) / Tp`. Each point also carries the full
+//! speedup stack rendered by [`speedup_stacks::render::render_sweep`].
+
+use std::fmt;
+
+use cmpsim::{simulate, MachineConfig, SimResult};
+use memsim::{CacheConfig, MemConfig};
+use speedup_stacks::render::{render_sweep, RenderOptions};
+use speedup_stacks::{AccountingConfig, SpeedupStack};
+use workloads::{
+    default_rate_mix, display_name, find, rate_mix_streams, streams_for, RateMixStream, Suite,
+    WorkloadProfile,
+};
+
+/// The swept core counts: powers of two from 1 to 128 (the paper stops
+/// at 16; everything above exercises the many-core representations).
+pub const CORE_COUNTS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// The study's memory system: the paper's defaults with the LLC grown to
+/// 4 MiB × 32 ways — a plausible many-core LLC that selects the wide
+/// LRU encoding (`ways > 16`).
+#[must_use]
+pub fn manycore_mem() -> MemConfig {
+    MemConfig {
+        llc: CacheConfig::from_kib(4096, 64, 32),
+        ..MemConfig::default()
+    }
+}
+
+/// One swept point of one workload.
+#[derive(Debug)]
+pub struct ScalingPoint {
+    /// Hardware cores (== software threads at this point).
+    pub cores: usize,
+    /// The speedup stack of the multi-threaded run, with the scaled
+    /// speedup attached as the actual.
+    pub stack: SpeedupStack,
+    /// Estimated speedup `Ŝ` from the stack (Eq. 4).
+    pub estimated: f64,
+    /// Scaled speedup: `n · Ts / Tp` for weak-scaling workloads (the MT
+    /// run does `n×` the reference work), `Σᵢ Ts(i) / Tp` for the rate
+    /// mix.
+    pub scaled_speedup: f64,
+    /// Multi-threaded run duration in cycles.
+    pub mt_cycles: u64,
+    /// Engine events of the multi-threaded run.
+    pub events: u64,
+}
+
+/// One workload's 1→128-core series.
+#[derive(Debug)]
+pub struct ScalingSeries {
+    /// Workload display name (`*_weak` variants and `rate_mix`).
+    pub name: String,
+    /// One point per swept core count, in [`CORE_COUNTS`] order.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// The whole study.
+#[derive(Debug)]
+pub struct ScalingStudy {
+    /// One series per workload.
+    pub series: Vec<ScalingSeries>,
+    /// Swept core counts.
+    pub counts: Vec<usize>,
+}
+
+impl ScalingStudy {
+    /// Total engine events across every multi-threaded point (the
+    /// perf-trajectory denominator for `BENCH_PR*.json`).
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .map(|p| p.events)
+            .sum()
+    }
+
+    /// Number of swept simulation points.
+    #[must_use]
+    pub fn total_points(&self) -> u64 {
+        self.series.iter().map(|s| s.points.len() as u64).sum()
+    }
+}
+
+impl fmt::Display for ScalingStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Many-core scaling study: speedup stacks at {:?} cores",
+            self.counts
+        )?;
+        writeln!(
+            f,
+            "(4 MiB 32-way LLC; weak-scaling workloads report scaled speedup n*Ts/Tp,\n\
+             the rate mix reports sum(Ts_i)/Tp)"
+        )?;
+        for series in &self.series {
+            writeln!(f)?;
+            let bars: Vec<(String, SpeedupStack)> = series
+                .points
+                .iter()
+                .map(|p| (format!("N={:>3}", p.cores), p.stack.clone()))
+                .collect();
+            write!(
+                f,
+                "{}",
+                render_sweep(&series.name, &bars, &RenderOptions::default())
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The study's weak-scaling workloads: one good scaler (blackscholes),
+/// one synchronization-bound workload (cholesky: short hot critical
+/// sections) and one imbalance-bound workload (lud: strong rotating
+/// skew), each as its weak variant.
+#[must_use]
+pub fn study_profiles(scale: f64) -> Vec<WorkloadProfile> {
+    [
+        find("blackscholes", Suite::ParsecMedium).expect("catalog"),
+        find("cholesky", Suite::Splash2).expect("catalog"),
+        find("lud", Suite::Rodinia).expect("catalog"),
+    ]
+    .iter()
+    .map(|p| crate::runner::scaled_profile(&p.weak_variant(), scale))
+    .collect()
+}
+
+fn machine(cores: usize) -> MachineConfig {
+    MachineConfig {
+        n_cores: cores,
+        mem: manycore_mem(),
+        ..MachineConfig::default()
+    }
+}
+
+fn stack_of(mt: &SimResult, actual: f64) -> SpeedupStack {
+    mt.stack(&AccountingConfig::default())
+        .expect("engine produces valid counters")
+        .with_actual_speedup(actual)
+}
+
+/// Runs one weak-scaling workload across `counts`, reusing the one
+/// single-threaded reference (weak scaling: every thread's work equals
+/// the ST run's).
+fn weak_series(
+    profile: &WorkloadProfile,
+    counts: &[usize],
+    mode: crate::par::Parallelism,
+) -> ScalingSeries {
+    let st = simulate(machine(1), streams_for(profile, 1)).expect("ST reference");
+    let points = crate::par::map_mode(mode, counts.to_vec(), |n| {
+        let mt = simulate(machine(n), streams_for(profile, n)).expect("weak-scaling run");
+        let scaled = n as f64 * st.tp_cycles as f64 / mt.tp_cycles as f64;
+        let stack = stack_of(&mt, scaled);
+        ScalingPoint {
+            cores: n,
+            estimated: stack.estimated_speedup(),
+            scaled_speedup: scaled,
+            mt_cycles: mt.tp_cycles,
+            events: mt.events,
+            stack,
+        }
+    });
+    ScalingSeries {
+        name: display_name(profile),
+        points,
+    }
+}
+
+/// Runs the rate mix across `counts`. Per-program single-threaded
+/// references are computed once from the first `programs.len()` members
+/// and reused cyclically across wider mixes.
+fn mix_series(
+    programs: &[WorkloadProfile],
+    counts: &[usize],
+    mode: crate::par::Parallelism,
+) -> ScalingSeries {
+    let refs: Vec<u64> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let solo: Vec<Box<dyn cmpsim::OpStream>> = vec![Box::new(RateMixStream::new(p, i))];
+            simulate(machine(1), solo)
+                .expect("mix ST reference")
+                .tp_cycles
+        })
+        .collect();
+    let points = crate::par::map_mode(mode, counts.to_vec(), |n| {
+        let mt = simulate(machine(n), rate_mix_streams(programs, n)).expect("rate mix run");
+        let ts_sum: u64 = (0..n).map(|i| refs[i % refs.len()]).sum();
+        let rate = ts_sum as f64 / mt.tp_cycles as f64;
+        let stack = stack_of(&mt, rate);
+        ScalingPoint {
+            cores: n,
+            estimated: stack.estimated_speedup(),
+            scaled_speedup: rate,
+            mt_cycles: mt.tp_cycles,
+            events: mt.events,
+            stack,
+        }
+    });
+    ScalingSeries {
+        name: "rate_mix".to_string(),
+        points,
+    }
+}
+
+/// Runs the full study over [`CORE_COUNTS`] with workloads scaled by
+/// `scale` (1.0 = the catalog sizes; use e.g. 0.25 for a quick pass).
+#[must_use]
+pub fn run(scale: f64) -> ScalingStudy {
+    run_with(scale, &CORE_COUNTS, crate::par::Parallelism::Auto)
+}
+
+/// Runs the study over explicit `counts` with the given sweep
+/// parallelism (points are independent; collection order is
+/// deterministic).
+#[must_use]
+pub fn run_with(scale: f64, counts: &[usize], mode: crate::par::Parallelism) -> ScalingStudy {
+    let mut series: Vec<ScalingSeries> = study_profiles(scale)
+        .iter()
+        .map(|p| weak_series(p, counts, mode))
+        .collect();
+    let mix: Vec<WorkloadProfile> = default_rate_mix()
+        .iter()
+        .map(|p| crate::runner::scaled_profile(p, scale))
+        .collect();
+    series.push(mix_series(&mix, counts, mode));
+    ScalingStudy {
+        series,
+        counts: counts.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::Parallelism;
+
+    #[test]
+    fn quick_study_has_expected_shape() {
+        let study = run_with(0.02, &[1, 2, 4], Parallelism::Serial);
+        assert_eq!(study.counts, vec![1, 2, 4]);
+        assert_eq!(study.series.len(), 4); // 3 weak workloads + rate mix
+        for s in &study.series {
+            assert_eq!(s.points.len(), 3, "{}", s.name);
+            for p in &s.points {
+                assert!(p.mt_cycles > 0);
+                assert!(p.scaled_speedup > 0.0);
+                assert_eq!(p.stack.num_threads(), p.cores);
+            }
+        }
+        assert!(study.total_events() > 0);
+        assert_eq!(study.total_points(), 12);
+        let text = study.to_string();
+        assert!(text.contains("rate_mix"));
+        assert!(text.contains("_weak"));
+    }
+
+    #[test]
+    fn weak_scaling_names_marked() {
+        let profiles = study_profiles(1.0);
+        assert!(profiles.iter().all(|p| p.weak_scaling));
+    }
+
+    #[test]
+    fn manycore_llc_selects_wide_lru_geometry() {
+        let mem = manycore_mem();
+        assert_eq!(mem.llc.ways(), 32);
+        assert_eq!(mem.llc.lines() * 64, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn serial_equals_parallel_points() {
+        let a = run_with(0.02, &[1, 2], Parallelism::Serial);
+        let b = run_with(0.02, &[1, 2], Parallelism::Workers(3));
+        for (sa, sb) in a.series.iter().zip(&b.series) {
+            assert_eq!(sa.name, sb.name);
+            for (pa, pb) in sa.points.iter().zip(&sb.points) {
+                assert_eq!(pa.mt_cycles, pb.mt_cycles);
+                assert_eq!(pa.events, pb.events);
+            }
+        }
+    }
+}

@@ -19,16 +19,22 @@
 //!   line);
 //! - `valid`/`dirty`/`coh` — per-set way bitmasks, so status checks and
 //!   victim selection are O(1) bit arithmetic over the probe mask;
-//! - `lru` — a *packed per-set recency ordering*: one `u64` per set
-//!   holding way indices as nibbles, most-recent in the low nibble. A
-//!   touch promotes a way with a SWAR rank lookup plus shifts, and the
-//!   true-LRU victim is read off the top nibble.
+//! - `lru` — one of **two per-set recency encodings, selected per
+//!   config**: associativities up to 16 use the *packed*
+//!   ordering (one `u64` per set holding way indices as nibbles,
+//!   most-recent in the low nibble; a touch is a SWAR rank lookup plus
+//!   shifts), wider sets use the *wide* ordering (one byte per way per
+//!   set, most-recent first; a touch is a scan plus `copy_within`). The
+//!   two encodings implement identical true-LRU semantics — pinned
+//!   bit-for-bit by `tests/flat_equivalence.rs`, which drives a
+//!   forced-wide cache against the packed one on ≤16-way geometries.
 //!
 //! No per-way timestamps, no clock, no allocation anywhere on the access
-//! path. Associativity is bounded at 16 ways (the paper's largest
-//! configuration), asserted in [`CacheConfig::new`]; randomized op
-//! streams are checked against a reference implementation of the
-//! original timestamp-LRU semantics in `tests/flat_equivalence.rs`.
+//! path. Associativity is bounded at 64 ways (the per-set status
+//! bitmasks are single `u64` words), asserted in [`CacheConfig::new`];
+//! randomized op streams are checked against a reference implementation
+//! of the original timestamp-LRU semantics in
+//! `tests/flat_equivalence.rs`.
 
 use crate::LineAddr;
 
@@ -40,6 +46,9 @@ use crate::LineAddr;
 /// use memsim::CacheConfig;
 /// let c = CacheConfig::new(2048, 16);
 /// assert_eq!(c.lines(), 32768); // 2 MB at 64-byte lines
+/// // Wider associativities (up to 64 ways) are supported too:
+/// let wide = CacheConfig::new(1024, 32);
+/// assert_eq!(wide.lines(), 32768);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -54,8 +63,8 @@ impl CacheConfig {
     /// # Panics
     ///
     /// Panics if `sets` is zero or not a power of two, or if `ways` is
-    /// zero or greater than 16 (the packed LRU encoding holds one nibble
-    /// per way).
+    /// zero or greater than 64 (per-way status lives in one `u64` bitmask
+    /// per set).
     #[must_use]
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(
@@ -63,7 +72,7 @@ impl CacheConfig {
             "sets must be a power of two"
         );
         assert!(ways > 0, "ways must be non-zero");
-        assert!(ways <= 16, "at most 16 ways supported (packed LRU)");
+        assert!(ways <= 64, "at most 64 ways supported (per-set bitmasks)");
         CacheConfig { sets, ways }
     }
 
@@ -198,6 +207,82 @@ fn mask_nibbles(ways: usize) -> u64 {
     }
 }
 
+/// Per-set true-LRU recency state, in one of two encodings selected by
+/// the configured associativity:
+///
+/// - [`Packed`](Lru::Packed) (ways ≤ 16): one `u64` per set holding the
+///   recency permutation as nibbles — the PR 1 hot-path encoding;
+/// - [`Wide`](Lru::Wide) (ways 17..=64): one byte per way per set,
+///   most-recent first, updated with a scan + `copy_within`.
+///
+/// Both encode the same permutation semantics; `tests/flat_equivalence.rs`
+/// pins them to bit-identical outcomes on shared geometries.
+#[derive(Debug, Clone)]
+enum Lru {
+    /// Nibble-packed per-set orderings (associativity ≤ 16).
+    Packed(Vec<LruOrder>),
+    /// Byte-per-way per-set orderings (associativity 17..=64): the slice
+    /// `[set * ways .. (set + 1) * ways]` lists way indices most-recent
+    /// first.
+    Wide(Vec<u8>),
+}
+
+impl Lru {
+    /// Maximum associativity of the packed (nibble) encoding.
+    const PACKED_MAX_WAYS: usize = 16;
+
+    /// Identity-initialized state for `cfg`, choosing the encoding by
+    /// associativity.
+    fn new(cfg: CacheConfig) -> Self {
+        if cfg.ways() <= Self::PACKED_MAX_WAYS {
+            Lru::Packed(vec![LruOrder::identity(cfg.ways()); cfg.sets()])
+        } else {
+            Self::new_wide(cfg)
+        }
+    }
+
+    /// Identity-initialized *wide* state regardless of associativity
+    /// (used by [`Cache::with_wide_lru`] for the equivalence suite).
+    fn new_wide(cfg: CacheConfig) -> Self {
+        let mut order = vec![0u8; cfg.lines()];
+        for set in 0..cfg.sets() {
+            for w in 0..cfg.ways() {
+                order[set * cfg.ways() + w] = w as u8;
+            }
+        }
+        Lru::Wide(order)
+    }
+
+    /// Promotes `way` to most-recent in `set`.
+    #[inline]
+    fn touch(&mut self, set: usize, way: usize, ways: usize) {
+        match self {
+            Lru::Packed(orders) => orders[set] = orders[set].touch(way, ways),
+            Lru::Wide(orders) => {
+                let slice = &mut orders[set * ways..(set + 1) * ways];
+                if slice[0] as usize == way {
+                    return;
+                }
+                let r = slice
+                    .iter()
+                    .position(|&w| w as usize == way)
+                    .expect("way present in LRU order");
+                slice.copy_within(0..r, 1);
+                slice[0] = way as u8;
+            }
+        }
+    }
+
+    /// The least-recently-used way of `set`.
+    #[inline]
+    fn lru(&self, set: usize, ways: usize) -> usize {
+        match self {
+            Lru::Packed(orders) => orders[set].lru(ways),
+            Lru::Wide(orders) => orders[set * ways + ways - 1] as usize,
+        }
+    }
+}
+
 /// A set-associative, write-back, allocate-on-miss cache with true LRU.
 ///
 /// Tags are stored *compactly*: the per-way tag is `line >> log2(sets)`
@@ -214,19 +299,32 @@ pub struct Cache<M> {
     set_shift: u32,
     tags: Vec<u32>,
     /// Per-set way bitmask: way holds a valid line.
-    valid: Vec<u16>,
+    valid: Vec<u64>,
     /// Per-set way bitmask: line is dirty.
-    dirty: Vec<u16>,
+    dirty: Vec<u64>,
     /// Per-set way bitmask: tag retained after a coherence invalidation.
-    coh: Vec<u16>,
+    coh: Vec<u64>,
     meta: Vec<M>,
-    lru: Vec<LruOrder>,
+    lru: Lru,
 }
 
 impl<M: Copy + Default> Cache<M> {
     /// Creates an empty cache with the given geometry.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
+        Self::with_lru(cfg, Lru::new(cfg))
+    }
+
+    /// Testing constructor: forces the *wide* (byte-per-way) LRU encoding
+    /// regardless of associativity. The packed/wide equivalence suite
+    /// drives this against [`Cache::new`] on ≤16-way geometries to pin
+    /// the two encodings to bit-identical behaviour.
+    #[must_use]
+    pub fn with_wide_lru(cfg: CacheConfig) -> Self {
+        Self::with_lru(cfg, Lru::new_wide(cfg))
+    }
+
+    fn with_lru(cfg: CacheConfig, lru: Lru) -> Self {
         Cache {
             cfg,
             set_shift: cfg.sets().trailing_zeros(),
@@ -235,7 +333,7 @@ impl<M: Copy + Default> Cache<M> {
             dirty: vec![0; cfg.sets()],
             coh: vec![0; cfg.sets()],
             meta: vec![M::default(); cfg.lines()],
-            lru: vec![LruOrder::identity(cfg.ways()); cfg.sets()],
+            lru,
         }
     }
 
@@ -278,11 +376,11 @@ impl<M: Copy + Default> Cache<M> {
     /// vectorizes; combined with the per-set status masks every lookup
     /// below is O(1) bit arithmetic on top of this.
     #[inline]
-    fn tag_matches(&self, base: usize, tag: u32) -> u16 {
+    fn tag_matches(&self, base: usize, tag: u32) -> u64 {
         let tags = &self.tags[base..base + self.cfg.ways];
-        let mut eq = 0u16;
+        let mut eq = 0u64;
         for (w, &t) in tags.iter().enumerate() {
-            eq |= u16::from(t == tag) << w;
+            eq |= u64::from(t == tag) << w;
         }
         eq
     }
@@ -308,8 +406,8 @@ impl<M: Copy + Default> Cache<M> {
         let hit = eq & self.valid[set];
         if hit != 0 {
             let w = hit.trailing_zeros() as usize;
-            self.lru[set] = self.lru[set].touch(w, ways);
-            self.dirty[set] |= u16::from(write) << w;
+            self.lru.touch(set, w, ways);
+            self.dirty[set] |= u64::from(write) << w;
             return CacheOutcome {
                 hit: true,
                 coherency_miss: false,
@@ -328,9 +426,9 @@ impl<M: Copy + Default> Cache<M> {
         } else if invalid != 0 {
             (invalid.trailing_zeros() as usize, false)
         } else {
-            (self.lru[set].lru(ways), false)
+            (self.lru.lru(set, ways), false)
         };
-        let bit = 1u16 << w;
+        let bit = 1u64 << w;
         let i = base + w;
         let evicted = (self.valid[set] & bit != 0).then(|| {
             (
@@ -342,9 +440,9 @@ impl<M: Copy + Default> Cache<M> {
         self.tags[i] = tag;
         self.valid[set] |= bit;
         self.coh[set] &= !bit;
-        self.dirty[set] = (self.dirty[set] & !bit) | (u16::from(write) << w);
+        self.dirty[set] = (self.dirty[set] & !bit) | (u64::from(write) << w);
         self.meta[i] = fill_meta;
-        self.lru[set] = self.lru[set].touch(w, ways);
+        self.lru.touch(set, w, ways);
         CacheOutcome {
             hit: false,
             coherency_miss,
@@ -378,7 +476,7 @@ impl<M: Copy + Default> Cache<M> {
     pub fn invalidate_coherence(&mut self, line: LineAddr) -> Option<(bool, M)> {
         let (set, base) = self.base(line);
         let w = self.find_valid(set, base, line)?;
-        let bit = 1u16 << w;
+        let bit = 1u64 << w;
         let dirty = self.dirty[set] & bit != 0;
         self.valid[set] &= !bit;
         self.coh[set] |= bit;
@@ -391,7 +489,7 @@ impl<M: Copy + Default> Cache<M> {
     pub fn remove(&mut self, line: LineAddr) -> Option<bool> {
         let (set, base) = self.base(line);
         let w = self.find_valid(set, base, line)?;
-        let bit = 1u16 << w;
+        let bit = 1u64 << w;
         let dirty = self.dirty[set] & bit != 0;
         self.valid[set] &= !bit;
         self.coh[set] &= !bit;
@@ -435,11 +533,11 @@ impl<M: Copy + Default> Cache<M> {
 
 /// Bitmask selecting the low `ways` bits.
 #[inline]
-fn ways_mask(ways: usize) -> u16 {
-    if ways == 16 {
-        u16::MAX
+fn ways_mask(ways: usize) -> u64 {
+    if ways == 64 {
+        u64::MAX
     } else {
-        (1u16 << ways) - 1
+        (1u64 << ways) - 1
     }
 }
 
@@ -458,9 +556,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 16 ways")]
+    #[should_panic(expected = "at most 64 ways")]
     fn rejects_too_many_ways() {
-        let _ = CacheConfig::new(4, 17);
+        let _ = CacheConfig::new(4, 65);
+    }
+
+    #[test]
+    fn seventeen_ways_selects_wide_lru() {
+        let c: Cache<()> = Cache::new(CacheConfig::new(4, 17));
+        assert!(matches!(c.lru, Lru::Wide(_)));
+        let c16: Cache<()> = Cache::new(CacheConfig::new(4, 16));
+        assert!(matches!(c16.lru, Lru::Packed(_)));
     }
 
     #[test]
@@ -598,5 +704,49 @@ mod tests {
             seen[((o.0 >> (4 * r)) & 0xF) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn wide_lru_permutation_ops() {
+        let mut l = Lru::new_wide(CacheConfig::new(1, 4));
+        assert_eq!(l.lru(0, 4), 3);
+        l.touch(0, 2, 4); // 2,0,1,3
+        assert_eq!(l.lru(0, 4), 3);
+        l.touch(0, 3, 4); // 3,2,0,1
+        assert_eq!(l.lru(0, 4), 1);
+        // Touching the MRU way is a no-op.
+        l.touch(0, 3, 4);
+        assert_eq!(l.lru(0, 4), 1);
+    }
+
+    #[test]
+    fn thirty_two_way_set_evicts_true_lru() {
+        // One set, 32 ways: fill, then re-touch everything except way 7's
+        // line; the next fill must evict exactly that line.
+        let mut c: Cache<()> = Cache::new(CacheConfig::new(1, 32));
+        for line in 0..32u64 {
+            c.access(line, false, ());
+        }
+        for line in (0..32u64).filter(|&l| l != 7) {
+            c.access(line, false, ());
+        }
+        let out = c.access(100, false, ());
+        assert_eq!(out.evicted, Some((7, false, ())));
+        assert_eq!(c.occupancy(), 32);
+    }
+
+    #[test]
+    fn sixty_four_way_fill_and_coherency() {
+        let mut c: Cache<()> = Cache::new(CacheConfig::new(1, 64));
+        for line in 0..64u64 {
+            c.access(line, false, ());
+        }
+        assert_eq!(c.occupancy(), 64);
+        assert_eq!(c.invalidate_coherence(63), Some((false, ())));
+        let refill = c.access(63, false, ());
+        assert!(refill.coherency_miss);
+        // The 65th distinct line evicts the true LRU (line 0).
+        let out = c.access(200, false, ());
+        assert_eq!(out.evicted, Some((0, false, ())));
     }
 }

@@ -18,47 +18,128 @@
 //! `Vec` — the per-store allocation. Capacity grows geometrically; an
 //! entry exists only while some L1 holds the line, so the table size is
 //! bounded by total L1 capacity.
+//!
+//! ## Core-count scaling
+//!
+//! Sharer masks are stored as `ceil(n_cores / 64)` words per slot, laid
+//! out contiguously (`masks[slot * words ..][..words]`). For machines of
+//! up to 64 cores this is exactly one word — the identical single-`u64`
+//! hot path as before — and [`SharerSet`] stays inline (no allocation
+//! anywhere on the access path). Above 64 cores the masks *spill* to
+//! multiple words and sharer sets to a compact heap-allocated bitset;
+//! operation-stream equivalence between the two representations is pinned
+//! by the `spilled_directory_equivalence` tests (forced multi-word masks
+//! on a ≤64-core directory must behave bit-for-bit like the inline one).
 
 use crate::{CoreId, LineAddr};
 
 /// A set of sharer cores, as a bitmask over core ids.
 ///
-/// Iterating yields core indices in ascending order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SharerSet(pub u64);
+/// Machines of up to 64 cores use the allocation-free [`Inline`] word;
+/// wider machines spill to a compact multi-word bitset. Iterate with
+/// [`SharerSet::iter`] (or `&set` / the consuming `IntoIterator`);
+/// iteration yields core indices in ascending order.
+///
+/// [`Inline`]: SharerSet::Inline
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharerSet {
+    /// Single-word bitmask (core counts up to 64). Bit `c` set means core
+    /// `c` holds the line.
+    Inline(u64),
+    /// Multi-word bitmask (core counts above 64): word `c / 64`, bit
+    /// `c % 64`.
+    Spilled(Box<[u64]>),
+}
+
+impl Default for SharerSet {
+    fn default() -> Self {
+        SharerSet::Inline(0)
+    }
+}
 
 impl SharerSet {
+    /// The empty set (inline representation).
+    #[must_use]
+    pub fn empty() -> Self {
+        SharerSet::Inline(0)
+    }
+
+    fn words(&self) -> &[u64] {
+        match self {
+            SharerSet::Inline(w) => std::slice::from_ref(w),
+            SharerSet::Spilled(ws) => ws,
+        }
+    }
+
     /// Whether no core is in the set.
     #[must_use]
-    pub fn is_empty(self) -> bool {
-        self.0 == 0
+    pub fn is_empty(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// Number of cores in the set.
     #[must_use]
-    pub fn len(self) -> u32 {
-        self.0.count_ones()
+    pub fn len(&self) -> u32 {
+        self.words().iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether `core` is in the set.
+    #[must_use]
+    pub fn contains(&self, core: CoreId) -> bool {
+        self.words()
+            .get(core / 64)
+            .is_some_and(|w| w >> (core % 64) & 1 == 1)
     }
 
     /// The cores as a vector (diagnostics/tests; iteration is
     /// allocation-free).
     #[must_use]
-    pub fn to_vec(self) -> Vec<CoreId> {
-        self.into_iter().collect()
+    pub fn to_vec(&self) -> Vec<CoreId> {
+        self.iter().collect()
+    }
+
+    /// Iterates the member cores in ascending order, without consuming
+    /// the set.
+    #[must_use]
+    pub fn iter(&self) -> SharerIter<'_> {
+        SharerIter {
+            words: self.words(),
+            word_index: 0,
+            current: self.words().first().copied().unwrap_or(0),
+        }
     }
 }
 
-impl Iterator for SharerSet {
+impl<'a> IntoIterator for &'a SharerSet {
+    type Item = CoreId;
+    type IntoIter = SharerIter<'a>;
+
+    fn into_iter(self) -> SharerIter<'a> {
+        self.iter()
+    }
+}
+
+/// Borrowing iterator over a [`SharerSet`], yielding core ids in
+/// ascending order.
+#[derive(Debug, Clone)]
+pub struct SharerIter<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for SharerIter<'_> {
     type Item = CoreId;
 
     #[inline]
     fn next(&mut self) -> Option<CoreId> {
-        if self.0 == 0 {
-            return None;
+        while self.current == 0 {
+            self.word_index += 1;
+            self.current = *self.words.get(self.word_index)?;
         }
-        let core = self.0.trailing_zeros() as CoreId;
-        self.0 &= self.0 - 1;
-        Some(core)
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * 64 + bit)
     }
 }
 
@@ -68,7 +149,11 @@ impl Iterator for SharerSet {
 /// caches' compact-tag range).
 const EMPTY_LINE: LineAddr = LineAddr::MAX;
 
-/// Sharer directory for the private L1s. Supports up to 64 cores.
+/// Sharer directory for the private L1s.
+///
+/// Supports any non-zero core count: up to 64 cores the sharer masks are
+/// single `u64` words (the allocation-free fast path); above that they
+/// are stored as `ceil(n_cores / 64)` contiguous words per slot.
 ///
 /// # Examples
 ///
@@ -78,15 +163,23 @@ const EMPTY_LINE: LineAddr = LineAddr::MAX;
 /// dir.add_sharer(0, 100);
 /// dir.add_sharer(2, 100);
 /// assert_eq!(dir.sharers_other_than(1, 100).to_vec(), vec![0, 2]);
+///
+/// // Core counts beyond 64 spill to multi-word masks transparently.
+/// let mut wide = Directory::new(128);
+/// wide.add_sharer(127, 9);
+/// assert!(wide.sharers(9).contains(127));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Directory {
     /// Slot keys ([`EMPTY_LINE`] = free). Kept separate from the masks so
     /// a probe walks only this dense 8-byte-per-slot array.
     lines: Vec<LineAddr>,
-    /// Sharer bitmask per slot (meaningful only where `lines` is
-    /// occupied).
+    /// Sharer bitmask words, `mask_words` per slot (meaningful only where
+    /// `lines` is occupied).
     masks: Vec<u64>,
+    /// Words per sharer mask: `ceil(n_cores / 64)`, so 1 for every
+    /// machine of up to 64 cores.
+    mask_words: usize,
     /// `lines.len() - 1`; capacity is a power of two.
     index_mask: usize,
     /// Right-shift turning a 64-bit hash into a slot index (top bits).
@@ -104,17 +197,38 @@ fn hash(line: LineAddr) -> u64 {
 impl Directory {
     const INITIAL_CAP: usize = 1024;
 
-    /// Creates a directory for `n_cores` cores.
+    /// Creates a directory for `n_cores` cores. Any non-zero count is
+    /// supported; counts above 64 use multi-word sharer masks.
     ///
     /// # Panics
     ///
-    /// Panics if `n_cores` is zero or greater than 64.
+    /// Panics if `n_cores` is zero.
     #[must_use]
     pub fn new(n_cores: usize) -> Self {
-        assert!(n_cores > 0 && n_cores <= 64, "1..=64 cores supported");
+        assert!(n_cores > 0, "at least one core required");
+        Self::with_mask_words(n_cores, n_cores.div_ceil(64))
+    }
+
+    /// Testing constructor: a directory for `n_cores` cores that always
+    /// uses the *spilled* multi-word mask layout (at least two words per
+    /// slot), even when `n_cores` would fit inline. The equivalence suite
+    /// drives this against [`Directory::new`] to pin the two layouts to
+    /// bit-identical behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero.
+    #[must_use]
+    pub fn new_spilled(n_cores: usize) -> Self {
+        assert!(n_cores > 0, "at least one core required");
+        Self::with_mask_words(n_cores, n_cores.div_ceil(64).max(2))
+    }
+
+    fn with_mask_words(n_cores: usize, mask_words: usize) -> Self {
         Directory {
             lines: vec![EMPTY_LINE; Self::INITIAL_CAP],
-            masks: vec![0; Self::INITIAL_CAP],
+            masks: vec![0; Self::INITIAL_CAP * mask_words],
+            mask_words,
             index_mask: Self::INITIAL_CAP - 1,
             hash_shift: 64 - Self::INITIAL_CAP.trailing_zeros(),
             len: 0,
@@ -137,17 +251,57 @@ impl Directory {
         }
     }
 
+    /// The sharer set stored at slot `i` (empty mask for free slots).
+    #[inline]
+    fn set_at(&self, i: usize) -> SharerSet {
+        if self.mask_words == 1 {
+            SharerSet::Inline(self.masks[i])
+        } else {
+            let base = i * self.mask_words;
+            SharerSet::Spilled(self.masks[base..base + self.mask_words].into())
+        }
+    }
+
+    /// Whether slot `i`'s mask has no bits set.
+    #[inline]
+    fn mask_is_empty(&self, i: usize) -> bool {
+        let base = i * self.mask_words;
+        self.masks[base..base + self.mask_words]
+            .iter()
+            .all(|&w| w == 0)
+    }
+
+    /// Clears slot `i`'s mask.
+    #[inline]
+    fn clear_mask(&mut self, i: usize) {
+        let base = i * self.mask_words;
+        self.masks[base..base + self.mask_words].fill(0);
+    }
+
+    /// Copies slot `from`'s mask into slot `to` (within `self.masks`).
+    #[inline]
+    fn move_mask(&mut self, from: usize, to: usize) {
+        if self.mask_words == 1 {
+            self.masks[to] = self.masks[from];
+        } else {
+            let w = self.mask_words;
+            self.masks.copy_within(from * w..(from + 1) * w, to * w);
+        }
+    }
+
     fn grow(&mut self) {
         let new_cap = self.lines.len() * 2;
+        let w = self.mask_words;
         let old_lines = std::mem::replace(&mut self.lines, vec![EMPTY_LINE; new_cap]);
-        let old_masks = std::mem::replace(&mut self.masks, vec![0; new_cap]);
+        let old_masks = std::mem::replace(&mut self.masks, vec![0; new_cap * w]);
         self.index_mask = new_cap - 1;
         self.hash_shift = 64 - new_cap.trailing_zeros();
-        for (line, mask) in old_lines.into_iter().zip(old_masks) {
+        for (slot, line) in old_lines.into_iter().enumerate() {
             if line != EMPTY_LINE {
                 let i = self.probe(line);
                 self.lines[i] = line;
-                self.masks[i] = mask;
+                self.masks[i * w..(i + 1) * w]
+                    .copy_from_slice(&old_masks[slot * w..(slot + 1) * w]);
             }
         }
     }
@@ -169,12 +323,12 @@ impl Directory {
             let dist_i = j.wrapping_sub(i) & self.index_mask;
             if dist_home >= dist_i {
                 self.lines[i] = line;
-                self.masks[i] = self.masks[j];
+                self.move_mask(j, i);
                 i = j;
             }
         }
         self.lines[i] = EMPTY_LINE;
-        self.masks[i] = 0;
+        self.clear_mask(i);
     }
 
     /// Records that `core`'s L1 now holds `line`.
@@ -188,10 +342,11 @@ impl Directory {
                 return self.add_sharer(core, line);
             }
             self.lines[i] = line;
-            self.masks[i] = 1 << core;
+            self.clear_mask(i);
+            self.masks[i * self.mask_words + core / 64] = 1u64 << (core % 64);
             self.len += 1;
         } else {
-            self.masks[i] |= 1 << core;
+            self.masks[i * self.mask_words + core / 64] |= 1u64 << (core % 64);
         }
     }
 
@@ -199,8 +354,8 @@ impl Directory {
     pub fn remove_sharer(&mut self, core: CoreId, line: LineAddr) {
         let i = self.probe(line);
         if self.lines[i] != EMPTY_LINE {
-            self.masks[i] &= !(1 << core);
-            if self.masks[i] == 0 {
+            self.masks[i * self.mask_words + core / 64] &= !(1u64 << (core % 64));
+            if self.mask_is_empty(i) {
                 self.delete_at(i);
             }
         }
@@ -220,24 +375,33 @@ impl Directory {
     pub fn take_line(&mut self, line: LineAddr) -> SharerSet {
         let i = self.probe(line);
         if self.lines[i] == EMPTY_LINE {
-            return SharerSet(0);
+            return SharerSet::empty();
         }
-        let mask = self.masks[i];
+        let set = self.set_at(i);
         self.delete_at(i);
-        SharerSet(mask)
+        set
     }
 
     /// All cores whose L1 holds `line`.
     #[must_use]
     pub fn sharers(&self, line: LineAddr) -> SharerSet {
-        SharerSet(self.masks[self.probe(line)])
+        self.set_at(self.probe(line))
     }
 
     /// Cores other than `core` whose L1 holds `line` (the invalidation
-    /// targets of a store by `core`). Allocation-free.
+    /// targets of a store by `core`). Allocation-free for machines of up
+    /// to 64 cores.
     #[must_use]
     pub fn sharers_other_than(&self, core: CoreId, line: LineAddr) -> SharerSet {
-        SharerSet(self.masks[self.probe(line)] & !(1 << core))
+        let i = self.probe(line);
+        if self.mask_words == 1 {
+            SharerSet::Inline(self.masks[i] & !(1u64 << core))
+        } else {
+            let base = i * self.mask_words;
+            let mut words: Box<[u64]> = self.masks[base..base + self.mask_words].into();
+            words[core / 64] &= !(1u64 << (core % 64));
+            SharerSet::Spilled(words)
+        }
     }
 
     /// Whether any core's L1 holds `line`.
@@ -258,7 +422,7 @@ mod tests {
     use super::*;
 
     #[test]
-    #[should_panic(expected = "1..=64")]
+    #[should_panic(expected = "at least one core")]
     fn rejects_zero_cores() {
         let _ = Directory::new(0);
     }
@@ -323,7 +487,11 @@ mod tests {
         }
         assert_eq!(d.tracked_lines(), 10_000);
         for line in 0..10_000u64 {
-            assert_eq!(d.sharers(line).0, 1 << (line % 2), "line {line}");
+            assert_eq!(
+                d.sharers(line).to_vec(),
+                vec![(line % 2) as usize],
+                "line {line}"
+            );
         }
         for line in 0..10_000u64 {
             d.remove_sharer((line % 2) as usize, line);
@@ -333,9 +501,36 @@ mod tests {
 
     #[test]
     fn sharer_set_iteration_order() {
-        let s = SharerSet(0b1010_0001);
+        let s = SharerSet::Inline(0b1010_0001);
         assert_eq!(s.to_vec(), vec![0, 5, 7]);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn spilled_sharer_set_iteration_spans_words() {
+        let s = SharerSet::Spilled(vec![1 << 63, 0b11, 0, 1 << 5].into());
+        assert_eq!(s.to_vec(), vec![63, 64, 65, 197]);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64) && s.contains(197));
+        assert!(!s.contains(62) && !s.contains(128));
+    }
+
+    #[test]
+    fn wide_directory_tracks_high_cores() {
+        let mut d = Directory::new(128);
+        d.add_sharer(0, 42);
+        d.add_sharer(63, 42);
+        d.add_sharer(64, 42);
+        d.add_sharer(127, 42);
+        assert_eq!(d.sharers(42).to_vec(), vec![0, 63, 64, 127]);
+        assert_eq!(d.sharers_other_than(64, 42).to_vec(), vec![0, 63, 127]);
+        d.remove_sharer(0, 42);
+        d.remove_sharer(63, 42);
+        d.remove_sharer(127, 42);
+        assert_eq!(d.sharers(42).to_vec(), vec![64]);
+        d.remove_sharer(64, 42);
+        assert!(!d.is_shared(42));
+        assert_eq!(d.tracked_lines(), 0);
     }
 
     /// Randomized equivalence against the original `HashMap<LineAddr,
@@ -381,20 +576,81 @@ mod tests {
                 _ => {
                     let taken = dir.take_line(line);
                     assert_eq!(
-                        taken.0,
-                        reference.remove(&line).unwrap_or(0),
+                        taken,
+                        SharerSet::Inline(reference.remove(&line).unwrap_or(0)),
                         "take at step {step}"
                     );
                 }
             }
             let expect = reference.get(&line).copied().unwrap_or(0);
-            assert_eq!(dir.sharers(line).0, expect, "step {step}, line {line}");
+            assert_eq!(
+                dir.sharers(line),
+                SharerSet::Inline(expect),
+                "step {step}, line {line}"
+            );
             assert_eq!(dir.is_shared(line), expect != 0);
-            assert_eq!(dir.sharers_other_than(core, line).0, expect & !(1 << core));
+            assert_eq!(
+                dir.sharers_other_than(core, line),
+                SharerSet::Inline(expect & !(1 << core))
+            );
             if step % 4096 == 0 {
                 assert_eq!(dir.tracked_lines(), reference.len(), "step {step}");
             }
         }
         assert_eq!(dir.tracked_lines(), reference.len());
+    }
+
+    /// The spilled (multi-word) layout, forced onto a ≤64-core machine,
+    /// must track the inline u64 layout bit-for-bit across a long random
+    /// operation stream — the many-core representation is pinned to the
+    /// original directory's behaviour.
+    #[test]
+    fn spilled_directory_equivalence() {
+        let mut rng = 0xfeed_f00d_dead_beefu64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let n_cores = 48;
+        let mut inline = Directory::new(n_cores);
+        let mut spilled = Directory::new_spilled(n_cores);
+        for step in 0..120_000u64 {
+            let line = next() % 2048;
+            let core = (next() % n_cores as u64) as usize;
+            match next() % 5 {
+                0 | 1 => {
+                    inline.add_sharer(core, line);
+                    spilled.add_sharer(core, line);
+                }
+                2 => {
+                    inline.remove_sharer(core, line);
+                    spilled.remove_sharer(core, line);
+                }
+                3 => {
+                    inline.clear_line(line);
+                    spilled.clear_line(line);
+                }
+                _ => {
+                    assert_eq!(
+                        inline.take_line(line).to_vec(),
+                        spilled.take_line(line).to_vec(),
+                        "take at step {step}"
+                    );
+                }
+            }
+            assert_eq!(
+                inline.sharers(line).to_vec(),
+                spilled.sharers(line).to_vec(),
+                "step {step}, line {line}"
+            );
+            assert_eq!(
+                inline.sharers_other_than(core, line).to_vec(),
+                spilled.sharers_other_than(core, line).to_vec()
+            );
+            assert_eq!(inline.is_shared(line), spilled.is_shared(line));
+            assert_eq!(inline.tracked_lines(), spilled.tracked_lines());
+        }
     }
 }

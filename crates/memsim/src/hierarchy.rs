@@ -131,15 +131,17 @@ pub struct MemoryHierarchy {
 }
 
 impl MemoryHierarchy {
-    /// Creates the hierarchy for `n_cores` cores.
+    /// Creates the hierarchy for `n_cores` cores. Any non-zero core count
+    /// is supported: the coherence directory switches to multi-word
+    /// sharer masks above 64 cores ([`Directory`]).
     ///
     /// # Panics
     ///
-    /// Panics if `n_cores` is zero or greater than 64, or the ATD sampling
-    /// period is invalid for the LLC geometry.
+    /// Panics if `n_cores` is zero, or the ATD sampling period is invalid
+    /// for the LLC geometry.
     #[must_use]
     pub fn new(cfg: &MemConfig, n_cores: usize) -> Self {
-        assert!(n_cores > 0 && n_cores <= 64, "1..=64 cores supported");
+        assert!(n_cores > 0, "at least one core required");
         MemoryHierarchy {
             cfg: *cfg,
             l1s: (0..n_cores).map(|_| Cache::new(cfg.l1)).collect(),
@@ -182,7 +184,7 @@ impl MemoryHierarchy {
         // genuine sharers (no allocation: the sharer set is a bitmask).
         let mut invalidations_sent = 0;
         if write && !single_core {
-            for target in self.dir.sharers_other_than(core, line) {
+            for target in self.dir.sharers_other_than(core, line).iter() {
                 if let Some((dirty, llc_way)) = self.l1s[target].invalidate_coherence(line) {
                     invalidations_sent += 1;
                     if dirty {
@@ -228,13 +230,13 @@ impl MemoryHierarchy {
                 self.l1s[0].remove(evicted);
             } else {
                 let holders = self.dir.take_line(evicted);
-                for c in holders {
+                for c in holders.iter() {
                     self.l1s[c].remove(evicted);
                 }
                 #[cfg(debug_assertions)]
                 for (c, l1) in self.l1s.iter().enumerate() {
                     debug_assert!(
-                        (holders.0 >> c) & 1 == 1 || !l1.contains(evicted),
+                        holders.contains(c) || !l1.contains(evicted),
                         "directory out of sync: core {c} holds line {evicted} untracked"
                     );
                 }

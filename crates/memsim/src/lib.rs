@@ -28,11 +28,14 @@
 //!
 //! Every structure on the access path is *flat*: caches are
 //! structure-of-arrays tables with compact 32-bit tags, per-set status
-//! bitmasks and packed per-set LRU orderings ([`cache`]); the coherence
-//! directory is a contiguous open-addressing table returning sharer
-//! bitmasks instead of allocating vectors ([`coherence`]); the maps that
-//! must stay sparse hash with the multiply-rotate [`fx`] hasher instead
-//! of SipHash. An access allocates nothing.
+//! bitmasks and per-set LRU orderings — nibble-packed up to 16 ways,
+//! byte-ranked up to 64 ways, selected per config ([`cache`]); the
+//! coherence directory is a contiguous open-addressing table returning
+//! sharer bitmasks instead of allocating vectors, one word per slot up
+//! to 64 cores and spilling to multi-word masks above ([`coherence`]);
+//! the maps that must stay sparse hash with the multiply-rotate [`fx`]
+//! hasher instead of SipHash. For machines of up to 64 cores an access
+//! allocates nothing.
 //!
 //! ## Example
 //!
@@ -62,7 +65,7 @@ pub mod llc;
 
 pub use atd::Atd;
 pub use cache::{Cache, CacheConfig, CacheOutcome};
-pub use coherence::{Directory, SharerSet};
+pub use coherence::{Directory, SharerIter, SharerSet};
 pub use dram::{Dram, DramAccess, DramConfig};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hierarchy::{AccessEvent, MemConfig, MemoryHierarchy, ServedBy};

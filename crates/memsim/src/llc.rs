@@ -8,7 +8,9 @@
 use crate::cache::{Cache, CacheConfig};
 use crate::{CoreId, LineAddr};
 
-/// Per-line LLC metadata: the inserting core.
+/// Per-line LLC metadata: the inserting core (kept at 16 bits to bound
+/// the metadata array; caps the simulator at 65 536 cores, far above the
+/// directory's practical range).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 struct LlcMeta {
     inserter: u16,
@@ -64,6 +66,7 @@ impl SharedLlc {
 
     /// Accesses `line` on behalf of `core`.
     pub fn access(&mut self, core: CoreId, line: LineAddr, write: bool) -> LlcOutcome {
+        debug_assert!(core <= usize::from(u16::MAX), "inserter id overflows u16");
         let meta = LlcMeta {
             inserter: core as u16,
         };

@@ -185,8 +185,18 @@ impl<M: Copy + Default> RefCache<M> {
 }
 
 fn drive(cfg: CacheConfig, seed: u64, steps: u64, line_space: u64) {
+    drive_cache(Cache::new(cfg), cfg, seed, steps, line_space);
+}
+
+/// Same randomized stream, but against the forced wide (byte-rank) LRU
+/// encoding — pins the second encoding to the same timestamp-LRU
+/// reference semantics on geometries where both encodings exist.
+fn drive_wide(cfg: CacheConfig, seed: u64, steps: u64, line_space: u64) {
+    drive_cache(Cache::with_wide_lru(cfg), cfg, seed, steps, line_space);
+}
+
+fn drive_cache(mut flat: Cache<u8>, cfg: CacheConfig, seed: u64, steps: u64, line_space: u64) {
     let mut rng = Rng(seed);
-    let mut flat: Cache<u8> = Cache::new(cfg);
     let mut reference: RefCache<u8> = RefCache::new(cfg);
     for step in 0..steps {
         let line = rng.below(line_space);
@@ -257,5 +267,81 @@ fn flat_cache_equals_timestamp_lru_reference_16_way() {
 fn flat_cache_equals_reference_across_seeds() {
     for seed in 0..8u64 {
         drive(CacheConfig::new(8, 4), 0x1000 + seed, 8_000, 256);
+    }
+}
+
+#[test]
+fn wide_lru_cache_equals_timestamp_lru_reference_17_way() {
+    // Just past the packed bound: the first geometry that selects the
+    // wide encoding automatically.
+    drive(CacheConfig::new(2, 17), 0xDD, 60_000, 102);
+}
+
+#[test]
+fn wide_lru_cache_equals_timestamp_lru_reference_32_way() {
+    // The 32-way LLC geometry of the many-core scaling study.
+    drive(CacheConfig::new(4, 32), 0xEE, 60_000, 384);
+}
+
+#[test]
+fn wide_lru_cache_equals_timestamp_lru_reference_64_way() {
+    // The associativity ceiling (per-set status masks are one u64).
+    drive(CacheConfig::new(1, 64), 0xFF, 60_000, 192);
+}
+
+#[test]
+fn forced_wide_lru_equals_reference_on_packed_geometries() {
+    // The wide encoding must implement the identical semantics on
+    // geometries the packed encoding normally owns.
+    drive_wide(CacheConfig::new(4, 2), 0xAA, 60_000, 64);
+    drive_wide(CacheConfig::new(2, 16), 0xCC, 60_000, 96);
+}
+
+/// Packed vs forced-wide on shared geometries: both encodings must agree
+/// on every outcome of every operation, step for step (bit-identical
+/// per-config LRU selection).
+#[test]
+fn packed_and_wide_lru_bit_identical() {
+    for (cfg, line_space) in [
+        (CacheConfig::new(4, 2), 64u64),
+        (CacheConfig::new(8, 8), 512),
+        (CacheConfig::new(2, 15), 90),
+        (CacheConfig::new(2, 16), 96),
+    ] {
+        let mut packed: Cache<u8> = Cache::new(cfg);
+        let mut wide: Cache<u8> = Cache::with_wide_lru(cfg);
+        let mut rng = Rng(0xB0B ^ cfg.ways() as u64);
+        for step in 0..50_000u64 {
+            let line = rng.below(line_space);
+            let op = rng.below(16);
+            match op {
+                0..=10 => {
+                    let write = op.is_multiple_of(3);
+                    let meta = (step % 251) as u8;
+                    assert_eq!(
+                        packed.access(line, write, meta),
+                        wide.access(line, write, meta),
+                        "access mismatch at step {step} ({} ways)",
+                        cfg.ways()
+                    );
+                }
+                11 | 12 => {
+                    assert_eq!(
+                        packed.invalidate_coherence(line),
+                        wide.invalidate_coherence(line)
+                    );
+                }
+                13 => {
+                    assert_eq!(packed.remove(line), wide.remove(line));
+                }
+                14 => {
+                    assert_eq!(packed.mark_dirty(line), wide.mark_dirty(line));
+                }
+                _ => {
+                    assert_eq!(packed.contains(line), wide.contains(line));
+                    assert_eq!(packed.occupancy(), wide.occupancy());
+                }
+            }
+        }
     }
 }

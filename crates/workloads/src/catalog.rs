@@ -480,6 +480,26 @@ pub fn paper_suite() -> Vec<WorkloadProfile> {
     ]
 }
 
+/// Weak-scaling variants of the whole catalog for the many-core
+/// (>16-thread) studies: per-thread work is held constant at the paper's
+/// 16-thread share ([`WorkloadProfile::weak_variant`]), so total work
+/// grows with the thread count instead of starving wide machines.
+///
+/// # Examples
+///
+/// ```
+/// let weak = workloads::weak_scaling_suite();
+/// assert_eq!(weak.len(), 28);
+/// assert!(weak.iter().all(|p| p.weak_scaling));
+/// ```
+#[must_use]
+pub fn weak_scaling_suite() -> Vec<WorkloadProfile> {
+    paper_suite()
+        .iter()
+        .map(WorkloadProfile::weak_variant)
+        .collect()
+}
+
 /// Looks up a benchmark by name and suite.
 ///
 /// ```
@@ -495,13 +515,19 @@ pub fn find(name: &str, suite: Suite) -> Option<WorkloadProfile> {
 }
 
 /// Display name with the input-size suffix the paper uses
-/// (e.g. `swaptions_small`).
+/// (e.g. `swaptions_small`), plus a `_weak` suffix for weak-scaling
+/// variants.
 #[must_use]
 pub fn display_name(p: &WorkloadProfile) -> String {
-    match p.suite {
+    let base = match p.suite {
         Suite::ParsecSmall => format!("{}_small", p.name),
         Suite::ParsecMedium => format!("{}_medium", p.name),
         _ => p.name.to_string(),
+    };
+    if p.weak_scaling {
+        format!("{base}_weak")
+    } else {
+        base
     }
 }
 

@@ -10,9 +10,14 @@
 //!
 //! - [`WorkloadProfile`] — the parameter space (work distribution, barrier
 //!   phases with a rotating heavy thread, critical sections, working sets
-//!   and sharing fractions, parallelization overhead).
+//!   and sharing fractions, parallelization overhead, strong/weak
+//!   scaling).
 //! - [`streams_for`] — builds the per-thread [`cmpsim::OpStream`]s.
-//! - [`paper_suite`] — the 28 paper benchmark models.
+//! - [`paper_suite`] — the 28 paper benchmark models;
+//!   [`weak_scaling_suite`] — their weak-scaling variants for >16-thread
+//!   many-core studies (per-thread work held constant).
+//! - [`rate_mix_streams`] — multi-program rate mixes: independent
+//!   single-threaded programs contending only through the memory system.
 //!
 //! ## Example
 //!
@@ -33,9 +38,11 @@
 
 pub mod catalog;
 pub mod generator;
+pub mod mix;
 pub mod profile;
 pub mod rng;
 
-pub use catalog::{display_name, find, paper_suite};
+pub use catalog::{display_name, find, paper_suite, weak_scaling_suite};
 pub use generator::{streams_for, ProfileStream};
+pub use mix::{default_rate_mix, rate_mix_streams, RateMixStream};
 pub use profile::{AccessPattern, CsProfile, Suite, WorkloadProfile};

@@ -1,0 +1,334 @@
+//! Multi-program (rate-mode) workload mixes.
+//!
+//! A *rate mix* runs `n` independent copies of single-threaded programs
+//! side by side, one per hardware thread — SPEC-rate style. The programs
+//! never synchronize with each other: they contend only through the
+//! shared LLC and the memory subsystem, which makes rate mixes the pure
+//! *interference* workload for the many-core scaling studies (no
+//! spinning, yielding or imbalance components, only cache and memory
+//! sharing).
+//!
+//! Each mix member wraps a single-threaded [`ProfileStream`] and
+//! rewrites its op stream:
+//!
+//! - **barriers are stripped** — independent programs have no common
+//!   phases (the engine would otherwise block every member on a barrier
+//!   only its own program arrives at);
+//! - **data addresses are relocated** into a per-member address band, so
+//!   members touch disjoint private *and* "shared" regions (a member's
+//!   shared region is shared among its own accesses only);
+//! - **lock ids are remapped** into a per-member band, so two members'
+//!   internal critical sections never contend with each other.
+//!
+//! The single-threaded reference of each member program is just the
+//! member run alone, which is what [`crate::streams_for`] with one
+//! thread produces — the scaling study uses exactly that to compute a
+//! rate speedup `Σᵢ Ts(i) / Tp`.
+
+use cmpsim::{Op, OpStream};
+
+use crate::generator::ProfileStream;
+use crate::profile::{Suite, WorkloadProfile};
+
+/// Line-address stride between members' address bands: 2^21 lines
+/// (128 MiB of data at 64-byte lines), far above any catalog footprint.
+const MEMBER_LINE_STRIDE: u64 = 1 << 21;
+
+/// Sync-id stride between members' lock bands. The catalog's widest lock
+/// striping is 32 locks; the engine's 2^20 sync-id cap leaves room for
+/// far more than [`MAX_MEMBERS`] bands.
+const MEMBER_SYNC_STRIDE: u32 = 64;
+
+/// Maximum members of one mix. The binding constraint is the address
+/// layout: the generator's shared and private region bases sit 2^30
+/// lines apart, so member `m`'s relocated shared band
+/// (`2^30 + m * 2^21`) stays below member 0's private band (`2^31`)
+/// only for `m < 2^30 / 2^21 = 512`.
+pub const MAX_MEMBERS: usize = 512;
+
+/// One member of a rate mix: a single-threaded program whose op stream
+/// is relocated into its own address and sync-id bands, with barriers
+/// stripped.
+#[derive(Debug)]
+pub struct RateMixStream {
+    inner: ProfileStream,
+    line_offset: u64,
+    sync_offset: u32,
+}
+
+impl RateMixStream {
+    /// Creates the stream for mix member `member` running `profile` as an
+    /// independent single-threaded program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member >= MAX_MEMBERS`, the profile's working sets
+    /// overflow the per-member address band, or the profile stripes its
+    /// critical sections over more locks than the per-member sync band
+    /// holds.
+    #[must_use]
+    pub fn new(profile: &WorkloadProfile, member: usize) -> Self {
+        assert!(member < MAX_MEMBERS, "at most {MAX_MEMBERS} mix members");
+        assert!(
+            profile.shared_lines <= MEMBER_LINE_STRIDE
+                && profile.private_lines <= MEMBER_LINE_STRIDE,
+            "profile working sets overflow the member address band"
+        );
+        assert!(
+            profile.cs.map_or(0, |c| c.n_locks) <= MEMBER_SYNC_STRIDE,
+            "profile stripes over more locks than the member sync band"
+        );
+        // Distinct members running the same program must not walk their
+        // (relocated) addresses in lockstep: perturb the seed per member.
+        let mut p = profile.clone();
+        p.seed ^= (member as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        RateMixStream {
+            inner: ProfileStream::new(&p, 0, 1),
+            line_offset: member as u64 * MEMBER_LINE_STRIDE,
+            sync_offset: member as u32 * MEMBER_SYNC_STRIDE,
+        }
+    }
+}
+
+impl OpStream for RateMixStream {
+    fn next_op(&mut self) -> Option<Op> {
+        loop {
+            return Some(match self.inner.next_op()? {
+                // Independent programs do not share phases.
+                Op::Barrier(_) => continue,
+                Op::Load(line) => Op::Load(line + self.line_offset),
+                Op::Store(line) => Op::Store(line + self.line_offset),
+                Op::LockAcquire(id) => Op::LockAcquire(id + self.sync_offset),
+                Op::LockRelease(id) => Op::LockRelease(id + self.sync_offset),
+                other => other,
+            });
+        }
+    }
+}
+
+/// Builds the per-thread op streams of an `n_threads` rate mix: member
+/// `i` runs `profiles[i % profiles.len()]` as an independent
+/// single-threaded program in its own address/sync bands.
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty or `n_threads` exceeds [`MAX_MEMBERS`].
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{default_rate_mix, rate_mix_streams};
+/// let streams = rate_mix_streams(&default_rate_mix(), 8);
+/// assert_eq!(streams.len(), 8);
+/// ```
+#[must_use]
+pub fn rate_mix_streams(profiles: &[WorkloadProfile], n_threads: usize) -> Vec<Box<dyn OpStream>> {
+    assert!(!profiles.is_empty(), "a mix needs at least one program");
+    (0..n_threads)
+        .map(|i| {
+            Box::new(RateMixStream::new(&profiles[i % profiles.len()], i)) as Box<dyn OpStream>
+        })
+        .collect()
+}
+
+/// A representative four-program mix spanning the paper's scaling
+/// classes: a compute-bound scaler (blackscholes), a streaming
+/// bandwidth hog (radix), an LLC-pressure program (cholesky) and a
+/// critical-section-bound program (dedup). Locks and barriers are
+/// internal to each member; across members only the memory system is
+/// shared.
+///
+/// # Panics
+///
+/// Panics if the catalog loses one of the four members (guarded by the
+/// catalog invariants tests).
+#[must_use]
+pub fn default_rate_mix() -> Vec<WorkloadProfile> {
+    [
+        ("blackscholes", Suite::ParsecMedium),
+        ("radix", Suite::Splash2),
+        ("cholesky", Suite::Splash2),
+        ("dedup", Suite::ParsecMedium),
+    ]
+    .into_iter()
+    .map(|(name, suite)| crate::catalog::find(name, suite).expect("catalog member"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::find;
+
+    fn drain(mut s: RateMixStream) -> Vec<Op> {
+        let mut out = Vec::new();
+        while let Some(op) = s.next_op() {
+            out.push(op);
+            assert!(out.len() < 10_000_000, "stream does not terminate");
+        }
+        out
+    }
+
+    fn small_profile() -> WorkloadProfile {
+        let mut p = WorkloadProfile::compute_bound("mixdemo", Suite::Splash2, 64);
+        p.phases = 2;
+        p.cs = Some(crate::profile::CsProfile {
+            every_items: 4,
+            len_cycles: 50,
+            n_locks: 4,
+        });
+        p
+    }
+
+    #[test]
+    fn barriers_stripped() {
+        let ops = drain(RateMixStream::new(&small_profile(), 0));
+        assert!(!ops.iter().any(|o| matches!(o, Op::Barrier(_))));
+        assert!(!ops.is_empty());
+    }
+
+    #[test]
+    fn members_use_disjoint_address_bands() {
+        use std::collections::BTreeSet;
+        let p = small_profile();
+        let lines = |member| -> BTreeSet<u64> {
+            drain(RateMixStream::new(&p, member))
+                .iter()
+                .filter_map(|o| match o {
+                    Op::Load(l) | Op::Store(l) => Some(*l),
+                    _ => None,
+                })
+                .collect()
+        };
+        let (la, lb) = (lines(0), lines(1));
+        assert!(!la.is_empty() && !lb.is_empty());
+        assert!(
+            la.is_disjoint(&lb),
+            "members 0 and 1 touch overlapping lines"
+        );
+        // Member 1's regions are member 0's, relocated by one stride
+        // (generator regions: shared at 2^30, private at 2^31).
+        let in_band = |l: u64, m: u64| {
+            let off = m * MEMBER_LINE_STRIDE;
+            let shared = ((1 << 30) + off..(1 << 30) + off + p.shared_lines).contains(&l);
+            let private = ((2 << 30) + off..(2 << 30) + off + p.private_lines).contains(&l);
+            shared || private
+        };
+        assert!(la.iter().all(|&l| in_band(l, 0)));
+        assert!(lb.iter().all(|&l| in_band(l, 1)));
+    }
+
+    #[test]
+    fn members_use_disjoint_lock_bands() {
+        let p = small_profile();
+        let locks = |member| -> Vec<u32> {
+            drain(RateMixStream::new(&p, member))
+                .iter()
+                .filter_map(|o| match o {
+                    Op::LockAcquire(id) => Some(*id),
+                    _ => None,
+                })
+                .collect()
+        };
+        let l0 = locks(0);
+        let l2 = locks(2);
+        assert!(!l0.is_empty() && !l2.is_empty());
+        assert!(l0.iter().all(|&id| id < MEMBER_SYNC_STRIDE));
+        assert!(l2
+            .iter()
+            .all(|&id| (2 * MEMBER_SYNC_STRIDE..3 * MEMBER_SYNC_STRIDE).contains(&id)));
+    }
+
+    #[test]
+    fn same_program_members_diverge() {
+        let p = small_profile();
+        let strip = |ops: Vec<Op>| -> Vec<Op> {
+            // Compare op shapes net of the deliberate band offsets.
+            ops.into_iter()
+                .map(|o| match o {
+                    Op::Load(l) => Op::Load(l % MEMBER_LINE_STRIDE),
+                    Op::Store(l) => Op::Store(l % MEMBER_LINE_STRIDE),
+                    Op::LockAcquire(id) => Op::LockAcquire(id % MEMBER_SYNC_STRIDE),
+                    Op::LockRelease(id) => Op::LockRelease(id % MEMBER_SYNC_STRIDE),
+                    other => other,
+                })
+                .collect()
+        };
+        let a = strip(drain(RateMixStream::new(&p, 0)));
+        let b = strip(drain(RateMixStream::new(&p, 1)));
+        assert_ne!(a, b, "two members of the same program run in lockstep");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = small_profile();
+        assert_eq!(
+            drain(RateMixStream::new(&p, 3)),
+            drain(RateMixStream::new(&p, 3))
+        );
+    }
+
+    #[test]
+    fn default_mix_spans_classes() {
+        let mix = default_rate_mix();
+        assert_eq!(mix.len(), 4);
+        assert!(mix.iter().any(|p| p.cs.is_some()));
+        assert!(mix.iter().any(|p| p.cs.is_none()));
+    }
+
+    #[test]
+    fn mix_runs_end_to_end() {
+        use cmpsim::{simulate, MachineConfig};
+        let mut quick: Vec<WorkloadProfile> = default_rate_mix();
+        for p in &mut quick {
+            p.total_items = (p.total_items / 50).max(u64::from(p.phases) * 4);
+        }
+        let result = simulate(MachineConfig::with_cores(4), rate_mix_streams(&quick, 4))
+            .expect("rate mix completes without deadlock");
+        assert_eq!(result.counters.len(), 4);
+        assert!(result.tp_cycles > 0);
+        // No barriers and per-member locks: no cross-program waiting.
+        assert!(result.truth.iter().all(|t| t.wait_episodes == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn rejects_too_many_members() {
+        let _ = RateMixStream::new(&small_profile(), MAX_MEMBERS);
+    }
+
+    #[test]
+    fn last_member_band_stays_clear_of_private_regions() {
+        // The binding bound on MAX_MEMBERS: the last member's shared
+        // band must still sit below member 0's private region (2^31),
+        // and its private band below the compact-tag horizon.
+        let p = small_profile();
+        let ops = drain(RateMixStream::new(&p, MAX_MEMBERS - 1));
+        let last_off = (MAX_MEMBERS as u64 - 1) * MEMBER_LINE_STRIDE;
+        for op in ops {
+            if let Op::Load(l) | Op::Store(l) = op {
+                let shared =
+                    ((1 << 30) + last_off..(1 << 30) + last_off + p.shared_lines).contains(&l);
+                let private =
+                    ((2 << 30) + last_off..(2 << 30) + last_off + p.private_lines).contains(&l);
+                assert!(
+                    shared || private,
+                    "line {l} outside the last member's bands"
+                );
+                if shared {
+                    assert!(l < 2 << 30, "shared band bleeds into private space");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_through_profiles() {
+        let mix = vec![
+            find("blackscholes", Suite::ParsecSmall).unwrap(),
+            find("radix", Suite::Splash2).unwrap(),
+        ];
+        let streams = rate_mix_streams(&mix, 5);
+        assert_eq!(streams.len(), 5);
+    }
+}

@@ -121,12 +121,14 @@ pub struct WorkloadProfile {
     /// fraction of `item_compute` (parallelization overhead, §3.5 — the
     /// accounting deliberately cannot see this).
     pub par_overhead: f64,
-    /// Weak scaling: keep per-thread work constant instead of dividing
-    /// `total_items` over threads (models small inputs where adding
-    /// threads adds sync overhead without adding useful parallelism...
-    /// the paper's swaptions-simsmall behaviour is modelled with strong
-    /// scaling on a tiny `total_items` instead; weak scaling here grows
-    /// total work with n).
+    /// Weak scaling: hold *per-thread* work constant instead of dividing
+    /// `total_items` over the threads, so total work grows linearly with
+    /// the thread count. Under weak scaling, `total_items / phases` is
+    /// the per-thread per-phase item count (the same work a
+    /// single-threaded run does), and the rotating heavy thread still
+    /// carries `1 + phase_skew` times that share. This is the scaling
+    /// regime of the >16-thread many-core studies, where a strong-scaled
+    /// catalog input would starve 128 threads of work.
     pub weak_scaling: bool,
     /// RNG seed for address generation.
     pub seed: u64,
@@ -165,8 +167,12 @@ impl WorkloadProfile {
     /// Items for `thread` in `phase` when running with `n_threads`.
     ///
     /// The heavy role rotates: thread `phase % n` carries `1 + phase_skew`
-    /// times the balanced share. Shares are exact in expectation; rounding
-    /// keeps totals within one item per thread.
+    /// times the balanced share. Under strong scaling (the default) the
+    /// phase's `total_items / phases` items are divided over the threads;
+    /// under [`weak_scaling`](Self::weak_scaling) every thread gets the
+    /// full single-thread share (the heavy thread proportionally more),
+    /// so total work grows with `n_threads`. Shares are exact in
+    /// expectation; rounding keeps totals within one item per thread.
     #[must_use]
     pub fn items_for(&self, thread: usize, phase: u32, n_threads: usize) -> u64 {
         let per_phase = self.total_items / u64::from(self.phases.max(1));
@@ -175,9 +181,27 @@ impl WorkloadProfile {
         }
         let heavy = phase as usize % n_threads;
         let k = 1.0 + self.phase_skew;
-        let sum_w = (n_threads - 1) as f64 + k;
         let w = if thread == heavy { k } else { 1.0 };
+        if self.weak_scaling {
+            // Per-thread work held constant: every thread does the
+            // single-thread share, the heavy thread `k` times it.
+            return ((per_phase as f64) * w).round() as u64;
+        }
+        let sum_w = (n_threads - 1) as f64 + k;
         ((per_phase as f64) * w / sum_w).round() as u64
+    }
+
+    /// The weak-scaling variant of this profile for the many-core
+    /// studies: per-thread work is held constant at the share a thread
+    /// gets in the paper's 16-thread strong-scaling evaluation, so a
+    /// 128-thread weak run does 8× the original total work rather than
+    /// starving each thread.
+    #[must_use]
+    pub fn weak_variant(&self) -> Self {
+        let mut p = self.clone();
+        p.weak_scaling = true;
+        p.total_items = (self.total_items / 16).max(u64::from(self.phases.max(1)));
+        p
     }
 
     /// Effective compute cycles per item for an `n_threads` run,
@@ -232,6 +256,46 @@ mod tests {
         // Total is approximately preserved.
         let total: u64 = (0..4).map(|t| p.items_for(t, 0, 4)).sum();
         assert!((total as i64 - 4000).abs() <= 2);
+    }
+
+    #[test]
+    fn weak_scaling_holds_per_thread_work() {
+        let mut p = WorkloadProfile::compute_bound("x", Suite::Rodinia, 16_000);
+        p.weak_scaling = true;
+        // 4 phases → 4000 per thread per phase, at any thread count.
+        for n in [2usize, 16, 128] {
+            for t in 1..n.min(4) {
+                // Thread 0 is the phase-0 heavy thread; others get the
+                // single-thread share.
+                assert_eq!(p.items_for(t, 0, n), 4000, "n={n} t={t}");
+            }
+        }
+        // Total work grows with n (balanced profile: skew 0).
+        let total_32: u64 = (0..32).map(|t| p.items_for(t, 0, 32)).sum();
+        assert_eq!(total_32, 32 * 4000);
+    }
+
+    #[test]
+    fn weak_scaling_heavy_thread_rotates() {
+        let mut p = WorkloadProfile::compute_bound("x", Suite::Rodinia, 16_000);
+        p.weak_scaling = true;
+        p.phase_skew = 1.0;
+        assert_eq!(p.items_for(0, 0, 8), 8000); // heavy: 2× the share
+        assert_eq!(p.items_for(1, 0, 8), 4000);
+        assert_eq!(p.items_for(1, 1, 8), 8000); // heavy role moved on
+    }
+
+    #[test]
+    fn weak_variant_matches_sixteen_thread_share() {
+        let p = WorkloadProfile::compute_bound("x", Suite::Rodinia, 16_000);
+        let w = p.weak_variant();
+        assert!(w.weak_scaling);
+        // A thread of the weak run does what a 16-thread strong run
+        // gives each thread (skew 0 ⇒ exact).
+        assert_eq!(w.items_for(1, 0, 64), p.items_for(1, 0, 16));
+        // Degenerate inputs keep at least one item per phase.
+        let tiny = WorkloadProfile::compute_bound("t", Suite::Rodinia, 4).weak_variant();
+        assert!(tiny.items_for(0, 0, 2) >= 1);
     }
 
     #[test]

@@ -1,7 +1,21 @@
 //! Umbrella crate for the speedup-stacks reproduction: hosts the runnable
 //! examples and cross-crate integration tests. See the individual crates
-//! (`speedup-stacks`, `memsim`, `cmpsim`, `workloads`, `experiments`) for
-//! the actual library surface.
+//! for the actual library surface:
+//!
+//! - [`speedup_stacks`] — counters, accounting, stacks, rendering;
+//! - [`memsim`] — the flat memory-hierarchy model;
+//! - [`cmpsim`] — the deterministic event-driven CMP engine;
+//! - [`workloads`] — synthetic benchmark models, weak-scaling variants
+//!   and rate mixes;
+//! - [`experiments`] — the per-figure reproductions and the many-core
+//!   scaling study.
+//!
+//! `docs/ARCHITECTURE.md` maps the paper's concepts onto this layout.
+//!
+//! ```
+//! use speedup_stacks_repro::cmpsim::MachineConfig;
+//! assert_eq!(MachineConfig::default().n_cores, 16);
+//! ```
 pub use cmpsim;
 pub use experiments;
 pub use memsim;
