@@ -35,7 +35,7 @@
 
 use std::time::Instant;
 
-use bench_support::report::{Entry, Report};
+use bench_support::report::{Entry, PerfReport};
 use cmpsim::EventQueueKind;
 use experiments::{run_grid, scaled_profile, Parallelism, RunOptions};
 
@@ -92,7 +92,7 @@ fn time_external(repro: &str, fig: &str, scale: f64) -> f64 {
 }
 
 fn main() {
-    let mut out = String::from("BENCH_PR2.json");
+    let mut out = String::from("BENCH_PR3.json");
     let mut scale = 1.0f64;
     let mut samples = 3usize;
     let mut baseline_repro: Option<String> = None;
@@ -132,8 +132,8 @@ fn main() {
         ),
     ];
 
-    let mut report = Report::default();
-    report.meta("report", "speedup-stacks simulator perf trajectory, PR 2");
+    let mut report = PerfReport::default();
+    report.meta("report", "speedup-stacks simulator perf trajectory, PR 3");
     report.meta(
         "workload",
         format!(

@@ -8,14 +8,17 @@
 //! throughput, plus a `--smoke` mode for CI.
 //!
 //! The [`report`] module emits the machine-readable `BENCH_PR*.json`
-//! perf-trajectory files (see the `bench_report` binary).
+//! perf-trajectory files (see the `bench_report` binary) by converting
+//! the measurements into the shared
+//! [`speedup_stacks::report::Report`] value model and using its JSON
+//! emitter.
 //!
 //! ## Example
 //!
 //! ```
-//! use bench_support::report::{Entry, Report};
+//! use bench_support::report::{Entry, PerfReport};
 //!
-//! let mut report = Report::default();
+//! let mut report = PerfReport::default();
 //! report.meta("report", "demo");
 //! report.push(Entry {
 //!     name: "sweep".into(),
@@ -25,7 +28,8 @@
 //!     points: 12,
 //! });
 //! let json = report.to_json();
-//! assert!(json.contains("\"events_per_sec\": 2000000"));
+//! assert!(speedup_stacks::report::json::parse(&json).is_ok());
+//! assert!(json.contains("events_per_sec"));
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,10 +1,13 @@
-//! Machine-readable perf reports (`BENCH_PR*.json`).
+//! Machine-readable perf reports (`BENCH_PR*.json`) on the shared
+//! report model.
 //!
-//! No serde offline, so this is a tiny hand-rolled JSON writer for the
-//! flat structure the perf-trajectory files need: a report header plus a
-//! list of measured sweep entries.
+//! [`PerfReport`] collects measured sweep entries and converts them into
+//! a [`speedup_stacks::report::Report`] — the same structured value
+//! model the study registry produces — so the perf-trajectory JSON is
+//! emitted by the shared `core` JSON emitter instead of private
+//! plumbing (and can equally be rendered as text or CSV).
 
-use std::fmt::Write as _;
+use speedup_stacks::report::{Block, Column, Report, Table, Unit, Value};
 
 /// One measured entry of a perf report.
 #[derive(Debug, Clone)]
@@ -33,33 +36,16 @@ impl Entry {
     }
 }
 
-/// A whole report.
+/// A whole perf report: free-form metadata plus measured entries.
 #[derive(Debug, Clone, Default)]
-pub struct Report {
-    /// Free-form metadata (`key: value`) rendered into the header.
+pub struct PerfReport {
+    /// Free-form metadata (`key: value`), echoed as report parameters.
     pub meta: Vec<(String, String)>,
     /// The measured entries.
     pub entries: Vec<Entry>,
 }
 
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-impl Report {
+impl PerfReport {
     /// Adds a metadata pair.
     pub fn meta(&mut self, key: &str, value: impl ToString) {
         self.meta.push((key.to_string(), value.to_string()));
@@ -70,40 +56,53 @@ impl Report {
         self.entries.push(entry);
     }
 
-    /// Serializes the report as pretty-printed JSON.
+    /// Converts the measurements into the shared structured
+    /// [`Report`]: metadata as parameters, entries as one typed table.
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let mut report = Report::new("bench", "Simulator perf trajectory");
+        for (k, v) in &self.meta {
+            report.param(k.clone(), Value::str(v.clone()));
+        }
+        let mut table = Table::new(
+            "entries",
+            vec![
+                Column::new("name"),
+                Column::new("config"),
+                Column::new("wall_s").unit(Unit::Seconds),
+                Column::new("points").unit(Unit::Count),
+                Column::new("events").unit(Unit::Count),
+                Column::new("events_per_sec").unit(Unit::Count),
+            ],
+        );
+        for e in &self.entries {
+            table.row(vec![
+                Value::str(&e.name),
+                Value::str(&e.config),
+                e.wall_s.into(),
+                e.points.into(),
+                e.events.into(),
+                e.events_per_sec().round().into(),
+            ]);
+        }
+        report.push(Block::Table(table));
+        report
+    }
+
+    /// Serializes the report as JSON via the shared emitter.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n");
-        for (k, v) in &self.meta {
-            let _ = writeln!(s, "  \"{}\": \"{}\",", esc(k), esc(v));
-        }
-        s.push_str("  \"entries\": [\n");
-        for (i, e) in self.entries.iter().enumerate() {
-            let comma = if i + 1 < self.entries.len() { "," } else { "" };
-            let _ = writeln!(
-                s,
-                "    {{\"name\": \"{}\", \"config\": \"{}\", \"wall_s\": {:.6}, \"points\": {}, \"events\": {}, \"events_per_sec\": {:.0}}}{}",
-                esc(&e.name),
-                esc(&e.config),
-                e.wall_s,
-                e.points,
-                e.events,
-                e.events_per_sec(),
-                comma
-            );
-        }
-        s.push_str("  ]\n}\n");
-        s
+        self.to_report().to_json()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use speedup_stacks::report::json;
 
-    #[test]
-    fn json_shape_and_escaping() {
-        let mut r = Report::default();
+    fn demo() -> PerfReport {
+        let mut r = PerfReport::default();
         r.meta("note", "a \"quoted\"\nline");
         r.push(Entry {
             name: "sweep".into(),
@@ -112,10 +111,30 @@ mod tests {
             events: 3_000_000,
             points: 12,
         });
-        let json = r.to_json();
-        assert!(json.contains("\\\"quoted\\\"\\n"));
-        assert!(json.contains("\"events_per_sec\": 2000000"));
-        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        r
+    }
+
+    #[test]
+    fn json_parses_and_carries_the_entries() {
+        let doc = json::parse(&demo().to_json()).expect("valid JSON");
+        assert_eq!(doc.get("study").unwrap().as_str(), Some("bench"));
+        assert_eq!(
+            doc.get("params").unwrap().get("note").unwrap().as_str(),
+            Some("a \"quoted\"\nline")
+        );
+        let blocks = doc.get("blocks").unwrap().as_array().unwrap();
+        let rows = blocks[0].get("rows").unwrap().as_array().unwrap();
+        let row = rows[0].as_array().unwrap();
+        assert_eq!(row[0].as_str(), Some("sweep"));
+        assert_eq!(row[2].as_f64(), Some(1.5));
+        assert_eq!(row[5].as_f64(), Some(2_000_000.0));
+    }
+
+    #[test]
+    fn shared_report_renders_all_formats() {
+        let report = demo().to_report();
+        assert!(report.to_csv().contains("table,entries"));
+        assert!(report.to_text().contains("sweep"));
     }
 
     #[test]

@@ -60,6 +60,9 @@
 //! - [`estimate`] — the paper's formulas (Eqs. 1–6): estimated
 //!   single-threaded time, estimated speedup, validation error.
 //! - [`render`] — ASCII rendering of stacks (Figure 2 / Figure 5 style).
+//! - [`report`] — structured experiment reports ([`Report`]): typed
+//!   tables, scalar metrics with units and stack groups, with text, JSON
+//!   and CSV emitters (the uniform output model of the study registry).
 //! - [`classify`] — the benchmark classification tree (Figure 6).
 //! - [`hwcost`] — the hardware cost model (§4.7: 1.1 KB/core, 18 KB total).
 
@@ -75,6 +78,7 @@ pub mod error;
 pub mod estimate;
 pub mod hwcost;
 pub mod render;
+pub mod report;
 pub mod stack;
 
 pub use accounting::{AccountingConfig, ThreadBreakdown};
@@ -84,4 +88,5 @@ pub use counters::ThreadCounters;
 pub use error::StackError;
 pub use estimate::{estimated_speedup, speedup_error, ValidationPoint};
 pub use hwcost::HardwareCostModel;
+pub use report::Report;
 pub use stack::SpeedupStack;

@@ -1,0 +1,699 @@
+//! JSON emission and validation for [`Report`].
+//!
+//! The build is fully self-contained (no serde offline — the `serde`
+//! feature remains a cfg-gated second path), so this module hand-writes
+//! the JSON and ships a small recursive-descent parser used by the tests
+//! and the `jsoncheck` smoke binary to validate emitted documents.
+//!
+//! Non-finite numbers (`NaN`, `±inf`) have no JSON representation and
+//! are emitted as `null`; [`Value::Missing`]
+//! cells likewise become `null`.
+//!
+//! # Examples
+//!
+//! ```
+//! use speedup_stacks::report::{json, Report};
+//!
+//! let report = Report::new("demo", "A demo");
+//! let doc = json::parse(&report.to_json()).unwrap();
+//! assert_eq!(doc.get("title").unwrap().as_str(), Some("A demo"));
+//! assert!(doc.get("blocks").unwrap().as_array().unwrap().is_empty());
+//! ```
+
+use std::fmt::Write as _;
+
+use super::{Block, Report, Scalar, Table, Value};
+use crate::components::Component;
+use crate::stack::SpeedupStack;
+
+/// Escapes a string for inclusion in a JSON string literal.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number token (`null` when non-finite).
+#[must_use]
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn value_token(v: &Value) -> String {
+    match v {
+        Value::F64(x) => number(*x),
+        Value::U64(x) => format!("{x}"),
+        Value::Str(s) => format!("\"{}\"", escape(s)),
+        Value::Missing => "null".to_string(),
+    }
+}
+
+fn stack_object(label: &str, stack: &SpeedupStack, out: &mut String, indent: &str) {
+    let _ = write!(out, "{{\"label\": \"{}\", ", escape(label));
+    let _ = write!(
+        out,
+        "\"n\": {}, \"tp_cycles\": {}, \"base_speedup\": {}, \"positive_interference\": {}, ",
+        stack.num_threads(),
+        stack.tp_cycles(),
+        number(stack.base_speedup()),
+        number(stack.positive_interference()),
+    );
+    let _ = write!(
+        out,
+        "\"estimated_speedup\": {}, \"actual_speedup\": {},\n{indent}  \"overheads\": {{",
+        number(stack.estimated_speedup()),
+        stack.actual_speedup().map_or("null".to_string(), number),
+    );
+    for (i, c) in Component::ALL.iter().enumerate() {
+        let comma = if i + 1 < Component::ALL.len() {
+            ", "
+        } else {
+            ""
+        };
+        let _ = write!(
+            out,
+            "\"{}\": {}{comma}",
+            c.label(),
+            number(stack.component(*c))
+        );
+    }
+    out.push_str("}}");
+}
+
+fn table_object(t: &Table, out: &mut String, indent: &str) {
+    let _ = write!(
+        out,
+        "{{\"kind\": \"table\", \"name\": \"{}\",",
+        escape(&t.name)
+    );
+    out.push('\n');
+    let _ = write!(out, "{indent}  \"columns\": [");
+    for (i, c) in t.columns.iter().enumerate() {
+        let comma = if i + 1 < t.columns.len() { ", " } else { "" };
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"unit\": \"{}\"}}{comma}",
+            escape(&c.name),
+            c.unit.label()
+        );
+    }
+    let _ = write!(out, "],\n{indent}  \"rows\": [");
+    for (ri, row) in t.rows.iter().enumerate() {
+        let comma = if ri + 1 < t.rows.len() { "," } else { "" };
+        let _ = write!(out, "\n{indent}    [");
+        for (ci, v) in row.iter().enumerate() {
+            let vcomma = if ci + 1 < row.len() { ", " } else { "" };
+            let _ = write!(out, "{}{vcomma}", value_token(v));
+        }
+        let _ = write!(out, "]{comma}");
+    }
+    if t.rows.is_empty() {
+        out.push(']');
+    } else {
+        let _ = write!(out, "\n{indent}  ]");
+    }
+    out.push('}');
+}
+
+fn scalar_object(s: &Scalar, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"kind\": \"scalar\", \"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}",
+        escape(&s.name),
+        value_token(&s.value),
+        s.unit.label()
+    );
+}
+
+fn stack_list(stacks: &[(String, SpeedupStack)], out: &mut String, indent: &str) {
+    for (i, (label, stack)) in stacks.iter().enumerate() {
+        let comma = if i + 1 < stacks.len() { "," } else { "" };
+        let _ = write!(out, "\n{indent}    ");
+        stack_object(label, stack, out, &format!("{indent}    "));
+        out.push_str(comma);
+    }
+    if stacks.is_empty() {
+        out.push(']');
+    } else {
+        let _ = write!(out, "\n{indent}  ]");
+    }
+}
+
+fn block_object(b: &Block, out: &mut String, indent: &str) -> bool {
+    match b {
+        Block::Blank => return false,
+        Block::Text(s) => {
+            let _ = write!(out, "{{\"kind\": \"text\", \"text\": \"{}\"}}", escape(s));
+        }
+        Block::Table(t) => table_object(t, out, indent),
+        Block::Scalar(s) => scalar_object(s, out),
+        Block::Stack { label, stack, .. } => {
+            out.push_str("{\"kind\": \"stack\", \"stack\": ");
+            stack_object(label, stack, out, indent);
+            out.push('}');
+        }
+        Block::StackTable { name, stacks } => {
+            let _ = write!(
+                out,
+                "{{\"kind\": \"stack_table\", \"name\": \"{}\", \"stacks\": [",
+                escape(name)
+            );
+            stack_list(stacks, out, indent);
+            out.push('}');
+        }
+        Block::Sweep { title, series, .. } => {
+            let _ = write!(
+                out,
+                "{{\"kind\": \"sweep\", \"title\": \"{}\", \"stacks\": [",
+                escape(title)
+            );
+            stack_list(series, out, indent);
+            out.push('}');
+        }
+        Block::Hidden(inner) => return block_object(inner, out, indent),
+    }
+    true
+}
+
+/// Serializes a report as a pretty-printed JSON object.
+#[must_use]
+pub fn to_json(r: &Report) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"study\": \"{}\",", escape(&r.study));
+    let _ = writeln!(out, "  \"title\": \"{}\",", escape(&r.title));
+    out.push_str("  \"params\": {");
+    for (i, (k, v)) in r.params.iter().enumerate() {
+        let comma = if i + 1 < r.params.len() { ", " } else { "" };
+        let _ = write!(out, "\"{}\": {}{comma}", escape(k), value_token(v));
+    }
+    out.push_str("},\n  \"blocks\": [");
+    let mut first = true;
+    for b in &r.blocks {
+        let mut chunk = String::new();
+        if block_object(b, &mut chunk, "    ") {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            out.push_str(&chunk);
+        }
+    }
+    if first {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// A parsed JSON value (the in-repo validator's document model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// A parse failure, with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_lit("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            self.err(format!("expected '{lit}'"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Strict JSON integer part: "0" or a non-zero digit followed by
+        // more digits (no leading zeros).
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return self.err("leading zero");
+                }
+            }
+            Some(b'1'..=b'9') => {
+                self.consume_digits();
+            }
+            _ => return self.err("expected digit"),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.consume_digits() == 0 {
+                return self.err("expected digit after '.'");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.consume_digits() == 0 {
+                return self.err("expected exponent digit");
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        match text.parse::<f64>() {
+            Ok(v) => Ok(JsonValue::Number(v)),
+            Err(_) => self.err(format!("invalid number '{text}'")),
+        }
+    }
+
+    fn consume_digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs: JSON encodes astral chars
+                            // as \uD8xx\uDCxx.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return self
+                                            .err("high surrogate not followed by low surrogate");
+                                    }
+                                    char::from_u32(0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00))
+                                } else {
+                                    None
+                                }
+                            } else {
+                                // Lone (low) surrogates are rejected by
+                                // char::from_u32.
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                        }
+                        other => return self.err(format!("invalid escape '\\{}'", other as char)),
+                    }
+                }
+                b if b < 0x20 => return self.err("control character in string"),
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte slice.
+                    let rest = &self.bytes[self.pos - 1..];
+                    match std::str::from_utf8(&rest[..rest.len().min(4)]) {
+                        Ok(s) => {
+                            let c = s.chars().next().expect("non-empty");
+                            out.push(c);
+                            self.pos += c.len_utf8() - 1;
+                        }
+                        Err(e) if e.valid_up_to() > 0 => {
+                            let s = std::str::from_utf8(&rest[..e.valid_up_to()])
+                                .expect("validated prefix");
+                            let c = s.chars().next().expect("non-empty");
+                            out.push(c);
+                            self.pos += c.len_utf8() - 1;
+                        }
+                        Err(_) => return self.err("invalid UTF-8"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return self.err("truncated \\u escape");
+            };
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a' + 10),
+                b'A'..=b'F' => u32::from(b - b'A' + 10),
+                _ => return self.err("invalid hex digit"),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document (used to validate emitter output in-repo; no
+/// external tools needed).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first syntax
+/// error, including trailing garbage after the document.
+///
+/// # Examples
+///
+/// ```
+/// use speedup_stacks::report::json::parse;
+/// let v = parse("{\"a\": [1, 2.5, null]}").unwrap();
+/// assert_eq!(v.get("a").unwrap().as_array().unwrap()[1].as_f64(), Some(2.5));
+/// assert!(parse("{\"a\": NaN}").is_err());
+/// ```
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after document");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse("{\"a\": {\"b\": [1, -2.5e3, \"x\", true, null]}}").unwrap();
+        let arr = v.get("a").unwrap().get("b").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert_eq!(arr[3], JsonValue::Bool(true));
+        assert!(arr[4].is_null());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let original = "a \"quoted\"\\ line\nwith\ttabs and unicode: Ŝ → 3.87";
+        let json = format!("\"{}\"", escape(original));
+        let parsed = parse(&json).unwrap();
+        assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn mismatched_surrogates_rejected() {
+        // High surrogate followed by a non-surrogate escape.
+        assert!(parse("\"\\ud83d\\u0041\"").is_err());
+        // High surrogate followed by another high surrogate.
+        assert!(parse("\"\\ud83d\\ud83d\"").is_err());
+        // Lone surrogates, high and low.
+        assert!(parse("\"\\ud83d\"").is_err());
+        assert!(parse("\"\\ude00\"").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} garbage",
+            "\"unterminated",
+            "NaN",
+            "Infinity",
+            "01",
+            "1.",
+            "--1",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
+        assert_eq!(number(1.5), "1.5");
+    }
+
+    #[test]
+    fn report_with_non_finite_cells_still_emits_valid_json() {
+        use crate::report::Column;
+        let mut r = Report::new("nan", "non-finite handling");
+        let mut t = Table::new("t", vec![Column::new("v"), Column::new("w")]);
+        t.row(vec![Value::F64(f64::NAN), Value::F64(f64::INFINITY)]);
+        t.row(vec![Value::F64(f64::NEG_INFINITY), Value::Missing]);
+        r.push(Block::Table(t));
+        r.push(Block::Scalar(Scalar::new(
+            "bad",
+            f64::NAN,
+            crate::report::Unit::Speedup,
+            String::new(),
+        )));
+        let doc = parse(&r.to_json()).expect("NaN/inf must not break the document");
+        let blocks = doc.get("blocks").unwrap().as_array().unwrap();
+        let rows = blocks[0].get("rows").unwrap().as_array().unwrap();
+        for row in rows {
+            for cell in row.as_array().unwrap() {
+                assert!(cell.is_null());
+            }
+        }
+        assert!(blocks[1].get("value").unwrap().is_null());
+    }
+
+    #[test]
+    fn float_values_round_trip_exactly() {
+        // The emitter uses shortest round-trip formatting, so a parse
+        // recovers bit-identical values.
+        for v in [0.1, 1.0 / 3.0, 5.618_213_4e-17, 1e300, -2.5] {
+            let parsed = parse(&number(v)).unwrap();
+            assert_eq!(parsed.as_f64(), Some(v));
+        }
+    }
+}

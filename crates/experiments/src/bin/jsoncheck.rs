@@ -1,0 +1,43 @@
+//! `jsoncheck` — validate that a JSON document parses, using the in-repo
+//! parser (`speedup_stacks::report::json`); no external tools required.
+//!
+//! Reads the document from the file given as the first argument, or
+//! from stdin when no argument is given. Exits 0 when the document is
+//! well-formed JSON, 1 otherwise. CI pipes `repro all --format json`
+//! through this to smoke-test the emitter.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut input = String::new();
+    let source = match std::env::args().nth(1) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(s) => {
+                input = s;
+                path
+            }
+            Err(e) => {
+                eprintln!("jsoncheck: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+                eprintln!("jsoncheck: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            "<stdin>".to_string()
+        }
+    };
+    match speedup_stacks::report::json::parse(&input) {
+        Ok(_) => {
+            eprintln!("jsoncheck: {source}: ok ({} bytes)", input.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jsoncheck: {source}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,11 +1,18 @@
 //! `repro` — regenerate every figure and table of the speedup-stacks
-//! paper.
+//! paper through the study registry.
 //!
 //! Usage:
 //!
 //! ```text
-//! repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|hwcost|regions|scaling|all> [--scale F]
+//! repro <study|all> [--scale F] [--format text|json|csv]
+//!       [--threads N[,N...]] [--parallelism auto|serial|N] [--llc-mib N]
+//! repro --list
 //! ```
+//!
+//! `--list` enumerates every registered study with its description.
+//! Every study renders from the same structured `Report` value in all
+//! three formats; `--format text` is bit-identical to the historical
+//! figure output (pinned by the golden tests).
 //!
 //! `scaling` is the many-core study beyond the paper: speedup stacks
 //! across a 1→128-core sweep of weak-scaling workloads and a
@@ -16,62 +23,169 @@
 
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+use experiments::study::{find_study, registry, Study, StudyParams};
+use experiments::Parallelism;
+
+const USAGE: &str = "usage: repro <fig1..fig9|hwcost|regions|scaling|all> [--scale F] \
+[--format text|json|csv] [--threads N[,N...]] [--parallelism auto|serial|N] [--llc-mib N]\n   \
+or: repro --list";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
+
+#[derive(Debug)]
+enum Command {
+    List,
+    Run { which: String, format: Format },
+}
+
+struct Cli {
+    command: Command,
+    params: StudyParams,
+}
+
+fn parse_threads(spec: &str) -> Result<Vec<usize>, String> {
+    let counts: Result<Vec<usize>, _> = spec.split(',').map(str::parse::<usize>).collect();
+    match counts {
+        Ok(c) if !c.is_empty() && c.iter().all(|&n| n >= 1) => Ok(c),
+        _ => Err(format!(
+            "--threads requires a comma-separated list of counts >= 1, got '{spec}'"
+        )),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut which: Option<String> = None;
-    let mut scale = 1.0f64;
+    let mut list = false;
+    let mut format = Format::Text;
+    let mut params = StudyParams::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--list" => list = true,
             "--scale" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(v) if v > 0.0 => scale = v,
-                _ => {
-                    eprintln!("--scale requires a positive number");
-                    return ExitCode::FAILURE;
-                }
+                Some(v) if v.is_finite() && v > 0.0 => params.scale = v,
+                _ => return Err("--scale requires a positive finite number".to_string()),
             },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("csv") => format = Format::Csv,
+                _ => return Err("--format requires one of: text, json, csv".to_string()),
+            },
+            "--threads" => match it.next() {
+                Some(spec) => params.threads = Some(parse_threads(spec)?),
+                None => return Err("--threads requires a comma-separated list".to_string()),
+            },
+            "--parallelism" => match it.next().map(String::as_str) {
+                Some("auto") => params.parallelism = Parallelism::Auto,
+                Some("serial") => params.parallelism = Parallelism::Serial,
+                Some(n) => match n.parse::<usize>() {
+                    Ok(w) if w >= 1 => params.parallelism = Parallelism::Workers(w),
+                    _ => {
+                        return Err(
+                            "--parallelism requires auto, serial or a worker count".to_string()
+                        )
+                    }
+                },
+                None => return Err("--parallelism requires a mode".to_string()),
+            },
+            "--llc-mib" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(mib) if mib >= 1 => params.llc_mib = Some(mib),
+                _ => return Err("--llc-mib requires a capacity in MiB >= 1".to_string()),
+            },
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option: {other}"));
+            }
             other if which.is_none() => which = Some(other.to_string()),
-            other => {
-                eprintln!("unexpected argument: {other}");
-                return ExitCode::FAILURE;
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    if list {
+        return Ok(Cli {
+            command: Command::List,
+            params,
+        });
+    }
+    let Some(which) = which else {
+        return Err("missing experiment name".to_string());
+    };
+    if which != "all" && find_study(&which).is_none() {
+        return Err(format!("unknown experiment: {which}"));
+    }
+    Ok(Cli {
+        command: Command::Run { which, format },
+        params,
+    })
+}
+
+fn emit(study: &dyn Study, params: &StudyParams, format: Format) {
+    let report = study.run(params);
+    match format {
+        Format::Text => println!("{}", report.to_text()),
+        Format::Json => print!("{}", report.to_json()),
+        Format::Csv => print!("{}", report.to_csv()),
+    }
+}
+
+fn run_all(params: &StudyParams, format: Format) {
+    match format {
+        Format::Text => {
+            for study in registry() {
+                println!("================================================================");
+                emit(*study, params, format);
+                println!();
+            }
+        }
+        Format::Json => {
+            print!("[");
+            for (i, study) in registry().iter().enumerate() {
+                if i > 0 {
+                    print!(",");
+                }
+                emit(*study, params, format);
+            }
+            println!("]");
+        }
+        Format::Csv => {
+            for (i, study) in registry().iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                emit(*study, params, format);
             }
         }
     }
-    let Some(which) = which else {
-        eprintln!("usage: repro <fig1..fig9|hwcost|regions|scaling|all> [--scale F]");
-        return ExitCode::FAILURE;
-    };
+}
 
-    let run_one = |name: &str| match name {
-        "fig1" => println!("{}", experiments::fig1::run(scale)),
-        "fig2" => println!("{}", experiments::fig23::run_fig2(scale)),
-        "fig3" => println!("{}", experiments::fig23::run_fig3(scale)),
-        "fig4" => println!("{}", experiments::fig45::run(scale)),
-        "fig5" => println!("{}", experiments::fig45::run_fig5(scale)),
-        "fig6" => println!("{}", experiments::fig6::run(scale)),
-        "fig7" => println!("{}", experiments::fig7::run(scale)),
-        "fig8" => println!("{}", experiments::fig89::run_fig8(scale)),
-        "fig9" => println!("{}", experiments::fig89::run_fig9(scale)),
-        "hwcost" => println!("{}", experiments::hwcost::run()),
-        "regions" => println!("{}", experiments::regions_demo::run(scale)),
-        "scaling" => println!("{}", experiments::scaling::run(scale)),
-        other => {
-            eprintln!("unknown experiment: {other}");
-            std::process::exit(1);
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("repro: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
         }
     };
-
-    if which == "all" {
-        for name in [
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "hwcost",
-            "regions", "scaling",
-        ] {
-            println!("================================================================");
-            run_one(name);
-            println!();
+    match cli.command {
+        Command::List => {
+            for study in registry() {
+                println!("{:<8} {}", study.name(), study.description());
+            }
         }
-    } else {
-        run_one(&which);
+        Command::Run { which, format } => {
+            if which == "all" {
+                run_all(&cli.params, format);
+            } else {
+                let study = find_study(&which).expect("validated in parse_args");
+                emit(study, &cli.params, format);
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -3,10 +3,12 @@
 
 use std::fmt;
 
+use speedup_stacks::report::{Block, Column, Report, Table, Unit, Value};
 use workloads::Suite;
 
 use crate::par::Parallelism;
 use crate::runner::{run_grid, scaled_profile, RunOptions};
+use crate::study::{Study, StudyParams};
 
 /// The thread counts of the paper's sweep.
 pub const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -54,25 +56,48 @@ pub fn run(scale: f64) -> Fig1 {
 /// test compares serial and parallel output).
 #[must_use]
 pub fn run_with(scale: f64, mode: Parallelism) -> Fig1 {
+    run_params(&StudyParams {
+        parallelism: mode,
+        ..StudyParams::with_scale(scale)
+    })
+}
+
+/// [`run`] honoring the full [`StudyParams`]: `threads` overrides the
+/// swept counts (1 thread always reports 1.0 without a run), `llc_mib`
+/// resizes the shared cache.
+///
+/// # Panics
+///
+/// Panics if a catalog benchmark is missing or a simulation fails.
+#[must_use]
+pub fn run_params(params: &StudyParams) -> Fig1 {
+    let counts = params.counts_or(&THREAD_COUNTS);
     let benchmarks: Vec<workloads::WorkloadProfile> = [
         workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
         workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry"),
         workloads::find("cholesky", Suite::Splash2).expect("catalog entry"),
     ]
     .iter()
-    .map(|p| scaled_profile(p, scale))
+    .map(|p| scaled_profile(p, params.scale))
     .collect();
+    let sweep: Vec<usize> = counts.iter().copied().filter(|&n| n > 1).collect();
     let grid = run_grid(
         &benchmarks,
-        &THREAD_COUNTS[1..],
-        &|_, n| RunOptions::symmetric(n),
-        mode,
+        &sweep,
+        &|_, n| RunOptions {
+            mem: params.mem(),
+            ..RunOptions::symmetric(n)
+        },
+        params.parallelism,
     );
     let curves = benchmarks
         .iter()
         .zip(grid)
         .map(|(p, outs)| {
-            let mut points = vec![(1usize, 1.0f64)];
+            let mut points = Vec::new();
+            if counts.contains(&1) {
+                points.push((1usize, 1.0f64));
+            }
             points.extend(outs.iter().map(|o| (o.threads, o.actual)));
             SpeedupCurve {
                 name: workloads::display_name(p),
@@ -83,25 +108,77 @@ pub fn run_with(scale: f64, mode: Parallelism) -> Fig1 {
     Fig1 { curves }
 }
 
+impl Fig1 {
+    /// The swept thread counts, in presentation order (derived from the
+    /// measured points).
+    #[must_use]
+    pub fn counts(&self) -> Vec<usize> {
+        let mut counts: Vec<usize> = self
+            .curves
+            .iter()
+            .flat_map(|c| c.points.iter().map(|(t, _)| *t))
+            .collect();
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    }
+
+    /// Converts the figure into the structured [`Report`] every emitter
+    /// consumes (`Display` renders exactly this report's text form).
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = "Figure 1: speedup vs number of threads/cores";
+        let mut report = Report::new("fig1", title);
+        report.push(Block::line(title));
+        let counts = self.counts();
+        let mut columns = vec![Column::new("benchmark").text_header("{:<22}").left(22)];
+        for t in &counts {
+            columns.push(
+                Column::new(format!("{t}t"))
+                    .text_header(" {:>4}  ")
+                    .prefix(" ")
+                    .width(5)
+                    .precision(2)
+                    .suffix(" ")
+                    .unit(Unit::Speedup),
+            );
+        }
+        let mut table = Table::new("speedup_curves", columns);
+        for c in &self.curves {
+            let mut row = vec![Value::str(&c.name)];
+            for t in &counts {
+                row.push(c.at(*t).map_or(Value::Missing, Value::F64));
+            }
+            table.row(row);
+        }
+        report.push(Block::Table(table));
+        report
+    }
+}
+
 impl fmt::Display for Fig1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 1: speedup vs number of threads/cores")?;
-        write!(f, "{:<22}", "benchmark")?;
-        for t in THREAD_COUNTS {
-            write!(f, " {t:>3}t  ")?;
-        }
-        writeln!(f)?;
-        for c in &self.curves {
-            write!(f, "{:<22}", c.name)?;
-            for t in THREAD_COUNTS {
-                match c.at(t) {
-                    Some(s) => write!(f, " {s:>5.2}")?,
-                    None => write!(f, " {:>5}", "-")?,
-                }
-                write!(f, " ")?;
-            }
-            writeln!(f)?;
-        }
-        Ok(())
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// Figure 1 as a registry [`Study`] (honors `scale`, `threads`,
+/// `parallelism` and `llc_mib`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Study;
+
+impl Study for Fig1Study {
+    fn name(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn description(&self) -> &'static str {
+        "Speedup vs cores for blackscholes, facesim and cholesky (1-16 threads)"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_params(params).to_report();
+        params.record(&mut report);
+        report
     }
 }

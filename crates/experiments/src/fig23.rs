@@ -7,11 +7,13 @@
 
 use std::fmt;
 
-use speedup_stacks::render::{render_stack, RenderOptions};
+use speedup_stacks::render::RenderOptions;
+use speedup_stacks::report::{Block, Column, Report, Scalar, Table, Unit, Value};
 use speedup_stacks::{Component, SpeedupStack};
 use workloads::Suite;
 
 use crate::runner::{run_profile, scaled_profile, RunOptions};
+use crate::study::{Study, StudyParams};
 
 /// Figure 2 data: one annotated stack.
 #[derive(Debug, Clone)]
@@ -30,36 +32,86 @@ pub struct Fig2 {
 /// Panics if the simulation fails.
 #[must_use]
 pub fn run_fig2(scale: f64) -> Fig2 {
+    run_fig2_params(&StudyParams::with_scale(scale))
+}
+
+/// [`run_fig2`] honoring the thread-count and LLC overrides.
+///
+/// # Panics
+///
+/// Panics if the simulation fails.
+#[must_use]
+pub fn run_fig2_params(params: &StudyParams) -> Fig2 {
+    let n = params.single_count(16);
     let p = workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry");
-    let p = scaled_profile(&p, scale);
-    let out = run_profile(&p, &RunOptions::symmetric(16), None).expect("run");
+    let p = scaled_profile(&p, params.scale);
+    let opts = RunOptions {
+        mem: params.mem(),
+        ..RunOptions::symmetric(n)
+    };
+    let out = run_profile(&p, &opts, None).expect("run");
     Fig2 {
         name: out.name.clone(),
         stack: out.stack,
     }
 }
 
-impl fmt::Display for Fig2 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 2: illustrative speedup stack ({})", self.name)?;
-        writeln!(f)?;
-        write!(
-            f,
-            "{}",
-            render_stack(&self.name, &self.stack, &RenderOptions::default())
-        )?;
-        writeln!(f)?;
-        writeln!(
-            f,
-            "net negative LLC interference = negative − positive = {:.3}",
-            self.stack.net_negative_llc()
-        )?;
-        writeln!(
-            f,
+impl Fig2 {
+    /// Converts the figure into its structured [`Report`].
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = format!("Figure 2: illustrative speedup stack ({})", self.name);
+        let mut report = Report::new("fig2", &title);
+        report.push(Block::line(&title));
+        report.push(Block::Blank);
+        report.push(Block::Stack {
+            label: self.name.clone(),
+            stack: self.stack.clone(),
+            options: RenderOptions::default(),
+        });
+        report.push(Block::Blank);
+        report.push(Block::Scalar(Scalar::new(
+            "net_negative_llc",
+            self.stack.net_negative_llc(),
+            Unit::Speedup,
+            format!(
+                "net negative LLC interference = negative − positive = {:.3}",
+                self.stack.net_negative_llc()
+            ),
+        )));
+        report.push(Block::line(format!(
             "max theoretical speedup = N = {}; actual speedup = {:.2}",
             self.stack.num_threads(),
             self.stack.actual_speedup().unwrap_or(f64::NAN)
-        )
+        )));
+        report
+    }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// Figure 2 as a registry [`Study`] (honors `scale`, `threads` — the
+/// last entry — and `llc_mib`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Study;
+
+impl Study for Fig2Study {
+    fn name(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn description(&self) -> &'static str {
+        "Illustrative annotated speedup stack (facesim, 16 threads)"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_fig2_params(params).to_report();
+        params.record(&mut report);
+        report
     }
 }
 
@@ -82,9 +134,24 @@ pub struct Fig3 {
 /// Panics if the simulation fails.
 #[must_use]
 pub fn run_fig3(scale: f64) -> Fig3 {
+    run_fig3_params(&StudyParams::with_scale(scale))
+}
+
+/// [`run_fig3`] honoring the thread-count and LLC overrides.
+///
+/// # Panics
+///
+/// Panics if the simulation fails.
+#[must_use]
+pub fn run_fig3_params(params: &StudyParams) -> Fig3 {
+    let n = params.single_count(4);
     let p = workloads::find("cholesky", Suite::Splash2).expect("catalog entry");
-    let p = scaled_profile(&p, scale);
-    let out = run_profile(&p, &RunOptions::symmetric(4), None).expect("run");
+    let p = scaled_profile(&p, params.scale);
+    let opts = RunOptions {
+        mem: params.mem(),
+        ..RunOptions::symmetric(n)
+    };
+    let out = run_profile(&p, &opts, None).expect("run");
     Fig3 {
         name: out.name.clone(),
         tp_cycles: out.mt_cycles,
@@ -92,29 +159,101 @@ pub fn run_fig3(scale: f64) -> Fig3 {
     }
 }
 
-impl fmt::Display for Fig3 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
+impl Fig3 {
+    /// Converts the figure into its structured [`Report`].
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = format!(
             "Figure 3: per-thread execution time breakup ({}, Tp = {} cycles)",
             self.name, self.tp_cycles
-        )?;
-        write!(f, "{:<8} {:>12}", "thread", "T̂_i (est.)")?;
+        );
+        let mut report = Report::new("fig3", &title);
+        report.push(Block::line(&title));
+        report.push(Block::hidden(Block::Scalar(Scalar::new(
+            "tp_cycles",
+            self.tp_cycles,
+            Unit::Cycles,
+            String::new(),
+        ))));
+        let mut columns = vec![
+            Column::new("thread")
+                .text_header("{:<8}")
+                .left(8)
+                .unit(Unit::Count),
+            Column::new("estimated_st_cycles")
+                .header(format!(" {:>12}", "T̂_i (est.)"))
+                .prefix(" ")
+                .width(12)
+                .precision(0)
+                .unit(Unit::Cycles),
+        ];
         for c in Component::ALL {
-            write!(f, " {:>9}", c.label())?;
+            columns.push(
+                Column::new(c.label())
+                    .header(format!(" {:>9}", c.label()))
+                    .prefix(" ")
+                    .width(9)
+                    .precision(0)
+                    .unit(Unit::Cycles),
+            );
         }
-        writeln!(f, " {:>9}", "positive")?;
+        columns.push(
+            Column::new("positive")
+                .header(format!(" {:>9}", "positive"))
+                .prefix(" ")
+                .width(9)
+                .precision(0)
+                .unit(Unit::Cycles),
+        );
+        let mut table = Table::new("per_thread", columns);
         for (i, t) in self.stack.per_thread().iter().enumerate() {
-            write!(f, "{i:<8} {:>12.0}", t.estimated_single_thread_cycles)?;
+            let mut row = vec![
+                Value::U64(i as u64),
+                Value::F64(t.estimated_single_thread_cycles),
+            ];
             for c in Component::ALL {
-                write!(f, " {:>9.0}", t.overheads[c])?;
+                row.push(Value::F64(t.overheads[c]));
             }
-            writeln!(f, " {:>9.0}", t.positive_cycles)?;
+            row.push(Value::F64(t.positive_cycles));
+            table.row(row);
         }
-        writeln!(
-            f,
-            "sum of T̂_i = estimated single-threaded time = {:.0} cycles",
-            self.stack.estimated_single_thread_cycles()
-        )
+        report.push(Block::Table(table));
+        report.push(Block::Scalar(Scalar::new(
+            "estimated_single_thread_cycles",
+            self.stack.estimated_single_thread_cycles(),
+            Unit::Cycles,
+            format!(
+                "sum of T̂_i = estimated single-threaded time = {:.0} cycles",
+                self.stack.estimated_single_thread_cycles()
+            ),
+        )));
+        report
+    }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// Figure 3 as a registry [`Study`] (honors `scale`, `threads` — the
+/// last entry — and `llc_mib`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Study;
+
+impl Study for Fig3Study {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn description(&self) -> &'static str {
+        "Per-thread execution-time breakup underlying a stack (cholesky, 4 threads)"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_fig3_params(params).to_report();
+        params.record(&mut report);
+        report
     }
 }

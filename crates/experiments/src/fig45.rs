@@ -9,12 +9,14 @@
 use std::fmt;
 
 use speedup_stacks::estimate::{average_absolute_error, ValidationPoint};
-use speedup_stacks::render;
+use speedup_stacks::render::RenderOptions;
+use speedup_stacks::report::{Block, Column, Report, Scalar, Table, Unit, Value};
 use speedup_stacks::SpeedupStack;
 use workloads::Suite;
 
 use crate::par::Parallelism;
 use crate::runner::{run_grid, scaled_profile, RunOptions};
+use crate::study::{Study, StudyParams};
 
 /// The multi-threaded counts validated in the paper.
 pub const THREAD_COUNTS: [usize; 4] = [2, 4, 8, 16];
@@ -25,8 +27,12 @@ pub const THREAD_COUNTS: [usize; 4] = [2, 4, 8, 16];
 pub struct Fig4 {
     /// One point per benchmark × thread count.
     pub points: Vec<ValidationPoint>,
-    /// `(benchmark, instruction overhead fraction at 16 threads)`.
+    /// `(benchmark, instruction overhead fraction)` at
+    /// [`Fig4::overhead_threads`] threads.
     pub instruction_overhead: Vec<(String, f64)>,
+    /// The thread count the instruction-overhead measure was taken at
+    /// (16 in the paper).
+    pub overhead_threads: usize,
 }
 
 impl Fig4 {
@@ -40,6 +46,100 @@ impl Fig4 {
             .cloned()
             .collect();
         average_absolute_error(&pts)
+    }
+
+    /// The validated thread counts, ascending (derived from the points).
+    #[must_use]
+    pub fn counts(&self) -> Vec<usize> {
+        let mut counts: Vec<usize> = self.points.iter().map(|p| p.threads).collect();
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    }
+
+    /// Converts the figure into its structured [`Report`].
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = "Figure 4: actual vs estimated speedup (all benchmarks)";
+        let mut report = Report::new("fig4", title);
+        report.push(Block::line(title));
+        let mut table = Table::new(
+            "validation_points",
+            vec![
+                Column::new("benchmark").text_header("{:<22}").left(22),
+                Column::new("N")
+                    .text_header(" {:>3}")
+                    .prefix(" ")
+                    .width(3)
+                    .unit(Unit::Count),
+                Column::new("actual")
+                    .text_header("  {:>8}")
+                    .prefix("  ")
+                    .width(8)
+                    .precision(2)
+                    .unit(Unit::Speedup),
+                Column::new("estimated")
+                    .header(format!(" {:>8}", "estim."))
+                    .prefix(" ")
+                    .width(8)
+                    .precision(2)
+                    .unit(Unit::Speedup),
+                Column::new("error_percent")
+                    .header(format!(" {:>8}", "err%"))
+                    .prefix(" ")
+                    .width(8)
+                    .precision(1)
+                    .unit(Unit::Percent),
+            ],
+        );
+        for p in &self.points {
+            table.row(vec![
+                Value::str(&p.name),
+                p.threads.into(),
+                p.actual.into(),
+                p.estimated.into(),
+                (p.error() * 100.0).into(),
+            ]);
+        }
+        report.push(Block::Table(table));
+        report.push(Block::Blank);
+        report.push(Block::line(
+            "average absolute error per thread count (paper: 3.0/3.4/2.8/5.1%):",
+        ));
+        for n in self.counts() {
+            let err = self.average_error(n) * 100.0;
+            report.push(Block::Scalar(Scalar::new(
+                format!("avg_abs_error_{n}t"),
+                err,
+                Unit::Percent,
+                format!("  {n:>2} threads: {err:>5.1}%"),
+            )));
+        }
+        report.push(Block::Blank);
+        report.push(Block::line(format!(
+            "instruction-count overhead at {} threads (§6 measure):",
+            self.overhead_threads
+        )));
+        let mut sorted = self.instruction_overhead.clone();
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut table = Table::new(
+            "instruction_overhead",
+            vec![
+                Column::new("benchmark").prefix("  ").left(22),
+                Column::new("overhead_percent")
+                    .prefix(" ")
+                    .width(5)
+                    .precision(1)
+                    .suffix("% more instructions")
+                    .unit(Unit::Percent),
+            ],
+        )
+        .headerless();
+        for (name, ovh) in sorted.iter().take(6) {
+            table.row(vec![Value::str(name), (ovh * 100.0).into()]);
+        }
+        report.push(Block::Table(table));
+        report
     }
 }
 
@@ -56,21 +156,40 @@ pub fn run(scale: f64) -> Fig4 {
 /// [`run`] with explicit sweep parallelism.
 #[must_use]
 pub fn run_with(scale: f64, mode: Parallelism) -> Fig4 {
+    run_params(&StudyParams {
+        parallelism: mode,
+        ..StudyParams::with_scale(scale)
+    })
+}
+
+/// [`run`] honoring the full [`StudyParams`] (the instruction-overhead
+/// measure is taken at the largest swept count).
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run_params(params: &StudyParams) -> Fig4 {
+    let counts = params.counts_or(&THREAD_COUNTS);
+    let overhead_threads = counts.iter().copied().max().unwrap_or(16);
     let profiles: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
         .iter()
-        .map(|p| scaled_profile(p, scale))
+        .map(|p| scaled_profile(p, params.scale))
         .collect();
     let grid = run_grid(
         &profiles,
-        &THREAD_COUNTS,
-        &|_, n| RunOptions::symmetric(n),
-        mode,
+        &counts,
+        &|_, n| RunOptions {
+            mem: params.mem(),
+            ..RunOptions::symmetric(n)
+        },
+        params.parallelism,
     );
     let mut points = Vec::new();
     let mut overheads = Vec::new();
     for outs in grid {
         for out in outs {
-            if out.threads == 16 {
+            if out.threads == overhead_threads {
                 overheads.push((out.name.clone(), out.instruction_overhead));
             }
             points.push(ValidationPoint {
@@ -84,49 +203,34 @@ pub fn run_with(scale: f64, mode: Parallelism) -> Fig4 {
     Fig4 {
         points,
         instruction_overhead: overheads,
+        overhead_threads,
     }
 }
 
 impl fmt::Display for Fig4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 4: actual vs estimated speedup (all benchmarks)")?;
-        writeln!(
-            f,
-            "{:<22} {:>3}  {:>8} {:>8} {:>8}",
-            "benchmark", "N", "actual", "estim.", "err%"
-        )?;
-        for p in &self.points {
-            writeln!(
-                f,
-                "{:<22} {:>3}  {:>8.2} {:>8.2} {:>8.1}",
-                p.name,
-                p.threads,
-                p.actual,
-                p.estimated,
-                p.error() * 100.0
-            )?;
-        }
-        writeln!(f)?;
-        writeln!(
-            f,
-            "average absolute error per thread count (paper: 3.0/3.4/2.8/5.1%):"
-        )?;
-        for &n in &THREAD_COUNTS {
-            writeln!(
-                f,
-                "  {:>2} threads: {:>5.1}%",
-                n,
-                self.average_error(n) * 100.0
-            )?;
-        }
-        writeln!(f)?;
-        writeln!(f, "instruction-count overhead at 16 threads (§6 measure):")?;
-        let mut sorted = self.instruction_overhead.clone();
-        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        for (name, ovh) in sorted.iter().take(6) {
-            writeln!(f, "  {:<22} {:>5.1}% more instructions", name, ovh * 100.0)?;
-        }
-        Ok(())
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// Figure 4 as a registry [`Study`] (honors `scale`, `threads`,
+/// `parallelism` and `llc_mib`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Study;
+
+impl Study for Fig4Study {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn description(&self) -> &'static str {
+        "Actual vs estimated speedup for all 28 benchmarks (validation grid)"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_params(params).to_report();
+        params.record(&mut report);
+        report
     }
 }
 
@@ -145,19 +249,33 @@ pub struct Fig5 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_fig5(scale: f64) -> Fig5 {
+    run_fig5_params(&StudyParams::with_scale(scale))
+}
+
+/// [`run_fig5`] honoring the full [`StudyParams`].
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run_fig5_params(params: &StudyParams) -> Fig5 {
+    let counts = params.counts_or(&THREAD_COUNTS);
     let benchmarks: Vec<workloads::WorkloadProfile> = [
         workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
         workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry"),
         workloads::find("cholesky", Suite::Splash2).expect("catalog entry"),
     ]
     .iter()
-    .map(|p| scaled_profile(p, scale))
+    .map(|p| scaled_profile(p, params.scale))
     .collect();
     let grid = run_grid(
         &benchmarks,
-        &THREAD_COUNTS,
-        &|_, n| RunOptions::symmetric(n),
-        Parallelism::Auto,
+        &counts,
+        &|_, n| RunOptions {
+            mem: params.mem(),
+            ..RunOptions::symmetric(n)
+        },
+        params.parallelism,
     );
     let stacks = grid
         .into_iter()
@@ -167,20 +285,62 @@ pub fn run_fig5(scale: f64) -> Fig5 {
     Fig5 { stacks }
 }
 
-impl fmt::Display for Fig5 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 5: speedup stacks vs thread count")?;
-        write!(f, "{}", render::render_table(&self.stacks))?;
-        writeln!(f)?;
+impl Fig5 {
+    /// Converts the figure into its structured [`Report`]: the comparison
+    /// table plus an annotated bar for each widest-count stack.
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = "Figure 5: speedup stacks vs thread count";
+        let mut report = Report::new("fig5", title);
+        report.push(Block::line(title));
+        report.push(Block::StackTable {
+            name: "stacks".to_string(),
+            stacks: self.stacks.clone(),
+        });
+        report.push(Block::Blank);
+        let max_n = self
+            .stacks
+            .iter()
+            .map(|(_, s)| s.num_threads())
+            .max()
+            .unwrap_or(0);
         for (label, stack) in &self.stacks {
-            if label.ends_with("16t") {
-                writeln!(
-                    f,
-                    "{}",
-                    render::render_stack(label, stack, &render::RenderOptions::default())
-                )?;
+            if stack.num_threads() == max_n {
+                report.push(Block::Stack {
+                    label: label.clone(),
+                    stack: stack.clone(),
+                    options: RenderOptions::default(),
+                });
+                report.push(Block::Blank);
             }
         }
-        Ok(())
+        report
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// Figure 5 as a registry [`Study`] (honors `scale`, `threads`,
+/// `parallelism` and `llc_mib`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Study;
+
+impl Study for Fig5Study {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn description(&self) -> &'static str {
+        "Speedup stacks vs thread count for the three case-study benchmarks"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_fig5_params(params).to_report();
+        params.record(&mut report);
+        report
     }
 }

@@ -2,18 +2,22 @@
 
 use std::fmt;
 
+use speedup_stacks::report::{Block, Column, Report, Scalar, Table, Unit, Value};
 use speedup_stacks::{
     ClassificationConfig, ClassificationTree, ClassifiedBenchmark, Component, ScalingClass,
 };
 
-use crate::par::{par_map, Parallelism};
+use crate::par::par_map;
 use crate::runner::{run_grid, scaled_profile, RunOptions};
+use crate::study::{Study, StudyParams};
 
 /// Figure 6 data: the classification tree.
 #[derive(Debug, Clone)]
 pub struct Fig6 {
     /// The tree over all 28 benchmarks.
     pub tree: ClassificationTree,
+    /// The thread count the classification ran at (16 in the paper).
+    pub threads: usize,
 }
 
 impl Fig6 {
@@ -28,6 +32,72 @@ impl Fig6 {
     pub fn good_scalers(&self) -> usize {
         self.tree.in_class(ScalingClass::Good).count()
     }
+
+    /// Converts the figure into its structured [`Report`]: the rendered
+    /// tree text plus a machine-readable classification table and the
+    /// summary counts as scalar metrics.
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = format!("Figure 6: classification tree ({} threads)", self.threads);
+        let mut report = Report::new("fig6", &title);
+        report.push(Block::line(&title));
+        report.push(Block::raw(self.tree.render()));
+        let mut table = Table::new(
+            "classification",
+            vec![
+                Column::new("benchmark"),
+                Column::new("suite"),
+                Column::new("class"),
+                Column::new("speedup").unit(Unit::Speedup),
+                Column::new("comp1"),
+                Column::new("comp2"),
+                Column::new("comp3"),
+            ],
+        );
+        for e in self.tree.entries() {
+            let comp = |i: usize| {
+                let label = e.component_label(i);
+                if label.is_empty() {
+                    Value::Missing
+                } else {
+                    Value::str(label)
+                }
+            };
+            table.row(vec![
+                Value::str(&e.name),
+                Value::str(&e.suite),
+                Value::str(e.class.to_string()),
+                e.speedup.into(),
+                comp(0),
+                comp(1),
+                comp(2),
+            ]);
+        }
+        report.push(Block::hidden(Block::Table(table)));
+        report.push(Block::Blank);
+        let summary = format!(
+            "good scalers: {} of {}  |  yielding largest for {} benchmarks  |  no visible bottleneck for {}",
+            self.good_scalers(),
+            self.tree.entries().len(),
+            self.count_largest(Component::Yielding),
+            self.tree.count_unlimited()
+        );
+        report.push(Block::line(summary));
+        for (name, value) in [
+            ("good_scalers", self.good_scalers()),
+            ("benchmarks", self.tree.entries().len()),
+            ("yielding_largest", self.count_largest(Component::Yielding)),
+            ("no_visible_bottleneck", self.tree.count_unlimited()),
+        ] {
+            report.push(Block::hidden(Block::Scalar(Scalar::new(
+                name,
+                value as u64,
+                Unit::Count,
+                String::new(),
+            ))));
+        }
+        report
+    }
 }
 
 /// Regenerates Figure 6: runs every benchmark at 16 threads and
@@ -38,37 +108,64 @@ impl Fig6 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run(scale: f64) -> Fig6 {
+    run_params(&StudyParams::with_scale(scale))
+}
+
+/// [`run`] honoring the full [`StudyParams`] (the classification count
+/// is the last `threads` entry).
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run_params(params: &StudyParams) -> Fig6 {
+    let threads = params.single_count(16);
     let cfg = ClassificationConfig::default();
     let profiles: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
         .iter()
-        .map(|p| scaled_profile(p, scale))
+        .map(|p| scaled_profile(p, params.scale))
         .collect();
     let grid = run_grid(
         &profiles,
-        &[16],
-        &|_, n| RunOptions::symmetric(n),
-        Parallelism::Auto,
+        &[threads],
+        &|_, n| RunOptions {
+            mem: params.mem(),
+            ..RunOptions::symmetric(n)
+        },
+        params.parallelism,
     );
     let entries = par_map(grid.into_iter().flatten().collect(), |out| {
         ClassifiedBenchmark::from_stack(out.name.clone(), out.suite.clone(), &out.stack, &cfg)
     });
     Fig6 {
         tree: ClassificationTree::build(entries),
+        threads,
     }
 }
 
 impl fmt::Display for Fig6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 6: classification tree (16 threads)")?;
-        write!(f, "{}", self.tree.render())?;
-        writeln!(f)?;
-        writeln!(
-            f,
-            "good scalers: {} of {}  |  yielding largest for {} benchmarks  |  no visible bottleneck for {}",
-            self.good_scalers(),
-            self.tree.entries().len(),
-            self.count_largest(Component::Yielding),
-            self.tree.count_unlimited()
-        )
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// Figure 6 as a registry [`Study`] (honors `scale`, `threads` — the
+/// last entry — `parallelism` and `llc_mib`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Study;
+
+impl Study for Fig6Study {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn description(&self) -> &'static str {
+        "Benchmark classification tree over the full suite (16 threads)"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_params(params).to_report();
+        params.record(&mut report);
+        report
     }
 }

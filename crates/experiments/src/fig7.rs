@@ -9,20 +9,26 @@
 
 use std::fmt;
 
+use speedup_stacks::report::{Block, Column, Report, Table, Unit, Value};
 use workloads::Suite;
 
-use crate::par::par_map;
+use crate::par::map_mode;
 use crate::runner::{run_profile, scaled_profile, single_thread_reference, RunOptions};
+use crate::study::{Study, StudyParams};
 
 /// Core counts of the sweep.
 pub const CORE_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+/// The oversubscribed thread count of the second series.
+pub const FIXED_THREADS: usize = 16;
 
 /// Figure 7 data.
 #[derive(Debug, Clone)]
 pub struct Fig7 {
     /// `(cores, speedup)` with `threads == cores`.
     pub threads_eq_cores: Vec<(usize, f64)>,
-    /// `(cores, speedup)` with 16 threads regardless of cores.
+    /// `(cores, speedup)` with [`FIXED_THREADS`] threads regardless of
+    /// cores.
     pub sixteen_threads: Vec<(usize, f64)>,
 }
 
@@ -35,6 +41,46 @@ impl Fig7 {
             .find(|(c, _)| *c == cores)
             .map(|(_, s)| *s)
     }
+
+    /// Converts the figure into its structured [`Report`].
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = "Figure 7: ferret speedup vs number of cores";
+        let mut report = Report::new("fig7", title);
+        report.push(Block::line(title));
+        let mut table = Table::new(
+            "speedups",
+            vec![
+                Column::new("cores")
+                    .text_header("{:<10}")
+                    .left(10)
+                    .unit(Unit::Count),
+                Column::new("threads_eq_cores")
+                    .header(format!(" {:>16}", "#threads=#cores"))
+                    .prefix(" ")
+                    .width(16)
+                    .precision(2)
+                    .unit(Unit::Speedup),
+                Column::new("sixteen_threads")
+                    .header(format!(" {:>14}", "16 threads"))
+                    .prefix(" ")
+                    .width(14)
+                    .precision(2)
+                    .unit(Unit::Speedup),
+            ],
+        );
+        for (i, (c, eq)) in self.threads_eq_cores.iter().enumerate() {
+            table.row(vec![
+                (*c).into(),
+                (*eq).into(),
+                self.sixteen_threads
+                    .get(i)
+                    .map_or(Value::Missing, |(_, s)| Value::F64(*s)),
+            ]);
+        }
+        report.push(Block::Table(table));
+        report
+    }
 }
 
 /// Regenerates Figure 7 for the paper's ferret (simsmall).
@@ -44,32 +90,50 @@ impl Fig7 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run(scale: f64) -> Fig7 {
-    let p = workloads::find("ferret", Suite::ParsecSmall).expect("catalog entry");
-    let p = scaled_profile(&p, scale);
-    let st = single_thread_reference(&p, &RunOptions::symmetric(1)).expect("single-thread run");
+    run_params(&StudyParams::with_scale(scale))
+}
 
-    // Both series as one parallel sweep over the eight independent points.
-    let configs: Vec<(usize, usize)> = CORE_COUNTS
+/// [`run`] honoring the full [`StudyParams`]: `threads` overrides the
+/// swept core counts (the oversubscribed series keeps
+/// [`FIXED_THREADS`] software threads).
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run_params(params: &StudyParams) -> Fig7 {
+    let core_counts = params.counts_or(&CORE_COUNTS);
+    let p = workloads::find("ferret", Suite::ParsecSmall).expect("catalog entry");
+    let p = scaled_profile(&p, params.scale);
+    let base = RunOptions {
+        mem: params.mem(),
+        ..RunOptions::symmetric(1)
+    };
+    let st = single_thread_reference(&p, &base).expect("single-thread run");
+
+    // Both series as one parallel sweep over the independent points.
+    let configs: Vec<(usize, usize)> = core_counts
         .iter()
         .map(|&c| (c, c))
-        .chain(CORE_COUNTS.iter().map(|&c| (c, 16)))
+        .chain(core_counts.iter().map(|&c| (c, FIXED_THREADS)))
         .collect();
-    let speedups = par_map(configs, |(cores, threads)| {
+    let speedups = map_mode(params.parallelism, configs, |(cores, threads)| {
         let opts = RunOptions {
             cores,
             threads,
+            mem: params.mem(),
             ..RunOptions::symmetric(cores)
         };
         run_profile(&p, &opts, Some(st)).expect("run").actual
     });
-    let (eq, sixteen) = speedups.split_at(CORE_COUNTS.len());
+    let (eq, sixteen) = speedups.split_at(core_counts.len());
     Fig7 {
-        threads_eq_cores: CORE_COUNTS
+        threads_eq_cores: core_counts
             .iter()
             .copied()
             .zip(eq.iter().copied())
             .collect(),
-        sixteen_threads: CORE_COUNTS
+        sixteen_threads: core_counts
             .iter()
             .copied()
             .zip(sixteen.iter().copied())
@@ -79,19 +143,27 @@ pub fn run(scale: f64) -> Fig7 {
 
 impl fmt::Display for Fig7 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 7: ferret speedup vs number of cores")?;
-        writeln!(
-            f,
-            "{:<10} {:>16} {:>14}",
-            "cores", "#threads=#cores", "16 threads"
-        )?;
-        for (i, &c) in CORE_COUNTS.iter().enumerate() {
-            writeln!(
-                f,
-                "{:<10} {:>16.2} {:>14.2}",
-                c, self.threads_eq_cores[i].1, self.sixteen_threads[i].1
-            )?;
-        }
-        Ok(())
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// Figure 7 as a registry [`Study`] (honors `scale`, `threads` — the
+/// swept core counts — `parallelism` and `llc_mib`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Study;
+
+impl Study for Fig7Study {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn description(&self) -> &'static str {
+        "Ferret speedup vs cores: threads=cores versus a fixed 16 threads"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_params(params).to_report();
+        params.record(&mut report);
+        report
     }
 }

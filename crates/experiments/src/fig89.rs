@@ -11,11 +11,13 @@
 use std::fmt;
 
 use memsim::MemConfig;
+use speedup_stacks::report::{Block, Column, Report, Table, Unit, Value};
 use speedup_stacks::Component;
 use workloads::Suite;
 
-use crate::par::par_map;
+use crate::par::map_mode;
 use crate::runner::{run_profile, scaled_profile, RunOptions};
+use crate::study::{Study, StudyParams};
 
 /// One benchmark's LLC interference decomposition (a bar triple in
 /// Figures 8/9).
@@ -37,11 +39,60 @@ impl InterferenceBar {
     }
 }
 
+/// Builds the shared negative/positive/net interference table of
+/// Figures 8 and 9.
+fn interference_table(
+    name: &str,
+    label: &str,
+    label_width: usize,
+    bars: &[InterferenceBar],
+) -> Table {
+    let mut table = Table::new(
+        name,
+        vec![
+            Column::new(label)
+                .text_header(&format!("{{:<{label_width}}}"))
+                .left(label_width),
+            Column::new("negative")
+                .text_header(" {:>9}")
+                .prefix(" ")
+                .width(9)
+                .precision(3)
+                .unit(Unit::Speedup),
+            Column::new("positive")
+                .text_header(" {:>9}")
+                .prefix(" ")
+                .width(9)
+                .precision(3)
+                .unit(Unit::Speedup),
+            Column::new("net")
+                .text_header(" {:>9}")
+                .prefix(" ")
+                .width(9)
+                .precision(3)
+                .unit(Unit::Speedup),
+        ],
+    );
+    for b in bars {
+        table.row(vec![
+            Value::str(&b.label),
+            b.negative.into(),
+            b.positive.into(),
+            b.net().into(),
+        ]);
+    }
+    table
+}
+
 /// Figure 8 data.
 #[derive(Debug, Clone)]
 pub struct Fig8 {
     /// One bar triple per benchmark.
     pub bars: Vec<InterferenceBar>,
+    /// Core/thread count of the runs (16 in the paper).
+    pub cores: usize,
+    /// Shared LLC capacity of the runs, in MiB (2 in the paper).
+    pub llc_mib: usize,
 }
 
 /// The paper's Figure 8 benchmark set (those with non-negligible positive
@@ -70,40 +121,83 @@ pub fn fig8_benchmarks() -> Vec<workloads::WorkloadProfile> {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_fig8(scale: f64) -> Fig8 {
-    let bars = par_map(fig8_benchmarks(), |p| {
-        let p = scaled_profile(&p, scale);
-        let out = run_profile(&p, &RunOptions::symmetric(16), None).expect("run");
+    run_fig8_params(&StudyParams::with_scale(scale))
+}
+
+/// [`run_fig8`] honoring the thread-count and LLC overrides.
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run_fig8_params(params: &StudyParams) -> Fig8 {
+    let cores = params.single_count(16);
+    let mem = params.mem();
+    let llc_mib = params.llc_mib.unwrap_or(2);
+    let bars = map_mode(params.parallelism, fig8_benchmarks(), |p| {
+        let p = scaled_profile(&p, params.scale);
+        let opts = RunOptions {
+            mem,
+            ..RunOptions::symmetric(cores)
+        };
+        let out = run_profile(&p, &opts, None).expect("run");
         InterferenceBar {
             label: out.name.clone(),
             negative: out.stack.component(Component::NegativeLlc),
             positive: out.stack.positive_interference(),
         }
     });
-    Fig8 { bars }
+    Fig8 {
+        bars,
+        cores,
+        llc_mib,
+    }
+}
+
+impl Fig8 {
+    /// Converts the figure into its structured [`Report`].
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = format!(
+            "Figure 8: negative, positive and net LLC interference ({} cores, {} MB LLC)",
+            self.cores, self.llc_mib
+        );
+        let mut report = Report::new("fig8", &title);
+        report.push(Block::line(&title));
+        report.push(Block::Table(interference_table(
+            "interference",
+            "benchmark",
+            18,
+            &self.bars,
+        )));
+        report
+    }
 }
 
 impl fmt::Display for Fig8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Figure 8: negative, positive and net LLC interference (16 cores, 2 MB LLC)"
-        )?;
-        writeln!(
-            f,
-            "{:<18} {:>9} {:>9} {:>9}",
-            "benchmark", "negative", "positive", "net"
-        )?;
-        for b in &self.bars {
-            writeln!(
-                f,
-                "{:<18} {:>9.3} {:>9.3} {:>9.3}",
-                b.label,
-                b.negative,
-                b.positive,
-                b.net()
-            )?;
-        }
-        Ok(())
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// Figure 8 as a registry [`Study`] (honors `scale`, `threads` — the
+/// last entry — `parallelism` and `llc_mib`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Study;
+
+impl Study for Fig8Study {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn description(&self) -> &'static str {
+        "Negative/positive/net LLC interference per benchmark (16 cores, 2 MB LLC)"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_fig8_params(params).to_report();
+        params.record(&mut report);
+        report
     }
 }
 
@@ -112,6 +206,8 @@ impl fmt::Display for Fig8 {
 pub struct Fig9 {
     /// One bar triple per LLC size.
     pub bars: Vec<InterferenceBar>,
+    /// Core/thread count of the runs (16 in the paper).
+    pub cores: usize,
 }
 
 /// The LLC sizes of the sweep, in MiB.
@@ -124,12 +220,24 @@ pub const LLC_SIZES_MIB: [usize; 4] = [2, 4, 8, 16];
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_fig9(scale: f64) -> Fig9 {
+    run_fig9_params(&StudyParams::with_scale(scale))
+}
+
+/// [`run_fig9`] honoring the thread-count override (the LLC sizes are
+/// the figure's swept variable; `llc_mib` is ignored).
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run_fig9_params(params: &StudyParams) -> Fig9 {
+    let cores = params.single_count(16);
     let p = workloads::find("cholesky", Suite::Splash2).expect("catalog entry");
-    let p = scaled_profile(&p, scale);
-    let bars = par_map(LLC_SIZES_MIB.to_vec(), |mib| {
+    let p = scaled_profile(&p, params.scale);
+    let bars = map_mode(params.parallelism, LLC_SIZES_MIB.to_vec(), |mib| {
         let opts = RunOptions {
             mem: MemConfig::default().with_llc_mib(mib),
-            ..RunOptions::symmetric(16)
+            ..RunOptions::symmetric(cores)
         };
         let out = run_profile(&p, &opts, None).expect("run");
         InterferenceBar {
@@ -138,30 +246,52 @@ pub fn run_fig9(scale: f64) -> Fig9 {
             positive: out.stack.positive_interference(),
         }
     });
-    Fig9 { bars }
+    Fig9 { bars, cores }
+}
+
+impl Fig9 {
+    /// Converts the figure into its structured [`Report`].
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = format!(
+            "Figure 9: cholesky LLC interference vs LLC size ({} cores)",
+            self.cores
+        );
+        let mut report = Report::new("fig9", &title);
+        report.push(Block::line(&title));
+        report.push(Block::Table(interference_table(
+            "interference_vs_llc",
+            "LLC",
+            8,
+            &self.bars,
+        )));
+        report
+    }
 }
 
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Figure 9: cholesky LLC interference vs LLC size (16 cores)"
-        )?;
-        writeln!(
-            f,
-            "{:<8} {:>9} {:>9} {:>9}",
-            "LLC", "negative", "positive", "net"
-        )?;
-        for b in &self.bars {
-            writeln!(
-                f,
-                "{:<8} {:>9.3} {:>9.3} {:>9.3}",
-                b.label,
-                b.negative,
-                b.positive,
-                b.net()
-            )?;
-        }
-        Ok(())
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// Figure 9 as a registry [`Study`] (honors `scale`, `threads` — the
+/// last entry — and `parallelism`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Study;
+
+impl Study for Fig9Study {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn description(&self) -> &'static str {
+        "Cholesky LLC interference vs LLC size, 2-16 MB (16 cores)"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_fig9_params(params).to_report();
+        params.record(&mut report);
+        report
     }
 }

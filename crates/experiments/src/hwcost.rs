@@ -2,7 +2,10 @@
 
 use std::fmt;
 
+use speedup_stacks::report::{Block, Report, Scalar, Unit};
 use speedup_stacks::HardwareCostModel;
+
+use crate::study::{Study, StudyParams};
 
 /// The §4.7 cost breakdown.
 #[derive(Debug, Clone)]
@@ -16,62 +19,125 @@ pub struct HwCost {
 /// Builds the paper's hardware cost table.
 #[must_use]
 pub fn run() -> HwCost {
+    run_params(&StudyParams::default())
+}
+
+/// [`run`] honoring the thread-count override (the CMP size the total is
+/// computed for; workload scale is meaningless here and ignored).
+#[must_use]
+pub fn run_params(params: &StudyParams) -> HwCost {
     HwCost {
         model: HardwareCostModel::paper_default(),
-        cores: 16,
+        cores: u32::try_from(params.single_count(16)).unwrap_or(16),
+    }
+}
+
+impl HwCost {
+    /// Converts the cost table into its structured [`Report`]: one
+    /// scalar metric in bytes per storage structure.
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let m = &self.model;
+        let title = "Hardware cost of the cycle accounting architecture (§4.7)";
+        let mut report = Report::new("hwcost", title);
+        report.push(Block::line(title));
+        let scalars: [(&str, u64, String); 7] = [
+            (
+                "atd_bytes",
+                m.atd_bytes(),
+                format!(
+                    "  ATD ({} sets × {} ways × {} bits)      {:>6} B",
+                    m.atd_sampled_sets,
+                    m.atd_ways,
+                    m.atd_entry_bits,
+                    m.atd_bytes()
+                ),
+            ),
+            (
+                "ora_bytes",
+                m.ora_bytes(),
+                format!(
+                    "  ORA ({} banks × {} bits)                {:>6} B",
+                    m.ora_banks,
+                    m.ora_entry_bits,
+                    m.ora_bytes()
+                ),
+            ),
+            (
+                "counter_bytes",
+                m.counter_bytes(),
+                format!(
+                    "  raw event counters ({} × 64 bits)        {:>6} B",
+                    m.interference_counters,
+                    m.counter_bytes()
+                ),
+            ),
+            (
+                "interference_bytes",
+                m.interference_bytes(),
+                format!(
+                    "  interference accounting total            {:>6} B   (paper: 952 B)",
+                    m.interference_bytes()
+                ),
+            ),
+            (
+                "spin_table_bytes",
+                m.spin_table_bytes(),
+                format!(
+                    "  spin load table ({} × {} bits)          {:>6} B   (paper: 217 B)",
+                    m.spin_table_entries,
+                    m.spin_entry_bits,
+                    m.spin_table_bytes()
+                ),
+            ),
+            (
+                "total_bytes_per_core",
+                m.total_bytes_per_core(),
+                format!(
+                    "  total per core                           {:>6} B   (paper: ~1.1 KB)",
+                    m.total_bytes_per_core()
+                ),
+            ),
+            (
+                "total_bytes",
+                m.total_bytes(self.cores),
+                format!(
+                    "  total for {}-core CMP                    {:>6} B   (paper: ~18 KB)",
+                    self.cores,
+                    m.total_bytes(self.cores)
+                ),
+            ),
+        ];
+        for (name, value, text) in scalars {
+            report.push(Block::Scalar(Scalar::new(name, value, Unit::Bytes, text)));
+        }
+        report
     }
 }
 
 impl fmt::Display for HwCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let m = &self.model;
-        writeln!(
-            f,
-            "Hardware cost of the cycle accounting architecture (§4.7)"
-        )?;
-        writeln!(
-            f,
-            "  ATD ({} sets × {} ways × {} bits)      {:>6} B",
-            m.atd_sampled_sets,
-            m.atd_ways,
-            m.atd_entry_bits,
-            m.atd_bytes()
-        )?;
-        writeln!(
-            f,
-            "  ORA ({} banks × {} bits)                {:>6} B",
-            m.ora_banks,
-            m.ora_entry_bits,
-            m.ora_bytes()
-        )?;
-        writeln!(
-            f,
-            "  raw event counters ({} × 64 bits)        {:>6} B",
-            m.interference_counters,
-            m.counter_bytes()
-        )?;
-        writeln!(
-            f,
-            "  interference accounting total            {:>6} B   (paper: 952 B)",
-            m.interference_bytes()
-        )?;
-        writeln!(
-            f,
-            "  spin load table ({} × {} bits)          {:>6} B   (paper: 217 B)",
-            m.spin_table_entries,
-            m.spin_entry_bits,
-            m.spin_table_bytes()
-        )?;
-        writeln!(
-            f,
-            "  total per core                           {:>6} B   (paper: ~1.1 KB)",
-            m.total_bytes_per_core()
-        )?;
-        writeln!(
-            f,
-            "  total for {}-core CMP                    {:>6} B   (paper: ~18 KB)",
-            self.cores,
-            m.total_bytes(self.cores)
-        )
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// The hardware cost table as a registry [`Study`] (honors `threads` —
+/// the CMP size — only; runs no simulation).
+#[derive(Debug, Clone, Copy)]
+pub struct HwCostStudy;
+
+impl Study for HwCostStudy {
+    fn name(&self) -> &'static str {
+        "hwcost"
+    }
+
+    fn description(&self) -> &'static str {
+        "Hardware cost of the accounting architecture (no simulation)"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_params(params).to_report();
+        params.record(&mut report);
+        report
     }
 }

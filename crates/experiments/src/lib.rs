@@ -3,11 +3,15 @@
 //! One module per figure/table of *"Speedup Stacks: Identifying Scaling
 //! Bottlenecks in Multi-Threaded Applications"* (ISPASS 2012), plus the
 //! shared [`runner`] and the beyond-the-paper many-core [`scaling`]
-//! study (speedup stacks from 1 to 128 cores). Each module exposes a
-//! `run` function returning structured data and implements `Display` to
-//! print the same rows/series the paper reports. The `repro` binary
-//! drives them: `cargo run -p experiments --bin repro -- fig4`, or
-//! `repro scaling` for the many-core study.
+//! study (speedup stacks from 1 to 128 cores). Every experiment is a
+//! [`study::Study`]: enumerable through [`registry`], parameterized by
+//! typed [`study::StudyParams`] and returning a structured
+//! [`speedup_stacks::report::Report`] that renders as text, JSON or CSV.
+//! The `repro` binary drives them uniformly: `repro --list`,
+//! `cargo run -p experiments --bin repro -- fig4 --format json`, or
+//! `repro scaling` for the many-core study. Each module additionally
+//! keeps its figure data struct (`run` returning e.g. `Fig4`) whose
+//! `Display` renders the same report's text form.
 //!
 //! Every experiment reduces to the [`runner`] recipe: run a workload
 //! multi-threaded (that run drives the accounting and yields the
@@ -43,8 +47,10 @@ pub mod par;
 pub mod regions_demo;
 pub mod runner;
 pub mod scaling;
+pub mod study;
 
 pub use par::{map_mode, par_map, Parallelism};
 pub use runner::{
     run_grid, run_profile, scaled_profile, single_thread_reference, RunOptions, RunOutcome,
 };
+pub use study::{find_study, registry, Study, StudyParams};

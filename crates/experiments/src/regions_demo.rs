@@ -10,10 +10,13 @@
 use std::fmt;
 
 use cmpsim::{region_stacks, MachineConfig, Simulation};
+use speedup_stacks::render::RenderOptions;
+use speedup_stacks::report::{Block, Column, Report, Scalar, Table, Unit, Value};
 use speedup_stacks::{AccountingConfig, Component, SpeedupStack};
 use workloads::{streams_for, Suite};
 
 use crate::runner::scaled_profile;
+use crate::study::{Study, StudyParams};
 
 /// Whole-program vs per-region decomposition.
 #[derive(Debug)]
@@ -24,6 +27,8 @@ pub struct RegionsDemo {
     pub whole: SpeedupStack,
     /// One stack per barrier-delimited region.
     pub regions: Vec<SpeedupStack>,
+    /// Thread count of the run (16 in the paper's demonstration).
+    pub threads: usize,
 }
 
 impl RegionsDemo {
@@ -54,11 +59,23 @@ impl RegionsDemo {
 /// Panics if the simulation fails.
 #[must_use]
 pub fn run(scale: f64) -> RegionsDemo {
+    run_study(&StudyParams::with_scale(scale))
+}
+
+/// [`run`] honoring the thread-count and LLC overrides.
+///
+/// # Panics
+///
+/// Panics if the simulation fails.
+#[must_use]
+pub fn run_study(params: &StudyParams) -> RegionsDemo {
+    let threads = params.single_count(16);
     let p = workloads::find("lud", Suite::Rodinia).expect("catalog entry");
-    let p = scaled_profile(&p, scale);
-    let mut cfg = MachineConfig::with_cores(16);
+    let p = scaled_profile(&p, params.scale);
+    let mut cfg = MachineConfig::with_cores(threads);
+    cfg.mem = params.mem();
     cfg.record_regions = true;
-    let result = Simulation::new(cfg, streams_for(&p, 16))
+    let result = Simulation::new(cfg, streams_for(&p, threads))
         .run()
         .expect("run");
     let whole = result
@@ -69,49 +86,133 @@ pub fn run(scale: f64) -> RegionsDemo {
         name: workloads::display_name(&p),
         whole,
         regions,
+        threads,
+    }
+}
+
+impl RegionsDemo {
+    /// Converts the demonstration into its structured [`Report`].
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = format!(
+            "§4.6 region stacks ({}, {} threads)",
+            self.name, self.threads
+        );
+        let mut report = Report::new("regions", &title);
+        report.push(Block::line(&title));
+        report.push(Block::Blank);
+        report.push(Block::line(format!(
+            "whole-program stack: spinning={:.2} yielding={:.2} imbalance={:.2}",
+            self.whole.component(Component::Spinning),
+            self.whole.component(Component::Yielding),
+            self.whole.component(Component::Imbalance),
+        )));
+        report.push(Block::hidden(Block::Stack {
+            label: "whole_program".to_string(),
+            stack: self.whole.clone(),
+            options: RenderOptions::default(),
+        }));
+        report.push(Block::line(format!(
+            "per-region stacks ({} regions):",
+            self.regions.len()
+        )));
+        let mut table = Table::new(
+            "region_stacks",
+            vec![
+                Column::new("region")
+                    .text_header("{:<8}")
+                    .left(8)
+                    .unit(Unit::Count),
+                Column::new("spin")
+                    .text_header(" {:>8}")
+                    .prefix(" ")
+                    .width(8)
+                    .precision(2)
+                    .unit(Unit::Speedup),
+                Column::new("yielding")
+                    .text_header(" {:>9}")
+                    .prefix(" ")
+                    .width(9)
+                    .precision(2)
+                    .unit(Unit::Speedup),
+                Column::new("imbalance")
+                    .text_header(" {:>9}")
+                    .prefix(" ")
+                    .width(9)
+                    .precision(2)
+                    .unit(Unit::Speedup),
+                Column::new("estimated_speedup")
+                    .header(format!(" {:>10}", "est.speedup"))
+                    .prefix(" ")
+                    .width(10)
+                    .precision(2)
+                    .unit(Unit::Speedup),
+                Column::new("tp_cycles")
+                    .header(format!(" {:>8}", "Tp"))
+                    .prefix(" ")
+                    .width(8)
+                    .unit(Unit::Cycles),
+            ],
+        );
+        for (i, s) in self.regions.iter().enumerate() {
+            table.row(vec![
+                Value::U64(i as u64),
+                s.component(Component::Spinning).into(),
+                s.component(Component::Yielding).into(),
+                s.component(Component::Imbalance).into(),
+                s.estimated_speedup().into(),
+                s.tp_cycles().into(),
+            ]);
+        }
+        report.push(Block::Table(table));
+        report.push(Block::Blank);
+        report.push(Block::Scalar(Scalar::new(
+            "whole_program_sync",
+            self.whole_sync(),
+            Unit::Speedup,
+            format!(
+                "whole-program sync (spin+yield) = {:.2}  →  mean per-region imbalance = {:.2}",
+                self.whole_sync(),
+                self.mean_region_imbalance()
+            ),
+        )));
+        report.push(Block::hidden(Block::Scalar(Scalar::new(
+            "mean_region_imbalance",
+            self.mean_region_imbalance(),
+            Unit::Speedup,
+            String::new(),
+        ))));
+        report.push(Block::line(
+            "(the barrier waiting that hardware must book as synchronization is\n revealed as per-phase load imbalance once stacks are computed per region)",
+        ));
+        report
     }
 }
 
 impl fmt::Display for RegionsDemo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "§4.6 region stacks ({}, 16 threads)", self.name)?;
-        writeln!(f)?;
-        writeln!(
-            f,
-            "whole-program stack: spinning={:.2} yielding={:.2} imbalance={:.2}",
-            self.whole.component(Component::Spinning),
-            self.whole.component(Component::Yielding),
-            self.whole.component(Component::Imbalance),
-        )?;
-        writeln!(f, "per-region stacks ({} regions):", self.regions.len())?;
-        writeln!(
-            f,
-            "{:<8} {:>8} {:>9} {:>9} {:>10} {:>8}",
-            "region", "spin", "yielding", "imbalance", "est.speedup", "Tp"
-        )?;
-        for (i, s) in self.regions.iter().enumerate() {
-            writeln!(
-                f,
-                "{:<8} {:>8.2} {:>9.2} {:>9.2} {:>10.2} {:>8}",
-                i,
-                s.component(Component::Spinning),
-                s.component(Component::Yielding),
-                s.component(Component::Imbalance),
-                s.estimated_speedup(),
-                s.tp_cycles(),
-            )?;
-        }
-        writeln!(f)?;
-        writeln!(
-            f,
-            "whole-program sync (spin+yield) = {:.2}  →  mean per-region imbalance = {:.2}",
-            self.whole_sync(),
-            self.mean_region_imbalance()
-        )?;
-        writeln!(
-            f,
-            "(the barrier waiting that hardware must book as synchronization is\n revealed as per-phase load imbalance once stacks are computed per region)"
-        )
+        f.write_str(&self.to_report().to_text())
+    }
+}
+
+/// The §4.6 region-stack demonstration as a registry [`Study`] (honors
+/// `scale`, `threads` — the last entry — and `llc_mib`).
+#[derive(Debug, Clone, Copy)]
+pub struct RegionsStudy;
+
+impl Study for RegionsStudy {
+    fn name(&self) -> &'static str {
+        "regions"
+    }
+
+    fn description(&self) -> &'static str {
+        "Whole-program vs per-region stacks: barrier waits become imbalance (lud)"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_study(params).to_report();
+        params.record(&mut report);
+        report
     }
 }
 

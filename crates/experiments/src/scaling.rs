@@ -25,12 +25,15 @@ use std::fmt;
 
 use cmpsim::{simulate, MachineConfig, SimResult};
 use memsim::{CacheConfig, MemConfig};
-use speedup_stacks::render::{render_sweep, RenderOptions};
+use speedup_stacks::render::RenderOptions;
+use speedup_stacks::report::{Block, Column, Report, Table, Unit, Value};
 use speedup_stacks::{AccountingConfig, SpeedupStack};
 use workloads::{
     default_rate_mix, display_name, find, rate_mix_streams, streams_for, RateMixStream, Suite,
     WorkloadProfile,
 };
+
+use crate::study::{Study, StudyParams};
 
 /// The swept core counts: powers of two from 1 to 128 (the paper stops
 /// at 16; everything above exercises the many-core representations).
@@ -83,6 +86,9 @@ pub struct ScalingStudy {
     pub series: Vec<ScalingSeries>,
     /// Swept core counts.
     pub counts: Vec<usize>,
+    /// The memory hierarchy the sweep ran on (reported in the figure
+    /// header).
+    pub mem: MemConfig,
 }
 
 impl ScalingStudy {
@@ -102,34 +108,67 @@ impl ScalingStudy {
     pub fn total_points(&self) -> u64 {
         self.series.iter().map(|s| s.points.len() as u64).sum()
     }
-}
 
-impl fmt::Display for ScalingStudy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
+    /// Converts the study into its structured [`Report`]: one sweep
+    /// block per workload plus a machine-readable point table.
+    #[must_use]
+    pub fn to_report(&self) -> Report {
+        let title = format!(
             "Many-core scaling study: speedup stacks at {:?} cores",
             self.counts
-        )?;
-        writeln!(
-            f,
-            "(4 MiB 32-way LLC; weak-scaling workloads report scaled speedup n*Ts/Tp,\n\
-             the rate mix reports sum(Ts_i)/Tp)"
-        )?;
+        );
+        let mut report = Report::new("scaling", &title);
+        report.push(Block::line(&title));
+        report.push(Block::line(format!(
+            "({} MiB {}-way LLC; weak-scaling workloads report scaled speedup n*Ts/Tp,\n\
+             the rate mix reports sum(Ts_i)/Tp)",
+            self.mem.llc.lines() * 64 / (1024 * 1024),
+            self.mem.llc.ways(),
+        )));
+        let mut table = Table::new(
+            "points",
+            vec![
+                Column::new("series"),
+                Column::new("cores").unit(Unit::Count),
+                Column::new("scaled_speedup").unit(Unit::Speedup),
+                Column::new("estimated_speedup").unit(Unit::Speedup),
+                Column::new("mt_cycles").unit(Unit::Cycles),
+                Column::new("events").unit(Unit::Count),
+            ],
+        );
         for series in &self.series {
-            writeln!(f)?;
+            for p in &series.points {
+                table.row(vec![
+                    Value::str(&series.name),
+                    p.cores.into(),
+                    p.scaled_speedup.into(),
+                    p.estimated.into(),
+                    p.mt_cycles.into(),
+                    p.events.into(),
+                ]);
+            }
+        }
+        report.push(Block::hidden(Block::Table(table)));
+        for series in &self.series {
             let bars: Vec<(String, SpeedupStack)> = series
                 .points
                 .iter()
                 .map(|p| (format!("N={:>3}", p.cores), p.stack.clone()))
                 .collect();
-            write!(
-                f,
-                "{}",
-                render_sweep(&series.name, &bars, &RenderOptions::default())
-            )?;
+            report.push(Block::Blank);
+            report.push(Block::Sweep {
+                title: series.name.clone(),
+                series: bars,
+                options: RenderOptions::default(),
+            });
         }
-        Ok(())
+        report
+    }
+}
+
+impl fmt::Display for ScalingStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_report().to_text())
     }
 }
 
@@ -149,10 +188,10 @@ pub fn study_profiles(scale: f64) -> Vec<WorkloadProfile> {
     .collect()
 }
 
-fn machine(cores: usize) -> MachineConfig {
+fn machine(cores: usize, mem: MemConfig) -> MachineConfig {
     MachineConfig {
         n_cores: cores,
-        mem: manycore_mem(),
+        mem,
         ..MachineConfig::default()
     }
 }
@@ -170,10 +209,11 @@ fn weak_series(
     profile: &WorkloadProfile,
     counts: &[usize],
     mode: crate::par::Parallelism,
+    mem: MemConfig,
 ) -> ScalingSeries {
-    let st = simulate(machine(1), streams_for(profile, 1)).expect("ST reference");
+    let st = simulate(machine(1, mem), streams_for(profile, 1)).expect("ST reference");
     let points = crate::par::map_mode(mode, counts.to_vec(), |n| {
-        let mt = simulate(machine(n), streams_for(profile, n)).expect("weak-scaling run");
+        let mt = simulate(machine(n, mem), streams_for(profile, n)).expect("weak-scaling run");
         let scaled = n as f64 * st.tp_cycles as f64 / mt.tp_cycles as f64;
         let stack = stack_of(&mt, scaled);
         ScalingPoint {
@@ -198,19 +238,20 @@ fn mix_series(
     programs: &[WorkloadProfile],
     counts: &[usize],
     mode: crate::par::Parallelism,
+    mem: MemConfig,
 ) -> ScalingSeries {
     let refs: Vec<u64> = programs
         .iter()
         .enumerate()
         .map(|(i, p)| {
             let solo: Vec<Box<dyn cmpsim::OpStream>> = vec![Box::new(RateMixStream::new(p, i))];
-            simulate(machine(1), solo)
+            simulate(machine(1, mem), solo)
                 .expect("mix ST reference")
                 .tp_cycles
         })
         .collect();
     let points = crate::par::map_mode(mode, counts.to_vec(), |n| {
-        let mt = simulate(machine(n), rate_mix_streams(programs, n)).expect("rate mix run");
+        let mt = simulate(machine(n, mem), rate_mix_streams(programs, n)).expect("rate mix run");
         let ts_sum: u64 = (0..n).map(|i| refs[i % refs.len()]).sum();
         let rate = ts_sum as f64 / mt.tp_cycles as f64;
         let stack = stack_of(&mt, rate);
@@ -241,18 +282,65 @@ pub fn run(scale: f64) -> ScalingStudy {
 /// deterministic).
 #[must_use]
 pub fn run_with(scale: f64, counts: &[usize], mode: crate::par::Parallelism) -> ScalingStudy {
+    run_mem(scale, counts, mode, manycore_mem())
+}
+
+/// Runs the study honoring the full [`StudyParams`]: `threads` overrides
+/// the swept core counts and `llc_mib` resizes the (32-way) many-core
+/// LLC.
+#[must_use]
+pub fn run_study(params: &StudyParams) -> ScalingStudy {
+    let counts = params.counts_or(&CORE_COUNTS);
+    let mem = match params.llc_mib {
+        Some(mib) => MemConfig {
+            llc: CacheConfig::from_kib(mib * 1024, 64, 32),
+            ..MemConfig::default()
+        },
+        None => manycore_mem(),
+    };
+    run_mem(params.scale, &counts, params.parallelism, mem)
+}
+
+fn run_mem(
+    scale: f64,
+    counts: &[usize],
+    mode: crate::par::Parallelism,
+    mem: MemConfig,
+) -> ScalingStudy {
     let mut series: Vec<ScalingSeries> = study_profiles(scale)
         .iter()
-        .map(|p| weak_series(p, counts, mode))
+        .map(|p| weak_series(p, counts, mode, mem))
         .collect();
     let mix: Vec<WorkloadProfile> = default_rate_mix()
         .iter()
         .map(|p| crate::runner::scaled_profile(p, scale))
         .collect();
-    series.push(mix_series(&mix, counts, mode));
+    series.push(mix_series(&mix, counts, mode, mem));
     ScalingStudy {
         series,
         counts: counts.to_vec(),
+        mem,
+    }
+}
+
+/// The many-core scaling study as a registry [`Study`] (honors `scale`,
+/// `threads` — the swept core counts — `parallelism` and `llc_mib`).
+#[derive(Debug, Clone, Copy)]
+pub struct ManycoreScalingStudy;
+
+impl Study for ManycoreScalingStudy {
+    fn name(&self) -> &'static str {
+        "scaling"
+    }
+
+    fn description(&self) -> &'static str {
+        "Beyond the paper: speedup stacks from 1 to 128 cores (weak scaling + rate mix)"
+    }
+
+    fn run(&self, params: &StudyParams) -> Report {
+        let mut report = run_study(params).to_report();
+        params.record(&mut report);
+        report
     }
 }
 

@@ -1,0 +1,130 @@
+//! End-to-end CLI tests for the `repro` binary: registry enumeration,
+//! uniform usage errors (no `process::exit` bypassing `ExitCode`), and
+//! format emission from the same report value.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("run repro")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf-8 stderr")
+}
+
+#[test]
+fn list_enumerates_all_twelve_studies() {
+    let out = repro(&["--list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 12);
+    for name in [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "hwcost",
+        "regions", "scaling",
+    ] {
+        assert!(
+            text.lines().any(|l| l.starts_with(name)),
+            "--list misses {name}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn unknown_experiment_is_uniform_usage_error() {
+    let out = repro(&["bogus"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("unknown experiment: bogus"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+    assert!(stdout(&out).is_empty());
+}
+
+#[test]
+fn missing_experiment_is_usage_error() {
+    let out = repro(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn scale_rejects_non_finite_and_non_positive() {
+    for bad in ["inf", "-inf", "NaN", "nan", "0", "-2", "abc"] {
+        let out = repro(&["fig1", "--scale", bad]);
+        assert_eq!(out.status.code(), Some(1), "--scale {bad} accepted");
+        assert!(
+            stderr(&out).contains("--scale requires a positive finite number"),
+            "--scale {bad}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn bad_flags_are_usage_errors() {
+    for args in [
+        ["fig1", "--format", "yaml"].as_slice(),
+        ["fig1", "--threads", "0"].as_slice(),
+        ["fig1", "--threads", "2,x"].as_slice(),
+        ["fig1", "--parallelism", "fast"].as_slice(),
+        ["fig1", "--llc-mib", "0"].as_slice(),
+        ["fig1", "--bogus-flag"].as_slice(),
+        ["fig1", "fig2"].as_slice(),
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(1), "{args:?} accepted");
+        assert!(
+            stderr(&out).contains("usage:"),
+            "{args:?}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn hwcost_text_json_and_csv_come_from_one_report() {
+    let text = repro(&["hwcost"]);
+    assert!(text.status.success());
+    let json_out = repro(&["hwcost", "--format", "json"]);
+    assert!(json_out.status.success());
+    let doc = speedup_stacks::report::json::parse(&stdout(&json_out)).expect("valid JSON");
+    assert_eq!(doc.get("study").unwrap().as_str(), Some("hwcost"));
+    // The JSON scalar equals the number printed in the text form.
+    let blocks = doc.get("blocks").unwrap().as_array().unwrap();
+    let total = blocks
+        .iter()
+        .find(|b| b.get("name").and_then(|n| n.as_str()) == Some("total_bytes_per_core"))
+        .and_then(|b| b.get("value"))
+        .and_then(|v| v.as_f64())
+        .expect("total_bytes_per_core scalar");
+    assert!(
+        stdout(&text).contains(&format!("{total:>6.0} B")),
+        "text and JSON disagree on total_bytes_per_core"
+    );
+
+    let csv_out = repro(&["hwcost", "--format", "csv"]);
+    assert!(csv_out.status.success());
+    let csv = stdout(&csv_out);
+    assert!(csv.starts_with("study,hwcost\n"), "{csv}");
+    assert!(csv.contains(&format!("scalar,total_bytes_per_core,{total},bytes")));
+}
+
+#[test]
+fn threads_override_reaches_the_study() {
+    // hwcost sizes the CMP total by the last --threads entry.
+    let out = repro(&["hwcost", "--threads", "8"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("total for 8-core CMP"));
+    let json_out = repro(&["hwcost", "--threads", "8", "--format", "json"]);
+    let doc = speedup_stacks::report::json::parse(&stdout(&json_out)).expect("valid JSON");
+    assert_eq!(
+        doc.get("params").unwrap().get("threads").unwrap().as_str(),
+        Some("8")
+    );
+}

@@ -1,0 +1,88 @@
+//! Golden-output tests: the text emitter of the redesigned Study API
+//! must reproduce the pre-redesign `Display` output bit-identically.
+//!
+//! The files under `tests/goldens/` are verbatim stdout captures of
+//! `repro <study> --scale 0.05` taken *before* the port to the
+//! structured `Report` model; every study's default-parameter text
+//! rendering is pinned against them.
+
+use experiments::study::{find_study, StudyParams};
+
+const SCALE: f64 = 0.05;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/goldens/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn check(name: &str) {
+    let study = find_study(name).expect("study registered");
+    let report = study.run(&StudyParams::with_scale(SCALE));
+    // `repro` prints the report with `println!`, appending one newline.
+    let text = format!("{}\n", report.to_text());
+    assert_eq!(
+        text,
+        golden(name),
+        "{name}: text emitter deviates from the pre-redesign golden"
+    );
+}
+
+#[test]
+fn fig1_matches_golden() {
+    check("fig1");
+}
+
+#[test]
+fn fig2_matches_golden() {
+    check("fig2");
+}
+
+#[test]
+fn fig3_matches_golden() {
+    check("fig3");
+}
+
+#[test]
+fn fig4_matches_golden() {
+    check("fig4");
+}
+
+#[test]
+fn fig5_matches_golden() {
+    check("fig5");
+}
+
+#[test]
+fn fig6_matches_golden() {
+    check("fig6");
+}
+
+#[test]
+fn fig7_matches_golden() {
+    check("fig7");
+}
+
+#[test]
+fn fig8_matches_golden() {
+    check("fig8");
+}
+
+#[test]
+fn fig9_matches_golden() {
+    check("fig9");
+}
+
+#[test]
+fn hwcost_matches_golden() {
+    check("hwcost");
+}
+
+#[test]
+fn regions_matches_golden() {
+    check("regions");
+}
+
+#[test]
+fn scaling_matches_golden() {
+    check("scaling");
+}

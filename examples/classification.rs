@@ -1,38 +1,40 @@
-//! Benchmark classification: build the paper's Figure 6 tree over a
-//! subset of the suite (use `repro fig6` for the full 28 benchmarks).
+//! Benchmark classification through the study registry: run the paper's
+//! Figure 6 study (`experiments::fig6`) at reduced scale via the uniform
+//! `Study` API, then consume its structured `Report` both as text and as
+//! machine-readable JSON.
 //!
 //! Run with: `cargo run --release --example classification`
 
-use experiments::{run_profile, scaled_profile, RunOptions};
-use speedup_stacks::{ClassificationConfig, ClassificationTree, ClassifiedBenchmark};
-use workloads::{find, Suite};
+use experiments::study::{find_study, StudyParams};
+use speedup_stacks::report::json;
 
 fn main() {
-    let picks = [
-        ("blackscholes", Suite::ParsecMedium),
-        ("radix", Suite::Splash2),
-        ("cholesky", Suite::Splash2),
-        ("facesim", Suite::ParsecMedium),
-        ("srad", Suite::Rodinia),
-        ("ferret", Suite::ParsecSmall),
-        ("dedup", Suite::ParsecSmall),
-        ("needle", Suite::Rodinia),
-    ];
-    let cfg = ClassificationConfig::default();
-    let entries: Vec<ClassifiedBenchmark> = picks
-        .iter()
-        .map(|(name, suite)| {
-            let p = find(name, *suite).expect("catalog entry");
-            let p = scaled_profile(&p, 0.5);
-            let out = run_profile(&p, &RunOptions::symmetric(16), None).expect("simulation");
-            ClassifiedBenchmark::from_stack(out.name.clone(), out.suite.clone(), &out.stack, &cfg)
-        })
-        .collect();
+    let study = find_study("fig6").expect("fig6 is registered");
+    println!("running study '{}': {}", study.name(), study.description());
+    println!();
 
-    let tree = ClassificationTree::build(entries);
-    println!("{}", tree.render());
+    // Reduced workload scale for a fast demo; the tree shape survives.
+    let report = study.run(&StudyParams::with_scale(0.2));
+
+    // The text emitter prints the familiar figure...
+    println!("{}", report.to_text());
+
+    // ...and the same `Report` value is machine-readable: pull the
+    // summary counts back out of the JSON form.
+    let doc = json::parse(&report.to_json()).expect("emitter produces valid JSON");
+    let scalar = |name: &str| {
+        doc.get("blocks")
+            .and_then(|b| b.as_array())
+            .into_iter()
+            .flatten()
+            .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(name))
+            .and_then(|b| b.get("value"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(f64::NAN)
+    };
     println!(
-        "(good >= {:.0}x, poor < {:.0}x at 16 threads, per the paper)",
-        cfg.good_threshold, cfg.poor_threshold
+        "(from JSON: {} of {} benchmarks scale well; try `repro fig6 --format json`)",
+        scalar("good_scalers"),
+        scalar("benchmarks"),
     );
 }

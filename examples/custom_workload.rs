@@ -63,5 +63,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("-> phase 2 is unbalanced (thread 0 does 4x the chunks): consider");
         println!("   dynamic chunk scheduling.");
     }
+
+    // For dashboards/CI, the same stack ships as a structured report:
+    // `report.to_json()` / `report.to_csv()` carry every component value.
+    let mut report = speedup_stacks::Report::new("custom_workload", "custom kernel, 4 threads");
+    report.push(speedup_stacks::report::Block::Stack {
+        label: "custom kernel".to_string(),
+        stack,
+        options: RenderOptions::default(),
+    });
+    println!("\nCSV form of the stack:\n{}", report.to_csv());
     Ok(())
 }

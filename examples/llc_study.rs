@@ -1,10 +1,13 @@
 //! LLC study: the paper's §7.3 experiment — how positive and negative
-//! LLC interference trade off as the shared cache grows.
+//! LLC interference trade off as the shared cache grows — built as a
+//! *custom* structured `Report`, the same value model the registry
+//! studies produce. One sweep, three renderings (text, CSV, JSON).
 //!
 //! Run with: `cargo run --release --example llc_study`
 
 use experiments::{run_profile, scaled_profile, RunOptions};
 use memsim::MemConfig;
+use speedup_stacks::report::{Block, Column, Report, Table, Unit, Value};
 use speedup_stacks::Component;
 use workloads::{find, Suite};
 
@@ -12,10 +15,23 @@ fn main() {
     let p = find("cholesky", Suite::Splash2).expect("catalog entry");
     let p = scaled_profile(&p, 0.5);
 
-    println!("cholesky on 16 cores, sweeping the shared LLC size:");
-    println!(
-        "{:<8} {:>9} {:>9} {:>9} {:>9}",
-        "LLC", "negative", "positive", "net", "speedup"
+    let numeric = |name: &str, precision: usize| {
+        Column::new(name)
+            .text_header(" {:>9}")
+            .prefix(" ")
+            .width(9)
+            .precision(precision)
+            .unit(Unit::Speedup)
+    };
+    let mut table = Table::new(
+        "llc_sweep",
+        vec![
+            Column::new("LLC").text_header("{:<8}").left(8),
+            numeric("negative", 3),
+            numeric("positive", 3),
+            numeric("net", 3),
+            numeric("speedup", 2),
+        ],
     );
     for mib in [2usize, 4, 8, 16] {
         let opts = RunOptions {
@@ -25,18 +41,29 @@ fn main() {
         let out = run_profile(&p, &opts, None).expect("simulation");
         let neg = out.stack.component(Component::NegativeLlc);
         let pos = out.stack.positive_interference();
-        println!(
-            "{:<8} {:>9.3} {:>9.3} {:>9.3} {:>9.2}",
-            format!("{mib} MB"),
-            neg,
-            pos,
-            neg - pos,
-            out.actual
-        );
+        table.row(vec![
+            Value::str(format!("{mib} MB")),
+            neg.into(),
+            pos.into(),
+            (neg - pos).into(),
+            out.actual.into(),
+        ]);
     }
-    println!();
+
+    let mut report = Report::new("llc_study", "cholesky LLC interference vs LLC size");
+    report.param("benchmark", "cholesky");
+    report.param("threads", 16u64);
+    report.push(Block::line(
+        "cholesky on 16 cores, sweeping the shared LLC size:",
+    ));
+    report.push(Block::Table(table));
+
+    println!("{}", report.to_text());
     println!("Expected shape (paper Figure 9): negative interference shrinks as");
     println!("capacity misses disappear, positive interference stays roughly");
     println!("constant (it is a property of the program's sharing), so the net");
     println!("effect of cache sharing eventually becomes a win.");
+    println!();
+    println!("The same report as CSV:");
+    println!("{}", report.to_csv());
 }

@@ -48,5 +48,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "{c} ({v:.2} speedup units)"
             ))
     );
+
+    // 4. The stack is also serializable: wrap it in a structured report
+    //    and emit machine-readable JSON (same model as `repro --format
+    //    json`).
+    let mut report = speedup_stacks::Report::new("quickstart", "facesim on 16 cores");
+    report.push(speedup_stacks::report::Block::Stack {
+        label: "facesim_medium".to_string(),
+        stack,
+        options: RenderOptions::default(),
+    });
+    println!("\nthe same stack as JSON:\n{}", report.to_json());
     Ok(())
 }

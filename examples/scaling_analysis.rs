@@ -1,10 +1,12 @@
 //! Scaling analysis: sweep thread counts for a few benchmarks and watch
-//! how each scaling delimiter grows — the paper's Figure 5 methodology.
+//! how each scaling delimiter grows — the paper's Figure 5 methodology,
+//! packaged as a structured `Report` (a `StackTable` block renders the
+//! aligned comparison table; the same value serializes to JSON/CSV).
 //!
 //! Run with: `cargo run --release --example scaling_analysis`
 
 use experiments::{run_profile, scaled_profile, single_thread_reference, RunOptions};
-use speedup_stacks::render::render_table;
+use speedup_stacks::report::{Block, Report};
 use workloads::{find, Suite};
 
 fn main() {
@@ -24,8 +26,17 @@ fn main() {
             rows.push((format!("{} {}t", out.name, n), out.stack));
         }
     }
-    println!("{}", render_table(&rows));
+
+    let mut report = Report::new("scaling_analysis", "Per-component scaling analysis");
+    report.push(Block::StackTable {
+        name: "stacks".to_string(),
+        stacks: rows,
+    });
+    println!("{}", report.to_text());
     println!("Reading guide: a growing 'spinning'/'yielding' column means");
     println!("synchronization limits scaling; growing 'cache'/'memory' columns");
     println!("mean shared-resource interference does.");
+    println!();
+    println!("(`report.to_json()` serializes every stack of this table —");
+    println!(" components, estimates and actuals — for further analysis.)");
 }
