@@ -2,6 +2,7 @@
 //! scheduler and spin-detection parameters.
 
 use memsim::MemConfig;
+use speedup_stacks::error::ConfigError;
 
 /// Out-of-order core timing model.
 ///
@@ -187,6 +188,41 @@ impl MachineConfig {
             ..MachineConfig::default()
         }
     }
+
+    /// Checks the configuration before a simulation starts, replacing the
+    /// engine's constructor `assert!`s with a typed error: the
+    /// fault-tolerant sweep layer surfaces it as `SimError::Config`
+    /// (exit code 3) instead of a panic.
+    ///
+    /// ```
+    /// use cmpsim::MachineConfig;
+    /// assert!(MachineConfig::default().validate().is_ok());
+    /// assert!(MachineConfig::with_cores(0).validate().is_err());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: zero cores, a zero cycle
+    /// limit, a zero scheduler quantum or a zero spin-poll period (the
+    /// sync substrate divides by it), or a zero ATD sampling period.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_cores == 0 {
+            return Err(ConfigError::zero("n_cores"));
+        }
+        if self.max_cycles == 0 {
+            return Err(ConfigError::zero("max_cycles"));
+        }
+        if self.sched.quantum == 0 {
+            return Err(ConfigError::zero("sched.quantum"));
+        }
+        if self.sync.spin_iter_cycles == 0 {
+            return Err(ConfigError::zero("sync.spin_iter_cycles"));
+        }
+        if self.mem.atd_sample_period == 0 {
+            return Err(ConfigError::zero("mem.atd_sample_period"));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +240,25 @@ mod tests {
     #[test]
     fn with_cores() {
         assert_eq!(MachineConfig::with_cores(2).n_cores, 2);
+    }
+
+    #[test]
+    fn validate_rejects_zero_counts() {
+        assert!(MachineConfig::default().validate().is_ok());
+        assert!(MachineConfig::with_cores(0).validate().is_err());
+        let m = MachineConfig {
+            max_cycles: 0,
+            ..MachineConfig::default()
+        };
+        assert!(m.validate().is_err());
+        let mut m = MachineConfig::default();
+        m.sched.quantum = 0;
+        assert!(m.validate().is_err());
+        let mut m = MachineConfig::default();
+        m.sync.spin_iter_cycles = 0;
+        assert!(m.validate().is_err());
+        let mut m = MachineConfig::default();
+        m.mem.atd_sample_period = 0;
+        assert!(m.validate().is_err());
     }
 }

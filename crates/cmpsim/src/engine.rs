@@ -87,6 +87,16 @@ pub enum SimError {
         /// Human-readable description.
         what: &'static str,
     },
+    /// A cooperative per-run deadline ([`Simulation::with_deadline`])
+    /// expired. Unlike [`SimError::CycleLimitExceeded`] this is not a
+    /// config limit but a budget imposed by a sweep watchdog; the
+    /// fault-tolerant runner treats it as a point failure.
+    DeadlineExceeded {
+        /// Cycle count at abort.
+        at: u64,
+    },
+    /// The machine configuration failed [`MachineConfig::validate`].
+    InvalidConfig(speedup_stacks::error::ConfigError),
 }
 
 impl fmt::Display for SimError {
@@ -102,11 +112,26 @@ impl fmt::Display for SimError {
             SimError::ProtocolViolation { thread, what } => {
                 write!(f, "thread {thread} violated the sync protocol: {what}")
             }
+            SimError::DeadlineExceeded { at } => {
+                write!(f, "point deadline exceeded at cycle {at}")
+            }
+            SimError::InvalidConfig(e) => e.fmt(f),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<SimError> for speedup_stacks::error::SimError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::InvalidConfig(c) => speedup_stacks::error::SimError::Config(c),
+            other => speedup_stacks::error::SimError::Engine {
+                what: other.to_string(),
+            },
+        }
+    }
+}
 
 /// Ground-truth statistics per thread (not available to real accounting
 /// hardware; used for validation and ablations).
@@ -364,6 +389,9 @@ pub struct Simulation {
     tx_readers: FxHashMap<LineAddr, Vec<ThreadId>>,
     /// Lines written inside active transactions -> writing threads.
     tx_writers: FxHashMap<LineAddr, Vec<ThreadId>>,
+    /// Cooperative per-run cycle deadline (see
+    /// [`Simulation::with_deadline`]); `u64::MAX` sentinel = none.
+    deadline: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl fmt::Debug for Simulation {
@@ -425,7 +453,29 @@ impl Simulation {
             regions: Vec::new(),
             tx_readers: FxHashMap::default(),
             tx_writers: FxHashMap::default(),
+            deadline: None,
         }
+    }
+
+    /// Arms a cooperative cycle deadline: the run loop checks the shared
+    /// budget at every event boundary and aborts with
+    /// [`SimError::DeadlineExceeded`] once simulated time passes it. The
+    /// watchdog (a sweep supervisor thread) can tighten the budget while
+    /// the simulation runs by storing a lower value; storing `u64::MAX`
+    /// disarms it. Deterministic when the stored budget is constant: the
+    /// abort point depends only on simulated time, not wall-clock.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::sync::Arc<std::sync::atomic::AtomicU64>) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The armed deadline at this instant (`u64::MAX` when disarmed).
+    #[inline]
+    fn deadline_cycles(&self) -> u64 {
+        self.deadline
+            .as_ref()
+            .map_or(u64::MAX, |d| d.load(std::sync::atomic::Ordering::Relaxed))
     }
 
     fn push(&mut self, time: u64, kind: EventKind) {
@@ -505,6 +555,9 @@ impl Simulation {
         while let Some((time, _seq, kind)) = self.queue.pop() {
             if time > self.cfg.max_cycles {
                 return Err(SimError::CycleLimitExceeded { at: time });
+            }
+            if time > self.deadline_cycles() {
+                return Err(SimError::DeadlineExceeded { at: time });
             }
             self.events += 1;
             match kind {
@@ -662,10 +715,14 @@ impl Simulation {
             // Inline continuation only when strictly ahead of the queue
             // (and the thread is done if the whole machine is idle).
             if self.queue.peek_time().is_none_or(|qmin| t < qmin) {
-                // The cycle safety valve applies to inline continuations
-                // exactly as it does to popped events.
+                // The cycle safety valve and the cooperative deadline
+                // apply to inline continuations exactly as they do to
+                // popped events.
                 if t > self.cfg.max_cycles {
                     return Err(SimError::CycleLimitExceeded { at: t });
+                }
+                if t > self.deadline_cycles() {
+                    return Err(SimError::DeadlineExceeded { at: t });
                 }
                 self.events += 1;
                 now = t;
@@ -1192,14 +1249,17 @@ impl Simulation {
     }
 }
 
-/// Convenience: build and run a simulation in one call.
+/// Convenience: build and run a simulation in one call. Validates the
+/// configuration first ([`MachineConfig::validate`]).
 ///
 /// # Errors
 ///
-/// See [`Simulation::run`].
+/// [`SimError::InvalidConfig`] on a bad configuration; otherwise see
+/// [`Simulation::run`].
 pub fn simulate(
     cfg: MachineConfig,
     streams: Vec<Box<dyn OpStream>>,
 ) -> Result<SimResult, SimError> {
+    cfg.validate().map_err(SimError::InvalidConfig)?;
     Simulation::new(cfg, streams).run()
 }

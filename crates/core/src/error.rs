@@ -1,6 +1,24 @@
-//! Error types for speedup-stack construction.
+//! The crate-spanning error taxonomy.
+//!
+//! Every failure mode of the reproduction pipeline is classified into one
+//! of the [`SimError`] variants, each with a distinct process exit code
+//! (used by the `repro` CLI):
+//!
+//! | variant                  | meaning                                   | exit code |
+//! |--------------------------|-------------------------------------------|-----------|
+//! | [`SimError::Config`]     | invalid machine/workload configuration    | 3         |
+//! | [`SimError::Stack`]      | counters cannot form a speedup stack      | 4         |
+//! | [`SimError::Journal`]    | sweep journal unreadable or inconsistent  | 5         |
+//! | [`SimError::Point`]      | a grid point failed (panic/deadline)      | 6         |
+//! | [`SimError::Engine`]     | the simulation engine aborted a run       | 7         |
+//! | [`SimError::Interrupted`]| sweep checkpointed before completion      | 8         |
+//!
+//! The leaf types ([`ConfigError`], [`StackError`], [`JournalError`],
+//! [`PointError`]) are owned by the layers that raise them and convert
+//! into [`SimError`] via `From`, so callers can `?` across layers.
 
 use core::fmt;
+use core::time::Duration;
 
 /// Error returned when a speedup stack cannot be built from the provided
 /// counters.
@@ -33,6 +51,266 @@ impl fmt::Display for StackError {
 
 impl std::error::Error for StackError {}
 
+/// An invalid machine or workload configuration value, caught by
+/// `validate()` before a simulation starts (replacing scattered
+/// `assert!`s on the hot paths).
+///
+/// # Examples
+///
+/// ```
+/// use speedup_stacks::error::ConfigError;
+/// let e = ConfigError::zero("n_cores");
+/// assert_eq!(e.to_string(), "invalid configuration: n_cores must be at least 1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A count that must be at least one was zero.
+    ZeroCount {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+    /// A numeric parameter was non-finite or outside its valid range.
+    OutOfRange {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The constraint that was violated.
+        why: &'static str,
+    },
+}
+
+impl ConfigError {
+    /// Shorthand for [`ConfigError::ZeroCount`].
+    #[must_use]
+    pub const fn zero(what: &'static str) -> Self {
+        ConfigError::ZeroCount { what }
+    }
+
+    /// Shorthand for [`ConfigError::OutOfRange`].
+    #[must_use]
+    pub const fn range(what: &'static str, why: &'static str) -> Self {
+        ConfigError::OutOfRange { what, why }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCount { what } => {
+                write!(f, "invalid configuration: {what} must be at least 1")
+            }
+            ConfigError::OutOfRange { what, why } => {
+                write!(f, "invalid configuration: {what} {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A sweep journal that cannot be used: unreadable, missing or corrupt
+/// header, wrong format version, or recorded under different study
+/// parameters.
+///
+/// Corrupt *records* are not a [`JournalError`]: they are quarantined and
+/// their points recomputed (see `experiments::journal`). Only a journal
+/// whose identity cannot be established is fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// An I/O operation on the journal file failed.
+    Io {
+        /// The operation that failed (`open`, `read`, `append` …).
+        op: &'static str,
+        /// The underlying error message.
+        message: String,
+    },
+    /// The journal has no header line.
+    MissingHeader,
+    /// The header line is present but malformed or fails its checksum.
+    BadHeader {
+        /// What was wrong with it.
+        why: String,
+    },
+    /// The journal was written by an unsupported format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u64,
+        /// Version this build supports.
+        supported: u64,
+    },
+    /// The journal belongs to a different study.
+    StudyMismatch {
+        /// Study recorded in the journal header.
+        journal: String,
+        /// Study requested on the command line.
+        requested: String,
+    },
+    /// The journal was recorded under different study parameters.
+    ParamsMismatch {
+        /// Parameter fingerprint recorded in the journal header.
+        journal: String,
+        /// Fingerprint of the requested parameters.
+        requested: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { op, message } => write!(f, "journal {op} failed: {message}"),
+            JournalError::MissingHeader => f.write_str("journal has no header line"),
+            JournalError::BadHeader { why } => write!(f, "journal header invalid: {why}"),
+            JournalError::VersionMismatch { found, supported } => write!(
+                f,
+                "journal format version {found} unsupported (this build reads version {supported})"
+            ),
+            JournalError::StudyMismatch { journal, requested } => write!(
+                f,
+                "journal records study '{journal}' but '{requested}' was requested"
+            ),
+            JournalError::ParamsMismatch { journal, requested } => write!(
+                f,
+                "journal was recorded with different parameters \
+                 (fingerprint {journal}, requested {requested})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// One failed grid point: the point's identity plus the captured failure
+/// payload (panic message, engine error or deadline overrun).
+///
+/// A [`PointError`] never aborts a fault-tolerant sweep — the point is
+/// reported in the report's `Degraded` block and the rest of the grid
+/// completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointError {
+    /// Index of the point in the sweep's deterministic point order.
+    pub index: usize,
+    /// Human-readable point label (e.g. `"cholesky 16t"`).
+    pub label: String,
+    /// The captured failure payload.
+    pub payload: String,
+    /// Wall-clock time spent on the point across all attempts.
+    pub elapsed: Duration,
+    /// Number of attempts made (1 = no retry).
+    pub attempts: u32,
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "point {} ({}) failed after {} attempt{}: {}",
+            self.index,
+            self.label,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.payload
+        )
+    }
+}
+
+impl std::error::Error for PointError {}
+
+/// The unified error type of the reproduction pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use speedup_stacks::error::{ConfigError, SimError};
+/// let e = SimError::from(ConfigError::zero("n_cores"));
+/// assert_eq!(e.exit_code(), 3);
+/// assert!(e.to_string().contains("n_cores"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Invalid machine or workload configuration.
+    Config(ConfigError),
+    /// Counters cannot form a speedup stack.
+    Stack(StackError),
+    /// The sweep journal is unusable.
+    Journal(JournalError),
+    /// A grid point failed.
+    Point(PointError),
+    /// The simulation engine aborted a run (cycle limit, deadlock,
+    /// protocol violation — carried as its rendered description so the
+    /// engine crate, which sits below this one, needs no type here).
+    Engine {
+        /// The engine error's description.
+        what: String,
+    },
+    /// A journaled sweep stopped at a checkpoint before completing (point
+    /// budget exhausted); resume with the journal to finish.
+    Interrupted {
+        /// Points recorded in the journal so far.
+        completed: usize,
+    },
+}
+
+impl SimError {
+    /// The distinct process exit code for this variant (the `repro` CLI
+    /// maps usage errors to 1 and success to 0; these start at 3).
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            SimError::Config(_) => 3,
+            SimError::Stack(_) => 4,
+            SimError::Journal(_) => 5,
+            SimError::Point(_) => 6,
+            SimError::Engine { .. } => 7,
+            SimError::Interrupted { .. } => 8,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => e.fmt(f),
+            SimError::Stack(e) => e.fmt(f),
+            SimError::Journal(e) => e.fmt(f),
+            SimError::Point(e) => e.fmt(f),
+            SimError::Engine { what } => write!(f, "engine error: {what}"),
+            SimError::Interrupted { completed } => write!(
+                f,
+                "sweep interrupted at checkpoint ({completed} points journaled); \
+                 rerun with --resume to finish"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<StackError> for SimError {
+    fn from(e: StackError) -> Self {
+        SimError::Stack(e)
+    }
+}
+
+impl From<JournalError> for SimError {
+    fn from(e: JournalError) -> Self {
+        SimError::Journal(e)
+    }
+}
+
+impl From<PointError> for SimError {
+    fn from(e: PointError) -> Self {
+        SimError::Point(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,11 +325,66 @@ mod tests {
             StackError::InvalidCounters { thread: 3 }.to_string(),
             "thread 3 reported invalid counters"
         );
+        assert_eq!(
+            ConfigError::range("scale", "must be positive and finite").to_string(),
+            "invalid configuration: scale must be positive and finite"
+        );
+        assert!(JournalError::VersionMismatch {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains("version 9"));
     }
 
     #[test]
-    fn error_is_send_sync() {
+    fn point_error_display_counts_attempts() {
+        let e = PointError {
+            index: 4,
+            label: "cholesky 16t".to_string(),
+            payload: "injected panic".to_string(),
+            elapsed: Duration::from_millis(12),
+            attempts: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "point 4 (cholesky 16t) failed after 3 attempts: injected panic"
+        );
+    }
+
+    #[test]
+    fn exit_codes_distinct() {
+        let errors: Vec<SimError> = vec![
+            ConfigError::zero("x").into(),
+            StackError::NoThreads.into(),
+            JournalError::MissingHeader.into(),
+            PointError {
+                index: 0,
+                label: String::new(),
+                payload: String::new(),
+                elapsed: Duration::ZERO,
+                attempts: 1,
+            }
+            .into(),
+            SimError::Engine {
+                what: "deadlock".to_string(),
+            },
+            SimError::Interrupted { completed: 7 },
+        ];
+        let mut codes: Vec<u8> = errors.iter().map(SimError::exit_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errors.len(), "exit codes must be distinct");
+        assert!(codes.iter().all(|&c| c >= 3), "0-2 reserved for ok/usage");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<StackError>();
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<JournalError>();
+        assert_send_sync::<PointError>();
+        assert_send_sync::<SimError>();
     }
 }

@@ -85,7 +85,7 @@ pub use accounting::{AccountingConfig, ThreadBreakdown};
 pub use classify::{ClassificationConfig, ClassificationTree, ClassifiedBenchmark, ScalingClass};
 pub use components::{Breakdown, Component};
 pub use counters::ThreadCounters;
-pub use error::StackError;
+pub use error::{ConfigError, JournalError, PointError, SimError, StackError};
 pub use estimate::{estimated_speedup, speedup_error, ValidationPoint};
 pub use hwcost::HardwareCostModel;
 pub use report::Report;

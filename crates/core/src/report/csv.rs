@@ -124,6 +124,22 @@ fn block_section(b: &Block, out: &mut String) -> bool {
         Block::StackTable { name, stacks } => stacks_section(name, stacks, out),
         Block::Sweep { title, series, .. } => stacks_section(title, series, out),
         Block::Hidden(inner) => return block_section(inner, out),
+        Block::Degraded(d) => {
+            let _ = writeln!(
+                out,
+                "degraded,total_points,{},completed,{},retried,{},quarantined,{}",
+                d.total_points, d.completed, d.retried, d.quarantined
+            );
+            for p in &d.failed {
+                let _ = writeln!(
+                    out,
+                    "failed,{},{},{}",
+                    escape(&p.label),
+                    escape(&p.reason),
+                    p.attempts
+                );
+            }
+        }
     }
     true
 }

@@ -188,6 +188,29 @@ fn block_object(b: &Block, out: &mut String, indent: &str) -> bool {
             out.push('}');
         }
         Block::Hidden(inner) => return block_object(inner, out, indent),
+        Block::Degraded(d) => {
+            let _ = write!(
+                out,
+                "{{\"kind\": \"degraded\", \"total_points\": {}, \"completed\": {}, \
+                 \"retried\": {}, \"quarantined\": {},\n{indent}  \"failed\": [",
+                d.total_points, d.completed, d.retried, d.quarantined
+            );
+            for (i, p) in d.failed.iter().enumerate() {
+                let comma = if i + 1 < d.failed.len() { "," } else { "" };
+                let _ = write!(
+                    out,
+                    "\n{indent}    {{\"label\": \"{}\", \"reason\": \"{}\", \"attempts\": {}}}{comma}",
+                    escape(&p.label),
+                    escape(&p.reason),
+                    p.attempts
+                );
+            }
+            if d.failed.is_empty() {
+                out.push_str("]}");
+            } else {
+                let _ = write!(out, "\n{indent}  ]}}");
+            }
+        }
     }
     true
 }

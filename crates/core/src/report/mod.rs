@@ -400,6 +400,69 @@ impl Scalar {
     }
 }
 
+/// One point that ultimately failed in a degraded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DegradedPoint {
+    /// Human-readable point label (e.g. `"cholesky 16t"`).
+    pub label: String,
+    /// Why the point failed (panic payload, deadline overrun, engine
+    /// error).
+    pub reason: String,
+    /// Attempts made before giving up (1 = no retry).
+    pub attempts: u32,
+}
+
+/// Summary of a fault-tolerant sweep that did not complete cleanly:
+/// counts of failed, retried and quarantined points plus the per-failure
+/// reasons. Rendered by all three emitters so degradation is never
+/// silent.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Degraded {
+    /// Total points in the sweep grid.
+    pub total_points: usize,
+    /// Points that produced a result.
+    pub completed: usize,
+    /// Points that succeeded only after at least one retry.
+    pub retried: usize,
+    /// Journal records that failed their checksum or parse and were
+    /// recomputed on resume.
+    pub quarantined: usize,
+    /// Points that failed every attempt (missing from the report body).
+    pub failed: Vec<DegradedPoint>,
+}
+
+impl Degraded {
+    /// Whether anything actually degraded: a clean run's summary is all
+    /// zeros and is not worth a block (keeps resumed output bit-identical
+    /// to uninterrupted runs).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.failed.is_empty() || self.retried > 0 || self.quarantined > 0
+    }
+
+    fn render_text(&self, out: &mut String) {
+        out.push_str(&format!(
+            "degraded run: {}/{} points completed ({} failed, {} retried, {} quarantined)\n",
+            self.completed,
+            self.total_points,
+            self.failed.len(),
+            self.retried,
+            self.quarantined
+        ));
+        for p in &self.failed {
+            out.push_str(&format!(
+                "  FAILED {}: {} [{} attempt{}]\n",
+                p.label,
+                p.reason,
+                p.attempts,
+                if p.attempts == 1 { "" } else { "s" }
+            ));
+        }
+    }
+}
+
 /// One block of a report.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -445,6 +508,9 @@ pub enum Block {
     /// JSON/CSV. Used to attach structured data to studies whose text
     /// form is non-tabular (e.g. the Figure 6 classification tree).
     Hidden(Box<Block>),
+    /// A degraded-run summary (failed/retried/quarantined points).
+    /// Studies push it only when [`Degraded::is_degraded`] holds.
+    Degraded(Degraded),
 }
 
 impl Block {
@@ -487,6 +553,7 @@ impl Block {
                 options,
             } => out.push_str(&render::render_sweep(title, series, options)),
             Block::Hidden(_) => {}
+            Block::Degraded(d) => d.render_text(out),
         }
     }
 }

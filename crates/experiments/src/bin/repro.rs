@@ -6,6 +6,8 @@
 //! ```text
 //! repro <study|all> [--scale F] [--format text|json|csv]
 //!       [--threads N[,N...]] [--parallelism auto|serial|N] [--llc-mib N]
+//!       [--retries N] [--deadline-cycles N] [--max-points N]
+//!       [--journal PATH | --resume PATH]
 //! repro --list
 //! ```
 //!
@@ -20,14 +22,32 @@
 //!
 //! `--scale` scales the workload sizes (default 1.0; use e.g. 0.25 for a
 //! quick pass).
+//!
+//! Fault tolerance: `--retries` re-attempts a failed grid point (bounded,
+//! backoff-free; default 0), `--deadline-cycles` arms a cooperative
+//! per-point deadline in simulated cycles, and failed points degrade the
+//! report instead of aborting the sweep. `--journal PATH` appends each
+//! completed point to a crash-safe checkpoint file; after a crash or an
+//! exhausted `--max-points` budget (exit code 8), `--resume PATH` skips
+//! the journaled points, quarantines corrupt records, and finishes the
+//! grid — the resumed report is bit-identical to an uninterrupted run.
+//! Journaling is supported by the grid studies (`fig1`, `fig4`, `fig5`,
+//! `fig6`).
+//!
+//! Exit codes: 0 success, 1 usage error, then one per
+//! [`SimError`] variant — 3 config, 4 stack, 5 journal, 6 point,
+//! 7 engine, 8 interrupted-at-checkpoint.
 
 use std::process::ExitCode;
 
 use experiments::study::{find_study, registry, Study, StudyParams};
+use experiments::JournalSpec;
 use experiments::Parallelism;
+use speedup_stacks::SimError;
 
 const USAGE: &str = "usage: repro <fig1..fig9|hwcost|regions|scaling|all> [--scale F] \
 [--format text|json|csv] [--threads N[,N...]] [--parallelism auto|serial|N] [--llc-mib N]\n   \
+        [--retries N] [--deadline-cycles N] [--max-points N] [--journal PATH | --resume PATH]\n   \
 or: repro --list";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +83,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut list = false;
     let mut format = Format::Text;
     let mut params = StudyParams::default();
+    let mut journal_flags = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -84,12 +105,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--parallelism" => match it.next().map(String::as_str) {
                 Some("auto") => params.parallelism = Parallelism::Auto,
                 Some("serial") => params.parallelism = Parallelism::Serial,
+                // Zero workers is rejected here, uniformly with every other
+                // bad mode, rather than silently clamped to 1 deep in the
+                // pool (see `Parallelism::workers`).
                 Some(n) => match n.parse::<usize>() {
                     Ok(w) if w >= 1 => params.parallelism = Parallelism::Workers(w),
                     _ => {
-                        return Err(
-                            "--parallelism requires auto, serial or a worker count".to_string()
-                        )
+                        return Err(format!(
+                            "--parallelism requires auto, serial or a worker count >= 1, \
+                             got '{n}'"
+                        ))
                     }
                 },
                 None => return Err("--parallelism requires a mode".to_string()),
@@ -97,6 +122,38 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--llc-mib" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(mib) if mib >= 1 => params.llc_mib = Some(mib),
                 _ => return Err("--llc-mib requires a capacity in MiB >= 1".to_string()),
+            },
+            "--retries" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => params.faults.retries = n,
+                None => return Err("--retries requires a non-negative count".to_string()),
+            },
+            "--deadline-cycles" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => params.faults.deadline_cycles = Some(n),
+                _ => return Err("--deadline-cycles requires a cycle count >= 1".to_string()),
+            },
+            "--max-points" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => params.max_points = Some(n),
+                _ => return Err("--max-points requires a point budget >= 1".to_string()),
+            },
+            "--journal" => match it.next() {
+                Some(path) if !path.starts_with("--") => {
+                    journal_flags += 1;
+                    params.journal = Some(JournalSpec {
+                        path: path.clone(),
+                        resume: false,
+                    });
+                }
+                _ => return Err("--journal requires a file path".to_string()),
+            },
+            "--resume" => match it.next() {
+                Some(path) if !path.starts_with("--") => {
+                    journal_flags += 1;
+                    params.journal = Some(JournalSpec {
+                        path: path.clone(),
+                        resume: true,
+                    });
+                }
+                _ => return Err("--resume requires a journal file path".to_string()),
             },
             other if other.starts_with("--") => {
                 return Err(format!("unknown option: {other}"));
@@ -117,27 +174,41 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if which != "all" && find_study(&which).is_none() {
         return Err(format!("unknown experiment: {which}"));
     }
+    if journal_flags > 1 {
+        return Err("--journal and --resume are mutually exclusive (one journal per run)".into());
+    }
+    if params.journal.is_some() {
+        let supported = which != "all"
+            && find_study(&which).is_some_and(experiments::study::Study::supports_journal);
+        if !supported {
+            return Err(format!(
+                "--journal/--resume is not supported by '{which}' \
+                 (grid studies only: fig1, fig4, fig5, fig6)"
+            ));
+        }
+    }
     Ok(Cli {
         command: Command::Run { which, format },
         params,
     })
 }
 
-fn emit(study: &dyn Study, params: &StudyParams, format: Format) {
-    let report = study.run(params);
+fn emit(study: &dyn Study, params: &StudyParams, format: Format) -> Result<(), SimError> {
+    let report = study.run(params)?;
     match format {
         Format::Text => println!("{}", report.to_text()),
         Format::Json => print!("{}", report.to_json()),
         Format::Csv => print!("{}", report.to_csv()),
     }
+    Ok(())
 }
 
-fn run_all(params: &StudyParams, format: Format) {
+fn run_all(params: &StudyParams, format: Format) -> Result<(), SimError> {
     match format {
         Format::Text => {
             for study in registry() {
                 println!("================================================================");
-                emit(*study, params, format);
+                emit(*study, params, format)?;
                 println!();
             }
         }
@@ -147,7 +218,7 @@ fn run_all(params: &StudyParams, format: Format) {
                 if i > 0 {
                     print!(",");
                 }
-                emit(*study, params, format);
+                emit(*study, params, format)?;
             }
             println!("]");
         }
@@ -156,10 +227,11 @@ fn run_all(params: &StudyParams, format: Format) {
                 if i > 0 {
                     println!();
                 }
-                emit(*study, params, format);
+                emit(*study, params, format)?;
             }
         }
     }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -172,20 +244,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match cli.command {
+    let run = match cli.command {
         Command::List => {
             for study in registry() {
                 println!("{:<8} {}", study.name(), study.description());
             }
+            Ok(())
         }
         Command::Run { which, format } => {
             if which == "all" {
-                run_all(&cli.params, format);
+                run_all(&cli.params, format)
             } else {
                 let study = find_study(&which).expect("validated in parse_args");
-                emit(study, &cli.params, format);
+                emit(study, &cli.params, format)
             }
         }
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        // Each SimError variant exits with its own code (3..=8) so
+        // scripts — and the CI resume smoke test, which expects 8 for
+        // interrupted-at-checkpoint — can branch on the failure class.
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::from(e.exit_code())
+        }
     }
-    ExitCode::SUCCESS
 }

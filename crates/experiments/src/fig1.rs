@@ -3,11 +3,12 @@
 
 use std::fmt;
 
-use speedup_stacks::report::{Block, Column, Report, Table, Unit, Value};
+use speedup_stacks::report::{Block, Column, Degraded, Report, Table, Unit, Value};
+use speedup_stacks::SimError;
 use workloads::Suite;
 
 use crate::par::Parallelism;
-use crate::runner::{run_grid, scaled_profile, RunOptions};
+use crate::runner::{run_grid_ft, scaled_profile, RunOptions};
 use crate::study::{Study, StudyParams};
 
 /// The thread counts of the paper's sweep.
@@ -71,6 +72,19 @@ pub fn run_with(scale: f64, mode: Parallelism) -> Fig1 {
 /// Panics if a catalog benchmark is missing or a simulation fails.
 #[must_use]
 pub fn run_params(params: &StudyParams) -> Fig1 {
+    let (fig, degraded) = run_params_ft(params).expect("fig1 sweep");
+    assert!(!degraded.is_degraded(), "fig1 sweep degraded: {degraded:?}");
+    fig
+}
+
+/// The fault-tolerant sweep behind [`Fig1Study`]: failed points become
+/// gaps in the curves and are accounted in the returned [`Degraded`];
+/// journaling and resume follow `params.journal`.
+///
+/// # Errors
+///
+/// See [`crate::runner::run_grid_ft`].
+pub fn run_params_ft(params: &StudyParams) -> Result<(Fig1, Degraded), SimError> {
     let counts = params.counts_or(&THREAD_COUNTS);
     let benchmarks: Vec<workloads::WorkloadProfile> = [
         workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
@@ -81,31 +95,32 @@ pub fn run_params(params: &StudyParams) -> Fig1 {
     .map(|p| scaled_profile(p, params.scale))
     .collect();
     let sweep: Vec<usize> = counts.iter().copied().filter(|&n| n > 1).collect();
-    let grid = run_grid(
+    let fp = crate::journal::fingerprint("fig1", params);
+    let grid = run_grid_ft(
         &benchmarks,
         &sweep,
         &|_, n| RunOptions {
             mem: params.mem(),
             ..RunOptions::symmetric(n)
         },
-        params.parallelism,
-    );
+        &params.sweep("fig1", &fp),
+    )?;
     let curves = benchmarks
         .iter()
-        .zip(grid)
+        .zip(&grid.rows)
         .map(|(p, outs)| {
             let mut points = Vec::new();
             if counts.contains(&1) {
                 points.push((1usize, 1.0f64));
             }
-            points.extend(outs.iter().map(|o| (o.threads, o.actual)));
+            points.extend(outs.iter().flatten().map(|o| (o.threads, o.actual)));
             SpeedupCurve {
                 name: workloads::display_name(p),
                 points,
             }
         })
         .collect();
-    Fig1 { curves }
+    Ok((Fig1 { curves }, grid.degraded))
 }
 
 impl Fig1 {
@@ -176,9 +191,17 @@ impl Study for Fig1Study {
         "Speedup vs cores for blackscholes, facesim and cholesky (1-16 threads)"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
-        let mut report = run_params(params).to_report();
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
+        let (fig, degraded) = run_params_ft(params)?;
+        let mut report = fig.to_report();
+        if degraded.is_degraded() {
+            report.push(Block::Degraded(degraded));
+        }
         params.record(&mut report);
-        report
+        Ok(report)
+    }
+
+    fn supports_journal(&self) -> bool {
+        true
     }
 }

@@ -9,7 +9,7 @@ use std::fmt;
 
 use speedup_stacks::render::RenderOptions;
 use speedup_stacks::report::{Block, Column, Report, Scalar, Table, Unit, Value};
-use speedup_stacks::{Component, SpeedupStack};
+use speedup_stacks::{Component, SimError, SpeedupStack};
 use workloads::Suite;
 
 use crate::runner::{run_profile, scaled_profile, RunOptions};
@@ -108,10 +108,10 @@ impl Study for Fig2Study {
         "Illustrative annotated speedup stack (facesim, 16 threads)"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let mut report = run_fig2_params(params).to_report();
         params.record(&mut report);
-        report
+        Ok(report)
     }
 }
 
@@ -251,9 +251,9 @@ impl Study for Fig3Study {
         "Per-thread execution-time breakup underlying a stack (cholesky, 4 threads)"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let mut report = run_fig3_params(params).to_report();
         params.record(&mut report);
-        report
+        Ok(report)
     }
 }

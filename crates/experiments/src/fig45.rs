@@ -10,12 +10,12 @@ use std::fmt;
 
 use speedup_stacks::estimate::{average_absolute_error, ValidationPoint};
 use speedup_stacks::render::RenderOptions;
-use speedup_stacks::report::{Block, Column, Report, Scalar, Table, Unit, Value};
-use speedup_stacks::SpeedupStack;
+use speedup_stacks::report::{Block, Column, Degraded, Report, Scalar, Table, Unit, Value};
+use speedup_stacks::{SimError, SpeedupStack};
 use workloads::Suite;
 
 use crate::par::Parallelism;
-use crate::runner::{run_grid, scaled_profile, RunOptions};
+use crate::runner::{run_grid_ft, scaled_profile, RunOptions};
 use crate::study::{Study, StudyParams};
 
 /// The multi-threaded counts validated in the paper.
@@ -170,25 +170,39 @@ pub fn run_with(scale: f64, mode: Parallelism) -> Fig4 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_params(params: &StudyParams) -> Fig4 {
+    let (fig, degraded) = run_params_ft(params).expect("fig4 sweep");
+    assert!(!degraded.is_degraded(), "fig4 sweep degraded: {degraded:?}");
+    fig
+}
+
+/// The fault-tolerant sweep behind [`Fig4Study`]: failed points are
+/// dropped from the validation table and accounted in the returned
+/// [`Degraded`]; journaling and resume follow `params.journal`.
+///
+/// # Errors
+///
+/// See [`crate::runner::run_grid_ft`].
+pub fn run_params_ft(params: &StudyParams) -> Result<(Fig4, Degraded), SimError> {
     let counts = params.counts_or(&THREAD_COUNTS);
     let overhead_threads = counts.iter().copied().max().unwrap_or(16);
     let profiles: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
         .iter()
         .map(|p| scaled_profile(p, params.scale))
         .collect();
-    let grid = run_grid(
+    let fp = crate::journal::fingerprint("fig4", params);
+    let grid = run_grid_ft(
         &profiles,
         &counts,
         &|_, n| RunOptions {
             mem: params.mem(),
             ..RunOptions::symmetric(n)
         },
-        params.parallelism,
-    );
+        &params.sweep("fig4", &fp),
+    )?;
     let mut points = Vec::new();
     let mut overheads = Vec::new();
-    for outs in grid {
-        for out in outs {
+    for outs in grid.rows {
+        for out in outs.into_iter().flatten() {
             if out.threads == overhead_threads {
                 overheads.push((out.name.clone(), out.instruction_overhead));
             }
@@ -200,11 +214,14 @@ pub fn run_params(params: &StudyParams) -> Fig4 {
             });
         }
     }
-    Fig4 {
-        points,
-        instruction_overhead: overheads,
-        overhead_threads,
-    }
+    Ok((
+        Fig4 {
+            points,
+            instruction_overhead: overheads,
+            overhead_threads,
+        },
+        grid.degraded,
+    ))
 }
 
 impl fmt::Display for Fig4 {
@@ -227,10 +244,18 @@ impl Study for Fig4Study {
         "Actual vs estimated speedup for all 28 benchmarks (validation grid)"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
-        let mut report = run_params(params).to_report();
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
+        let (fig, degraded) = run_params_ft(params)?;
+        let mut report = fig.to_report();
+        if degraded.is_degraded() {
+            report.push(Block::Degraded(degraded));
+        }
         params.record(&mut report);
-        report
+        Ok(report)
+    }
+
+    fn supports_journal(&self) -> bool {
+        true
     }
 }
 
@@ -259,6 +284,19 @@ pub fn run_fig5(scale: f64) -> Fig5 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_fig5_params(params: &StudyParams) -> Fig5 {
+    let (fig, degraded) = run_fig5_ft(params).expect("fig5 sweep");
+    assert!(!degraded.is_degraded(), "fig5 sweep degraded: {degraded:?}");
+    fig
+}
+
+/// The fault-tolerant sweep behind [`Fig5Study`]: failed points are
+/// dropped from the stack table and accounted in the returned
+/// [`Degraded`]; journaling and resume follow `params.journal`.
+///
+/// # Errors
+///
+/// See [`crate::runner::run_grid_ft`].
+pub fn run_fig5_ft(params: &StudyParams) -> Result<(Fig5, Degraded), SimError> {
     let counts = params.counts_or(&THREAD_COUNTS);
     let benchmarks: Vec<workloads::WorkloadProfile> = [
         workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
@@ -268,21 +306,24 @@ pub fn run_fig5_params(params: &StudyParams) -> Fig5 {
     .iter()
     .map(|p| scaled_profile(p, params.scale))
     .collect();
-    let grid = run_grid(
+    let fp = crate::journal::fingerprint("fig5", params);
+    let grid = run_grid_ft(
         &benchmarks,
         &counts,
         &|_, n| RunOptions {
             mem: params.mem(),
             ..RunOptions::symmetric(n)
         },
-        params.parallelism,
-    );
+        &params.sweep("fig5", &fp),
+    )?;
     let stacks = grid
+        .rows
         .into_iter()
+        .flatten()
         .flatten()
         .map(|out| (format!("{} {}t", out.name, out.threads), out.stack))
         .collect();
-    Fig5 { stacks }
+    Ok((Fig5 { stacks }, grid.degraded))
 }
 
 impl Fig5 {
@@ -338,9 +379,17 @@ impl Study for Fig5Study {
         "Speedup stacks vs thread count for the three case-study benchmarks"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
-        let mut report = run_fig5_params(params).to_report();
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
+        let (fig, degraded) = run_fig5_ft(params)?;
+        let mut report = fig.to_report();
+        if degraded.is_degraded() {
+            report.push(Block::Degraded(degraded));
+        }
         params.record(&mut report);
-        report
+        Ok(report)
+    }
+
+    fn supports_journal(&self) -> bool {
+        true
     }
 }

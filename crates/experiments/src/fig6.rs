@@ -2,13 +2,14 @@
 
 use std::fmt;
 
-use speedup_stacks::report::{Block, Column, Report, Scalar, Table, Unit, Value};
+use speedup_stacks::report::{Block, Column, Degraded, Report, Scalar, Table, Unit, Value};
 use speedup_stacks::{
     ClassificationConfig, ClassificationTree, ClassifiedBenchmark, Component, ScalingClass,
+    SimError,
 };
 
 use crate::par::par_map;
-use crate::runner::{run_grid, scaled_profile, RunOptions};
+use crate::runner::{run_grid_ft, scaled_profile, RunOptions};
 use crate::study::{Study, StudyParams};
 
 /// Figure 6 data: the classification tree.
@@ -119,28 +120,45 @@ pub fn run(scale: f64) -> Fig6 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_params(params: &StudyParams) -> Fig6 {
+    let (fig, degraded) = run_params_ft(params).expect("fig6 sweep");
+    assert!(!degraded.is_degraded(), "fig6 sweep degraded: {degraded:?}");
+    fig
+}
+
+/// The fault-tolerant sweep behind [`Fig6Study`]: failed benchmarks are
+/// dropped from the tree and accounted in the returned [`Degraded`];
+/// journaling and resume follow `params.journal`.
+///
+/// # Errors
+///
+/// See [`crate::runner::run_grid_ft`].
+pub fn run_params_ft(params: &StudyParams) -> Result<(Fig6, Degraded), SimError> {
     let threads = params.single_count(16);
     let cfg = ClassificationConfig::default();
     let profiles: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
         .iter()
         .map(|p| scaled_profile(p, params.scale))
         .collect();
-    let grid = run_grid(
+    let fp = crate::journal::fingerprint("fig6", params);
+    let grid = run_grid_ft(
         &profiles,
         &[threads],
         &|_, n| RunOptions {
             mem: params.mem(),
             ..RunOptions::symmetric(n)
         },
-        params.parallelism,
-    );
-    let entries = par_map(grid.into_iter().flatten().collect(), |out| {
+        &params.sweep("fig6", &fp),
+    )?;
+    let entries = par_map(grid.rows.into_iter().flatten().flatten().collect(), |out| {
         ClassifiedBenchmark::from_stack(out.name.clone(), out.suite.clone(), &out.stack, &cfg)
     });
-    Fig6 {
-        tree: ClassificationTree::build(entries),
-        threads,
-    }
+    Ok((
+        Fig6 {
+            tree: ClassificationTree::build(entries),
+            threads,
+        },
+        grid.degraded,
+    ))
 }
 
 impl fmt::Display for Fig6 {
@@ -163,9 +181,17 @@ impl Study for Fig6Study {
         "Benchmark classification tree over the full suite (16 threads)"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
-        let mut report = run_params(params).to_report();
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
+        let (fig, degraded) = run_params_ft(params)?;
+        let mut report = fig.to_report();
+        if degraded.is_degraded() {
+            report.push(Block::Degraded(degraded));
+        }
         params.record(&mut report);
-        report
+        Ok(report)
+    }
+
+    fn supports_journal(&self) -> bool {
+        true
     }
 }

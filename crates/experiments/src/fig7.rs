@@ -10,6 +10,7 @@
 use std::fmt;
 
 use speedup_stacks::report::{Block, Column, Report, Table, Unit, Value};
+use speedup_stacks::SimError;
 use workloads::Suite;
 
 use crate::par::map_mode;
@@ -161,9 +162,9 @@ impl Study for Fig7Study {
         "Ferret speedup vs cores: threads=cores versus a fixed 16 threads"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let mut report = run_params(params).to_report();
         params.record(&mut report);
-        report
+        Ok(report)
     }
 }

@@ -12,7 +12,7 @@ use std::fmt;
 
 use memsim::MemConfig;
 use speedup_stacks::report::{Block, Column, Report, Table, Unit, Value};
-use speedup_stacks::Component;
+use speedup_stacks::{Component, SimError};
 use workloads::Suite;
 
 use crate::par::map_mode;
@@ -194,10 +194,10 @@ impl Study for Fig8Study {
         "Negative/positive/net LLC interference per benchmark (16 cores, 2 MB LLC)"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let mut report = run_fig8_params(params).to_report();
         params.record(&mut report);
-        report
+        Ok(report)
     }
 }
 
@@ -289,9 +289,9 @@ impl Study for Fig9Study {
         "Cholesky LLC interference vs LLC size, 2-16 MB (16 cores)"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let mut report = run_fig9_params(params).to_report();
         params.record(&mut report);
-        report
+        Ok(report)
     }
 }

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use speedup_stacks::report::{Block, Report, Scalar, Unit};
-use speedup_stacks::HardwareCostModel;
+use speedup_stacks::{HardwareCostModel, SimError};
 
 use crate::study::{Study, StudyParams};
 
@@ -135,9 +135,9 @@ impl Study for HwCostStudy {
         "Hardware cost of the accounting architecture (no simulation)"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let mut report = run_params(params).to_report();
         params.record(&mut report);
-        report
+        Ok(report)
     }
 }

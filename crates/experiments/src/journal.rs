@@ -1,0 +1,472 @@
+//! Crash-safe sweep journaling: line-delimited, checksummed JSON records
+//! with a format-version header, written as grid points complete and
+//! replayed on `repro --resume`.
+//!
+//! # Format
+//!
+//! Every line has the fixed layout
+//!
+//! ```text
+//! {"crc":"xxxxxxxx","data":<record>}\n
+//! ```
+//!
+//! where `xxxxxxxx` is the lowercase-hex CRC-32 (IEEE polynomial,
+//! reflected) of the exact `<record>` byte string and `<record>` is one
+//! JSON object (emitted by [`speedup_stacks::report::json`] — the
+//! journal introduces no new serialization machinery). The first line's
+//! record is the **header**:
+//!
+//! ```text
+//! {"journal":"repro-sweep","version":1,"study":"fig6","fingerprint":"xxxxxxxx"}
+//! ```
+//!
+//! `fingerprint` hashes the result-affecting study parameters
+//! ([`fingerprint`]), so a journal can never silently replay points from
+//! a different parameterization. Subsequent records are sweep-defined
+//! (the fault-tolerant runner writes `ref` and `point` records).
+//!
+//! # Crash and corruption semantics
+//!
+//! - A final line **without a trailing newline** is the expected artifact
+//!   of a killed writer: it is dropped silently and its point recomputed.
+//! - A **complete** line that fails the layout, checksum or JSON parse
+//!   is *quarantined*: counted, reported in the report's `Degraded`
+//!   block, and its point recomputed.
+//! - A journal whose **header** is missing, corrupt, from another format
+//!   version or another study/parameterization is rejected with a typed
+//!   [`JournalError`] — identity failures are never papered over.
+
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+use speedup_stacks::error::JournalError;
+use speedup_stacks::report::json::{self, JsonValue};
+
+use crate::study::StudyParams;
+
+/// The journal format version this build reads and writes.
+pub const FORMAT_VERSION: u64 = 1;
+/// The format magic recorded in every header.
+pub const MAGIC: &str = "repro-sweep";
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected — the `cksum`/zlib variant),
+/// computed bitwise: journal lines are tiny and this keeps the
+/// implementation dependency-free and obviously correct.
+///
+/// ```
+/// // The canonical check vector.
+/// assert_eq!(experiments::journal::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn crc_hex(bytes: &[u8]) -> String {
+    format!("{:08x}", crc32(bytes))
+}
+
+/// Wraps one record into its checksummed journal line (with trailing
+/// newline).
+#[must_use]
+pub fn wrap_line(data: &str) -> String {
+    let mut line = String::with_capacity(data.len() + 32);
+    let _ = write!(
+        line,
+        "{{\"crc\":\"{}\",\"data\":{data}}}",
+        crc_hex(data.as_bytes())
+    );
+    line.push('\n');
+    line
+}
+
+/// The exact byte layout of a wrapped line before the data part.
+const PREFIX_LEN: usize = "{\"crc\":\"xxxxxxxx\",\"data\":".len();
+
+/// Unwraps one journal line (without its trailing newline): verifies the
+/// fixed layout and the checksum, returning the exact data substring.
+///
+/// # Errors
+///
+/// A human-readable reason when the layout or checksum does not hold
+/// (the caller quarantines such lines).
+pub fn unwrap_line(line: &str) -> Result<&str, String> {
+    if line.len() < PREFIX_LEN + 1 || !line.ends_with('}') {
+        return Err("truncated or malformed line".to_string());
+    }
+    if !line.starts_with("{\"crc\":\"") || &line[16..PREFIX_LEN] != "\",\"data\":" {
+        return Err("unrecognized line layout".to_string());
+    }
+    let crc = &line[8..16];
+    let data = &line[PREFIX_LEN..line.len() - 1];
+    let expect = crc_hex(data.as_bytes());
+    if crc != expect {
+        return Err(format!(
+            "checksum mismatch (line says {crc}, data hashes to {expect})"
+        ));
+    }
+    Ok(data)
+}
+
+/// Fingerprint of the result-affecting study parameters, as recorded in
+/// the journal header. Parallelism, fault policy and journaling options
+/// are deliberately excluded: sweep results are bit-identical across
+/// execution modes, so a journal written serially resumes under
+/// `--parallelism 8` (and vice versa). Floats hash by their exact bit
+/// pattern.
+#[must_use]
+pub fn fingerprint(study: &str, params: &StudyParams) -> String {
+    let threads = params.threads.as_ref().map_or("-".to_string(), |t| {
+        t.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    });
+    let llc = params.llc_mib.map_or("-".to_string(), |m| m.to_string());
+    let canonical = format!(
+        "study={study};scale={:016x};threads={threads};llc={llc}",
+        params.scale.to_bits()
+    );
+    crc_hex(canonical.as_bytes())
+}
+
+/// Where a sweep journals to, and whether it starts by replaying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSpec {
+    /// Journal file path.
+    pub path: String,
+    /// Replay completed points from the file before computing the rest
+    /// (`repro --resume`); `false` truncates and starts fresh
+    /// (`repro --journal`).
+    pub resume: bool,
+}
+
+/// An append-only journal writer. Each record is flushed as soon as it
+/// is written, so a killed process loses at most the line it was in the
+/// middle of (which the reader then drops as a truncation artifact).
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+fn io_err(op: &'static str, e: &std::io::Error) -> JournalError {
+    JournalError::Io {
+        op,
+        message: e.to_string(),
+    }
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal and writes its header line.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on create/write failure.
+    pub fn create(
+        path: impl AsRef<Path>,
+        study: &str,
+        fingerprint: &str,
+    ) -> Result<Self, JournalError> {
+        let file = File::create(path).map_err(|e| io_err("create", &e))?;
+        let mut w = JournalWriter { file };
+        w.append(&format!(
+            "{{\"journal\": \"{MAGIC}\", \"version\": {FORMAT_VERSION}, \"study\": \"{}\", \
+             \"fingerprint\": \"{fingerprint}\"}}",
+            json::escape(study)
+        ))?;
+        Ok(w)
+    }
+
+    /// Opens an existing journal for appending (after a successful
+    /// [`scan`] validated its header).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on open failure.
+    pub fn open_append(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open", &e))?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Appends one record (a JSON object string) as a checksummed line
+    /// and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write/flush failure.
+    pub fn append(&mut self, data: &str) -> Result<(), JournalError> {
+        self.file
+            .write_all(wrap_line(data).as_bytes())
+            .map_err(|e| io_err("append", &e))?;
+        self.file.flush().map_err(|e| io_err("flush", &e))
+    }
+}
+
+/// The result of replaying a journal: its valid records (header
+/// excluded, in file order) and the count of quarantined lines.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// Parsed, checksum-verified records after the header.
+    pub records: Vec<JsonValue>,
+    /// Complete lines that failed the layout, checksum or parse and were
+    /// skipped (their points must be recomputed).
+    pub quarantined: usize,
+}
+
+/// Replays a journal: validates the header against the requesting
+/// study's identity, then collects every intact record.
+///
+/// # Errors
+///
+/// [`JournalError`] when the file is unreadable or its header is
+/// missing, corrupt, from an unsupported format version, or from a
+/// different study or parameter fingerprint. Corrupt non-header lines
+/// are *not* errors — they are quarantined (see [`JournalScan`]).
+pub fn scan(
+    path: impl AsRef<Path>,
+    study: &str,
+    expected_fingerprint: &str,
+) -> Result<JournalScan, JournalError> {
+    let content = std::fs::read_to_string(path).map_err(|e| io_err("read", &e))?;
+    let mut lines = content.split_inclusive('\n');
+    let Some(header_line) = lines.next() else {
+        return Err(JournalError::MissingHeader);
+    };
+    let Some(header_line) = header_line.strip_suffix('\n') else {
+        // The writer died inside the header write: no identity exists.
+        return Err(JournalError::BadHeader {
+            why: "header line truncated".to_string(),
+        });
+    };
+    let header_data = unwrap_line(header_line).map_err(|why| JournalError::BadHeader { why })?;
+    let header =
+        json::parse(header_data).map_err(|e| JournalError::BadHeader { why: e.to_string() })?;
+    if header.get("journal").and_then(JsonValue::as_str) != Some(MAGIC) {
+        return Err(JournalError::BadHeader {
+            why: format!("not a {MAGIC} journal"),
+        });
+    }
+    let version = header
+        .get("version")
+        .and_then(JsonValue::as_f64)
+        .map_or(0, |v| v as u64);
+    if version != FORMAT_VERSION {
+        return Err(JournalError::VersionMismatch {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let journal_study = header
+        .get("study")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_string();
+    if journal_study != study {
+        return Err(JournalError::StudyMismatch {
+            journal: journal_study,
+            requested: study.to_string(),
+        });
+    }
+    let journal_fp = header
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_string();
+    if journal_fp != expected_fingerprint {
+        return Err(JournalError::ParamsMismatch {
+            journal: journal_fp,
+            requested: expected_fingerprint.to_string(),
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut quarantined = 0usize;
+    for line in lines {
+        let Some(line) = line.strip_suffix('\n') else {
+            // Truncated trailing line: the expected artifact of a killed
+            // writer, not corruption — drop it silently; its point is
+            // simply recomputed.
+            break;
+        };
+        match unwrap_line(line).and_then(|data| json::parse(data).map_err(|e| e.to_string())) {
+            Ok(record) => records.push(record),
+            Err(_) => quarantined += 1,
+        }
+    }
+    Ok(JournalScan {
+        records,
+        quarantined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "repro-journal-{}-{}-{tag}.ndjson",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn crc32_check_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn wrap_unwrap_round_trip() {
+        let data = "{\"kind\": \"point\", \"threads\": 16}";
+        let line = wrap_line(data);
+        assert!(line.ends_with('\n'));
+        assert_eq!(unwrap_line(line.trim_end_matches('\n')).unwrap(), data);
+    }
+
+    #[test]
+    fn unwrap_rejects_corruption() {
+        let line = wrap_line("{\"a\": 1}");
+        let line = line.trim_end_matches('\n');
+        // Bit-flip inside the data part.
+        let flipped = line.replace("\"a\": 1", "\"a\": 2");
+        assert!(unwrap_line(&flipped).unwrap_err().contains("checksum"));
+        // Truncation mid-line.
+        assert!(unwrap_line(&line[..line.len() - 3]).is_err());
+        assert!(unwrap_line("garbage").is_err());
+    }
+
+    #[test]
+    fn write_scan_round_trip() {
+        let path = temp_path("roundtrip");
+        let mut w = JournalWriter::create(&path, "fig6", "deadbeef").unwrap();
+        w.append("{\"kind\": \"ref\", \"profile\": \"x\", \"st_cycles\": 100}")
+            .unwrap();
+        w.append("{\"kind\": \"point\", \"profile\": \"x\", \"threads\": 4}")
+            .unwrap();
+        drop(w);
+        let scan = scan(&path, "fig6", "deadbeef").unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.quarantined, 0);
+        assert_eq!(
+            scan.records[1].get("kind").and_then(JsonValue::as_str),
+            Some("point")
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_dropped_silently() {
+        let path = temp_path("trunc");
+        let mut w = JournalWriter::create(&path, "fig6", "deadbeef").unwrap();
+        w.append("{\"kind\": \"ref\", \"profile\": \"x\"}").unwrap();
+        drop(w);
+        // Simulate a kill mid-write: append half a line, no newline.
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"crc\":\"00000000\",\"data\":{\"kind\": \"poi");
+        std::fs::write(&path, &content).unwrap();
+        let scan = scan(&path, "fig6", "deadbeef").unwrap();
+        assert_eq!(scan.records.len(), 1, "intact record kept");
+        assert_eq!(scan.quarantined, 0, "a killed tail is not corruption");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flipped_record_quarantined() {
+        let path = temp_path("flip");
+        let mut w = JournalWriter::create(&path, "fig6", "deadbeef").unwrap();
+        w.append("{\"kind\": \"ref\", \"profile\": \"aaa\"}")
+            .unwrap();
+        w.append("{\"kind\": \"ref\", \"profile\": \"bbb\"}")
+            .unwrap();
+        drop(w);
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, content.replace("bbb", "bxb")).unwrap();
+        let scan = scan(&path, "fig6", "deadbeef").unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.quarantined, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn identity_mismatches_are_fatal() {
+        let path = temp_path("identity");
+        drop(JournalWriter::create(&path, "fig6", "deadbeef").unwrap());
+        assert!(matches!(
+            scan(&path, "fig1", "deadbeef"),
+            Err(JournalError::StudyMismatch { .. })
+        ));
+        assert!(matches!(
+            scan(&path, "fig6", "00000000"),
+            Err(JournalError::ParamsMismatch { .. })
+        ));
+        // Corrupt the header itself.
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, content.replace(MAGIC, "other-thing")).unwrap();
+        assert!(matches!(
+            scan(&path, "fig6", "deadbeef"),
+            Err(JournalError::BadHeader { .. })
+        ));
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            scan(&path, "fig6", "deadbeef"),
+            Err(JournalError::MissingHeader)
+        ));
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            scan(&path, "fig6", "deadbeef"),
+            Err(JournalError::Io { op: "read", .. })
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let path = temp_path("version");
+        let header = format!(
+            "{{\"journal\": \"{MAGIC}\", \"version\": 99, \"study\": \"fig6\", \
+             \"fingerprint\": \"deadbeef\"}}"
+        );
+        std::fs::write(&path, wrap_line(&header)).unwrap();
+        assert!(matches!(
+            scan(&path, "fig6", "deadbeef"),
+            Err(JournalError::VersionMismatch {
+                found: 99,
+                supported: FORMAT_VERSION
+            })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_results_affecting_params_only() {
+        let base = StudyParams::default();
+        let fp = fingerprint("fig6", &base);
+        assert_eq!(fp.len(), 8);
+        assert_eq!(fp, fingerprint("fig6", &base), "deterministic");
+        assert_ne!(fp, fingerprint("fig1", &base));
+        assert_ne!(fp, fingerprint("fig6", &StudyParams::with_scale(0.5)));
+        let mut threads = base.clone();
+        threads.threads = Some(vec![2, 4]);
+        assert_ne!(fp, fingerprint("fig6", &threads));
+        let mut par = base.clone();
+        par.parallelism = crate::par::Parallelism::Workers(7);
+        assert_eq!(fp, fingerprint("fig6", &par), "parallelism excluded");
+    }
+}

@@ -43,14 +43,17 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig89;
 pub mod hwcost;
+pub mod journal;
 pub mod par;
 pub mod regions_demo;
 pub mod runner;
 pub mod scaling;
 pub mod study;
 
-pub use par::{map_mode, par_map, Parallelism};
+pub use journal::JournalSpec;
+pub use par::{map_mode, par_map, try_map_mode, Parallelism, PointOutcome};
 pub use runner::{
-    run_grid, run_profile, scaled_profile, single_thread_reference, RunOptions, RunOutcome,
+    run_grid, run_grid_ft, run_profile, scaled_profile, single_thread_reference, FaultPolicy,
+    GridReport, PointSummary, RunOptions, RunOutcome, SweepOptions,
 };
 pub use study::{find_study, registry, Study, StudyParams};

@@ -7,9 +7,20 @@
 //! collects results **in input order**, so a sweep produces byte-identical
 //! output whether it ran serially or in parallel — guarded by the
 //! `sweep_determinism` integration test.
+//!
+//! [`try_map_mode`] adds per-point **fault domains** on top: each point
+//! runs under `catch_unwind` with a bounded retry budget, so a panicking
+//! or failing point yields a typed [`PointError`] in its slot instead of
+//! killing the pool. Retries re-run the identical pure closure
+//! (backoff-free re-queue), so serial and parallel sweeps stay
+//! bit-identical for every successful point.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use speedup_stacks::error::PointError;
 
 /// Execution mode for [`map_mode`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,7 +36,15 @@ pub enum Parallelism {
 }
 
 impl Parallelism {
-    fn workers(self, items: usize) -> usize {
+    /// The effective worker count for a sweep of `items` points.
+    ///
+    /// Note the clamp: `Parallelism::Workers(0)` is treated as one worker
+    /// (zero workers could make no progress). Drivers should reject `0`
+    /// at the input boundary instead of relying on the clamp — the
+    /// `repro` CLI turns `--parallelism 0` into a usage error before it
+    /// ever reaches here. The count is also capped at the item count.
+    #[must_use]
+    pub fn workers(self, items: usize) -> usize {
         let n = match self {
             Parallelism::Serial => 1,
             Parallelism::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -69,13 +88,17 @@ where
                 if i >= slots.len() {
                     break;
                 }
+                // Poison-tolerant locks: a worker that panicked inside `f`
+                // (between the two lock holds) must not turn its siblings'
+                // accesses into secondary panics — only the faulting
+                // point's slot may be lost.
                 let item = slots[i]
                     .lock()
-                    .expect("unpoisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .take()
                     .expect("item taken once");
                 let r = f(item);
-                *results[i].lock().expect("unpoisoned") = Some(r);
+                *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
             });
         }
     });
@@ -83,10 +106,111 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("unpoisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("worker filled every slot")
         })
         .collect()
+}
+
+/// Outcome of one fault-isolated point: the result (or its typed error)
+/// plus the attempts spent, so sweeps can report retried points.
+#[derive(Debug)]
+pub struct PointOutcome<R> {
+    /// Attempts used (1 = succeeded or failed first try).
+    pub attempts: u32,
+    /// The point's result, or why every attempt failed.
+    pub result: Result<R, PointError>,
+}
+
+impl<R> PointOutcome<R> {
+    /// True if the point eventually succeeded but needed a retry.
+    #[must_use]
+    pub fn retried_ok(&self) -> bool {
+        self.result.is_ok() && self.attempts > 1
+    }
+}
+
+/// Renders a `catch_unwind` payload as text (the common `&str`/`String`
+/// panic payloads; anything else gets a placeholder).
+fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked: (non-string payload)".to_string()
+    }
+}
+
+/// One fault-isolated attempt of `f` on `item`: a panic becomes an
+/// `Err` with the rendered payload.
+fn attempt<T, R, F>(f: &F, item: &T) -> Result<R, String>
+where
+    F: Fn(&T) -> Result<R, String> + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+        Ok(r) => r,
+        Err(p) => Err(panic_payload(p.as_ref())),
+    }
+}
+
+/// Applies the fallible `f` to every item under the given
+/// [`Parallelism`], isolating each point in its own fault domain:
+///
+/// - a panic inside `f` is caught per attempt and never reaches the
+///   thread pool (workers keep draining the queue);
+/// - a failing point (panic or `Err`) is re-attempted up to `retries`
+///   extra times — a backoff-free re-queue of the identical pure closure,
+///   so a deterministic failure fails identically every time and a
+///   successful point's value is independent of the execution mode;
+/// - after exhausting its budget the point's slot carries a
+///   [`PointError`] with the index, `label(item)`, the captured payload
+///   and the wall-clock spent.
+///
+/// Results are in input order; serial and parallel runs agree on every
+/// successful point.
+pub fn try_map_mode<T, R, F, L>(
+    mode: Parallelism,
+    retries: u32,
+    items: Vec<T>,
+    label: L,
+    f: F,
+) -> Vec<PointOutcome<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> Result<R, String> + Sync,
+    L: Fn(&T) -> String + Sync,
+{
+    let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    map_mode(mode, indexed, |(index, item)| {
+        let start = Instant::now();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match attempt(&f, &item) {
+                Ok(r) => {
+                    return PointOutcome {
+                        attempts,
+                        result: Ok(r),
+                    }
+                }
+                Err(_) if attempts <= retries => {}
+                Err(payload) => {
+                    return PointOutcome {
+                        attempts,
+                        result: Err(PointError {
+                            index,
+                            label: label(&item),
+                            payload,
+                            elapsed: start.elapsed(),
+                            attempts,
+                        }),
+                    }
+                }
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -119,5 +243,87 @@ mod tests {
     fn more_workers_than_items() {
         let out = map_mode(Parallelism::Workers(16), vec![1, 2, 3], |x| x * x);
         assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn workers_clamps_zero_and_caps_at_items() {
+        assert_eq!(Parallelism::Workers(0).workers(10), 1);
+        assert_eq!(Parallelism::Workers(64).workers(3), 3);
+        assert_eq!(Parallelism::Serial.workers(100), 1);
+    }
+
+    #[test]
+    fn try_map_isolates_panics() {
+        for mode in [Parallelism::Serial, Parallelism::Workers(4)] {
+            let out = try_map_mode(
+                mode,
+                0,
+                (0..10u64).collect(),
+                |x| format!("item {x}"),
+                |&x| {
+                    if x == 3 {
+                        panic!("injected panic at {x}");
+                    }
+                    Ok(x * 2)
+                },
+            );
+            assert_eq!(out.len(), 10);
+            for (i, o) in out.iter().enumerate() {
+                if i == 3 {
+                    let e = o.result.as_ref().unwrap_err();
+                    assert_eq!(e.index, 3);
+                    assert_eq!(e.label, "item 3");
+                    assert!(e.payload.contains("injected panic at 3"), "{}", e.payload);
+                    assert_eq!(e.attempts, 1);
+                } else {
+                    assert_eq!(*o.result.as_ref().unwrap(), (i as u64) * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_retries_bounded() {
+        use std::sync::atomic::AtomicU32;
+        // A deterministic failure fails on every attempt; the budget
+        // bounds the attempts.
+        let calls = AtomicU32::new(0);
+        let out = try_map_mode(
+            Parallelism::Serial,
+            2,
+            vec![0u32],
+            |_| "p".to_string(),
+            |_| -> Result<u32, String> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err("always fails".to_string())
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "1 try + 2 retries");
+        let e = out[0].result.as_ref().unwrap_err();
+        assert_eq!(e.attempts, 3);
+        assert_eq!(e.payload, "always fails");
+    }
+
+    #[test]
+    fn try_map_counts_successful_retry() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        let out = try_map_mode(
+            Parallelism::Serial,
+            3,
+            vec![0u32],
+            |_| "p".to_string(),
+            |_| {
+                // Transient: fails the first two attempts, then succeeds.
+                if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                    Err("transient".to_string())
+                } else {
+                    Ok(7u32)
+                }
+            },
+        );
+        assert_eq!(*out[0].result.as_ref().unwrap(), 7);
+        assert_eq!(out[0].attempts, 3);
+        assert!(out[0].retried_ok());
     }
 }

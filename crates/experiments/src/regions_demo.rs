@@ -12,7 +12,7 @@ use std::fmt;
 use cmpsim::{region_stacks, MachineConfig, Simulation};
 use speedup_stacks::render::RenderOptions;
 use speedup_stacks::report::{Block, Column, Report, Scalar, Table, Unit, Value};
-use speedup_stacks::{AccountingConfig, Component, SpeedupStack};
+use speedup_stacks::{AccountingConfig, Component, SimError, SpeedupStack};
 use workloads::{streams_for, Suite};
 
 use crate::runner::scaled_profile;
@@ -209,10 +209,10 @@ impl Study for RegionsStudy {
         "Whole-program vs per-region stacks: barrier waits become imbalance (lud)"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let mut report = run_study(params).to_report();
         params.record(&mut report);
-        report
+        Ok(report)
     }
 }
 

@@ -5,11 +5,31 @@
 //! and yields the *estimated* speedup), run it single-threaded on one core
 //! of the same machine (Eq. 1's `Ts`), and attach the resulting *actual*
 //! speedup to the stack for validation.
+//!
+//! Two grid drivers share that recipe: [`run_grid`] (the original
+//! fail-fast sweep, kept for the perf harness and determinism tests) and
+//! [`run_grid_ft`], the fault-tolerant sweep behind the `repro` CLI —
+//! per-point panic isolation and retries via [`crate::par::try_map_mode`],
+//! cooperative per-point deadlines, crash-safe journaling through
+//! [`crate::journal`] and checkpoint–resume that reproduces the
+//! uninterrupted report bit for bit.
 
-use cmpsim::{simulate, MachineConfig, SimError, SimResult};
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use cmpsim::{MachineConfig, SimError, SimResult, Simulation};
 use memsim::MemConfig;
-use speedup_stacks::{accounting, AccountingConfig, SpeedupStack};
+use speedup_stacks::error::SimError as CoreError;
+use speedup_stacks::report::json::{self, JsonValue};
+use speedup_stacks::report::{Degraded, DegradedPoint};
+use speedup_stacks::{
+    accounting, AccountingConfig, Breakdown, Component, SpeedupStack, ThreadBreakdown,
+};
 use workloads::{display_name, streams_for, WorkloadProfile};
+
+use crate::journal::{self, JournalSpec, JournalWriter};
+use crate::par::{try_map_mode, Parallelism};
 
 /// Machine/accounting options for a run.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +49,11 @@ pub struct RunOptions {
     /// across queues; the binary heap exists for baseline benchmarks and
     /// equivalence tests).
     pub queue: cmpsim::EventQueueKind,
+    /// Cooperative per-run deadline in simulated cycles: the engine
+    /// aborts the run with a typed error once simulated time passes this
+    /// budget. Deterministic (simulated time, not wall-clock). `None`
+    /// disarms it.
+    pub deadline_cycles: Option<u64>,
 }
 
 impl RunOptions {
@@ -42,10 +67,14 @@ impl RunOptions {
             detector: cmpsim::SpinDetectorKind::default(),
             accounting: AccountingConfig::default(),
             queue: cmpsim::EventQueueKind::default(),
+            deadline_cycles: None,
         }
     }
 
-    fn machine(&self, cores: usize) -> MachineConfig {
+    /// The machine configuration these options describe, for a run on
+    /// `cores` cores.
+    #[must_use]
+    pub fn machine(&self, cores: usize) -> MachineConfig {
         MachineConfig {
             n_cores: cores,
             mem: self.mem,
@@ -91,6 +120,22 @@ impl RunOutcome {
     }
 }
 
+/// Runs one simulation with the options' machine, honoring the
+/// cooperative per-run deadline when armed.
+fn simulate_opts(
+    opts: &RunOptions,
+    cores: usize,
+    streams: Vec<Box<dyn cmpsim::OpStream>>,
+) -> Result<SimResult, SimError> {
+    let cfg = opts.machine(cores);
+    cfg.validate().map_err(SimError::InvalidConfig)?;
+    let sim = Simulation::new(cfg, streams);
+    match opts.deadline_cycles {
+        Some(d) => sim.with_deadline(Arc::new(AtomicU64::new(d))).run(),
+        None => sim.run(),
+    }
+}
+
 /// Runs `profile` single-threaded and returns `(cycles, instructions)`.
 ///
 /// # Errors
@@ -100,7 +145,7 @@ pub fn single_thread_reference(
     profile: &WorkloadProfile,
     opts: &RunOptions,
 ) -> Result<(u64, u64), SimError> {
-    let st = simulate(opts.machine(1), streams_for(profile, 1))?;
+    let st = simulate_opts(opts, 1, streams_for(profile, 1))?;
     Ok((st.tp_cycles, st.total_instructions()))
 }
 
@@ -121,7 +166,7 @@ pub fn run_profile(
         Some(r) => r,
         None => single_thread_reference(profile, opts)?,
     };
-    let mt = simulate(opts.machine(opts.cores), streams_for(profile, opts.threads))?;
+    let mt = simulate_opts(opts, opts.cores, streams_for(profile, opts.threads))?;
     let actual = st_cycles as f64 / mt.tp_cycles as f64;
     let stack = mt
         .stack(&opts.accounting)
@@ -185,6 +230,485 @@ pub fn run_grid(
         .collect()
 }
 
+/// The journaled essence of one completed grid point: everything the
+/// figure assemblies consume from a [`RunOutcome`], minus the raw
+/// simulation result (ground-truth counters are an in-memory debugging
+/// aid, not figure input). Round-trips through the journal exactly:
+/// floats are written with shortest round-trip formatting and the stack
+/// is rebuilt from its per-thread breakdowns by the same deterministic
+/// aggregation that built it the first time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSummary {
+    /// Display name (with input-size suffix).
+    pub name: String,
+    /// Suite label.
+    pub suite: String,
+    /// Software thread count of the multi-threaded run.
+    pub threads: usize,
+    /// Actual speedup `S = Ts / Tp` (Eq. 1).
+    pub actual: f64,
+    /// Estimated speedup `Ŝ` (Eq. 4).
+    pub estimated: f64,
+    /// Single-threaded execution cycles `Ts`.
+    pub st_cycles: u64,
+    /// Multi-threaded execution cycles `Tp`.
+    pub mt_cycles: u64,
+    /// The paper's §6 software overhead measure.
+    pub instruction_overhead: f64,
+    /// The speedup stack, with the actual speedup attached.
+    pub stack: SpeedupStack,
+}
+
+impl From<RunOutcome> for PointSummary {
+    fn from(out: RunOutcome) -> Self {
+        PointSummary {
+            name: out.name,
+            suite: out.suite,
+            threads: out.threads,
+            actual: out.actual,
+            estimated: out.estimated,
+            st_cycles: out.st_cycles,
+            mt_cycles: out.mt_cycles,
+            instruction_overhead: out.instruction_overhead,
+            stack: out.stack,
+        }
+    }
+}
+
+/// Reads a JSON number field, mapping `null` back to the `NaN` it was
+/// emitted from.
+fn num_field(v: &JsonValue, k: &str) -> Option<f64> {
+    match v.get(k)? {
+        JsonValue::Number(x) => Some(*x),
+        JsonValue::Null => Some(f64::NAN),
+        _ => None,
+    }
+}
+
+/// Reads a non-negative integer field (counter magnitudes in this
+/// codebase stay far below 2^53, so the `f64` round-trip is exact).
+fn u64_field(v: &JsonValue, k: &str) -> Option<u64> {
+    let x = v.get(k)?.as_f64()?;
+    (x >= 0.0 && x.fract() == 0.0).then_some(x as u64)
+}
+
+impl PointSummary {
+    /// Signed validation error `(Ŝ − S)/N` (Eq. 6).
+    #[must_use]
+    pub fn error(&self) -> f64 {
+        speedup_stacks::estimate::speedup_error(self.estimated, self.actual, self.threads)
+    }
+
+    /// Serializes as a journal `point` record (one JSON object).
+    #[must_use]
+    pub fn to_record(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"kind\": \"point\", \"name\": \"{}\", \"suite\": \"{}\", \"threads\": {}, \
+             \"actual\": {}, \"estimated\": {}, \"st_cycles\": {}, \"mt_cycles\": {}, \
+             \"instruction_overhead\": {}, \"stack\": {{\"tp_cycles\": {}, \"per_thread\": [",
+            json::escape(&self.name),
+            json::escape(&self.suite),
+            self.threads,
+            json::number(self.actual),
+            json::number(self.estimated),
+            self.st_cycles,
+            self.mt_cycles,
+            json::number(self.instruction_overhead),
+            self.stack.tp_cycles(),
+        );
+        for (i, t) in self.stack.per_thread().iter().enumerate() {
+            let comma = if i + 1 < self.stack.per_thread().len() {
+                ", "
+            } else {
+                ""
+            };
+            out.push_str("{\"o\": [");
+            for (ci, c) in Component::ALL.iter().enumerate() {
+                let vcomma = if ci + 1 < Component::ALL.len() {
+                    ", "
+                } else {
+                    ""
+                };
+                let _ = write!(out, "{}{vcomma}", json::number(t.overheads.get(*c)));
+            }
+            let _ = write!(
+                out,
+                "], \"p\": {}, \"e\": {}}}{comma}",
+                json::number(t.positive_cycles),
+                json::number(t.estimated_single_thread_cycles),
+            );
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Rebuilds a summary from a parsed journal `point` record. `None`
+    /// on any shape mismatch (the caller quarantines the record).
+    #[must_use]
+    pub fn from_record(v: &JsonValue) -> Option<PointSummary> {
+        let stack_v = v.get("stack")?;
+        let tp = u64_field(stack_v, "tp_cycles")?;
+        let mut per_thread = Vec::new();
+        for t in stack_v.get("per_thread")?.as_array()? {
+            let o = t.get("o")?.as_array()?;
+            if o.len() != Component::ALL.len() {
+                return None;
+            }
+            let mut overheads = Breakdown::zero();
+            for (c, val) in Component::ALL.iter().zip(o) {
+                overheads.set(*c, val.as_f64()?);
+            }
+            per_thread.push(ThreadBreakdown {
+                overheads,
+                positive_cycles: num_field(t, "p")?,
+                estimated_single_thread_cycles: num_field(t, "e")?,
+            });
+        }
+        if per_thread.is_empty() {
+            return None;
+        }
+        let actual = num_field(v, "actual")?;
+        Some(PointSummary {
+            name: v.get("name")?.as_str()?.to_string(),
+            suite: v.get("suite")?.as_str()?.to_string(),
+            threads: u64_field(v, "threads")? as usize,
+            actual,
+            estimated: num_field(v, "estimated")?,
+            st_cycles: u64_field(v, "st_cycles")?,
+            mt_cycles: u64_field(v, "mt_cycles")?,
+            instruction_overhead: num_field(v, "instruction_overhead")?,
+            stack: SpeedupStack::from_breakdowns(per_thread, tp).with_actual_speedup(actual),
+        })
+    }
+}
+
+/// Serializes a single-thread reference as a journal `ref` record.
+fn ref_record(name: &str, (cycles, instructions): (u64, u64)) -> String {
+    format!(
+        "{{\"kind\": \"ref\", \"profile\": \"{}\", \"st_cycles\": {cycles}, \
+         \"st_instructions\": {instructions}}}",
+        json::escape(name)
+    )
+}
+
+/// Parses a journal `ref` record back into `(name, (Ts, instructions))`.
+fn ref_from_record(v: &JsonValue) -> Option<(String, (u64, u64))> {
+    Some((
+        v.get("profile")?.as_str()?.to_string(),
+        (u64_field(v, "st_cycles")?, u64_field(v, "st_instructions")?),
+    ))
+}
+
+/// Fault-handling policy for a fault-tolerant sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPolicy {
+    /// Cooperative per-point deadline in simulated cycles (`None` = no
+    /// deadline). Deterministic: the abort point depends only on
+    /// simulated time.
+    pub deadline_cycles: Option<u64>,
+    /// Extra attempts per failing point (0 = fail on the first error).
+    /// Retries re-run the identical pure closure, so deterministic
+    /// failures fail identically and results stay mode-independent.
+    pub retries: u32,
+}
+
+/// Everything [`run_grid_ft`] needs beyond the grid itself.
+#[derive(Debug)]
+pub struct SweepOptions<'a> {
+    /// Sweep parallelism.
+    pub mode: Parallelism,
+    /// Per-point fault policy.
+    pub faults: FaultPolicy,
+    /// Journal destination (fresh or resume). `None` = no journaling.
+    pub journal: Option<&'a JournalSpec>,
+    /// Study registry key (the journal header's identity).
+    pub study: &'a str,
+    /// Parameter fingerprint (see [`crate::journal::fingerprint`]).
+    pub fingerprint: &'a str,
+    /// Budget of compute units (references + points) for this
+    /// invocation. Exceeding it checkpoints what completed and returns
+    /// [`speedup_stacks::SimError::Interrupted`] — the mechanism the CI
+    /// resume smoke test uses to emulate a mid-sweep kill.
+    pub max_points: Option<usize>,
+}
+
+impl<'a> SweepOptions<'a> {
+    /// A plain in-memory sweep: given parallelism and fault policy, no
+    /// journal, no budget.
+    #[must_use]
+    pub fn plain(mode: Parallelism, faults: FaultPolicy, study: &'a str) -> SweepOptions<'a> {
+        SweepOptions {
+            mode,
+            faults,
+            journal: None,
+            study,
+            fingerprint: "",
+            max_points: None,
+        }
+    }
+}
+
+/// The outcome of a fault-tolerant grid sweep.
+#[derive(Debug)]
+pub struct GridReport {
+    /// Per-profile, per-count point summaries, in deterministic
+    /// `(profile, count)` order. `None` marks a failed point; its reason
+    /// is in [`GridReport::degraded`].
+    pub rows: Vec<Vec<Option<PointSummary>>>,
+    /// Degradation accounting for the report's `Degraded` block (checked
+    /// with `is_degraded()` — a clean run pushes no block, which keeps
+    /// resumed reports byte-identical to uninterrupted ones).
+    pub degraded: Degraded,
+    /// Grid points replayed from the journal instead of recomputed.
+    pub resumed: usize,
+}
+
+/// Runs a (benchmark × thread-count) grid with per-point fault domains:
+/// panics and engine errors are confined to their point, failing points
+/// are retried up to the policy's budget, completed points stream into
+/// the journal (when armed), and a resume replays intact journal records
+/// instead of recomputing them — reproducing the uninterrupted sweep's
+/// report bit for bit.
+///
+/// # Errors
+///
+/// - [`speedup_stacks::SimError::Config`] when a workload profile is
+///   invalid (checked up front — configuration mistakes are not point
+///   faults),
+/// - [`speedup_stacks::SimError::Journal`] when the journal cannot be
+///   created, read, or fails identity validation on resume,
+/// - [`speedup_stacks::SimError::Interrupted`] when the
+///   [`SweepOptions::max_points`] budget ran out before the grid was
+///   complete (completed work is journaled; resume finishes it).
+///
+/// Per-point failures are **not** errors: they surface as `None` rows
+/// plus [`GridReport::degraded`] entries.
+pub fn run_grid_ft(
+    profiles: &[WorkloadProfile],
+    counts: &[usize],
+    mk_opts: &(impl Fn(&WorkloadProfile, usize) -> RunOptions + Sync),
+    sweep: &SweepOptions<'_>,
+) -> Result<GridReport, CoreError> {
+    // Configuration errors are not point faults: reject degenerate
+    // workloads before spending any simulation time.
+    for p in profiles {
+        p.validate().map_err(CoreError::Config)?;
+    }
+
+    // Replay the journal (resume) or start a fresh one.
+    let mut done_refs: HashMap<String, (u64, u64)> = HashMap::new();
+    let mut done_points: HashMap<(String, usize), PointSummary> = HashMap::new();
+    let mut quarantined = 0usize;
+    let writer: Option<Mutex<JournalWriter>> = match sweep.journal {
+        Some(spec) if spec.resume => {
+            let scan = journal::scan(&spec.path, sweep.study, sweep.fingerprint)
+                .map_err(CoreError::Journal)?;
+            quarantined = scan.quarantined;
+            for rec in &scan.records {
+                match rec.get("kind").and_then(JsonValue::as_str) {
+                    Some("ref") => match ref_from_record(rec) {
+                        Some((name, st)) => {
+                            done_refs.insert(name, st);
+                        }
+                        None => quarantined += 1,
+                    },
+                    Some("point") => match PointSummary::from_record(rec) {
+                        Some(p) => {
+                            done_points.insert((p.name.clone(), p.threads), p);
+                        }
+                        None => quarantined += 1,
+                    },
+                    _ => quarantined += 1,
+                }
+            }
+            Some(Mutex::new(
+                JournalWriter::open_append(&spec.path).map_err(CoreError::Journal)?,
+            ))
+        }
+        Some(spec) => Some(Mutex::new(
+            JournalWriter::create(&spec.path, sweep.study, sweep.fingerprint)
+                .map_err(CoreError::Journal)?,
+        )),
+        None => None,
+    };
+
+    // A journal append failure inside a worker must not be swallowed:
+    // park the first one and fail the sweep at the next checkpoint.
+    let journal_fault: Mutex<Option<speedup_stacks::error::JournalError>> = Mutex::new(None);
+    let record = |data: &str| {
+        if let Some(w) = &writer {
+            if let Err(e) = w
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .append(data)
+            {
+                journal_fault
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get_or_insert(e);
+            }
+        }
+    };
+    let take_journal_fault = || {
+        journal_fault
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    };
+
+    let grid: Vec<(usize, usize)> = (0..profiles.len())
+        .flat_map(|pi| counts.iter().map(move |&n| (pi, n)))
+        .collect();
+    let resumed = grid
+        .iter()
+        .filter(|&&(pi, n)| done_points.contains_key(&(display_name(&profiles[pi]), n)))
+        .count();
+    let pending: Vec<(usize, usize)> = grid
+        .iter()
+        .copied()
+        .filter(|&(pi, n)| !done_points.contains_key(&(display_name(&profiles[pi]), n)))
+        .collect();
+    let mut need_ref: Vec<usize> = pending.iter().map(|&(pi, _)| pi).collect();
+    need_ref.sort_unstable();
+    need_ref.dedup();
+    need_ref.retain(|&pi| !done_refs.contains_key(&display_name(&profiles[pi])));
+
+    let budget = sweep.max_points.unwrap_or(usize::MAX);
+    let run_refs = need_ref.len().min(budget);
+    let truncated_refs = need_ref.len() > run_refs;
+    let faults = sweep.faults;
+
+    // Phase 1: single-threaded references, one per benchmark with
+    // pending points. A failed reference cascades to its points below.
+    let ref_outcomes = try_map_mode(
+        sweep.mode,
+        faults.retries,
+        need_ref[..run_refs].to_vec(),
+        |&pi| format!("{} (single-thread reference)", display_name(&profiles[pi])),
+        |&pi| {
+            let p = &profiles[pi];
+            let mut opts = mk_opts(p, 1);
+            opts.deadline_cycles = opts.deadline_cycles.or(faults.deadline_cycles);
+            let st = single_thread_reference(p, &opts).map_err(|e| e.to_string())?;
+            record(&ref_record(&display_name(p), st));
+            Ok(st)
+        },
+    );
+    let mut degraded = Degraded {
+        total_points: grid.len(),
+        quarantined,
+        ..Degraded::default()
+    };
+    let mut completed_units = 0usize;
+    let mut ref_fail: HashMap<usize, (String, u32)> = HashMap::new();
+    for (slot, &pi) in ref_outcomes.into_iter().zip(&need_ref[..run_refs]) {
+        if slot.retried_ok() {
+            degraded.retried += 1;
+        }
+        match slot.result {
+            Ok(st) => {
+                done_refs.insert(display_name(&profiles[pi]), st);
+                completed_units += 1;
+            }
+            Err(e) => {
+                ref_fail.insert(pi, (e.payload, e.attempts));
+            }
+        }
+    }
+    if let Some(e) = take_journal_fault() {
+        return Err(CoreError::Journal(e));
+    }
+    if truncated_refs {
+        return Err(CoreError::Interrupted {
+            completed: completed_units,
+        });
+    }
+
+    // Phase 2: every pending point whose reference exists.
+    let runnable: Vec<(usize, usize)> = pending
+        .iter()
+        .copied()
+        .filter(|(pi, _)| !ref_fail.contains_key(pi))
+        .collect();
+    let remaining = budget - run_refs;
+    let run_pts = runnable.len().min(remaining);
+    let truncated_pts = runnable.len() > run_pts;
+    let pts_to_run = runnable[..run_pts].to_vec();
+    let refs = &done_refs;
+    let point_outcomes = try_map_mode(
+        sweep.mode,
+        faults.retries,
+        pts_to_run.clone(),
+        |&(pi, n)| format!("{} x{}", display_name(&profiles[pi]), n),
+        |&(pi, n)| {
+            let p = &profiles[pi];
+            let mut opts = mk_opts(p, n);
+            opts.deadline_cycles = opts.deadline_cycles.or(faults.deadline_cycles);
+            let st = refs[&display_name(p)];
+            let out = run_profile(p, &opts, Some(st)).map_err(|e| e.to_string())?;
+            let summary = PointSummary::from(out);
+            record(&summary.to_record());
+            Ok(summary)
+        },
+    );
+    for (slot, (pi, n)) in point_outcomes.into_iter().zip(pts_to_run) {
+        if slot.retried_ok() {
+            degraded.retried += 1;
+        }
+        match slot.result {
+            Ok(s) => {
+                completed_units += 1;
+                done_points.insert((display_name(&profiles[pi]), n), s);
+            }
+            Err(e) => degraded.failed.push(DegradedPoint {
+                label: e.label,
+                reason: e.payload,
+                attempts: e.attempts,
+            }),
+        }
+    }
+    if let Some(e) = take_journal_fault() {
+        return Err(CoreError::Journal(e));
+    }
+    if truncated_pts {
+        return Err(CoreError::Interrupted {
+            completed: completed_units,
+        });
+    }
+
+    // Cascade failed references onto their (never attempted) points.
+    for &(pi, n) in &pending {
+        if let Some((reason, attempts)) = ref_fail.get(&pi) {
+            degraded.failed.push(DegradedPoint {
+                label: format!("{} x{}", display_name(&profiles[pi]), n),
+                reason: format!("single-thread reference failed: {reason}"),
+                attempts: *attempts,
+            });
+        }
+    }
+
+    // Assemble rows in deterministic grid order.
+    let rows: Vec<Vec<Option<PointSummary>>> = profiles
+        .iter()
+        .map(|p| {
+            let name = display_name(p);
+            counts
+                .iter()
+                .map(|&n| done_points.remove(&(name.clone(), n)))
+                .collect()
+        })
+        .collect();
+    degraded.completed = rows.iter().flatten().filter(|s| s.is_some()).count();
+    Ok(GridReport {
+        rows,
+        degraded,
+        resumed,
+    })
+}
+
 /// Returns a copy of `profile` with its total work scaled by `factor`
 /// (used by the benches to keep regeneration fast). The result
 /// keeps at least one item per thread and phase.
@@ -219,6 +743,62 @@ mod tests {
         let b = run_profile(&p, &opts, None).unwrap();
         assert_eq!(a.st_cycles, b.st_cycles);
         assert_eq!(a.mt_cycles, b.mt_cycles);
+    }
+
+    #[test]
+    fn point_summary_journal_round_trip() {
+        let p = scaled_profile(&find("blackscholes", Suite::ParsecSmall).unwrap(), 0.05);
+        let out = run_profile(&p, &RunOptions::symmetric(2), None).unwrap();
+        let summary = PointSummary::from(out);
+        let parsed = json::parse(&summary.to_record()).unwrap();
+        let back = PointSummary::from_record(&parsed).unwrap();
+        // Bit-identical: shortest round-trip float formatting plus
+        // deterministic stack re-aggregation.
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn run_grid_ft_matches_run_grid_clean() {
+        let p = scaled_profile(&find("blackscholes", Suite::ParsecSmall).unwrap(), 0.05);
+        let profiles = vec![p];
+        let counts = [2, 4];
+        let mk = |_: &WorkloadProfile, n: usize| RunOptions::symmetric(n);
+        let plain = run_grid(&profiles, &counts, &mk, Parallelism::Serial);
+        let sweep = SweepOptions::plain(Parallelism::Serial, FaultPolicy::default(), "test");
+        let ft = run_grid_ft(&profiles, &counts, &mk, &sweep).unwrap();
+        assert!(!ft.degraded.is_degraded());
+        assert_eq!(ft.resumed, 0);
+        for (row, ft_row) in plain.iter().zip(&ft.rows) {
+            for (out, slot) in row.iter().zip(ft_row) {
+                let s = slot.as_ref().expect("clean sweep completes every point");
+                assert_eq!(s.stack, out.stack);
+                assert_eq!(s.st_cycles, out.st_cycles);
+                assert_eq!(s.mt_cycles, out.mt_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn run_grid_ft_deadline_fails_points_not_sweep() {
+        let p = scaled_profile(&find("blackscholes", Suite::ParsecSmall).unwrap(), 0.05);
+        let profiles = vec![p];
+        let mk = |_: &WorkloadProfile, n: usize| RunOptions::symmetric(n);
+        let sweep = SweepOptions::plain(
+            Parallelism::Serial,
+            FaultPolicy {
+                // Far below any real run length: every point's engine
+                // aborts at this simulated cycle.
+                deadline_cycles: Some(10),
+                retries: 0,
+            },
+            "test",
+        );
+        let ft = run_grid_ft(&profiles, &[2], &mk, &sweep).unwrap();
+        assert!(ft.degraded.is_degraded());
+        assert_eq!(ft.degraded.completed, 0);
+        assert!(ft.rows[0][0].is_none());
+        let reason = &ft.degraded.failed[0].reason;
+        assert!(reason.contains("deadline"), "unexpected reason: {reason}");
     }
 
     #[test]

@@ -22,17 +22,20 @@
 //! speedup stack rendered by [`speedup_stacks::render::render_sweep`].
 
 use std::fmt;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
-use cmpsim::{simulate, MachineConfig, SimResult};
+use cmpsim::{MachineConfig, SimResult, Simulation};
 use memsim::{CacheConfig, MemConfig};
 use speedup_stacks::render::RenderOptions;
-use speedup_stacks::report::{Block, Column, Report, Table, Unit, Value};
-use speedup_stacks::{AccountingConfig, SpeedupStack};
+use speedup_stacks::report::{Block, Column, Degraded, DegradedPoint, Report, Table, Unit, Value};
+use speedup_stacks::{AccountingConfig, SimError, SpeedupStack};
 use workloads::{
     default_rate_mix, display_name, find, rate_mix_streams, streams_for, RateMixStream, Suite,
     WorkloadProfile,
 };
 
+use crate::runner::FaultPolicy;
 use crate::study::{Study, StudyParams};
 
 /// The swept core counts: powers of two from 1 to 128 (the paper stops
@@ -202,76 +205,202 @@ fn stack_of(mt: &SimResult, actual: f64) -> SpeedupStack {
         .with_actual_speedup(actual)
 }
 
+/// One fault-domained simulation: validates the machine and honors the
+/// policy's cooperative deadline; any engine error becomes a rendered
+/// reason for the point's `Degraded` entry.
+fn sim(
+    cfg: MachineConfig,
+    streams: Vec<Box<dyn cmpsim::OpStream>>,
+    deadline: Option<u64>,
+) -> Result<SimResult, String> {
+    cfg.validate()
+        .map_err(|e| cmpsim::SimError::InvalidConfig(e).to_string())?;
+    let sim = Simulation::new(cfg, streams);
+    match deadline {
+        Some(d) => sim.with_deadline(Arc::new(AtomicU64::new(d))),
+        None => sim,
+    }
+    .run()
+    .map_err(|e| e.to_string())
+}
+
+/// Tallies a fault-isolated sweep's outcomes into a series, pushing
+/// failed points onto `degraded`.
+fn collect_points(
+    name: &str,
+    outcomes: Vec<crate::par::PointOutcome<ScalingPoint>>,
+    degraded: &mut Degraded,
+) -> ScalingSeries {
+    let mut points = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        if o.retried_ok() {
+            degraded.retried += 1;
+        }
+        match o.result {
+            Ok(p) => points.push(p),
+            Err(e) => degraded.failed.push(DegradedPoint {
+                label: e.label,
+                reason: e.payload,
+                attempts: e.attempts,
+            }),
+        }
+    }
+    ScalingSeries {
+        name: name.to_string(),
+        points,
+    }
+}
+
 /// Runs one weak-scaling workload across `counts`, reusing the one
 /// single-threaded reference (weak scaling: every thread's work equals
-/// the ST run's).
+/// the ST run's). Each point runs in its own fault domain; a failed
+/// reference cascades onto the whole series.
 fn weak_series(
     profile: &WorkloadProfile,
     counts: &[usize],
     mode: crate::par::Parallelism,
     mem: MemConfig,
+    faults: FaultPolicy,
+    degraded: &mut Degraded,
 ) -> ScalingSeries {
-    let st = simulate(machine(1, mem), streams_for(profile, 1)).expect("ST reference");
-    let points = crate::par::map_mode(mode, counts.to_vec(), |n| {
-        let mt = simulate(machine(n, mem), streams_for(profile, n)).expect("weak-scaling run");
-        let scaled = n as f64 * st.tp_cycles as f64 / mt.tp_cycles as f64;
-        let stack = stack_of(&mt, scaled);
-        ScalingPoint {
-            cores: n,
-            estimated: stack.estimated_speedup(),
-            scaled_speedup: scaled,
-            mt_cycles: mt.tp_cycles,
-            events: mt.events,
-            stack,
-        }
-    });
-    ScalingSeries {
-        name: display_name(profile),
-        points,
+    let name = display_name(profile);
+    let st_outcome = crate::par::try_map_mode(
+        crate::par::Parallelism::Serial,
+        faults.retries,
+        vec![()],
+        |_| format!("{name} (single-thread reference)"),
+        |_| {
+            sim(
+                machine(1, mem),
+                streams_for(profile, 1),
+                faults.deadline_cycles,
+            )
+        },
+    )
+    .pop()
+    .expect("one reference outcome");
+    if st_outcome.retried_ok() {
+        degraded.retried += 1;
     }
+    let st = match st_outcome.result {
+        Ok(st) => st,
+        Err(e) => {
+            for &n in counts {
+                degraded.failed.push(DegradedPoint {
+                    label: format!("{name} x{n}"),
+                    reason: format!("single-thread reference failed: {}", e.payload),
+                    attempts: e.attempts,
+                });
+            }
+            return ScalingSeries {
+                name,
+                points: Vec::new(),
+            };
+        }
+    };
+    let outcomes = crate::par::try_map_mode(
+        mode,
+        faults.retries,
+        counts.to_vec(),
+        |&n| format!("{name} x{n}"),
+        |&n| {
+            let mt = sim(
+                machine(n, mem),
+                streams_for(profile, n),
+                faults.deadline_cycles,
+            )?;
+            let scaled = n as f64 * st.tp_cycles as f64 / mt.tp_cycles as f64;
+            let stack = stack_of(&mt, scaled);
+            Ok(ScalingPoint {
+                cores: n,
+                estimated: stack.estimated_speedup(),
+                scaled_speedup: scaled,
+                mt_cycles: mt.tp_cycles,
+                events: mt.events,
+                stack,
+            })
+        },
+    );
+    collect_points(&name, outcomes, degraded)
 }
 
 /// Runs the rate mix across `counts`. Per-program single-threaded
 /// references are computed once from the first `programs.len()` members
-/// and reused cyclically across wider mixes.
+/// and reused cyclically across wider mixes. Fault-isolated like
+/// [`weak_series`].
 fn mix_series(
     programs: &[WorkloadProfile],
     counts: &[usize],
     mode: crate::par::Parallelism,
     mem: MemConfig,
+    faults: FaultPolicy,
+    degraded: &mut Degraded,
 ) -> ScalingSeries {
-    let refs: Vec<u64> = programs
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
+    let ref_outcomes = crate::par::try_map_mode(
+        mode,
+        faults.retries,
+        programs.iter().enumerate().collect(),
+        |(i, p)| format!("{} (rate-mix reference {i})", display_name(p)),
+        |&(i, p)| {
             let solo: Vec<Box<dyn cmpsim::OpStream>> = vec![Box::new(RateMixStream::new(p, i))];
-            simulate(machine(1, mem), solo)
-                .expect("mix ST reference")
-                .tp_cycles
-        })
-        .collect();
-    let points = crate::par::map_mode(mode, counts.to_vec(), |n| {
-        let mt = simulate(machine(n, mem), rate_mix_streams(programs, n)).expect("rate mix run");
-        let ts_sum: u64 = (0..n).map(|i| refs[i % refs.len()]).sum();
-        let rate = ts_sum as f64 / mt.tp_cycles as f64;
-        let stack = stack_of(&mt, rate);
-        ScalingPoint {
-            cores: n,
-            estimated: stack.estimated_speedup(),
-            scaled_speedup: rate,
-            mt_cycles: mt.tp_cycles,
-            events: mt.events,
-            stack,
+            sim(machine(1, mem), solo, faults.deadline_cycles).map(|r| r.tp_cycles)
+        },
+    );
+    let mut refs = Vec::with_capacity(programs.len());
+    for o in ref_outcomes {
+        if o.retried_ok() {
+            degraded.retried += 1;
         }
-    });
-    ScalingSeries {
-        name: "rate_mix".to_string(),
-        points,
+        match o.result {
+            Ok(c) => refs.push(c),
+            Err(e) => {
+                for &n in counts {
+                    degraded.failed.push(DegradedPoint {
+                        label: format!("rate_mix x{n}"),
+                        reason: format!("single-thread reference failed: {}", e.payload),
+                        attempts: e.attempts,
+                    });
+                }
+                return ScalingSeries {
+                    name: "rate_mix".to_string(),
+                    points: Vec::new(),
+                };
+            }
+        }
     }
+    let outcomes = crate::par::try_map_mode(
+        mode,
+        faults.retries,
+        counts.to_vec(),
+        |&n| format!("rate_mix x{n}"),
+        |&n| {
+            let mt = sim(
+                machine(n, mem),
+                rate_mix_streams(programs, n),
+                faults.deadline_cycles,
+            )?;
+            let ts_sum: u64 = (0..n).map(|i| refs[i % refs.len()]).sum();
+            let rate = ts_sum as f64 / mt.tp_cycles as f64;
+            let stack = stack_of(&mt, rate);
+            Ok(ScalingPoint {
+                cores: n,
+                estimated: stack.estimated_speedup(),
+                scaled_speedup: rate,
+                mt_cycles: mt.tp_cycles,
+                events: mt.events,
+                stack,
+            })
+        },
+    );
+    collect_points("rate_mix", outcomes, degraded)
 }
 
 /// Runs the full study over [`CORE_COUNTS`] with workloads scaled by
 /// `scale` (1.0 = the catalog sizes; use e.g. 0.25 for a quick pass).
+///
+/// # Panics
+///
+/// Panics if any swept point fails.
 #[must_use]
 pub fn run(scale: f64) -> ScalingStudy {
     run_with(scale, &CORE_COUNTS, crate::par::Parallelism::Auto)
@@ -280,16 +409,46 @@ pub fn run(scale: f64) -> ScalingStudy {
 /// Runs the study over explicit `counts` with the given sweep
 /// parallelism (points are independent; collection order is
 /// deterministic).
+///
+/// # Panics
+///
+/// Panics if any swept point fails.
 #[must_use]
 pub fn run_with(scale: f64, counts: &[usize], mode: crate::par::Parallelism) -> ScalingStudy {
-    run_mem(scale, counts, mode, manycore_mem())
+    let (study, degraded) = run_mem(scale, counts, mode, manycore_mem(), FaultPolicy::default());
+    assert!(
+        !degraded.is_degraded(),
+        "scaling sweep degraded: {degraded:?}"
+    );
+    study
 }
 
 /// Runs the study honoring the full [`StudyParams`]: `threads` overrides
 /// the swept core counts and `llc_mib` resizes the (32-way) many-core
 /// LLC.
+///
+/// # Panics
+///
+/// Panics if any swept point fails; use [`run_study_ft`] to degrade
+/// gracefully instead.
 #[must_use]
 pub fn run_study(params: &StudyParams) -> ScalingStudy {
+    let (study, degraded) = run_study_ft(params).expect("scaling sweep");
+    assert!(
+        !degraded.is_degraded(),
+        "scaling sweep degraded: {degraded:?}"
+    );
+    study
+}
+
+/// Fault-tolerant [`run_study`]: each swept point runs in its own fault
+/// domain (honoring `params.faults`), and failures surface in the
+/// returned [`Degraded`] block instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] if a study workload fails validation.
+pub fn run_study_ft(params: &StudyParams) -> Result<(ScalingStudy, Degraded), SimError> {
     let counts = params.counts_or(&CORE_COUNTS);
     let mem = match params.llc_mib {
         Some(mib) => MemConfig {
@@ -298,7 +457,16 @@ pub fn run_study(params: &StudyParams) -> ScalingStudy {
         },
         None => manycore_mem(),
     };
-    run_mem(params.scale, &counts, params.parallelism, mem)
+    for p in study_profiles(params.scale) {
+        p.validate().map_err(SimError::Config)?;
+    }
+    Ok(run_mem(
+        params.scale,
+        &counts,
+        params.parallelism,
+        mem,
+        params.faults,
+    ))
 }
 
 fn run_mem(
@@ -306,21 +474,31 @@ fn run_mem(
     counts: &[usize],
     mode: crate::par::Parallelism,
     mem: MemConfig,
-) -> ScalingStudy {
+    faults: FaultPolicy,
+) -> (ScalingStudy, Degraded) {
+    let mut degraded = Degraded {
+        // 3 weak workloads + the rate mix, one point per count each.
+        total_points: 4 * counts.len(),
+        ..Degraded::default()
+    };
     let mut series: Vec<ScalingSeries> = study_profiles(scale)
         .iter()
-        .map(|p| weak_series(p, counts, mode, mem))
+        .map(|p| weak_series(p, counts, mode, mem, faults, &mut degraded))
         .collect();
     let mix: Vec<WorkloadProfile> = default_rate_mix()
         .iter()
         .map(|p| crate::runner::scaled_profile(p, scale))
         .collect();
-    series.push(mix_series(&mix, counts, mode, mem));
-    ScalingStudy {
-        series,
-        counts: counts.to_vec(),
-        mem,
-    }
+    series.push(mix_series(&mix, counts, mode, mem, faults, &mut degraded));
+    degraded.completed = series.iter().map(|s| s.points.len()).sum();
+    (
+        ScalingStudy {
+            series,
+            counts: counts.to_vec(),
+            mem,
+        },
+        degraded,
+    )
 }
 
 /// The many-core scaling study as a registry [`Study`] (honors `scale`,
@@ -337,10 +515,14 @@ impl Study for ManycoreScalingStudy {
         "Beyond the paper: speedup stacks from 1 to 128 cores (weak scaling + rate mix)"
     }
 
-    fn run(&self, params: &StudyParams) -> Report {
-        let mut report = run_study(params).to_report();
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
+        let (study, degraded) = run_study_ft(params)?;
+        let mut report = study.to_report();
+        if degraded.is_degraded() {
+            report.push(Block::Degraded(degraded));
+        }
         params.record(&mut report);
-        report
+        Ok(report)
     }
 }
 

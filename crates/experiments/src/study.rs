@@ -19,7 +19,7 @@
 //! assert!(registry().iter().any(|s| s.name() == "fig4"));
 //!
 //! let hwcost = find_study("hwcost").unwrap();
-//! let report = hwcost.run(&StudyParams::default());
+//! let report = hwcost.run(&StudyParams::default()).unwrap();
 //! assert_eq!(report.study, "hwcost");
 //! assert!(report.to_text().contains("Hardware cost"));
 //! assert!(speedup_stacks::report::json::parse(&report.to_json()).is_ok());
@@ -27,8 +27,11 @@
 
 use memsim::MemConfig;
 use speedup_stacks::report::{Report, Value};
+use speedup_stacks::SimError;
 
+use crate::journal::JournalSpec;
 use crate::par::Parallelism;
+use crate::runner::FaultPolicy;
 
 /// Typed parameters shared by every study.
 ///
@@ -48,6 +51,15 @@ pub struct StudyParams {
     /// Shared-LLC capacity override in MiB (`None` = each study's
     /// default machine).
     pub llc_mib: Option<usize>,
+    /// Per-point fault policy (deadline, retries) for grid studies.
+    pub faults: FaultPolicy,
+    /// Crash-safe journaling / resume for grid studies that support it
+    /// (see [`Study::supports_journal`]).
+    pub journal: Option<JournalSpec>,
+    /// Compute-unit budget per invocation (references + points); the
+    /// sweep checkpoints and reports
+    /// [`speedup_stacks::SimError::Interrupted`] when it runs out.
+    pub max_points: Option<usize>,
 }
 
 impl Default for StudyParams {
@@ -57,6 +69,9 @@ impl Default for StudyParams {
             threads: None,
             parallelism: Parallelism::Auto,
             llc_mib: None,
+            faults: FaultPolicy::default(),
+            journal: None,
+            max_points: None,
         }
     }
 }
@@ -100,6 +115,27 @@ impl StudyParams {
         }
     }
 
+    /// The sweep options for a grid study, wiring these parameters'
+    /// fault policy, journal spec and point budget together with the
+    /// study's identity. `fingerprint` comes from
+    /// [`crate::journal::fingerprint`] (computed by the caller so the
+    /// `String` outlives the borrow).
+    #[must_use]
+    pub fn sweep<'a>(
+        &'a self,
+        study: &'a str,
+        fingerprint: &'a str,
+    ) -> crate::runner::SweepOptions<'a> {
+        crate::runner::SweepOptions {
+            mode: self.parallelism,
+            faults: self.faults,
+            journal: self.journal.as_ref(),
+            study,
+            fingerprint,
+            max_points: self.max_points,
+        }
+    }
+
     /// Records the parameters into a report's `params` map.
     pub fn record(&self, report: &mut Report) {
         report.param("scale", self.scale);
@@ -134,7 +170,7 @@ impl StudyParams {
 ///
 /// let study = HwCostStudy;
 /// assert_eq!(study.name(), "hwcost");
-/// let report = study.run(&StudyParams::default());
+/// let report = study.run(&StudyParams::default()).unwrap();
 /// assert_eq!(report.params[0].0, "scale");
 /// ```
 pub trait Study: Sync {
@@ -146,7 +182,27 @@ pub trait Study: Sync {
 
     /// Runs the study and returns its structured report (with the
     /// parameters echoed into [`Report::params`]).
-    fn run(&self, params: &StudyParams) -> Report;
+    ///
+    /// Grid studies degrade gracefully: per-point faults (panics, engine
+    /// errors, deadline overruns) do not fail the run — they surface in
+    /// the report's `Degraded` block. An `Err` means the run as a whole
+    /// could not proceed: invalid configuration, a journal problem, or
+    /// an exhausted point budget
+    /// ([`speedup_stacks::SimError::Interrupted`] — resume finishes it).
+    ///
+    /// # Errors
+    ///
+    /// See [`speedup_stacks::SimError`]; each variant maps to a distinct
+    /// `repro` exit code.
+    fn run(&self, params: &StudyParams) -> Result<Report, SimError>;
+
+    /// Whether this study honors [`StudyParams::journal`] /
+    /// [`StudyParams::max_points`] (the benchmark-grid studies). The
+    /// `repro` CLI rejects `--journal`/`--resume` for studies that
+    /// don't.
+    fn supports_journal(&self) -> bool {
+        false
+    }
 }
 
 impl std::fmt::Debug for dyn Study {

@@ -73,7 +73,13 @@ fn bad_flags_are_usage_errors() {
         ["fig1", "--threads", "0"].as_slice(),
         ["fig1", "--threads", "2,x"].as_slice(),
         ["fig1", "--parallelism", "fast"].as_slice(),
+        ["fig1", "--parallelism", "0"].as_slice(),
         ["fig1", "--llc-mib", "0"].as_slice(),
+        ["fig1", "--retries", "x"].as_slice(),
+        ["fig1", "--deadline-cycles", "0"].as_slice(),
+        ["fig1", "--max-points", "0"].as_slice(),
+        ["fig1", "--journal"].as_slice(),
+        ["fig1", "--resume"].as_slice(),
         ["fig1", "--bogus-flag"].as_slice(),
         ["fig1", "fig2"].as_slice(),
     ] {
@@ -85,6 +91,47 @@ fn bad_flags_are_usage_errors() {
             stderr(&out)
         );
     }
+}
+
+#[test]
+fn zero_workers_is_rejected_at_the_boundary_not_clamped() {
+    // `Parallelism::workers` clamps 0 to 1 as a last resort, but the CLI
+    // must reject it up front with the same uniform usage error as any
+    // other bad mode.
+    let out = repro(&["fig1", "--parallelism", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(
+        err.contains("--parallelism requires auto, serial or a worker count >= 1"),
+        "{err}"
+    );
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn journal_flags_are_validated_before_any_simulation() {
+    // Journaling is only meaningful for the grid studies.
+    for args in [
+        ["hwcost", "--journal", "j.ndjson"].as_slice(),
+        ["scaling", "--resume", "j.ndjson"].as_slice(),
+        ["all", "--journal", "j.ndjson"].as_slice(),
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(1), "{args:?} accepted");
+        assert!(
+            stderr(&out).contains("--journal/--resume is not supported"),
+            "{args:?}: {}",
+            stderr(&out)
+        );
+    }
+    // One journal per run: append-mode and resume-mode are exclusive.
+    let out = repro(&["fig1", "--journal", "a.ndjson", "--resume", "b.ndjson"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
 }
 
 #[test]

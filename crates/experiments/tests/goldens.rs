@@ -17,7 +17,9 @@ fn golden(name: &str) -> String {
 
 fn check(name: &str) {
     let study = find_study(name).expect("study registered");
-    let report = study.run(&StudyParams::with_scale(SCALE));
+    let report = study
+        .run(&StudyParams::with_scale(SCALE))
+        .expect("clean run");
     // `repro` prints the report with `println!`, appending one newline.
     let text = format!("{}\n", report.to_text());
     assert_eq!(

@@ -41,7 +41,7 @@ fn fig9_json_numbers_equal_report_values() {
 #[test]
 fn hwcost_json_scalars_equal_model_values() {
     let study = find_study("hwcost").expect("registered");
-    let report = study.run(&StudyParams::default());
+    let report = study.run(&StudyParams::default()).expect("clean run");
     let model = speedup_stacks::HardwareCostModel::paper_default();
     let doc = json::parse(&report.to_json()).expect("valid JSON");
     let blocks = doc.get("blocks").unwrap().as_array().unwrap();

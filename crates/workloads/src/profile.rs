@@ -222,6 +222,62 @@ impl WorkloadProfile {
     pub fn skew_speedup_bound(&self, n_threads: usize) -> f64 {
         1.0 + (n_threads as f64 - 1.0) / (1.0 + self.phase_skew)
     }
+
+    /// Checks the profile before it is handed to the stream generator,
+    /// so a malformed catalog entry or scaled-down profile becomes a
+    /// typed `SimError::Config` in the sweep layer rather than a panic
+    /// (or a silently degenerate simulation) deep inside a worker.
+    ///
+    /// ```
+    /// use workloads::{Suite, WorkloadProfile};
+    /// let mut p = WorkloadProfile::compute_bound("demo", Suite::Splash2, 4_000);
+    /// assert!(p.validate().is_ok());
+    /// p.shared_read_frac = 1.5;
+    /// assert!(p.validate().is_err());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: zero items/phases/footprint,
+    /// a non-finite or negative skew or overhead, or a sharing fraction
+    /// outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), speedup_stacks::error::ConfigError> {
+        use speedup_stacks::error::ConfigError;
+        if self.total_items == 0 {
+            return Err(ConfigError::zero("total_items"));
+        }
+        if self.phases == 0 {
+            return Err(ConfigError::zero("phases"));
+        }
+        if self.private_lines == 0 {
+            return Err(ConfigError::zero("private_lines"));
+        }
+        if !(self.phase_skew.is_finite() && self.phase_skew >= 0.0) {
+            return Err(ConfigError::range(
+                "phase_skew",
+                "must be finite and non-negative",
+            ));
+        }
+        if !(self.par_overhead.is_finite() && self.par_overhead >= 0.0) {
+            return Err(ConfigError::range(
+                "par_overhead",
+                "must be finite and non-negative",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.shared_read_frac) {
+            return Err(ConfigError::range("shared_read_frac", "must be in [0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.shared_write_frac) {
+            return Err(ConfigError::range("shared_write_frac", "must be in [0, 1]"));
+        }
+        if self.shared_lines == 0 && (self.shared_read_frac > 0.0 || self.shared_write_frac > 0.0) {
+            return Err(ConfigError::range(
+                "shared_lines",
+                "must be non-zero when sharing fractions are",
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +366,32 @@ mod tests {
         p.par_overhead = 0.26;
         assert_eq!(p.effective_compute(1), 400);
         assert_eq!(p.effective_compute(16), 504);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_profiles() {
+        let good = WorkloadProfile::compute_bound("x", Suite::Rodinia, 100);
+        assert!(good.validate().is_ok());
+        let mut p = good.clone();
+        p.total_items = 0;
+        assert!(p.validate().is_err());
+        let mut p = good.clone();
+        p.phases = 0;
+        assert!(p.validate().is_err());
+        let mut p = good.clone();
+        p.phase_skew = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = good.clone();
+        p.par_overhead = -0.1;
+        assert!(p.validate().is_err());
+        let mut p = good.clone();
+        p.shared_write_frac = 1.01;
+        assert!(p.validate().is_err());
+        let mut p = good.clone();
+        p.shared_lines = 0;
+        assert!(p.validate().is_err(), "sharing fraction without lines");
+        p.shared_read_frac = 0.0;
+        assert!(p.validate().is_ok(), "no sharing at all is fine");
     }
 
     #[test]

@@ -14,7 +14,9 @@ fn main() {
     println!();
 
     // Reduced workload scale for a fast demo; the tree shape survives.
-    let report = study.run(&StudyParams::with_scale(0.2));
+    let report = study
+        .run(&StudyParams::with_scale(0.2))
+        .expect("fig6 runs cleanly");
 
     // The text emitter prints the familiar figure...
     println!("{}", report.to_text());
