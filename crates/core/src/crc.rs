@@ -1,0 +1,65 @@
+//! CRC-32 checksumming shared by the journal and trace formats.
+//!
+//! Both persistence layers of the reproduction pipeline — the sweep
+//! journal (`experiments::journal`, PR 4) and the binary workload trace
+//! (`workloads::trace`) — frame their records with the same checksum so
+//! corruption is detected identically everywhere. The implementation is
+//! bitwise (no lookup table): framed payloads are small and this keeps it
+//! dependency-free and obviously correct.
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected — the `cksum`/zlib variant).
+///
+/// ```
+/// // The canonical check vector.
+/// assert_eq!(speedup_stacks::crc::crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(speedup_stacks::crc::crc32(b""), 0);
+/// ```
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The checksum as the lowercase-hex string the journal format records.
+///
+/// ```
+/// assert_eq!(speedup_stacks::crc::crc32_hex(b"123456789"), "cbf43926");
+/// ```
+#[must_use]
+pub fn crc32_hex(bytes: &[u8]) -> String {
+    format!("{:08x}", crc32(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"speedup stacks");
+        let b = crc32(b"speedup stackt");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hex_is_fixed_width_lowercase() {
+        assert_eq!(crc32_hex(b"123456789"), "cbf43926");
+        for b in 0u8..=255 {
+            assert_eq!(crc32_hex(&[b]).len(), 8, "hex must stay zero-padded");
+        }
+    }
+}

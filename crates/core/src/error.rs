@@ -12,10 +12,12 @@
 //! | [`SimError::Point`]      | a grid point failed (panic/deadline)      | 6         |
 //! | [`SimError::Engine`]     | the simulation engine aborted a run       | 7         |
 //! | [`SimError::Interrupted`]| sweep checkpointed before completion      | 8         |
+//! | [`SimError::Trace`]      | workload trace unreadable or inconsistent | 9         |
 //!
 //! The leaf types ([`ConfigError`], [`StackError`], [`JournalError`],
-//! [`PointError`]) are owned by the layers that raise them and convert
-//! into [`SimError`] via `From`, so callers can `?` across layers.
+//! [`PointError`], [`TraceError`]) are owned by the layers that raise
+//! them and convert into [`SimError`] via `From`, so callers can `?`
+//! across layers.
 
 use core::fmt;
 use core::time::Duration;
@@ -180,6 +182,99 @@ impl fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
+/// A binary workload trace that cannot be used: unreadable, malformed or
+/// truncated framing, a corrupt record, an unsupported format version,
+/// or a capture from a different study/parameterization.
+///
+/// Unlike journal records (which are quarantined and recomputed), *any*
+/// trace damage is fatal: a replay must be bit-identical to its captured
+/// original, so there is nothing safe to recompute from a damaged trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An I/O operation on the trace file failed.
+    Io {
+        /// The operation that failed (`create`, `open`, `read`, `write` …).
+        op: &'static str,
+        /// The underlying error message.
+        message: String,
+    },
+    /// The trace header is missing, malformed or fails its checksum.
+    BadHeader {
+        /// What was wrong with it.
+        why: String,
+    },
+    /// The trace was captured by an unsupported format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build reads.
+        supported: u32,
+    },
+    /// The file ends before a declared frame or section does (the
+    /// artifact of a kill or a partial copy).
+    Truncated {
+        /// Which structure the file ends inside of.
+        what: String,
+    },
+    /// A framed record fails its checksum or decodes to garbage.
+    Corrupt {
+        /// Which record, and how it is damaged.
+        what: String,
+    },
+    /// The trace was captured for a different study.
+    StudyMismatch {
+        /// Study recorded in the trace header.
+        trace: String,
+        /// Study requested for the replay.
+        requested: String,
+    },
+    /// The trace was captured under different study parameters.
+    ParamsMismatch {
+        /// Parameter fingerprint recorded in the trace header.
+        trace: String,
+        /// Fingerprint of the requested parameters.
+        requested: String,
+    },
+    /// The trace has no captured run for the requested benchmark and
+    /// thread count.
+    MissingRun {
+        /// Display name of the requested benchmark.
+        name: String,
+        /// Requested thread count.
+        threads: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { op, message } => write!(f, "trace {op} failed: {message}"),
+            TraceError::BadHeader { why } => write!(f, "trace header invalid: {why}"),
+            TraceError::VersionMismatch { found, supported } => write!(
+                f,
+                "trace format version {found} unsupported (this build reads version {supported})"
+            ),
+            TraceError::Truncated { what } => write!(f, "trace truncated inside {what}"),
+            TraceError::Corrupt { what } => write!(f, "trace corrupt: {what}"),
+            TraceError::StudyMismatch { trace, requested } => write!(
+                f,
+                "trace records study '{trace}' but '{requested}' was requested"
+            ),
+            TraceError::ParamsMismatch { trace, requested } => write!(
+                f,
+                "trace was captured with different parameters \
+                 (fingerprint {trace}, requested {requested})"
+            ),
+            TraceError::MissingRun { name, threads } => {
+                write!(f, "trace has no run for '{name}' at {threads} thread(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// One failed grid point: the point's identity plus the captured failure
 /// payload (panic message, engine error or deadline overrun).
 ///
@@ -250,6 +345,9 @@ pub enum SimError {
         /// Points recorded in the journal so far.
         completed: usize,
     },
+    /// The workload trace is unusable (capture failed, or a replay source
+    /// is damaged or from a different study/parameterization).
+    Trace(TraceError),
 }
 
 impl SimError {
@@ -264,6 +362,7 @@ impl SimError {
             SimError::Point(_) => 6,
             SimError::Engine { .. } => 7,
             SimError::Interrupted { .. } => 8,
+            SimError::Trace(_) => 9,
         }
     }
 }
@@ -281,6 +380,7 @@ impl fmt::Display for SimError {
                 "sweep interrupted at checkpoint ({completed} points journaled); \
                  rerun with --resume to finish"
             ),
+            SimError::Trace(e) => e.fmt(f),
         }
     }
 }
@@ -308,6 +408,12 @@ impl From<JournalError> for SimError {
 impl From<PointError> for SimError {
     fn from(e: PointError) -> Self {
         SimError::Point(e)
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
     }
 }
 
@@ -370,6 +476,10 @@ mod tests {
                 what: "deadlock".to_string(),
             },
             SimError::Interrupted { completed: 7 },
+            TraceError::BadHeader {
+                why: "bad magic".to_string(),
+            }
+            .into(),
         ];
         let mut codes: Vec<u8> = errors.iter().map(SimError::exit_code).collect();
         codes.sort_unstable();
@@ -385,6 +495,56 @@ mod tests {
         assert_send_sync::<ConfigError>();
         assert_send_sync::<JournalError>();
         assert_send_sync::<PointError>();
+        assert_send_sync::<TraceError>();
         assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn trace_error_messages_distinct_per_corruption_class() {
+        // The adversarial corruption suite relies on each rejection class
+        // carrying its own message: a truncation must never read like a
+        // bit-flip or a parameter mismatch.
+        let messages = [
+            TraceError::Truncated {
+                what: "run 'x' section 0".to_string(),
+            }
+            .to_string(),
+            TraceError::Corrupt {
+                what: "chunk checksum mismatch".to_string(),
+            }
+            .to_string(),
+            TraceError::VersionMismatch {
+                found: 99,
+                supported: 1,
+            }
+            .to_string(),
+            TraceError::ParamsMismatch {
+                trace: "deadbeef".to_string(),
+                requested: "cafebabe".to_string(),
+            }
+            .to_string(),
+            TraceError::StudyMismatch {
+                trace: "fig6".to_string(),
+                requested: "fig1".to_string(),
+            }
+            .to_string(),
+            TraceError::MissingRun {
+                name: "cholesky".to_string(),
+                threads: 4,
+            }
+            .to_string(),
+        ];
+        let mut dedup = messages.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            messages.len(),
+            "messages collide: {messages:?}"
+        );
+        assert!(messages[0].contains("truncated"));
+        assert!(messages[1].contains("corrupt"));
+        assert!(messages[2].contains("version 99"));
+        assert!(messages[3].contains("different parameters"));
     }
 }

@@ -56,6 +56,7 @@
 //! - [`accounting`] — turning raw counters into per-thread cycle components
 //!   (extrapolation for sampled negative interference, interpolation for
 //!   positive interference, imbalance fill).
+//! - [`crc`] — the CRC-32 shared by the journal and trace formats.
 //! - [`stack`] — the [`SpeedupStack`] type and its invariants.
 //! - [`estimate`] — the paper's formulas (Eqs. 1–6): estimated
 //!   single-threaded time, estimated speedup, validation error.
@@ -74,6 +75,7 @@ pub mod accounting;
 pub mod classify;
 pub mod components;
 pub mod counters;
+pub mod crc;
 pub mod error;
 pub mod estimate;
 pub mod hwcost;
@@ -85,7 +87,7 @@ pub use accounting::{AccountingConfig, ThreadBreakdown};
 pub use classify::{ClassificationConfig, ClassificationTree, ClassifiedBenchmark, ScalingClass};
 pub use components::{Breakdown, Component};
 pub use counters::ThreadCounters;
-pub use error::{ConfigError, JournalError, PointError, SimError, StackError};
+pub use error::{ConfigError, JournalError, PointError, SimError, StackError, TraceError};
 pub use estimate::{estimated_speedup, speedup_error, ValidationPoint};
 pub use hwcost::HardwareCostModel;
 pub use report::Report;

@@ -140,6 +140,15 @@ fn block_section(b: &Block, out: &mut String) -> bool {
                 );
             }
         }
+        Block::Provenance(p) => {
+            let _ = writeln!(
+                out,
+                "provenance,trace-capture,{},runs,{},bytes,{}",
+                escape(&p.path),
+                p.runs,
+                p.bytes
+            );
+        }
     }
     true
 }

@@ -211,6 +211,16 @@ fn block_object(b: &Block, out: &mut String, indent: &str) -> bool {
                 let _ = write!(out, "\n{indent}  ]}}");
             }
         }
+        Block::Provenance(p) => {
+            let _ = write!(
+                out,
+                "{{\"kind\": \"provenance\", \"source\": \"trace-capture\", \
+                 \"path\": \"{}\", \"runs\": {}, \"bytes\": {}}}",
+                escape(&p.path),
+                p.runs,
+                p.bytes
+            );
+        }
     }
     true
 }

@@ -463,6 +463,33 @@ impl Degraded {
     }
 }
 
+/// Where a report's workload streams were captured to: the provenance
+/// record a trace-capturing run attaches to its report, naming the trace
+/// artifact so downstream tooling can pair the report with its replayable
+/// source.
+///
+/// Replayed runs deliberately attach **no** provenance block: a replay
+/// must be byte-identical to the generated original in every emitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Provenance {
+    /// Path of the captured trace file.
+    pub path: String,
+    /// Number of captured runs (benchmark × thread-count stream sets).
+    pub runs: usize,
+    /// Size of the trace file in bytes.
+    pub bytes: u64,
+}
+
+impl Provenance {
+    fn render_text(&self, out: &mut String) {
+        out.push_str(&format!(
+            "trace captured: {} ({} runs, {} bytes)\n",
+            self.path, self.runs, self.bytes
+        ));
+    }
+}
+
 /// One block of a report.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -511,6 +538,9 @@ pub enum Block {
     /// A degraded-run summary (failed/retried/quarantined points).
     /// Studies push it only when [`Degraded::is_degraded`] holds.
     Degraded(Degraded),
+    /// The trace-capture provenance record (see [`Provenance`]). Pushed
+    /// only by capture-mode runs, never by replays.
+    Provenance(Provenance),
 }
 
 impl Block {
@@ -554,6 +584,7 @@ impl Block {
             } => out.push_str(&render::render_sweep(title, series, options)),
             Block::Hidden(_) => {}
             Block::Degraded(d) => d.render_text(out),
+            Block::Provenance(p) => p.render_text(out),
         }
     }
 }
@@ -711,6 +742,27 @@ mod tests {
             options: opts,
         });
         assert_eq!(r.to_text(), render::render_stack("demo", &stack, &opts));
+    }
+
+    #[test]
+    fn provenance_block_renders_in_every_emitter() {
+        let mut r = Report::new("x", "x");
+        r.push(Block::Provenance(Provenance {
+            path: "/tmp/fig6.sstrace".to_string(),
+            runs: 56,
+            bytes: 12345,
+        }));
+        assert_eq!(
+            r.to_text(),
+            "trace captured: /tmp/fig6.sstrace (56 runs, 12345 bytes)\n"
+        );
+        let doc = crate::report::json::parse(&r.to_json()).unwrap();
+        let b = &doc.get("blocks").unwrap().as_array().unwrap()[0];
+        assert_eq!(b.get("kind").unwrap().as_str(), Some("provenance"));
+        assert_eq!(b.get("runs").unwrap().as_f64(), Some(56.0));
+        assert!(r
+            .to_csv()
+            .contains("provenance,trace-capture,/tmp/fig6.sstrace,runs,56,bytes,12345"));
     }
 
     #[test]

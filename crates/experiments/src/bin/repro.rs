@@ -8,6 +8,7 @@
 //!       [--threads N[,N...]] [--parallelism auto|serial|N] [--llc-mib N]
 //!       [--retries N] [--deadline-cycles N] [--max-points N]
 //!       [--journal PATH | --resume PATH]
+//!       [--trace-out PATH | --trace-in PATH]
 //! repro --list
 //! ```
 //!
@@ -34,20 +35,29 @@
 //! Journaling is supported by the grid studies (`fig1`, `fig4`, `fig5`,
 //! `fig6`).
 //!
+//! Tracing: `--trace-out PATH` captures every run's op streams into a
+//! compact versioned binary trace (the report gains a provenance block
+//! naming the file); `--trace-in PATH` replays a captured trace instead
+//! of generating streams, reproducing the captured report byte for byte
+//! (validate a file with the `tracecheck` binary). Tracing is supported
+//! by the same grid studies as journaling.
+//!
 //! Exit codes: 0 success, 1 usage error, then one per
 //! [`SimError`] variant — 3 config, 4 stack, 5 journal, 6 point,
-//! 7 engine, 8 interrupted-at-checkpoint.
+//! 7 engine, 8 interrupted-at-checkpoint, 9 trace.
 
 use std::process::ExitCode;
 
 use experiments::study::{find_study, registry, Study, StudyParams};
 use experiments::JournalSpec;
 use experiments::Parallelism;
+use experiments::TraceSpec;
 use speedup_stacks::SimError;
 
 const USAGE: &str = "usage: repro <fig1..fig9|hwcost|regions|scaling|all> [--scale F] \
 [--format text|json|csv] [--threads N[,N...]] [--parallelism auto|serial|N] [--llc-mib N]\n   \
         [--retries N] [--deadline-cycles N] [--max-points N] [--journal PATH | --resume PATH]\n   \
+        [--trace-out PATH | --trace-in PATH]\n   \
 or: repro --list";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut format = Format::Text;
     let mut params = StudyParams::default();
     let mut journal_flags = 0usize;
+    let mut trace_flags = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -155,6 +166,26 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 _ => return Err("--resume requires a journal file path".to_string()),
             },
+            "--trace-out" => match it.next() {
+                Some(path) if !path.starts_with("--") => {
+                    trace_flags += 1;
+                    params.trace = Some(TraceSpec {
+                        path: path.clone(),
+                        replay: false,
+                    });
+                }
+                _ => return Err("--trace-out requires a file path".to_string()),
+            },
+            "--trace-in" => match it.next() {
+                Some(path) if !path.starts_with("--") => {
+                    trace_flags += 1;
+                    params.trace = Some(TraceSpec {
+                        path: path.clone(),
+                        replay: true,
+                    });
+                }
+                _ => return Err("--trace-in requires a trace file path".to_string()),
+            },
             other if other.starts_with("--") => {
                 return Err(format!("unknown option: {other}"));
             }
@@ -184,6 +215,19 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             return Err(format!(
                 "--journal/--resume is not supported by '{which}' \
                  (grid studies only: fig1, fig4, fig5, fig6)"
+            ));
+        }
+    }
+    if trace_flags > 1 {
+        return Err("--trace-out and --trace-in are mutually exclusive (one trace per run)".into());
+    }
+    if params.trace.is_some() {
+        let supported = which != "all"
+            && find_study(&which).is_some_and(experiments::study::Study::supports_trace);
+        if !supported {
+            return Err(format!(
+                "--trace-out/--trace-in is not supported by '{which}' \
+                 (trace-capable studies only: fig1, fig4, fig5, fig6)"
             ));
         }
     }
@@ -262,7 +306,7 @@ fn main() -> ExitCode {
     };
     match run {
         Ok(()) => ExitCode::SUCCESS,
-        // Each SimError variant exits with its own code (3..=8) so
+        // Each SimError variant exits with its own code (3..=9) so
         // scripts — and the CI resume smoke test, which expects 8 for
         // interrupted-at-checkpoint — can branch on the failure class.
         Err(e) => {

@@ -1,0 +1,38 @@
+//! `tracecheck` — fully validate a binary workload trace.
+//!
+//! Usage: `tracecheck PATH`. Walks the whole file: magic, format
+//! version, header checksum, every run-info and chunk frame CRC, and
+//! every op decode ([`workloads::trace::verify`]) — exactly the
+//! validation a replay performs, without running any simulation. On
+//! success it prints the trace's identity and statistics and exits 0;
+//! on any damage it prints the typed reason and exits with the trace
+//! error code (9, matching `repro`'s exit-code map). Exit 1 is a usage
+//! error.
+//!
+//! CI runs this on the trace captured by the capture→replay smoke step.
+
+use std::process::ExitCode;
+
+use speedup_stacks::SimError;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: tracecheck PATH");
+        return ExitCode::FAILURE;
+    };
+    match workloads::trace::verify(&path) {
+        Ok(stats) => {
+            println!(
+                "tracecheck: {path}: ok (format v{}, study {}, fingerprint {}, \
+                 {} run(s), {} ops, {} bytes)",
+                stats.version, stats.study, stats.fingerprint, stats.runs, stats.ops, stats.bytes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tracecheck: {path}: {e}");
+            ExitCode::from(SimError::from(e).exit_code())
+        }
+    }
+}

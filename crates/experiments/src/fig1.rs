@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use speedup_stacks::report::{Block, Column, Degraded, Report, Table, Unit, Value};
+use speedup_stacks::report::{Block, Column, Degraded, Provenance, Report, Table, Unit, Value};
 use speedup_stacks::SimError;
 use workloads::Suite;
 
@@ -72,19 +72,23 @@ pub fn run_with(scale: f64, mode: Parallelism) -> Fig1 {
 /// Panics if a catalog benchmark is missing or a simulation fails.
 #[must_use]
 pub fn run_params(params: &StudyParams) -> Fig1 {
-    let (fig, degraded) = run_params_ft(params).expect("fig1 sweep");
+    let (fig, degraded, _) = run_params_ft(params).expect("fig1 sweep");
     assert!(!degraded.is_degraded(), "fig1 sweep degraded: {degraded:?}");
     fig
 }
 
 /// The fault-tolerant sweep behind [`Fig1Study`]: failed points become
 /// gaps in the curves and are accounted in the returned [`Degraded`];
-/// journaling and resume follow `params.journal`.
+/// journaling and resume follow `params.journal`, trace capture/replay
+/// follows `params.trace` (the returned [`Provenance`] is `Some` only
+/// when a trace was captured).
 ///
 /// # Errors
 ///
 /// See [`crate::runner::run_grid_ft`].
-pub fn run_params_ft(params: &StudyParams) -> Result<(Fig1, Degraded), SimError> {
+pub fn run_params_ft(
+    params: &StudyParams,
+) -> Result<(Fig1, Degraded, Option<Provenance>), SimError> {
     let counts = params.counts_or(&THREAD_COUNTS);
     let benchmarks: Vec<workloads::WorkloadProfile> = [
         workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
@@ -120,7 +124,7 @@ pub fn run_params_ft(params: &StudyParams) -> Result<(Fig1, Degraded), SimError>
             }
         })
         .collect();
-    Ok((Fig1 { curves }, grid.degraded))
+    Ok((Fig1 { curves }, grid.degraded, grid.provenance))
 }
 
 impl Fig1 {
@@ -192,16 +196,23 @@ impl Study for Fig1Study {
     }
 
     fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
-        let (fig, degraded) = run_params_ft(params)?;
+        let (fig, degraded, provenance) = run_params_ft(params)?;
         let mut report = fig.to_report();
         if degraded.is_degraded() {
             report.push(Block::Degraded(degraded));
+        }
+        if let Some(p) = provenance {
+            report.push(Block::Provenance(p));
         }
         params.record(&mut report);
         Ok(report)
     }
 
     fn supports_journal(&self) -> bool {
+        true
+    }
+
+    fn supports_trace(&self) -> bool {
         true
     }
 }

@@ -10,7 +10,9 @@ use std::fmt;
 
 use speedup_stacks::estimate::{average_absolute_error, ValidationPoint};
 use speedup_stacks::render::RenderOptions;
-use speedup_stacks::report::{Block, Column, Degraded, Report, Scalar, Table, Unit, Value};
+use speedup_stacks::report::{
+    Block, Column, Degraded, Provenance, Report, Scalar, Table, Unit, Value,
+};
 use speedup_stacks::{SimError, SpeedupStack};
 use workloads::Suite;
 
@@ -170,19 +172,22 @@ pub fn run_with(scale: f64, mode: Parallelism) -> Fig4 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_params(params: &StudyParams) -> Fig4 {
-    let (fig, degraded) = run_params_ft(params).expect("fig4 sweep");
+    let (fig, degraded, _) = run_params_ft(params).expect("fig4 sweep");
     assert!(!degraded.is_degraded(), "fig4 sweep degraded: {degraded:?}");
     fig
 }
 
 /// The fault-tolerant sweep behind [`Fig4Study`]: failed points are
 /// dropped from the validation table and accounted in the returned
-/// [`Degraded`]; journaling and resume follow `params.journal`.
+/// [`Degraded`]; journaling and resume follow `params.journal`, trace
+/// capture/replay follows `params.trace`.
 ///
 /// # Errors
 ///
 /// See [`crate::runner::run_grid_ft`].
-pub fn run_params_ft(params: &StudyParams) -> Result<(Fig4, Degraded), SimError> {
+pub fn run_params_ft(
+    params: &StudyParams,
+) -> Result<(Fig4, Degraded, Option<Provenance>), SimError> {
     let counts = params.counts_or(&THREAD_COUNTS);
     let overhead_threads = counts.iter().copied().max().unwrap_or(16);
     let profiles: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
@@ -221,6 +226,7 @@ pub fn run_params_ft(params: &StudyParams) -> Result<(Fig4, Degraded), SimError>
             overhead_threads,
         },
         grid.degraded,
+        grid.provenance,
     ))
 }
 
@@ -245,16 +251,23 @@ impl Study for Fig4Study {
     }
 
     fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
-        let (fig, degraded) = run_params_ft(params)?;
+        let (fig, degraded, provenance) = run_params_ft(params)?;
         let mut report = fig.to_report();
         if degraded.is_degraded() {
             report.push(Block::Degraded(degraded));
+        }
+        if let Some(p) = provenance {
+            report.push(Block::Provenance(p));
         }
         params.record(&mut report);
         Ok(report)
     }
 
     fn supports_journal(&self) -> bool {
+        true
+    }
+
+    fn supports_trace(&self) -> bool {
         true
     }
 }
@@ -284,19 +297,20 @@ pub fn run_fig5(scale: f64) -> Fig5 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_fig5_params(params: &StudyParams) -> Fig5 {
-    let (fig, degraded) = run_fig5_ft(params).expect("fig5 sweep");
+    let (fig, degraded, _) = run_fig5_ft(params).expect("fig5 sweep");
     assert!(!degraded.is_degraded(), "fig5 sweep degraded: {degraded:?}");
     fig
 }
 
 /// The fault-tolerant sweep behind [`Fig5Study`]: failed points are
 /// dropped from the stack table and accounted in the returned
-/// [`Degraded`]; journaling and resume follow `params.journal`.
+/// [`Degraded`]; journaling and resume follow `params.journal`, trace
+/// capture/replay follows `params.trace`.
 ///
 /// # Errors
 ///
 /// See [`crate::runner::run_grid_ft`].
-pub fn run_fig5_ft(params: &StudyParams) -> Result<(Fig5, Degraded), SimError> {
+pub fn run_fig5_ft(params: &StudyParams) -> Result<(Fig5, Degraded, Option<Provenance>), SimError> {
     let counts = params.counts_or(&THREAD_COUNTS);
     let benchmarks: Vec<workloads::WorkloadProfile> = [
         workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
@@ -323,7 +337,7 @@ pub fn run_fig5_ft(params: &StudyParams) -> Result<(Fig5, Degraded), SimError> {
         .flatten()
         .map(|out| (format!("{} {}t", out.name, out.threads), out.stack))
         .collect();
-    Ok((Fig5 { stacks }, grid.degraded))
+    Ok((Fig5 { stacks }, grid.degraded, grid.provenance))
 }
 
 impl Fig5 {
@@ -380,16 +394,23 @@ impl Study for Fig5Study {
     }
 
     fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
-        let (fig, degraded) = run_fig5_ft(params)?;
+        let (fig, degraded, provenance) = run_fig5_ft(params)?;
         let mut report = fig.to_report();
         if degraded.is_degraded() {
             report.push(Block::Degraded(degraded));
+        }
+        if let Some(p) = provenance {
+            report.push(Block::Provenance(p));
         }
         params.record(&mut report);
         Ok(report)
     }
 
     fn supports_journal(&self) -> bool {
+        true
+    }
+
+    fn supports_trace(&self) -> bool {
         true
     }
 }

@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use speedup_stacks::report::{Block, Column, Degraded, Report, Scalar, Table, Unit, Value};
+use speedup_stacks::report::{
+    Block, Column, Degraded, Provenance, Report, Scalar, Table, Unit, Value,
+};
 use speedup_stacks::{
     ClassificationConfig, ClassificationTree, ClassifiedBenchmark, Component, ScalingClass,
     SimError,
@@ -120,19 +122,22 @@ pub fn run(scale: f64) -> Fig6 {
 /// Panics if a simulation fails.
 #[must_use]
 pub fn run_params(params: &StudyParams) -> Fig6 {
-    let (fig, degraded) = run_params_ft(params).expect("fig6 sweep");
+    let (fig, degraded, _) = run_params_ft(params).expect("fig6 sweep");
     assert!(!degraded.is_degraded(), "fig6 sweep degraded: {degraded:?}");
     fig
 }
 
 /// The fault-tolerant sweep behind [`Fig6Study`]: failed benchmarks are
 /// dropped from the tree and accounted in the returned [`Degraded`];
-/// journaling and resume follow `params.journal`.
+/// journaling and resume follow `params.journal`, trace capture/replay
+/// follows `params.trace`.
 ///
 /// # Errors
 ///
 /// See [`crate::runner::run_grid_ft`].
-pub fn run_params_ft(params: &StudyParams) -> Result<(Fig6, Degraded), SimError> {
+pub fn run_params_ft(
+    params: &StudyParams,
+) -> Result<(Fig6, Degraded, Option<Provenance>), SimError> {
     let threads = params.single_count(16);
     let cfg = ClassificationConfig::default();
     let profiles: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
@@ -158,6 +163,7 @@ pub fn run_params_ft(params: &StudyParams) -> Result<(Fig6, Degraded), SimError>
             threads,
         },
         grid.degraded,
+        grid.provenance,
     ))
 }
 
@@ -182,16 +188,23 @@ impl Study for Fig6Study {
     }
 
     fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
-        let (fig, degraded) = run_params_ft(params)?;
+        let (fig, degraded, provenance) = run_params_ft(params)?;
         let mut report = fig.to_report();
         if degraded.is_degraded() {
             report.push(Block::Degraded(degraded));
+        }
+        if let Some(p) = provenance {
+            report.push(Block::Provenance(p));
         }
         params.record(&mut report);
         Ok(report)
     }
 
     fn supports_journal(&self) -> bool {
+        true
+    }
+
+    fn supports_trace(&self) -> bool {
         true
     }
 }

@@ -51,30 +51,18 @@ pub const FORMAT_VERSION: u64 = 1;
 /// The format magic recorded in every header.
 pub const MAGIC: &str = "repro-sweep";
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected — the `cksum`/zlib variant),
-/// computed bitwise: journal lines are tiny and this keeps the
-/// implementation dependency-free and obviously correct.
+/// CRC-32 (IEEE 802.3 polynomial, reflected — the `cksum`/zlib variant).
+/// The implementation lives in [`speedup_stacks::crc`] so the journal and
+/// the binary trace format share one checksum; this re-export keeps the
+/// journal's original path working.
 ///
 /// ```
 /// // The canonical check vector.
 /// assert_eq!(experiments::journal::crc32(b"123456789"), 0xCBF4_3926);
 /// ```
-#[must_use]
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = !0;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+pub use speedup_stacks::crc::crc32;
 
-fn crc_hex(bytes: &[u8]) -> String {
-    format!("{:08x}", crc32(bytes))
-}
+use speedup_stacks::crc::crc32_hex as crc_hex;
 
 /// Wraps one record into its checksummed journal line (with trailing
 /// newline).

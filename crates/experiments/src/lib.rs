@@ -53,7 +53,9 @@ pub mod study;
 pub use journal::JournalSpec;
 pub use par::{map_mode, par_map, try_map_mode, Parallelism, PointOutcome};
 pub use runner::{
-    run_grid, run_grid_ft, run_profile, scaled_profile, single_thread_reference, FaultPolicy,
-    GridReport, PointSummary, RunOptions, RunOutcome, SweepOptions,
+    run_grid, run_grid_ft, run_profile, run_profile_streams, scaled_profile,
+    single_thread_reference, single_thread_reference_streams, FaultPolicy, GridReport,
+    PointSummary, RunOptions, RunOutcome, SweepOptions,
 };
 pub use study::{find_study, registry, Study, StudyParams};
+pub use workloads::trace::TraceSpec;

@@ -253,6 +253,37 @@ mod tests {
     }
 
     #[test]
+    fn workers_clamp_covers_zero_one_and_many_against_available_cores() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Explicit counts: 0 clamps up to 1, 1 stays 1, many is honored
+        // verbatim (the pool does not silently cap at the host's cores —
+        // oversubscription is the caller's informed choice) until the
+        // item cap kicks in.
+        for items in [1usize, 2, 100] {
+            assert_eq!(Parallelism::Workers(0).workers(items), 1, "{items} items");
+            assert_eq!(Parallelism::Workers(1).workers(items), 1, "{items} items");
+            assert_eq!(
+                Parallelism::Workers(cores * 4).workers(items),
+                (cores * 4).min(items),
+                "{items} items"
+            );
+        }
+        // Auto tracks the host's available cores, capped at the items.
+        assert_eq!(Parallelism::Auto.workers(usize::MAX), cores);
+        assert_eq!(Parallelism::Auto.workers(1), 1);
+        // Zero items never yields zero workers (a sweep of nothing still
+        // needs a well-formed pool size).
+        for mode in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Workers(0),
+            Parallelism::Workers(8),
+        ] {
+            assert_eq!(mode.workers(0), 1, "{mode:?}");
+        }
+    }
+
+    #[test]
     fn try_map_isolates_panics() {
         for mode in [Parallelism::Serial, Parallelism::Workers(4)] {
             let out = try_map_mode(

@@ -13,6 +13,16 @@
 //! cooperative per-point deadlines, crash-safe journaling through
 //! [`crate::journal`] and checkpoint–resume that reproduces the
 //! uninterrupted report bit for bit.
+//!
+//! [`run_grid_ft`] additionally speaks the binary trace format of
+//! [`workloads::trace`]: armed with a capture [`TraceSpec`], it records
+//! every run's op streams to a trace file before sweeping (the generators
+//! are deterministic, so the capture matches the sweep exactly); armed
+//! with a replay spec, every simulation draws its ops from the trace
+//! instead of the generators, reproducing the captured report bit for
+//! bit. Any trace damage aborts the sweep with a typed
+//! [`speedup_stacks::SimError::Trace`] — a damaged trace has no safe
+//! recomputation, so it is never degraded-and-continued.
 
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
@@ -20,12 +30,13 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use cmpsim::{MachineConfig, SimError, SimResult, Simulation};
 use memsim::MemConfig;
-use speedup_stacks::error::SimError as CoreError;
+use speedup_stacks::error::{SimError as CoreError, TraceError};
 use speedup_stacks::report::json::{self, JsonValue};
-use speedup_stacks::report::{Degraded, DegradedPoint};
+use speedup_stacks::report::{Degraded, DegradedPoint, Provenance};
 use speedup_stacks::{
     accounting, AccountingConfig, Breakdown, Component, SpeedupStack, ThreadBreakdown,
 };
+use workloads::trace::{TraceReader, TraceSpec, TraceWriter};
 use workloads::{display_name, streams_for, WorkloadProfile};
 
 use crate::journal::{self, JournalSpec, JournalWriter};
@@ -145,7 +156,20 @@ pub fn single_thread_reference(
     profile: &WorkloadProfile,
     opts: &RunOptions,
 ) -> Result<(u64, u64), SimError> {
-    let st = simulate_opts(opts, 1, streams_for(profile, 1))?;
+    single_thread_reference_streams(opts, streams_for(profile, 1))
+}
+
+/// [`single_thread_reference`] with caller-supplied op streams (trace
+/// replay feeds captured streams through here).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn single_thread_reference_streams(
+    opts: &RunOptions,
+    streams: Vec<Box<dyn cmpsim::OpStream>>,
+) -> Result<(u64, u64), SimError> {
+    let st = simulate_opts(opts, 1, streams)?;
     Ok((st.tp_cycles, st.total_instructions()))
 }
 
@@ -162,11 +186,29 @@ pub fn run_profile(
     opts: &RunOptions,
     st_reference: Option<(u64, u64)>,
 ) -> Result<RunOutcome, SimError> {
-    let (st_cycles, st_instructions) = match st_reference {
+    let st = match st_reference {
         Some(r) => r,
         None => single_thread_reference(profile, opts)?,
     };
-    let mt = simulate_opts(opts, opts.cores, streams_for(profile, opts.threads))?;
+    run_profile_streams(profile, opts, st, streams_for(profile, opts.threads))
+}
+
+/// [`run_profile`] with caller-supplied op streams for the
+/// multi-threaded run (trace replay feeds captured streams through
+/// here). The single-thread reference is always caller-supplied: a
+/// replay must not fall back to the generators.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_profile_streams(
+    profile: &WorkloadProfile,
+    opts: &RunOptions,
+    st_reference: (u64, u64),
+    streams: Vec<Box<dyn cmpsim::OpStream>>,
+) -> Result<RunOutcome, SimError> {
+    let (st_cycles, st_instructions) = st_reference;
+    let mt = simulate_opts(opts, opts.cores, streams)?;
     let actual = st_cycles as f64 / mt.tp_cycles as f64;
     let stack = mt
         .stack(&opts.accounting)
@@ -433,11 +475,14 @@ pub struct SweepOptions<'a> {
     /// [`speedup_stacks::SimError::Interrupted`] — the mechanism the CI
     /// resume smoke test uses to emulate a mid-sweep kill.
     pub max_points: Option<usize>,
+    /// Trace capture or replay (`repro --trace-out` / `--trace-in`).
+    /// `None` = generated streams, no trace.
+    pub trace: Option<&'a TraceSpec>,
 }
 
 impl<'a> SweepOptions<'a> {
     /// A plain in-memory sweep: given parallelism and fault policy, no
-    /// journal, no budget.
+    /// journal, no budget, no trace.
     #[must_use]
     pub fn plain(mode: Parallelism, faults: FaultPolicy, study: &'a str) -> SweepOptions<'a> {
         SweepOptions {
@@ -447,6 +492,7 @@ impl<'a> SweepOptions<'a> {
             study,
             fingerprint: "",
             max_points: None,
+            trace: None,
         }
     }
 }
@@ -464,6 +510,10 @@ pub struct GridReport {
     pub degraded: Degraded,
     /// Grid points replayed from the journal instead of recomputed.
     pub resumed: usize,
+    /// Capture provenance when the sweep traced to a file (`None` on
+    /// plain and replayed sweeps — replays attach nothing extra, so a
+    /// replayed report stays byte-identical to the generated one).
+    pub provenance: Option<Provenance>,
 }
 
 /// Runs a (benchmark × thread-count) grid with per-point fault domains:
@@ -482,7 +532,12 @@ pub struct GridReport {
 ///   created, read, or fails identity validation on resume,
 /// - [`speedup_stacks::SimError::Interrupted`] when the
 ///   [`SweepOptions::max_points`] budget ran out before the grid was
-///   complete (completed work is journaled; resume finishes it).
+///   complete (completed work is journaled; resume finishes it),
+/// - [`speedup_stacks::SimError::Trace`] when the trace file cannot be
+///   written (capture) or is missing, damaged, or was captured for a
+///   different study or parameter set (replay). Trace damage is fatal,
+///   never degraded: silently replaying a different op stream would
+///   fabricate results.
 ///
 /// Per-point failures are **not** errors: they surface as `None` rows
 /// plus [`GridReport::degraded`] entries.
@@ -497,6 +552,49 @@ pub fn run_grid_ft(
     for p in profiles {
         p.validate().map_err(CoreError::Config)?;
     }
+
+    // Trace capture happens up front: every (profile, thread-count) run
+    // the sweep will make is drained from the (deterministic) generators
+    // into the trace file, then the sweep itself proceeds on generated
+    // streams as usual. Replay opens and identity-checks the trace; the
+    // point closures below then draw their ops from it.
+    let mut provenance: Option<Provenance> = None;
+    let trace_reader: Option<TraceReader> = match sweep.trace {
+        Some(spec) if spec.replay => Some(
+            TraceReader::open(&spec.path, Some((sweep.study, sweep.fingerprint)))
+                .map_err(CoreError::Trace)?,
+        ),
+        Some(spec) => {
+            let mut w = TraceWriter::create(&spec.path, sweep.study, sweep.fingerprint)
+                .map_err(CoreError::Trace)?;
+            for p in profiles {
+                let name = display_name(p);
+                // The single-thread reference run, then each grid
+                // point's thread count (deduplicated — e.g. a count
+                // whose options pin threads to an already-captured
+                // value).
+                let mut written: Vec<usize> = vec![1];
+                w.add_run(&name, streams_for(p, 1))
+                    .map_err(CoreError::Trace)?;
+                for &n in counts {
+                    let threads = mk_opts(p, n).threads;
+                    if !written.contains(&threads) {
+                        written.push(threads);
+                        w.add_run(&name, streams_for(p, threads))
+                            .map_err(CoreError::Trace)?;
+                    }
+                }
+            }
+            let stats = w.finish().map_err(CoreError::Trace)?;
+            provenance = Some(Provenance {
+                path: spec.path.clone(),
+                runs: stats.runs,
+                bytes: stats.bytes,
+            });
+            None
+        }
+        None => None,
+    };
 
     // Replay the journal (resume) or start a fresh one.
     let mut done_refs: HashMap<String, (u64, u64)> = HashMap::new();
@@ -559,6 +657,26 @@ pub fn run_grid_ft(
             .take()
     };
 
+    // Same parking pattern for trace damage discovered inside a worker:
+    // [`cmpsim::OpStream`] has no error channel, so a replay stream that
+    // hits damage parks a typed error in its run's fault slot; the
+    // closures move it here and the sweep fails at the next checkpoint.
+    let trace_fault: Mutex<Option<TraceError>> = Mutex::new(None);
+    let park_trace = |e: TraceError| -> String {
+        let msg = e.to_string();
+        trace_fault
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_or_insert(e);
+        msg
+    };
+    let take_trace_fault = || {
+        trace_fault
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    };
+
     let grid: Vec<(usize, usize)> = (0..profiles.len())
         .flat_map(|pi| counts.iter().map(move |&n| (pi, n)))
         .collect();
@@ -592,7 +710,20 @@ pub fn run_grid_ft(
             let p = &profiles[pi];
             let mut opts = mk_opts(p, 1);
             opts.deadline_cycles = opts.deadline_cycles.or(faults.deadline_cycles);
-            let st = single_thread_reference(p, &opts).map_err(|e| e.to_string())?;
+            let st = match &trace_reader {
+                Some(r) => {
+                    let run = r.run_streams(&display_name(p), 1).map_err(&park_trace)?;
+                    let result = single_thread_reference_streams(&opts, run.streams);
+                    // Check the fault slot before the engine result: a
+                    // truncated stream can surface as an engine error
+                    // (or a deadlock) whose root cause is the trace.
+                    if let Some(f) = run.fault.take() {
+                        return Err(park_trace(f));
+                    }
+                    result.map_err(|e| e.to_string())?
+                }
+                None => single_thread_reference(p, &opts).map_err(|e| e.to_string())?,
+            };
             record(&ref_record(&display_name(p), st));
             Ok(st)
         },
@@ -617,6 +748,9 @@ pub fn run_grid_ft(
                 ref_fail.insert(pi, (e.payload, e.attempts));
             }
         }
+    }
+    if let Some(e) = take_trace_fault() {
+        return Err(CoreError::Trace(e));
     }
     if let Some(e) = take_journal_fault() {
         return Err(CoreError::Journal(e));
@@ -648,7 +782,19 @@ pub fn run_grid_ft(
             let mut opts = mk_opts(p, n);
             opts.deadline_cycles = opts.deadline_cycles.or(faults.deadline_cycles);
             let st = refs[&display_name(p)];
-            let out = run_profile(p, &opts, Some(st)).map_err(|e| e.to_string())?;
+            let out = match &trace_reader {
+                Some(r) => {
+                    let run = r
+                        .run_streams(&display_name(p), opts.threads)
+                        .map_err(&park_trace)?;
+                    let result = run_profile_streams(p, &opts, st, run.streams);
+                    if let Some(f) = run.fault.take() {
+                        return Err(park_trace(f));
+                    }
+                    result.map_err(|e| e.to_string())?
+                }
+                None => run_profile(p, &opts, Some(st)).map_err(|e| e.to_string())?,
+            };
             let summary = PointSummary::from(out);
             record(&summary.to_record());
             Ok(summary)
@@ -669,6 +815,9 @@ pub fn run_grid_ft(
                 attempts: e.attempts,
             }),
         }
+    }
+    if let Some(e) = take_trace_fault() {
+        return Err(CoreError::Trace(e));
     }
     if let Some(e) = take_journal_fault() {
         return Err(CoreError::Journal(e));
@@ -706,6 +855,7 @@ pub fn run_grid_ft(
         rows,
         degraded,
         resumed,
+        provenance,
     })
 }
 

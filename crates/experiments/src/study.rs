@@ -29,6 +29,8 @@ use memsim::MemConfig;
 use speedup_stacks::report::{Report, Value};
 use speedup_stacks::SimError;
 
+use workloads::trace::TraceSpec;
+
 use crate::journal::JournalSpec;
 use crate::par::Parallelism;
 use crate::runner::FaultPolicy;
@@ -60,6 +62,13 @@ pub struct StudyParams {
     /// sweep checkpoints and reports
     /// [`speedup_stacks::SimError::Interrupted`] when it runs out.
     pub max_points: Option<usize>,
+    /// Trace capture / replay for grid studies that support it (see
+    /// [`Study::supports_trace`]). Capture records every run's op
+    /// streams to the file; replay draws them back so the run
+    /// reproduces the captured report bit for bit. Deliberately **not**
+    /// echoed by [`StudyParams::record`]: a replayed report must stay
+    /// byte-identical to the generated one.
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for StudyParams {
@@ -72,6 +81,7 @@ impl Default for StudyParams {
             faults: FaultPolicy::default(),
             journal: None,
             max_points: None,
+            trace: None,
         }
     }
 }
@@ -133,6 +143,7 @@ impl StudyParams {
             study,
             fingerprint,
             max_points: self.max_points,
+            trace: self.trace.as_ref(),
         }
     }
 
@@ -203,6 +214,14 @@ pub trait Study: Sync {
     fn supports_journal(&self) -> bool {
         false
     }
+
+    /// Whether this study honors [`StudyParams::trace`] (the
+    /// benchmark-grid studies run through the trace-aware sweep). The
+    /// `repro` CLI rejects `--trace-out`/`--trace-in` for studies that
+    /// don't.
+    fn supports_trace(&self) -> bool {
+        false
+    }
 }
 
 impl std::fmt::Debug for dyn Study {
@@ -262,6 +281,17 @@ mod tests {
             "regions", "scaling",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn trace_support_matches_journal_support() {
+        // The grid studies — and only they — run through the trace-aware
+        // sweep; the CLI gates `--trace-out`/`--trace-in` on this.
+        for s in registry() {
+            let grid = matches!(s.name(), "fig1" | "fig4" | "fig5" | "fig6");
+            assert_eq!(s.supports_trace(), grid, "{}", s.name());
+            assert_eq!(s.supports_journal(), grid, "{}", s.name());
         }
     }
 

@@ -80,6 +80,8 @@ fn bad_flags_are_usage_errors() {
         ["fig1", "--max-points", "0"].as_slice(),
         ["fig1", "--journal"].as_slice(),
         ["fig1", "--resume"].as_slice(),
+        ["fig1", "--trace-out"].as_slice(),
+        ["fig1", "--trace-in"].as_slice(),
         ["fig1", "--bogus-flag"].as_slice(),
         ["fig1", "fig2"].as_slice(),
     ] {
@@ -129,6 +131,55 @@ fn journal_flags_are_validated_before_any_simulation() {
     assert_eq!(out.status.code(), Some(1));
     assert!(
         stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn trace_flags_are_validated_before_any_simulation() {
+    // Tracing is only meaningful for the grid studies.
+    for args in [
+        ["hwcost", "--trace-out", "t.sstrace"].as_slice(),
+        ["scaling", "--trace-in", "t.sstrace"].as_slice(),
+        ["all", "--trace-out", "t.sstrace"].as_slice(),
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(1), "{args:?} accepted");
+        assert!(
+            stderr(&out).contains("--trace-out/--trace-in is not supported"),
+            "{args:?}: {}",
+            stderr(&out)
+        );
+    }
+    // One trace per run: capture-mode and replay-mode are exclusive.
+    let out = repro(&[
+        "fig1",
+        "--trace-out",
+        "a.sstrace",
+        "--trace-in",
+        "b.sstrace",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn replaying_a_missing_trace_exits_with_the_trace_code() {
+    let out = repro(&[
+        "fig1",
+        "--scale",
+        "0.02",
+        "--trace-in",
+        "/nonexistent/never/fig1.sstrace",
+    ]);
+    assert_eq!(out.status.code(), Some(9), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("trace open failed"),
         "{}",
         stderr(&out)
     );

@@ -18,6 +18,8 @@
 //!   many-core studies (per-thread work held constant).
 //! - [`rate_mix_streams`] — multi-program rate mixes: independent
 //!   single-threaded programs contending only through the memory system.
+//! - [`trace`] — versioned binary trace capture and bit-identical replay
+//!   of any generated run ([`TraceWriter`], [`TraceReader`]).
 //!
 //! ## Example
 //!
@@ -41,8 +43,10 @@ pub mod generator;
 pub mod mix;
 pub mod profile;
 pub mod rng;
+pub mod trace;
 
 pub use catalog::{display_name, find, paper_suite, weak_scaling_suite};
 pub use generator::{streams_for, ProfileStream};
 pub use mix::{default_rate_mix, rate_mix_streams, RateMixStream};
 pub use profile::{AccessPattern, CsProfile, Suite, WorkloadProfile};
+pub use trace::{TraceReader, TraceRun, TraceSpec, TraceStats, TraceWriter};

@@ -1,0 +1,132 @@
+//! Golden trace fixtures: two small captured profiles, committed under
+//! `tests/goldens/`, pinned byte for byte. A fresh capture of the same
+//! profile must reproduce the committed file exactly (the generators and
+//! the codec are both deterministic), and the committed file must pass
+//! full verification with the pinned statistics.
+//!
+//! Regenerate after an *intentional* format change with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p workloads --test golden_traces
+//! ```
+//!
+//! and bump `FORMAT_VERSION` if the change breaks old readers. The
+//! `experiments` crate's `trace_replay` test replays these same fixtures
+//! through the sweep and pins the replayed report against a generated
+//! run.
+
+use std::path::PathBuf;
+
+use workloads::trace::{verify, TraceWriter, FORMAT_VERSION};
+use workloads::{display_name, find, Suite, WorkloadProfile};
+
+/// The identity every golden is captured under (the replaying test must
+/// open them with exactly this pair).
+const GOLDEN_STUDY: &str = "golden";
+const GOLDEN_FINGERPRINT: &str = "golden-v1";
+
+/// The workload scale of the goldens — small enough to keep the
+/// committed fixtures a few hundred KiB.
+const GOLDEN_SCALE: f64 = 0.05;
+
+/// Pinned sizes of the committed fixtures. A change here means the trace
+/// format or the generators changed — both are observable compatibility
+/// events.
+const GOLDEN_SIZES: [(&str, u64); 2] = [
+    ("blackscholes_small.sstrace", 42_660),
+    ("cholesky.sstrace", 77_882),
+];
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens"))
+}
+
+/// The same scaling rule as `experiments::scaled_profile`, restated here
+/// so the goldens don't depend on the experiments crate: at least 16
+/// items per phase survive any downscale.
+fn golden_profile(name: &str, suite: Suite) -> WorkloadProfile {
+    let mut p = find(name, suite).expect("catalog entry");
+    let min_items = u64::from(p.phases.max(1)) * 16;
+    p.total_items = ((p.total_items as f64 * GOLDEN_SCALE) as u64).max(min_items);
+    p
+}
+
+fn fixtures() -> [(&'static str, WorkloadProfile); 2] {
+    [
+        (
+            "blackscholes_small.sstrace",
+            golden_profile("blackscholes", Suite::ParsecSmall),
+        ),
+        (
+            "cholesky.sstrace",
+            golden_profile("cholesky", Suite::Splash2),
+        ),
+    ]
+}
+
+/// Captures one golden: the grid shape the sweep replays — the 1-thread
+/// reference run plus one 2-thread point.
+fn capture(profile: &WorkloadProfile, path: &PathBuf) {
+    let mut w =
+        TraceWriter::create(path, GOLDEN_STUDY, GOLDEN_FINGERPRINT).expect("create capture");
+    let name = display_name(profile);
+    for n in [1usize, 2] {
+        w.add_run(&name, workloads::streams_for(profile, n))
+            .expect("capture run");
+    }
+    w.finish().expect("finish capture");
+}
+
+#[test]
+fn golden_traces_are_bit_identical_to_a_fresh_capture() {
+    let update = std::env::var_os("UPDATE_GOLDENS").is_some();
+    for (file, profile) in fixtures() {
+        let golden = goldens_dir().join(file);
+        if update {
+            capture(&profile, &golden);
+            eprintln!(
+                "updated {} ({} bytes)",
+                golden.display(),
+                std::fs::metadata(&golden).unwrap().len()
+            );
+            continue;
+        }
+        let committed = std::fs::read(&golden).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); regenerate with UPDATE_GOLDENS=1",
+                golden.display()
+            )
+        });
+        let fresh_path = std::env::temp_dir().join(format!("golden-{}-{file}", std::process::id()));
+        capture(&profile, &fresh_path);
+        let fresh = std::fs::read(&fresh_path).expect("fresh capture");
+        let _ = std::fs::remove_file(&fresh_path);
+        assert_eq!(
+            committed, fresh,
+            "{file}: committed golden differs from a fresh capture — either the \
+             generators or the trace format changed (bump FORMAT_VERSION and \
+             regenerate with UPDATE_GOLDENS=1 if intentional)"
+        );
+    }
+}
+
+#[test]
+fn golden_traces_verify_with_pinned_stats() {
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        return; // sizes are asserted on the next clean run
+    }
+    for (file, pinned_bytes) in GOLDEN_SIZES {
+        let golden = goldens_dir().join(file);
+        let stats = verify(&golden)
+            .unwrap_or_else(|e| panic!("golden {} fails verification: {e}", golden.display()));
+        assert_eq!(stats.version, FORMAT_VERSION, "{file}");
+        assert_eq!(stats.study, GOLDEN_STUDY, "{file}");
+        assert_eq!(stats.fingerprint, GOLDEN_FINGERPRINT, "{file}");
+        assert_eq!(stats.runs, 2, "{file}: 1-thread reference + 2-thread point");
+        assert!(stats.ops > 0, "{file}");
+        assert_eq!(
+            stats.bytes, pinned_bytes,
+            "{file}: byte size changed — format or generator change"
+        );
+    }
+}
