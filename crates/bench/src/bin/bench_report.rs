@@ -1,6 +1,6 @@
 //! `bench_report` — emits the `BENCH_PR*.json` perf-trajectory file.
 //!
-//! Three measured workloads:
+//! Four measured workloads:
 //!
 //! - the paper's full validation grid (the Figure 4 sweep): all 28
 //!   benchmarks × {2, 4, 8, 16} threads plus one single-threaded
@@ -10,7 +10,10 @@
 //!   stacks across a 1→128-core sweep of weak-scaling workloads and a
 //!   multi-program rate mix on a 4 MiB 32-way LLC — the sweep that
 //!   exercises the spilled (>64-core) coherence directory and the wide
-//!   (>16-way) LRU encoding end to end.
+//!   (>16-way) LRU encoding end to end;
+//! - the **studyd service** (`service_fig6`): the Figure 6 grid submitted
+//!   to an in-process `studyd` over loopback — cold submission, cache-
+//!   served submission, first-frame latency and a 10-request cached burst.
 //!
 //! The figure grids are measured under three in-binary configurations:
 //!
@@ -91,8 +94,101 @@ fn time_external(repro: &str, fig: &str, scale: f64) -> f64 {
     t0.elapsed().as_secs_f64()
 }
 
+/// Round trip the warm path raw so the first-frame latency — submit
+/// line written to first `point` frame read — is measured without the
+/// client's reassembly work.
+fn first_frame_latency(addr: &str, scale: f64) -> f64 {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut send = |line: &str| {
+        writer.write_all(line.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        writer.flush().expect("flush");
+    };
+    let mut recv = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("recv");
+        line
+    };
+    send("{\"op\": \"hello\", \"proto\": 1}");
+    recv();
+    let t0 = Instant::now();
+    send(&format!(
+        "{{\"op\": \"submit\", \"study\": \"fig6\", \"params\": {{\"scale\": {scale}}}}}"
+    ));
+    recv(); // accepted
+    recv(); // first point frame
+    let latency = t0.elapsed().as_secs_f64();
+    loop {
+        if recv().contains("\"kind\": \"done\"") {
+            break;
+        }
+    }
+    latency
+}
+
+/// The `studyd` service over loopback: cold submission, cache-served
+/// submission, first-frame latency and cached request throughput.
+fn service_bench(scale: f64, samples: usize, report: &mut PerfReport) {
+    use experiments::study::StudyParams;
+    use service::client::Client;
+    use service::server::{serve, ServeConfig};
+
+    let params = StudyParams::with_scale(scale);
+    let mut best_cold = f64::MAX;
+    let mut best_cached = f64::MAX;
+    let mut best_first = f64::MAX;
+    let mut points = 0u64;
+    for _ in 0..samples.max(1) {
+        // A fresh server per sample keeps the cold path genuinely cold.
+        let server = serve(&ServeConfig::default()).expect("bind loopback");
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        let t0 = Instant::now();
+        let outcome = client.submit("fig6", &params).expect("cold submit");
+        best_cold = best_cold.min(t0.elapsed().as_secs_f64());
+        points = (outcome.computed + outcome.cached) as u64;
+        let t0 = Instant::now();
+        client.submit("fig6", &params).expect("cached submit");
+        best_cached = best_cached.min(t0.elapsed().as_secs_f64());
+        best_first = best_first.min(first_frame_latency(&addr, scale));
+        server.stop();
+    }
+
+    // Cached throughput: one warm server, ten back-to-back submissions.
+    const BURST: u64 = 10;
+    let server = serve(&ServeConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+    client.submit("fig6", &params).expect("warm submit");
+    let t0 = Instant::now();
+    for _ in 0..BURST {
+        client.submit("fig6", &params).expect("burst submit");
+    }
+    let burst_wall = t0.elapsed().as_secs_f64();
+    server.stop();
+
+    for (config, wall, pts) in [
+        ("cold-submit", best_cold, points),
+        ("cached-submit", best_cached, points),
+        ("cached-first-frame", best_first, 1),
+        ("cached-submit-x10", burst_wall, BURST * points),
+    ] {
+        eprintln!("service_fig6/{config}: {wall:.4} s");
+        report.push(Entry {
+            name: "service_fig6".into(),
+            config: config.into(),
+            wall_s: wall,
+            events: 0,
+            points: pts,
+        });
+    }
+}
+
 fn main() {
-    let mut out = String::from("BENCH_PR3.json");
+    let mut out = String::from("BENCH_PR8.json");
     let mut scale = 1.0f64;
     let mut samples = 3usize;
     let mut baseline_repro: Option<String> = None;
@@ -133,14 +229,17 @@ fn main() {
     ];
 
     let mut report = PerfReport::default();
-    report.meta("report", "speedup-stacks simulator perf trajectory, PR 3");
+    report.meta("report", "speedup-stacks simulator perf trajectory, PR 8");
     report.meta(
         "workload",
         format!(
             "fig4_grid: 28 benchmarks x {{2,4,8,16}} threads + 1 ST reference each; \
              fig6_grid: 28 benchmarks x 16 threads + 1 ST reference each; \
              scaling_1_to_128: 3 weak-scaling workloads + 1 rate mix x \
-             {{1,2,4,8,16,32,64,128}} cores on a 4 MiB 32-way LLC; scale {scale}"
+             {{1,2,4,8,16,32,64,128}} cores on a 4 MiB 32-way LLC; \
+             service_fig6: the fig6 grid submitted to an in-process studyd \
+             over loopback (cold vs cache-served, first-frame latency, 10x \
+             cached burst); scale {scale}"
         ),
     );
     report.meta(
@@ -234,6 +333,10 @@ fn main() {
             points,
         });
     }
+
+    // The studyd service: cold vs cache-served submissions, first-frame
+    // latency and cached request throughput over loopback.
+    service_bench(scale, samples, &mut report);
 
     std::fs::write(&out, report.to_json()).expect("write report");
     eprintln!("wrote {out}");

@@ -13,11 +13,12 @@
 //! | [`SimError::Engine`]     | the simulation engine aborted a run       | 7         |
 //! | [`SimError::Interrupted`]| sweep checkpointed before completion      | 8         |
 //! | [`SimError::Trace`]      | workload trace unreadable or inconsistent | 9         |
+//! | [`SimError::Protocol`]   | study-service wire protocol / socket I/O  | 10        |
 //!
 //! The leaf types ([`ConfigError`], [`StackError`], [`JournalError`],
-//! [`PointError`], [`TraceError`]) are owned by the layers that raise
-//! them and convert into [`SimError`] via `From`, so callers can `?`
-//! across layers.
+//! [`PointError`], [`TraceError`], [`ProtocolError`]) are owned by the
+//! layers that raise them and convert into [`SimError`] via `From`, so
+//! callers can `?` across layers.
 
 use core::fmt;
 use core::time::Duration;
@@ -275,6 +276,84 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// A failure of the `studyd` wire protocol (line-delimited JSON over
+/// TCP): socket I/O, malformed or oversized frames, a handshake version
+/// mismatch, a typed rejection from the peer, or a connection that
+/// closed mid-stream.
+///
+/// Raised by both sides: the server replies with a typed error frame
+/// (and keeps or closes the connection depending on severity), the
+/// client surfaces whatever stopped a submission from completing. There
+/// is no `unwrap` on socket I/O anywhere in the service layer — every
+/// failure funnels into this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A socket operation failed.
+    Io {
+        /// The operation that failed (`connect`, `read`, `write` …).
+        op: &'static str,
+        /// The underlying error message.
+        message: String,
+    },
+    /// A frame was not a well-formed single-line JSON object of the
+    /// expected shape.
+    Malformed {
+        /// What was wrong with it.
+        why: String,
+    },
+    /// A frame exceeded the line-length cap (a defense against
+    /// accidental binary input and memory exhaustion).
+    Oversized {
+        /// The cap in bytes.
+        limit: usize,
+    },
+    /// The peer speaks a different protocol version (`hello` handshake).
+    VersionMismatch {
+        /// Version the peer announced.
+        found: u64,
+        /// Version this build speaks.
+        supported: u64,
+    },
+    /// The peer rejected the request with a typed error frame.
+    Rejected {
+        /// The machine-readable error code from the frame.
+        code: String,
+        /// The human-readable message from the frame.
+        message: String,
+    },
+    /// The connection closed before the exchange completed.
+    Closed {
+        /// What was still outstanding (e.g. `"hello reply"`,
+        /// `"job 3 stream"`).
+        during: String,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io { op, message } => write!(f, "socket {op} failed: {message}"),
+            ProtocolError::Malformed { why } => write!(f, "malformed protocol frame: {why}"),
+            ProtocolError::Oversized { limit } => {
+                write!(f, "protocol frame exceeds the {limit}-byte line cap")
+            }
+            ProtocolError::VersionMismatch { found, supported } => write!(
+                f,
+                "protocol version {found} unsupported (this build speaks version {supported})"
+            ),
+            ProtocolError::Rejected { code, message } => {
+                write!(f, "request rejected ({code}): {message}")
+            }
+            ProtocolError::Closed { during } => {
+                write!(f, "connection closed during {during}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
 /// One failed grid point: the point's identity plus the captured failure
 /// payload (panic message, engine error or deadline overrun).
 ///
@@ -348,6 +427,10 @@ pub enum SimError {
     /// The workload trace is unusable (capture failed, or a replay source
     /// is damaged or from a different study/parameterization).
     Trace(TraceError),
+    /// The study-service wire protocol failed (socket I/O, malformed or
+    /// oversized frame, handshake mismatch, typed peer rejection, or a
+    /// mid-stream disconnect).
+    Protocol(ProtocolError),
 }
 
 impl SimError {
@@ -363,6 +446,7 @@ impl SimError {
             SimError::Engine { .. } => 7,
             SimError::Interrupted { .. } => 8,
             SimError::Trace(_) => 9,
+            SimError::Protocol(_) => 10,
         }
     }
 }
@@ -381,6 +465,7 @@ impl fmt::Display for SimError {
                  rerun with --resume to finish"
             ),
             SimError::Trace(e) => e.fmt(f),
+            SimError::Protocol(e) => e.fmt(f),
         }
     }
 }
@@ -414,6 +499,12 @@ impl From<PointError> for SimError {
 impl From<TraceError> for SimError {
     fn from(e: TraceError) -> Self {
         SimError::Trace(e)
+    }
+}
+
+impl From<ProtocolError> for SimError {
+    fn from(e: ProtocolError) -> Self {
+        SimError::Protocol(e)
     }
 }
 
@@ -478,6 +569,10 @@ mod tests {
             SimError::Interrupted { completed: 7 },
             TraceError::BadHeader {
                 why: "bad magic".to_string(),
+            }
+            .into(),
+            ProtocolError::Closed {
+                during: "submit".to_string(),
             }
             .into(),
         ];

@@ -2,41 +2,31 @@
 //! parser (`speedup_stacks::report::json`); no external tools required.
 //!
 //! Reads the document from the file given as the first argument, or
-//! from stdin when no argument is given. Exits 0 when the document is
-//! well-formed JSON, 1 otherwise. CI pipes `repro all --format json`
-//! through this to smoke-test the emitter.
+//! from stdin when the argument is `-` or omitted (shared
+//! [`experiments::input::InputSource`] convention with `tracecheck`).
+//! Exits 0 when the document is well-formed JSON, 1 otherwise. CI pipes
+//! `repro all --format json` through this to smoke-test the emitter.
 
-use std::io::Read as _;
 use std::process::ExitCode;
 
+use experiments::input::InputSource;
+
 fn main() -> ExitCode {
-    let mut input = String::new();
-    let source = match std::env::args().nth(1) {
-        Some(path) => match std::fs::read_to_string(&path) {
-            Ok(s) => {
-                input = s;
-                path
-            }
-            Err(e) => {
-                eprintln!("jsoncheck: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => {
-            if let Err(e) = std::io::stdin().read_to_string(&mut input) {
-                eprintln!("jsoncheck: cannot read stdin: {e}");
-                return ExitCode::FAILURE;
-            }
-            "<stdin>".to_string()
+    let source = InputSource::from_arg(std::env::args().nth(1));
+    let input = match source.read_to_string() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("jsoncheck: cannot read {}: {e}", source.label());
+            return ExitCode::FAILURE;
         }
     };
     match speedup_stacks::report::json::parse(&input) {
         Ok(_) => {
-            eprintln!("jsoncheck: {source}: ok ({} bytes)", input.len());
+            eprintln!("jsoncheck: {}: ok ({} bytes)", source.label(), input.len());
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("jsoncheck: {source}: {e}");
+            eprintln!("jsoncheck: {}: {e}", source.label());
             ExitCode::FAILURE
         }
     }

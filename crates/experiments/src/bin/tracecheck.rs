@@ -1,37 +1,54 @@
 //! `tracecheck` — fully validate a binary workload trace.
 //!
-//! Usage: `tracecheck PATH`. Walks the whole file: magic, format
-//! version, header checksum, every run-info and chunk frame CRC, and
-//! every op decode ([`workloads::trace::verify`]) — exactly the
-//! validation a replay performs, without running any simulation. On
-//! success it prints the trace's identity and statistics and exits 0;
-//! on any damage it prints the typed reason and exits with the trace
-//! error code (9, matching `repro`'s exit-code map). Exit 1 is a usage
-//! error.
+//! Usage: `tracecheck PATH` (or `tracecheck -` to read the trace from
+//! stdin — the shared [`experiments::input::InputSource`] convention
+//! with `jsoncheck`; the stream is spilled to a temporary file because
+//! verification seeks). Walks the whole file: magic, format version,
+//! header checksum, every run-info and chunk frame CRC, and every op
+//! decode ([`workloads::trace::verify`]) — exactly the validation a
+//! replay performs, without running any simulation. On success it prints
+//! the trace's identity and statistics and exits 0; on any damage it
+//! prints the typed reason and exits with the trace error code (9,
+//! matching `repro`'s exit-code map). Exit 1 is a usage error.
 //!
 //! CI runs this on the trace captured by the capture→replay smoke step.
 
 use std::process::ExitCode;
 
+use experiments::input::InputSource;
 use speedup_stacks::SimError;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: tracecheck PATH");
+    let (Some(arg), None) = (args.next(), args.next()) else {
+        eprintln!("usage: tracecheck PATH|-");
         return ExitCode::FAILURE;
     };
-    match workloads::trace::verify(&path) {
+    let source = InputSource::from_arg(Some(arg));
+    let materialized = match source.materialize("tracecheck") {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("tracecheck: cannot read {}: {e}", source.label());
+            return ExitCode::FAILURE;
+        }
+    };
+    match workloads::trace::verify(materialized.path()) {
         Ok(stats) => {
             println!(
-                "tracecheck: {path}: ok (format v{}, study {}, fingerprint {}, \
+                "tracecheck: {}: ok (format v{}, study {}, fingerprint {}, \
                  {} run(s), {} ops, {} bytes)",
-                stats.version, stats.study, stats.fingerprint, stats.runs, stats.ops, stats.bytes
+                source.label(),
+                stats.version,
+                stats.study,
+                stats.fingerprint,
+                stats.runs,
+                stats.ops,
+                stats.bytes
             );
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("tracecheck: {path}: {e}");
+            eprintln!("tracecheck: {}: {e}", source.label());
             ExitCode::from(SimError::from(e).exit_code())
         }
     }

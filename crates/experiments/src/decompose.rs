@@ -1,0 +1,369 @@
+//! Per-point decomposition of the grid studies — the unit of work the
+//! study service shards across its worker pool.
+//!
+//! The four grid studies (`fig1`, `fig4`, `fig5`, `fig6`) all reduce to
+//! the same sweep shape: a (benchmark × thread-count) grid of
+//! independent points, each computed as one [`crate::runner`] recipe
+//! run, folded into a figure-specific [`Report`]. [`decompose`] exposes
+//! that shape directly: the exact profile list and count list the
+//! study's own [`run_grid_ft`](crate::runner::run_grid_ft) sweep would
+//! use, per-point compute entry points that replicate the sweep's
+//! closures bit for bit, and [`GridStudy::assemble`], which folds a set
+//! of completed [`PointSummary`] values back into a report
+//! **byte-identical** to the one [`crate::study::Study::run`] produces
+//! locally — the fig modules route their own sweeps through the same
+//! fold functions, so the two paths cannot drift.
+//!
+//! Point indices are row-major in the same deterministic order the
+//! sweep uses: `index = profile_index * counts.len() + count_index`.
+//!
+//! # Examples
+//!
+//! ```
+//! use experiments::decompose::decompose;
+//! use experiments::study::StudyParams;
+//!
+//! let params = StudyParams::default();
+//! let grid = decompose("fig6", &params).unwrap();
+//! assert_eq!(grid.n_points(), 28);
+//! assert_eq!(grid.point(0), (0, 16));
+//! assert!(decompose("hwcost", &params).is_none());
+//! ```
+
+use speedup_stacks::report::{Block, Degraded, Provenance, Report};
+use speedup_stacks::SimError;
+use workloads::{display_name, Suite, WorkloadProfile};
+
+use crate::runner::{
+    run_profile, scaled_profile, single_thread_reference, PointSummary, RunOptions,
+};
+use crate::study::StudyParams;
+
+/// The run options every grid study uses for an `n`-thread point: the
+/// default symmetric machine with the parameters' memory hierarchy.
+#[must_use]
+pub fn options(params: &StudyParams, n: usize) -> RunOptions {
+    RunOptions {
+        mem: params.mem(),
+        ..RunOptions::symmetric(n)
+    }
+}
+
+/// Finalizes a figure report the way every grid [`crate::study::Study`]
+/// does: a `Degraded` block only when something actually degraded (so
+/// clean, resumed and remotely-assembled reports stay byte-identical),
+/// the capture provenance when a trace was written, then the echoed
+/// parameters.
+#[must_use]
+pub fn finish(
+    mut report: Report,
+    params: &StudyParams,
+    degraded: Degraded,
+    provenance: Option<Provenance>,
+) -> Report {
+    if degraded.is_degraded() {
+        report.push(Block::Degraded(degraded));
+    }
+    if let Some(p) = provenance {
+        report.push(Block::Provenance(p));
+    }
+    params.record(&mut report);
+    report
+}
+
+/// A grid study decomposed into its independent per-point work units.
+#[derive(Debug, Clone)]
+pub struct GridStudy {
+    study: &'static str,
+    profiles: Vec<WorkloadProfile>,
+    counts: Vec<usize>,
+}
+
+/// The three case-study benchmarks (Figures 1 and 5), scaled.
+fn case_study_profiles(params: &StudyParams) -> Vec<WorkloadProfile> {
+    [
+        workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
+        workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry"),
+        workloads::find("cholesky", Suite::Splash2).expect("catalog entry"),
+    ]
+    .iter()
+    .map(|p| scaled_profile(p, params.scale))
+    .collect()
+}
+
+/// The full 28-benchmark paper suite (Figures 4 and 6), scaled.
+fn suite_profiles(params: &StudyParams) -> Vec<WorkloadProfile> {
+    workloads::paper_suite()
+        .iter()
+        .map(|p| scaled_profile(p, params.scale))
+        .collect()
+}
+
+/// Decomposes a registry study into its per-point grid. `None` for
+/// studies that are not (benchmark × thread-count) grids — exactly the
+/// studies whose [`crate::study::Study::supports_journal`] is `false`.
+#[must_use]
+pub fn decompose(study: &str, params: &StudyParams) -> Option<GridStudy> {
+    let (study, profiles, counts) = match study {
+        // Figure 1 sweeps only the multi-threaded counts; the 1-thread
+        // point is 1.0 by definition and synthesized at fold time.
+        "fig1" => (
+            "fig1",
+            case_study_profiles(params),
+            params
+                .counts_or(&crate::fig1::THREAD_COUNTS)
+                .into_iter()
+                .filter(|&n| n > 1)
+                .collect(),
+        ),
+        "fig4" => (
+            "fig4",
+            suite_profiles(params),
+            params.counts_or(&crate::fig45::THREAD_COUNTS),
+        ),
+        "fig5" => (
+            "fig5",
+            case_study_profiles(params),
+            params.counts_or(&crate::fig45::THREAD_COUNTS),
+        ),
+        "fig6" => (
+            "fig6",
+            suite_profiles(params),
+            vec![params.single_count(16)],
+        ),
+        _ => return None,
+    };
+    Some(GridStudy {
+        study,
+        profiles,
+        counts,
+    })
+}
+
+impl GridStudy {
+    /// The registry key this grid belongs to.
+    #[must_use]
+    pub fn study(&self) -> &'static str {
+        self.study
+    }
+
+    /// The scaled workload profiles, in sweep order.
+    #[must_use]
+    pub fn profiles(&self) -> &[WorkloadProfile] {
+        &self.profiles
+    }
+
+    /// The swept thread counts, in sweep order.
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of grid points.
+    #[must_use]
+    pub fn n_points(&self) -> usize {
+        self.profiles.len() * self.counts.len()
+    }
+
+    /// The `(profile_index, thread_count)` of a point, row-major in the
+    /// sweep's deterministic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= n_points()`.
+    #[must_use]
+    pub fn point(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.n_points(), "point index out of range");
+        (
+            index / self.counts.len(),
+            self.counts[index % self.counts.len()],
+        )
+    }
+
+    /// The point's human-readable label, exactly as the fault-tolerant
+    /// sweep would report it in a `Degraded` block.
+    #[must_use]
+    pub fn label(&self, index: usize) -> String {
+        let (pi, n) = self.point(index);
+        format!("{} x{}", display_name(&self.profiles[pi]), n)
+    }
+
+    /// The display name of a profile (the key single-thread references
+    /// are shared under).
+    #[must_use]
+    pub fn profile_name(&self, pi: usize) -> String {
+        display_name(&self.profiles[pi])
+    }
+
+    /// Validates every profile up front, the way the sweep does:
+    /// configuration mistakes are not point faults.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for the first invalid profile.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for p in &self.profiles {
+            p.validate().map_err(SimError::Config)?;
+        }
+        Ok(())
+    }
+
+    /// Computes one profile's single-thread reference `(Ts, instructions)`
+    /// with the identical options the sweep uses (including the fault
+    /// policy's cooperative deadline).
+    ///
+    /// # Errors
+    ///
+    /// The engine error rendered as a string (the caller's fault domain
+    /// treats it like a point failure).
+    pub fn compute_reference(&self, params: &StudyParams, pi: usize) -> Result<(u64, u64), String> {
+        let mut opts = options(params, 1);
+        opts.deadline_cycles = opts.deadline_cycles.or(params.faults.deadline_cycles);
+        single_thread_reference(&self.profiles[pi], &opts).map_err(|e| e.to_string())
+    }
+
+    /// Computes one grid point given its profile's reference, with the
+    /// identical options the sweep uses.
+    ///
+    /// # Errors
+    ///
+    /// The engine error rendered as a string.
+    pub fn compute_point(
+        &self,
+        params: &StudyParams,
+        index: usize,
+        st: (u64, u64),
+    ) -> Result<PointSummary, String> {
+        let (pi, n) = self.point(index);
+        let mut opts = options(params, n);
+        opts.deadline_cycles = opts.deadline_cycles.or(params.faults.deadline_cycles);
+        run_profile(&self.profiles[pi], &opts, Some(st))
+            .map(PointSummary::from)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Folds completed points (indexed by point index; `None` marks a
+    /// failed point) into the study's final [`Report`], byte-identical
+    /// to a local [`crate::study::Study::run`] with the same parameters
+    /// and outcomes. `degraded.failed`, `retried` and `quarantined` are
+    /// the caller's; the grid totals are filled in here.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points.len() != n_points()`.
+    #[must_use]
+    pub fn assemble(
+        &self,
+        params: &StudyParams,
+        points: Vec<Option<PointSummary>>,
+        mut degraded: Degraded,
+        provenance: Option<Provenance>,
+    ) -> Report {
+        assert_eq!(points.len(), self.n_points(), "one slot per grid point");
+        let mut rows: Vec<Vec<Option<PointSummary>>> = Vec::with_capacity(self.profiles.len());
+        let mut it = points.into_iter();
+        for _ in 0..self.profiles.len() {
+            rows.push(
+                (0..self.counts.len())
+                    .map(|_| it.next().expect("sized"))
+                    .collect(),
+            );
+        }
+        degraded.total_points = self.n_points();
+        degraded.completed = rows.iter().flatten().filter(|s| s.is_some()).count();
+        let report = match self.study {
+            "fig1" => crate::fig1::fold(params, &self.profiles, rows).to_report(),
+            "fig4" => crate::fig45::fold_fig4(params, rows).to_report(),
+            "fig5" => crate::fig45::fold_fig5(rows).to_report(),
+            "fig6" => crate::fig6::fold(params, rows).to_report(),
+            _ => unreachable!("decompose() only builds grid studies"),
+        };
+        finish(report, params, degraded, provenance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{find_study, registry};
+
+    #[test]
+    fn decomposable_exactly_when_journal_capable() {
+        for s in registry() {
+            assert_eq!(
+                decompose(s.name(), &StudyParams::default()).is_some(),
+                s.supports_journal(),
+                "{}",
+                s.name()
+            );
+        }
+        assert!(decompose("bogus", &StudyParams::default()).is_none());
+    }
+
+    #[test]
+    fn point_indexing_is_row_major() {
+        let params = StudyParams {
+            threads: Some(vec![2, 4]),
+            ..StudyParams::default()
+        };
+        let grid = decompose("fig1", &params).unwrap();
+        assert_eq!(grid.profiles().len(), 3);
+        assert_eq!(grid.counts(), &[2, 4]);
+        assert_eq!(grid.n_points(), 6);
+        assert_eq!(grid.point(0), (0, 2));
+        assert_eq!(grid.point(1), (0, 4));
+        assert_eq!(grid.point(5), (2, 4));
+        assert_eq!(grid.label(5), format!("{} x4", grid.profile_name(2)));
+    }
+
+    #[test]
+    fn fig1_grid_filters_the_single_thread_point() {
+        let params = StudyParams {
+            threads: Some(vec![1, 2, 4]),
+            ..StudyParams::default()
+        };
+        let grid = decompose("fig1", &params).unwrap();
+        assert_eq!(grid.counts(), &[2, 4], "1-thread point is synthesized");
+    }
+
+    #[test]
+    fn assembled_report_matches_local_run() {
+        // The decisive invariant: compute every point through the
+        // decomposition API and fold — the result must be byte-identical
+        // to the study's own run in all three formats.
+        let params = StudyParams {
+            scale: 0.02,
+            threads: Some(vec![2, 4]),
+            ..StudyParams::default()
+        };
+        for name in ["fig1", "fig4", "fig5", "fig6"] {
+            let params = if name == "fig4" || name == "fig6" {
+                // Keep the 28-benchmark grids cheap.
+                StudyParams {
+                    scale: 0.01,
+                    threads: Some(vec![2]),
+                    ..StudyParams::default()
+                }
+            } else {
+                params.clone()
+            };
+            let grid = decompose(name, &params).unwrap();
+            grid.validate().unwrap();
+            let mut refs = Vec::new();
+            for pi in 0..grid.profiles().len() {
+                refs.push(grid.compute_reference(&params, pi).unwrap());
+            }
+            let points: Vec<Option<PointSummary>> = (0..grid.n_points())
+                .map(|i| {
+                    let (pi, _) = grid.point(i);
+                    Some(grid.compute_point(&params, i, refs[pi]).unwrap())
+                })
+                .collect();
+            let assembled = grid.assemble(&params, points, Degraded::default(), None);
+            let local = find_study(name).unwrap().run(&params).unwrap();
+            assert_eq!(assembled.to_text(), local.to_text(), "{name} text");
+            assert_eq!(assembled.to_json(), local.to_json(), "{name} json");
+            assert_eq!(assembled.to_csv(), local.to_csv(), "{name} csv");
+        }
+    }
+}

@@ -5,10 +5,9 @@ use std::fmt;
 
 use speedup_stacks::report::{Block, Column, Degraded, Provenance, Report, Table, Unit, Value};
 use speedup_stacks::SimError;
-use workloads::Suite;
 
 use crate::par::Parallelism;
-use crate::runner::{run_grid_ft, scaled_profile, RunOptions};
+use crate::runner::{run_grid_ft, PointSummary};
 use crate::study::{Study, StudyParams};
 
 /// The thread counts of the paper's sweep.
@@ -89,42 +88,48 @@ pub fn run_params(params: &StudyParams) -> Fig1 {
 pub fn run_params_ft(
     params: &StudyParams,
 ) -> Result<(Fig1, Degraded, Option<Provenance>), SimError> {
-    let counts = params.counts_or(&THREAD_COUNTS);
-    let benchmarks: Vec<workloads::WorkloadProfile> = [
-        workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
-        workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry"),
-        workloads::find("cholesky", Suite::Splash2).expect("catalog entry"),
-    ]
-    .iter()
-    .map(|p| scaled_profile(p, params.scale))
-    .collect();
-    let sweep: Vec<usize> = counts.iter().copied().filter(|&n| n > 1).collect();
+    let spec = crate::decompose::decompose("fig1", params).expect("fig1 is a grid study");
     let fp = crate::journal::fingerprint("fig1", params);
     let grid = run_grid_ft(
-        &benchmarks,
-        &sweep,
-        &|_, n| RunOptions {
-            mem: params.mem(),
-            ..RunOptions::symmetric(n)
-        },
+        spec.profiles(),
+        spec.counts(),
+        &|_, n| crate::decompose::options(params, n),
         &params.sweep("fig1", &fp),
     )?;
-    let curves = benchmarks
+    Ok((
+        fold(params, spec.profiles(), grid.rows),
+        grid.degraded,
+        grid.provenance,
+    ))
+}
+
+/// Folds the sweep's rows into the figure — shared by the local sweep
+/// above and the study service's remote assembly
+/// ([`crate::decompose::GridStudy::assemble`]), so the two paths produce
+/// byte-identical reports. The 1-thread point (1.0 by definition, never
+/// simulated) is synthesized here when the requested counts include it.
+pub(crate) fn fold(
+    params: &StudyParams,
+    profiles: &[workloads::WorkloadProfile],
+    rows: Vec<Vec<Option<PointSummary>>>,
+) -> Fig1 {
+    let counts = params.counts_or(&THREAD_COUNTS);
+    let curves = profiles
         .iter()
-        .zip(&grid.rows)
+        .zip(rows)
         .map(|(p, outs)| {
             let mut points = Vec::new();
             if counts.contains(&1) {
                 points.push((1usize, 1.0f64));
             }
-            points.extend(outs.iter().flatten().map(|o| (o.threads, o.actual)));
+            points.extend(outs.into_iter().flatten().map(|o| (o.threads, o.actual)));
             SpeedupCurve {
                 name: workloads::display_name(p),
                 points,
             }
         })
         .collect();
-    Ok((Fig1 { curves }, grid.degraded, grid.provenance))
+    Fig1 { curves }
 }
 
 impl Fig1 {
@@ -197,15 +202,12 @@ impl Study for Fig1Study {
 
     fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let (fig, degraded, provenance) = run_params_ft(params)?;
-        let mut report = fig.to_report();
-        if degraded.is_degraded() {
-            report.push(Block::Degraded(degraded));
-        }
-        if let Some(p) = provenance {
-            report.push(Block::Provenance(p));
-        }
-        params.record(&mut report);
-        Ok(report)
+        Ok(crate::decompose::finish(
+            fig.to_report(),
+            params,
+            degraded,
+            provenance,
+        ))
     }
 
     fn supports_journal(&self) -> bool {

@@ -14,10 +14,9 @@ use speedup_stacks::report::{
     Block, Column, Degraded, Provenance, Report, Scalar, Table, Unit, Value,
 };
 use speedup_stacks::{SimError, SpeedupStack};
-use workloads::Suite;
 
 use crate::par::Parallelism;
-use crate::runner::{run_grid_ft, scaled_profile, RunOptions};
+use crate::runner::{run_grid_ft, PointSummary};
 use crate::study::{Study, StudyParams};
 
 /// The multi-threaded counts validated in the paper.
@@ -188,25 +187,26 @@ pub fn run_params(params: &StudyParams) -> Fig4 {
 pub fn run_params_ft(
     params: &StudyParams,
 ) -> Result<(Fig4, Degraded, Option<Provenance>), SimError> {
-    let counts = params.counts_or(&THREAD_COUNTS);
-    let overhead_threads = counts.iter().copied().max().unwrap_or(16);
-    let profiles: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
-        .iter()
-        .map(|p| scaled_profile(p, params.scale))
-        .collect();
+    let spec = crate::decompose::decompose("fig4", params).expect("fig4 is a grid study");
     let fp = crate::journal::fingerprint("fig4", params);
     let grid = run_grid_ft(
-        &profiles,
-        &counts,
-        &|_, n| RunOptions {
-            mem: params.mem(),
-            ..RunOptions::symmetric(n)
-        },
+        spec.profiles(),
+        spec.counts(),
+        &|_, n| crate::decompose::options(params, n),
         &params.sweep("fig4", &fp),
     )?;
+    Ok((fold_fig4(params, grid.rows), grid.degraded, grid.provenance))
+}
+
+/// Folds the sweep's rows into Figure 4 — shared by the local sweep and
+/// the study service's remote assembly, so both produce byte-identical
+/// reports.
+pub(crate) fn fold_fig4(params: &StudyParams, rows: Vec<Vec<Option<PointSummary>>>) -> Fig4 {
+    let counts = params.counts_or(&THREAD_COUNTS);
+    let overhead_threads = counts.iter().copied().max().unwrap_or(16);
     let mut points = Vec::new();
     let mut overheads = Vec::new();
-    for outs in grid.rows {
+    for outs in rows {
         for out in outs.into_iter().flatten() {
             if out.threads == overhead_threads {
                 overheads.push((out.name.clone(), out.instruction_overhead));
@@ -219,15 +219,11 @@ pub fn run_params_ft(
             });
         }
     }
-    Ok((
-        Fig4 {
-            points,
-            instruction_overhead: overheads,
-            overhead_threads,
-        },
-        grid.degraded,
-        grid.provenance,
-    ))
+    Fig4 {
+        points,
+        instruction_overhead: overheads,
+        overhead_threads,
+    }
 }
 
 impl fmt::Display for Fig4 {
@@ -252,15 +248,12 @@ impl Study for Fig4Study {
 
     fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let (fig, degraded, provenance) = run_params_ft(params)?;
-        let mut report = fig.to_report();
-        if degraded.is_degraded() {
-            report.push(Block::Degraded(degraded));
-        }
-        if let Some(p) = provenance {
-            report.push(Block::Provenance(p));
-        }
-        params.record(&mut report);
-        Ok(report)
+        Ok(crate::decompose::finish(
+            fig.to_report(),
+            params,
+            degraded,
+            provenance,
+        ))
     }
 
     fn supports_journal(&self) -> bool {
@@ -311,33 +304,27 @@ pub fn run_fig5_params(params: &StudyParams) -> Fig5 {
 ///
 /// See [`crate::runner::run_grid_ft`].
 pub fn run_fig5_ft(params: &StudyParams) -> Result<(Fig5, Degraded, Option<Provenance>), SimError> {
-    let counts = params.counts_or(&THREAD_COUNTS);
-    let benchmarks: Vec<workloads::WorkloadProfile> = [
-        workloads::find("blackscholes", Suite::ParsecMedium).expect("catalog entry"),
-        workloads::find("facesim", Suite::ParsecMedium).expect("catalog entry"),
-        workloads::find("cholesky", Suite::Splash2).expect("catalog entry"),
-    ]
-    .iter()
-    .map(|p| scaled_profile(p, params.scale))
-    .collect();
+    let spec = crate::decompose::decompose("fig5", params).expect("fig5 is a grid study");
     let fp = crate::journal::fingerprint("fig5", params);
     let grid = run_grid_ft(
-        &benchmarks,
-        &counts,
-        &|_, n| RunOptions {
-            mem: params.mem(),
-            ..RunOptions::symmetric(n)
-        },
+        spec.profiles(),
+        spec.counts(),
+        &|_, n| crate::decompose::options(params, n),
         &params.sweep("fig5", &fp),
     )?;
-    let stacks = grid
-        .rows
+    Ok((fold_fig5(grid.rows), grid.degraded, grid.provenance))
+}
+
+/// Folds the sweep's rows into Figure 5 — shared by the local sweep and
+/// the study service's remote assembly.
+pub(crate) fn fold_fig5(rows: Vec<Vec<Option<PointSummary>>>) -> Fig5 {
+    let stacks = rows
         .into_iter()
         .flatten()
         .flatten()
         .map(|out| (format!("{} {}t", out.name, out.threads), out.stack))
         .collect();
-    Ok((Fig5 { stacks }, grid.degraded, grid.provenance))
+    Fig5 { stacks }
 }
 
 impl Fig5 {
@@ -395,15 +382,12 @@ impl Study for Fig5Study {
 
     fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let (fig, degraded, provenance) = run_fig5_ft(params)?;
-        let mut report = fig.to_report();
-        if degraded.is_degraded() {
-            report.push(Block::Degraded(degraded));
-        }
-        if let Some(p) = provenance {
-            report.push(Block::Provenance(p));
-        }
-        params.record(&mut report);
-        Ok(report)
+        Ok(crate::decompose::finish(
+            fig.to_report(),
+            params,
+            degraded,
+            provenance,
+        ))
     }
 
     fn supports_journal(&self) -> bool {

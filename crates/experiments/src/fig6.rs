@@ -11,7 +11,7 @@ use speedup_stacks::{
 };
 
 use crate::par::par_map;
-use crate::runner::{run_grid_ft, scaled_profile, RunOptions};
+use crate::runner::{run_grid_ft, PointSummary};
 use crate::study::{Study, StudyParams};
 
 /// Figure 6 data: the classification tree.
@@ -138,33 +138,30 @@ pub fn run_params(params: &StudyParams) -> Fig6 {
 pub fn run_params_ft(
     params: &StudyParams,
 ) -> Result<(Fig6, Degraded, Option<Provenance>), SimError> {
-    let threads = params.single_count(16);
-    let cfg = ClassificationConfig::default();
-    let profiles: Vec<workloads::WorkloadProfile> = workloads::paper_suite()
-        .iter()
-        .map(|p| scaled_profile(p, params.scale))
-        .collect();
+    let spec = crate::decompose::decompose("fig6", params).expect("fig6 is a grid study");
     let fp = crate::journal::fingerprint("fig6", params);
     let grid = run_grid_ft(
-        &profiles,
-        &[threads],
-        &|_, n| RunOptions {
-            mem: params.mem(),
-            ..RunOptions::symmetric(n)
-        },
+        spec.profiles(),
+        spec.counts(),
+        &|_, n| crate::decompose::options(params, n),
         &params.sweep("fig6", &fp),
     )?;
-    let entries = par_map(grid.rows.into_iter().flatten().flatten().collect(), |out| {
+    Ok((fold(params, grid.rows), grid.degraded, grid.provenance))
+}
+
+/// Folds the sweep's rows into the classification tree — shared by the
+/// local sweep and the study service's remote assembly (the
+/// classification itself is deterministic, so both paths agree).
+pub(crate) fn fold(params: &StudyParams, rows: Vec<Vec<Option<PointSummary>>>) -> Fig6 {
+    let threads = params.single_count(16);
+    let cfg = ClassificationConfig::default();
+    let entries = par_map(rows.into_iter().flatten().flatten().collect(), |out| {
         ClassifiedBenchmark::from_stack(out.name.clone(), out.suite.clone(), &out.stack, &cfg)
     });
-    Ok((
-        Fig6 {
-            tree: ClassificationTree::build(entries),
-            threads,
-        },
-        grid.degraded,
-        grid.provenance,
-    ))
+    Fig6 {
+        tree: ClassificationTree::build(entries),
+        threads,
+    }
 }
 
 impl fmt::Display for Fig6 {
@@ -189,15 +186,12 @@ impl Study for Fig6Study {
 
     fn run(&self, params: &StudyParams) -> Result<Report, SimError> {
         let (fig, degraded, provenance) = run_params_ft(params)?;
-        let mut report = fig.to_report();
-        if degraded.is_degraded() {
-            report.push(Block::Degraded(degraded));
-        }
-        if let Some(p) = provenance {
-            report.push(Block::Provenance(p));
-        }
-        params.record(&mut report);
-        Ok(report)
+        Ok(crate::decompose::finish(
+            fig.to_report(),
+            params,
+            degraded,
+            provenance,
+        ))
     }
 
     fn supports_journal(&self) -> bool {

@@ -1,0 +1,163 @@
+//! Input-source selection shared by the checker binaries: a positional
+//! argument of `-` (or no argument at all, where the tool allows it)
+//! means *read stdin*.
+//!
+//! Text consumers ([`InputSource::read_to_string`]) get the bytes
+//! directly. Path-only consumers — `tracecheck`'s
+//! [`workloads::trace::verify`] walks the file with seeks — get
+//! [`InputSource::materialize`]: stdin is spilled to a temporary file
+//! that is removed when the handle drops, while a real path is passed
+//! through untouched.
+
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Where a checker binary reads its input from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputSource {
+    /// Standard input (`-`, or an omitted argument).
+    Stdin,
+    /// A file path.
+    Path(String),
+}
+
+impl InputSource {
+    /// Interprets a positional argument: `None` or `"-"` is stdin,
+    /// anything else a path.
+    #[must_use]
+    pub fn from_arg(arg: Option<String>) -> InputSource {
+        match arg {
+            None => InputSource::Stdin,
+            Some(a) if a == "-" => InputSource::Stdin,
+            Some(path) => InputSource::Path(path),
+        }
+    }
+
+    /// Human-readable source name for diagnostics.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        match self {
+            InputSource::Stdin => "<stdin>",
+            InputSource::Path(p) => p,
+        }
+    }
+
+    /// Reads the whole source as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// The underlying read error; non-UTF-8 input surfaces as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn read_to_string(&self) -> io::Result<String> {
+        let mut out = String::new();
+        match self {
+            InputSource::Stdin => {
+                io::stdin().read_to_string(&mut out)?;
+            }
+            InputSource::Path(p) => {
+                out = std::fs::read_to_string(p)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Ensures the source exists as a file on disk: a path is passed
+    /// through, stdin is spilled (as raw bytes — trace files are binary)
+    /// to a temporary file removed when the returned handle drops.
+    ///
+    /// # Errors
+    ///
+    /// The underlying read/write error.
+    pub fn materialize(&self, tag: &str) -> io::Result<MaterializedInput> {
+        match self {
+            InputSource::Path(p) => Ok(MaterializedInput {
+                path: PathBuf::from(p),
+                temporary: false,
+            }),
+            InputSource::Stdin => {
+                static N: AtomicUsize = AtomicUsize::new(0);
+                let path = std::env::temp_dir().join(format!(
+                    "{tag}-stdin-{}-{}",
+                    std::process::id(),
+                    N.fetch_add(1, Ordering::Relaxed)
+                ));
+                let mut file = std::fs::File::create(&path)?;
+                let spill = io::copy(&mut io::stdin().lock(), &mut file).and_then(|_| file.flush());
+                if let Err(e) = spill {
+                    drop(file);
+                    std::fs::remove_file(&path).ok();
+                    return Err(e);
+                }
+                Ok(MaterializedInput {
+                    path,
+                    temporary: true,
+                })
+            }
+        }
+    }
+}
+
+/// A source guaranteed to exist as a file; removes its backing file on
+/// drop when it was a stdin spill.
+#[derive(Debug)]
+pub struct MaterializedInput {
+    path: PathBuf,
+    temporary: bool,
+}
+
+impl MaterializedInput {
+    /// The on-disk path to hand to path-only consumers.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for MaterializedInput {
+    fn drop(&mut self) {
+        if self.temporary {
+            std::fs::remove_file(&self.path).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_interpretation() {
+        assert_eq!(InputSource::from_arg(None), InputSource::Stdin);
+        assert_eq!(
+            InputSource::from_arg(Some("-".to_string())),
+            InputSource::Stdin
+        );
+        assert_eq!(
+            InputSource::from_arg(Some("a.json".to_string())),
+            InputSource::Path("a.json".to_string())
+        );
+        assert_eq!(InputSource::Stdin.label(), "<stdin>");
+        assert_eq!(InputSource::Path("x".to_string()).label(), "x");
+    }
+
+    #[test]
+    fn path_reads_and_materializes_without_copy() {
+        let path = std::env::temp_dir().join(format!("input-test-{}.txt", std::process::id()));
+        std::fs::write(&path, "hello").unwrap();
+        let src = InputSource::Path(path.display().to_string());
+        assert_eq!(src.read_to_string().unwrap(), "hello");
+        let m = src.materialize("test").unwrap();
+        assert_eq!(m.path(), path);
+        drop(m);
+        // A real path is never treated as temporary.
+        assert!(path.exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_path_errors() {
+        let src = InputSource::Path("/nonexistent/never/x".to_string());
+        assert!(src.read_to_string().is_err());
+    }
+}

@@ -114,6 +114,16 @@ pub fn unwrap_line(line: &str) -> Result<&str, String> {
 /// pattern.
 #[must_use]
 pub fn fingerprint(study: &str, params: &StudyParams) -> String {
+    crc_hex(canonical(study, params).as_bytes())
+}
+
+/// The canonical parameter string [`fingerprint`] hashes. Exposed for
+/// consumers that need a collision-free identity (the study service's
+/// result cache keys on this string directly — the 32-bit fingerprint
+/// alone could collide and silently serve another parameterization's
+/// results).
+#[must_use]
+pub fn canonical(study: &str, params: &StudyParams) -> String {
     let threads = params.threads.as_ref().map_or("-".to_string(), |t| {
         t.iter()
             .map(ToString::to_string)
@@ -121,11 +131,10 @@ pub fn fingerprint(study: &str, params: &StudyParams) -> String {
             .join(",")
     });
     let llc = params.llc_mib.map_or("-".to_string(), |m| m.to_string());
-    let canonical = format!(
+    format!(
         "study={study};scale={:016x};threads={threads};llc={llc}",
         params.scale.to_bits()
-    );
-    crc_hex(canonical.as_bytes())
+    )
 }
 
 /// Where a sweep journals to, and whether it starts by replaying.

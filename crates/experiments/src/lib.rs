@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod decompose;
 pub mod fig1;
 pub mod fig23;
 pub mod fig45;
@@ -43,6 +44,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig89;
 pub mod hwcost;
+pub mod input;
 pub mod journal;
 pub mod par;
 pub mod regions_demo;

@@ -1,0 +1,76 @@
+//! CLI tests for the shared stdin input source: `jsoncheck` and
+//! `tracecheck` both accept `-` (or no argument, for `jsoncheck`) and
+//! validate bytes piped through stdin exactly as they would a file.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use experiments::study::{find_study, StudyParams};
+use experiments::TraceSpec;
+
+fn run_with_stdin(bin: &str, args: &[&str], input: &[u8]) -> (i32, String, String) {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input)
+        .expect("feed stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn jsoncheck_validates_stdin_via_dash() {
+    let bin = env!("CARGO_BIN_EXE_jsoncheck");
+    let (code, _, stderr) = run_with_stdin(bin, &["-"], b"{\"a\": [1, 2, 3]}");
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("<stdin>: ok"), "{stderr}");
+
+    let (code, _, stderr) = run_with_stdin(bin, &["-"], b"{broken");
+    assert_ne!(code, 0);
+    assert!(stderr.contains("<stdin>"), "{stderr}");
+}
+
+#[test]
+fn tracecheck_validates_stdin_via_dash() {
+    let bin = env!("CARGO_BIN_EXE_tracecheck");
+
+    // A real captured trace piped through stdin verifies cleanly.
+    let dir = std::env::temp_dir().join(format!("stdin-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("fig1.trace");
+    let params = StudyParams {
+        scale: 0.01,
+        threads: Some(vec![2]),
+        trace: Some(TraceSpec {
+            path: trace_path.to_string_lossy().to_string(),
+            replay: false,
+        }),
+        ..StudyParams::default()
+    };
+    find_study("fig1").unwrap().run(&params).expect("capture");
+    let bytes = std::fs::read(&trace_path).expect("trace bytes");
+
+    let (code, stdout, stderr) = run_with_stdin(bin, &["-"], &bytes);
+    assert_eq!(code, 0, "stdout: {stdout} stderr: {stderr}");
+    assert!(stdout.contains("<stdin>"), "{stdout}");
+
+    // Garbage on stdin exits with the trace error code (9), exactly as
+    // a garbage file would.
+    let (code, _, stderr) = run_with_stdin(bin, &["-"], b"not a trace");
+    assert_eq!(code, 9, "{stderr}");
+    assert!(stderr.contains("<stdin>"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,5 +1,5 @@
 //! `repro` — regenerate every figure and table of the speedup-stacks
-//! paper through the study registry.
+//! paper through the study registry, locally or via a `studyd` server.
 //!
 //! Usage:
 //!
@@ -10,6 +10,9 @@
 //!       [--journal PATH | --resume PATH]
 //!       [--trace-out PATH | --trace-in PATH]
 //! repro --list
+//! repro serve [--addr HOST:PORT] [--workers N] [--cache-mib N]
+//! repro submit <study> [--addr HOST:PORT] [--scale F]
+//!       [--threads N[,N...]] [--llc-mib N] [--format text|json|csv]
 //! ```
 //!
 //! `--list` enumerates every registered study with its description.
@@ -42,23 +45,40 @@
 //! (validate a file with the `tracecheck` binary). Tracing is supported
 //! by the same grid studies as journaling.
 //!
+//! The service: `repro serve` runs a `studyd` server in the foreground
+//! (see the `studyd` binary for the daemon's own flags); `repro submit`
+//! sends a grid study to a running server, streams the per-point
+//! results back, and reassembles them into output **byte-identical** to
+//! the local run — repeated submissions are served from the server's
+//! result cache without recomputation.
+//!
 //! Exit codes: 0 success, 1 usage error, then one per
 //! [`SimError`] variant — 3 config, 4 stack, 5 journal, 6 point,
-//! 7 engine, 8 interrupted-at-checkpoint, 9 trace.
+//! 7 engine, 8 interrupted-at-checkpoint, 9 trace, 10 protocol/service.
 
+use std::io::Write;
 use std::process::ExitCode;
 
 use experiments::study::{find_study, registry, Study, StudyParams};
 use experiments::JournalSpec;
 use experiments::Parallelism;
 use experiments::TraceSpec;
+use service::client::Client;
+use service::server::{serve, ServeConfig};
 use speedup_stacks::SimError;
 
 const USAGE: &str = "usage: repro <fig1..fig9|hwcost|regions|scaling|all> [--scale F] \
 [--format text|json|csv] [--threads N[,N...]] [--parallelism auto|serial|N] [--llc-mib N]\n   \
         [--retries N] [--deadline-cycles N] [--max-points N] [--journal PATH | --resume PATH]\n   \
         [--trace-out PATH | --trace-in PATH]\n   \
-or: repro --list";
+or: repro --list\n   \
+or: repro serve [--addr HOST:PORT] [--workers N] [--cache-mib N]\n   \
+or: repro submit <study> [--addr HOST:PORT] [--scale F] [--threads N[,N...]] [--llc-mib N] \
+[--format text|json|csv]\n   \
+or: repro shutdown [--addr HOST:PORT]";
+
+/// The conventional loopback port shared with the `studyd` daemon.
+const DEFAULT_ADDR: &str = "127.0.0.1:7821";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -237,13 +257,17 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     })
 }
 
-fn emit(study: &dyn Study, params: &StudyParams, format: Format) -> Result<(), SimError> {
-    let report = study.run(params)?;
+fn print_report(report: &speedup_stacks::report::Report, format: Format) {
     match format {
         Format::Text => println!("{}", report.to_text()),
         Format::Json => print!("{}", report.to_json()),
         Format::Csv => print!("{}", report.to_csv()),
     }
+}
+
+fn emit(study: &dyn Study, params: &StudyParams, format: Format) -> Result<(), SimError> {
+    let report = study.run(params)?;
+    print_report(&report, format);
     Ok(())
 }
 
@@ -278,8 +302,145 @@ fn run_all(params: &StudyParams, format: Format) -> Result<(), SimError> {
     Ok(())
 }
 
+/// `repro serve`: a foreground `studyd` on the conventional port.
+fn serve_main(args: &[String]) -> ExitCode {
+    let cfg = match ServeConfig::from_args(DEFAULT_ADDR, args) {
+        Ok(cfg) => cfg,
+        Err(message) => {
+            eprintln!("repro: serve: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve(&cfg) {
+        Ok(handle) => {
+            // Flush explicitly: supervisors reading a pipe must see the
+            // bound address before the first client connects.
+            println!("studyd: listening on {}", handle.local_addr());
+            std::io::stdout().flush().ok();
+            handle.wait_for_shutdown();
+            handle.stop();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+/// `repro submit`: send one grid study to a server, reassemble the
+/// streamed points, and print output byte-identical to a local run.
+fn submit_main(args: &[String]) -> ExitCode {
+    let mut study: Option<String> = None;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut format = Format::Text;
+    let mut params = StudyParams::default();
+    let mut it = args.iter();
+    let usage_err = |message: String| {
+        eprintln!("repro: submit: {message}");
+        eprintln!("{USAGE}");
+        ExitCode::FAILURE
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) if !v.starts_with("--") => addr = v.clone(),
+                _ => return usage_err("--addr requires HOST:PORT".to_string()),
+            },
+            "--scale" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v > 0.0 => params.scale = v,
+                _ => return usage_err("--scale requires a positive finite number".to_string()),
+            },
+            "--threads" => match it.next() {
+                Some(spec) => match parse_threads(spec) {
+                    Ok(t) => params.threads = Some(t),
+                    Err(e) => return usage_err(e),
+                },
+                None => return usage_err("--threads requires a comma-separated list".to_string()),
+            },
+            "--llc-mib" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(mib) if mib >= 1 => params.llc_mib = Some(mib),
+                _ => return usage_err("--llc-mib requires a capacity in MiB >= 1".to_string()),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("csv") => format = Format::Csv,
+                _ => return usage_err("--format requires one of: text, json, csv".to_string()),
+            },
+            other if other.starts_with("--") => {
+                return usage_err(format!("unknown option: {other}"));
+            }
+            other if study.is_none() => study = Some(other.to_string()),
+            other => return usage_err(format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(study) = study else {
+        return usage_err("missing study name".to_string());
+    };
+    if find_study(&study).is_none() {
+        return usage_err(format!("unknown experiment: {study}"));
+    }
+
+    let outcome = Client::connect(&addr).and_then(|mut c| c.submit(&study, &params));
+    match outcome {
+        Ok(outcome) => {
+            eprintln!(
+                "repro: job {}: {} computed, {} cached, {} failed",
+                outcome.job, outcome.computed, outcome.cached, outcome.failed
+            );
+            print_report(&outcome.report, format);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+/// `repro shutdown`: ask a running server to exit through the protocol.
+fn shutdown_main(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) if !v.starts_with("--") => addr = v.clone(),
+                _ => {
+                    eprintln!("repro: shutdown: --addr requires HOST:PORT");
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("repro: shutdown: unexpected argument: {other}");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+        Ok(()) => {
+            eprintln!("repro: server at {addr} shutting down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(&args[1..]),
+        Some("submit") => return submit_main(&args[1..]),
+        Some("shutdown") => return shutdown_main(&args[1..]),
+        _ => {}
+    }
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
         Err(message) => {
@@ -306,7 +467,7 @@ fn main() -> ExitCode {
     };
     match run {
         Ok(()) => ExitCode::SUCCESS,
-        // Each SimError variant exits with its own code (3..=9) so
+        // Each SimError variant exits with its own code (3..=10) so
         // scripts — and the CI resume smoke test, which expects 8 for
         // interrupted-at-checkpoint — can branch on the failure class.
         Err(e) => {

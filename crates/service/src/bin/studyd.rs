@@ -1,0 +1,53 @@
+//! `studyd` — the long-lived study server.
+//!
+//! Usage:
+//!
+//! ```text
+//! studyd [--addr HOST:PORT] [--workers N] [--cache-mib N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7821`), prints the bound address, then
+//! serves `repro submit` clients until one sends the `shutdown` op.
+//! `--workers` sizes the shared simulation pool (default: one per
+//! available CPU); `--cache-mib` bounds the content-addressed result
+//! cache (default 64 MiB).
+//!
+//! Exit codes: 0 clean shutdown, 1 usage error, 10 protocol/socket
+//! failure (the [`speedup_stacks::SimError::Protocol`] code).
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use service::server::{serve, ServeConfig};
+
+const USAGE: &str = "usage: studyd [--addr HOST:PORT] [--workers N] [--cache-mib N]";
+
+/// The conventional loopback port `repro submit` defaults to.
+const DEFAULT_ADDR: &str = "127.0.0.1:7821";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match ServeConfig::from_args(DEFAULT_ADDR, &args) {
+        Ok(cfg) => cfg,
+        Err(message) => {
+            eprintln!("studyd: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve(&cfg) {
+        Ok(handle) => {
+            // Flush explicitly: supervisors reading a pipe must see the
+            // bound address before the first client connects.
+            println!("studyd: listening on {}", handle.local_addr());
+            std::io::stdout().flush().ok();
+            handle.wait_for_shutdown();
+            handle.stop();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("studyd: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}

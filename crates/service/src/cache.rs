@@ -1,0 +1,234 @@
+//! Content-addressed result cache with an LRU byte budget.
+//!
+//! Keys are built from the *canonical parameter string* of
+//! [`experiments::journal::canonical`] — study, exact scale bits,
+//! thread counts, LLC capacity — plus the unit kind and index
+//! ([`point_key`] / [`ref_key`]). The 32-bit journal fingerprint alone
+//! is deliberately **not** the key: a CRC collision would silently serve
+//! another parameterization's results, and a cache must never fabricate
+//! data. Values are the exact journal-record strings the sweep would
+//! write ([`experiments::PointSummary::to_record`]), so a cache hit
+//! reproduces a computed point bit for bit.
+//!
+//! Eviction is least-recently-used with lazy recency cleanup: every
+//! access pushes a `(key, tick)` stamp onto a queue; eviction pops
+//! stamps until it finds one that is still the keyed entry's latest.
+//! All counters (hits, misses, insertions, evictions) are reported
+//! through the `status` request.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Mutex, PoisonError};
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Values stored (including replacements).
+    pub insertions: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Live bytes (keys + values).
+    pub bytes: usize,
+    /// The byte budget.
+    pub budget: usize,
+}
+
+/// The cache key for one grid point's result.
+#[must_use]
+pub fn point_key(canonical: &str, index: usize) -> String {
+    format!("point:{canonical}:{index}")
+}
+
+/// The cache key for one profile's single-thread reference.
+#[must_use]
+pub fn ref_key(canonical: &str, pi: usize) -> String {
+    format!("ref:{canonical}:{pi}")
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: String,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    recency: VecDeque<(String, u64)>,
+    tick: u64,
+    bytes: usize,
+    budget: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+/// A thread-safe LRU string cache with a byte budget.
+#[derive(Debug)]
+pub struct Cache {
+    inner: Mutex<Inner>,
+}
+
+fn entry_bytes(key: &str, value: &str) -> usize {
+    key.len() + value.len()
+}
+
+impl Cache {
+    /// An empty cache bounded to `budget` bytes of keys + values.
+    #[must_use]
+    pub fn new(budget: usize) -> Cache {
+        Cache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                recency: VecDeque::new(),
+                tick: 0,
+                bytes: 0,
+                budget,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Looks a value up, refreshing its recency. Counts a hit or miss.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let value = entry.value.clone();
+                inner.recency.push_back((key.to_string(), tick));
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a value (replacing any previous one under the key), then
+    /// evicts least-recently-used entries until the budget holds. A
+    /// value larger than the whole budget simply doesn't stay cached.
+    pub fn put(&self, key: &str, value: &str) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let new_bytes = entry_bytes(key, value);
+        if let Some(old) = inner.map.insert(
+            key.to_string(),
+            Entry {
+                value: value.to_string(),
+                tick,
+            },
+        ) {
+            inner.bytes -= entry_bytes(key, &old.value);
+        }
+        inner.bytes += new_bytes;
+        inner.insertions += 1;
+        inner.recency.push_back((key.to_string(), tick));
+
+        while inner.bytes > inner.budget {
+            let Some((old_key, old_tick)) = inner.recency.pop_front() else {
+                break;
+            };
+            let evict = inner.map.get(&old_key).is_some_and(|e| e.tick == old_tick);
+            if evict {
+                let old = inner.map.remove(&old_key).expect("checked above");
+                inner.bytes -= entry_bytes(&old_key, &old.value);
+                inner.evictions += 1;
+            }
+        }
+        // Lazy-cleanup hygiene: drop stale recency stamps once they
+        // outnumber live entries badly, so long-running servers don't
+        // accumulate an unbounded stamp queue.
+        if inner.recency.len() > inner.map.len() * 2 + 64 {
+            let map = std::mem::take(&mut inner.map);
+            inner
+                .recency
+                .retain(|(k, t)| map.get(k).is_some_and(|e| e.tick == *t));
+            inner.map = map;
+        }
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            budget: inner.budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_replacement() {
+        let c = Cache::new(1024);
+        assert_eq!(c.get("a"), None);
+        c.put("a", "1");
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+        c.put("a", "22");
+        assert_eq!(c.get("a").as_deref(), Some("22"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (2, 1, 2));
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, "a".len() + "22".len());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        // Each entry is 10 bytes (5-byte key + 5-byte value); budget
+        // holds three.
+        let c = Cache::new(30);
+        c.put("key-a", "val-a");
+        c.put("key-b", "val-b");
+        c.put("key-c", "val-c");
+        // Touch a so b is the least recently used.
+        assert!(c.get("key-a").is_some());
+        c.put("key-d", "val-d");
+        assert!(c.get("key-b").is_none(), "LRU entry evicted");
+        assert!(c.get("key-a").is_some());
+        assert!(c.get("key-c").is_some());
+        assert!(c.get("key-d").is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_value_does_not_wedge_the_cache() {
+        let c = Cache::new(10);
+        c.put("k", &"x".repeat(100));
+        assert_eq!(c.stats().entries, 0, "over-budget entry evicted");
+        c.put("a", "1");
+        assert!(c.get("a").is_some(), "cache still works");
+    }
+
+    #[test]
+    fn keys_embed_canonical_identity() {
+        let k = point_key("study=fig6;scale=3fb0000000000000;threads=-;llc=-", 7);
+        assert!(k.starts_with("point:study=fig6"));
+        assert!(k.ends_with(":7"));
+        assert_ne!(ref_key("c", 1), point_key("c", 1), "kinds never collide");
+    }
+}

@@ -1,0 +1,342 @@
+//! The `studyd` client: connect, handshake, submit, reassemble.
+//!
+//! [`Client::submit`] is the heart of the remote path: it decomposes
+//! the study locally (the same [`experiments::decompose`] grid the
+//! server uses), streams the NDJSON point frames into per-index slots,
+//! and folds them through [`GridStudy::assemble`] — so the report it
+//! returns is **byte-identical** to a local `Study::run` with the same
+//! parameters, whichever order the points arrived in and however many
+//! were served from the server's cache.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use experiments::decompose::{decompose, GridStudy};
+use experiments::runner::PointSummary;
+use experiments::study::StudyParams;
+use speedup_stacks::error::ProtocolError;
+use speedup_stacks::report::json::{self, JsonValue};
+use speedup_stacks::report::{Degraded, DegradedPoint, Report};
+use speedup_stacks::SimError;
+
+use crate::proto::{
+    check_reply, io_err, params_to_wire, read_line_bounded, u64_field, write_line, PROTO_VERSION,
+    REPLY_LINE_CAP,
+};
+
+/// A connected, handshaken protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// One study entry from the server's `list` reply.
+#[derive(Debug, Clone)]
+pub struct RemoteStudy {
+    /// Registry name.
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Whether the server can shard it (grid studies only).
+    pub grid: bool,
+}
+
+/// The server's `status` reply: scheduler gauges plus cache counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStatus {
+    /// Worker-pool size.
+    pub workers: u64,
+    /// Jobs currently resolving points.
+    pub jobs_active: u64,
+    /// Jobs accepted since startup.
+    pub jobs_total: u64,
+    /// Work units queued but not executing.
+    pub queued_units: u64,
+    /// Points computed by the pool.
+    pub points_computed: u64,
+    /// Points served from the result cache.
+    pub points_cached: u64,
+    /// Points that failed.
+    pub points_failed: u64,
+    /// Cache lookups served.
+    pub cache_hits: u64,
+    /// Cache lookups missed.
+    pub cache_misses: u64,
+    /// Cache entries evicted for space.
+    pub cache_evictions: u64,
+    /// Live cache entries.
+    pub cache_entries: u64,
+    /// Live cache bytes.
+    pub cache_bytes: u64,
+}
+
+/// What a remote submission produced.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// The server's job id.
+    pub job: u64,
+    /// The reassembled report, byte-identical to a local run.
+    pub report: Report,
+    /// Points the server computed for this job.
+    pub computed: usize,
+    /// Points the server served from its cache.
+    pub cached: usize,
+    /// Points that failed (the report carries a `Degraded` block).
+    pub failed: usize,
+}
+
+impl Client {
+    /// Connects and completes the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`]: connect/write/read failures,
+    /// version mismatch, or a malformed greeting.
+    pub fn connect(addr: &str) -> Result<Client, SimError> {
+        let writer = TcpStream::connect(addr).map_err(|e| io_err("connect", &e))?;
+        writer.set_nodelay(true).ok();
+        let read_half = writer.try_clone().map_err(|e| io_err("connect", &e))?;
+        let mut client = Client {
+            reader: BufReader::new(read_half),
+            writer,
+        };
+        client.send(&format!(
+            "{{\"op\": \"hello\", \"proto\": {PROTO_VERSION}}}"
+        ))?;
+        let reply = client.recv("handshake")?;
+        if reply.get("kind").and_then(JsonValue::as_str) != Some("hello") {
+            return Err(ProtocolError::Malformed {
+                why: "server greeting is not a hello frame".to_string(),
+            }
+            .into());
+        }
+        Ok(client)
+    }
+
+    fn send(&mut self, frame: &str) -> Result<(), ProtocolError> {
+        write_line(&mut self.writer, frame)
+    }
+
+    /// Reads one reply frame, unwrapping `ok:false` into its typed
+    /// error. `during` names the phase for close diagnostics.
+    fn recv(&mut self, during: &str) -> Result<JsonValue, ProtocolError> {
+        let line = read_line_bounded(&mut self.reader, REPLY_LINE_CAP)?.ok_or_else(|| {
+            ProtocolError::Closed {
+                during: during.to_string(),
+            }
+        })?;
+        let frame = json::parse(&line).map_err(|e| ProtocolError::Malformed {
+            why: format!("invalid JSON reply: {e}"),
+        })?;
+        check_reply(frame)
+    }
+
+    /// Fetches the server's study registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on any wire failure.
+    pub fn list(&mut self) -> Result<Vec<RemoteStudy>, SimError> {
+        self.send("{\"op\": \"list\"}")?;
+        let reply = self.recv("list")?;
+        let studies = reply
+            .get("studies")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ProtocolError::Malformed {
+                why: "list reply lacks a 'studies' array".to_string(),
+            })?;
+        let mut out = Vec::with_capacity(studies.len());
+        for s in studies {
+            out.push(RemoteStudy {
+                name: field_str(s, "name")?,
+                description: field_str(s, "description")?,
+                grid: matches!(s.get("grid"), Some(JsonValue::Bool(true))),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Fetches scheduler and cache counters.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on any wire failure.
+    pub fn status(&mut self) -> Result<ServiceStatus, SimError> {
+        self.send("{\"op\": \"status\"}")?;
+        let reply = self.recv("status")?;
+        let cache = reply.get("cache").cloned().unwrap_or(JsonValue::Null);
+        let f = |v: &JsonValue, k: &str| u64_field(v, k).unwrap_or(0);
+        Ok(ServiceStatus {
+            workers: f(&reply, "workers"),
+            jobs_active: f(&reply, "jobs_active"),
+            jobs_total: f(&reply, "jobs_total"),
+            queued_units: f(&reply, "queued_units"),
+            points_computed: f(&reply, "points_computed"),
+            points_cached: f(&reply, "points_cached"),
+            points_failed: f(&reply, "points_failed"),
+            cache_hits: f(&cache, "hits"),
+            cache_misses: f(&cache, "misses"),
+            cache_evictions: f(&cache, "evictions"),
+            cache_entries: f(&cache, "entries"),
+            cache_bytes: f(&cache, "bytes"),
+        })
+    }
+
+    /// Cancels a job; `Ok(false)` when the server no longer knows it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on any wire failure.
+    pub fn cancel(&mut self, job: u64) -> Result<bool, SimError> {
+        self.send(&format!("{{\"op\": \"cancel\", \"job\": {job}}}"))?;
+        let reply = self.recv("cancel")?;
+        Ok(matches!(reply.get("found"), Some(JsonValue::Bool(true))))
+    }
+
+    /// Asks the server to shut down (acknowledged before it does).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on any wire failure.
+    pub fn shutdown(&mut self) -> Result<(), SimError> {
+        self.send("{\"op\": \"shutdown\"}")?;
+        self.recv("shutdown")?;
+        Ok(())
+    }
+
+    /// Submits a study and reassembles the streamed points into the
+    /// final [`Report`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for wire failures and typed server
+    /// rejections (unknown study, bad params, version drift).
+    pub fn submit(&mut self, study: &str, params: &StudyParams) -> Result<SubmitOutcome, SimError> {
+        let Some(grid) = decompose(study, params) else {
+            return Err(ProtocolError::Rejected {
+                code: "not-grid".to_string(),
+                message: format!("study '{study}' is not a sharded grid study"),
+            }
+            .into());
+        };
+        self.send(&format!(
+            "{{\"op\": \"submit\", \"study\": \"{}\", \"params\": {}}}",
+            json::escape(study),
+            params_to_wire(params)
+        ))?;
+        let accepted = self.recv("submit")?;
+        if accepted.get("kind").and_then(JsonValue::as_str) != Some("accepted") {
+            return Err(ProtocolError::Malformed {
+                why: "submit reply is not an accepted frame".to_string(),
+            }
+            .into());
+        }
+        let n = grid.n_points();
+        if u64_field(&accepted, "points") != Some(n as u64) {
+            return Err(ProtocolError::Malformed {
+                why: format!(
+                    "server decomposed '{study}' into {} points, this client expects {n} \
+                     (build drift between client and server?)",
+                    u64_field(&accepted, "points").unwrap_or(0)
+                ),
+            }
+            .into());
+        }
+        let job = u64_field(&accepted, "job").unwrap_or(0);
+        self.reassemble(job, &grid, params, n)
+    }
+
+    fn reassemble(
+        &mut self,
+        job: u64,
+        grid: &GridStudy,
+        params: &StudyParams,
+        n: usize,
+    ) -> Result<SubmitOutcome, SimError> {
+        let mut slots: Vec<Option<PointSummary>> = (0..n).map(|_| None).collect();
+        let mut failures: Vec<(usize, DegradedPoint)> = Vec::new();
+        let mut retried = 0usize;
+        loop {
+            let frame = self.recv("result stream")?;
+            match frame.get("kind").and_then(JsonValue::as_str) {
+                Some("point") => {
+                    let index = frame_index(&frame, n)?;
+                    let summary = frame
+                        .get("data")
+                        .and_then(PointSummary::from_record)
+                        .ok_or_else(|| ProtocolError::Malformed {
+                            why: format!("point {index} carries an unparsable record"),
+                        })?;
+                    if u64_field(&frame, "attempts").unwrap_or(1) > 1 {
+                        retried += 1;
+                    }
+                    slots[index] = Some(summary);
+                }
+                Some("failed") => {
+                    let index = frame_index(&frame, n)?;
+                    failures.push((
+                        index,
+                        DegradedPoint {
+                            label: field_str(&frame, "label").unwrap_or_else(|_| grid.label(index)),
+                            reason: field_str(&frame, "reason")
+                                .unwrap_or_else(|_| "unknown".to_string()),
+                            attempts: u64_field(&frame, "attempts").unwrap_or(1) as u32,
+                        },
+                    ));
+                }
+                Some("done") => {
+                    let computed = u64_field(&frame, "computed").unwrap_or(0) as usize;
+                    let cached = u64_field(&frame, "cached").unwrap_or(0) as usize;
+                    let failed = u64_field(&frame, "failed").unwrap_or(0) as usize;
+                    if matches!(frame.get("cancelled"), Some(JsonValue::Bool(true))) {
+                        return Err(ProtocolError::Rejected {
+                            code: "cancelled".to_string(),
+                            message: format!("job {job} was cancelled before completing"),
+                        }
+                        .into());
+                    }
+                    // The sweep reports failures in point order regardless
+                    // of completion order; match it.
+                    failures.sort_by_key(|(i, _)| *i);
+                    let degraded = Degraded {
+                        retried,
+                        failed: failures.into_iter().map(|(_, p)| p).collect(),
+                        ..Degraded::default()
+                    };
+                    let report = grid.assemble(params, slots, degraded, None);
+                    return Ok(SubmitOutcome {
+                        job,
+                        report,
+                        computed,
+                        cached,
+                        failed,
+                    });
+                }
+                _ => {
+                    return Err(ProtocolError::Malformed {
+                        why: "unexpected frame in result stream".to_string(),
+                    }
+                    .into())
+                }
+            }
+        }
+    }
+}
+
+fn field_str(v: &JsonValue, key: &str) -> Result<String, ProtocolError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtocolError::Malformed {
+            why: format!("frame lacks a string '{key}' field"),
+        })
+}
+
+fn frame_index(frame: &JsonValue, n: usize) -> Result<usize, ProtocolError> {
+    match u64_field(frame, "index") {
+        Some(i) if (i as usize) < n => Ok(i as usize),
+        _ => Err(ProtocolError::Malformed {
+            why: "frame carries an out-of-range point index".to_string(),
+        }),
+    }
+}

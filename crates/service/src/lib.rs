@@ -1,0 +1,61 @@
+//! `studyd`: the long-lived study service.
+//!
+//! The paper's figure sweeps are embarrassingly parallel grids of
+//! deterministic simulation points; this crate turns the `repro` driver
+//! into a client/server pair so many consumers can share one simulator
+//! pool and one result cache:
+//!
+//! - [`proto`] — the line-delimited JSON wire protocol (versioned
+//!   handshake, typed error frames, bounded line lengths);
+//! - [`cache`] — the content-addressed result cache (LRU byte budget,
+//!   keys derived from the journal's canonical parameter string);
+//! - [`scheduler`] — the shared worker pool with fair round-robin
+//!   sharding across jobs and per-unit fault domains;
+//! - [`server`] / [`session`] — the TCP listener and per-connection
+//!   request loop;
+//! - [`client`] — connect/submit/reassemble, producing reports
+//!   **byte-identical** to local runs.
+//!
+//! Everything is `std`-only — `TcpListener`, `TcpStream` and threads —
+//! matching the repo's no-external-dependencies rule. Protocol and
+//! socket failures surface as
+//! [`speedup_stacks::SimError::Protocol`] (exit code 10); nothing in
+//! this crate unwraps socket I/O.
+//!
+//! # Examples
+//!
+//! An in-process server round trip:
+//!
+//! ```
+//! use experiments::study::StudyParams;
+//! use service::{client::Client, server};
+//!
+//! let handle = server::serve(&server::ServeConfig {
+//!     workers: 1,
+//!     ..server::ServeConfig::default()
+//! })
+//! .unwrap();
+//! let mut client = Client::connect(&handle.local_addr().to_string()).unwrap();
+//! assert_eq!(client.list().unwrap().len(), 12);
+//! let params = StudyParams {
+//!     scale: 0.01,
+//!     threads: Some(vec![2]),
+//!     ..StudyParams::default()
+//! };
+//! let outcome = client.submit("fig1", &params).unwrap();
+//! assert_eq!(outcome.report.study, "fig1");
+//! handle.stop();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, SubmitOutcome};
+pub use server::{serve, ServeConfig, ServerHandle};

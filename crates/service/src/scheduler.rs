@@ -1,0 +1,713 @@
+//! The shared worker pool and fair job scheduler.
+//!
+//! Every connection's `submit` becomes a **job**: the study's grid
+//! decomposed into per-point work units ([`experiments::decompose`]).
+//! All jobs share one fixed pool of worker threads; the ready queues are
+//! drained **round-robin across jobs**, so a 28-point `fig6` submission
+//! cannot starve a 6-point `fig1` that arrived a moment later — each
+//! scheduling decision takes one unit from the front job, then rotates
+//! that job to the back.
+//!
+//! Units come in two kinds, with a dependency between them: a profile's
+//! single-thread **reference** must complete before that profile's
+//! **points** can run (a point's speedup is relative to it). The
+//! scheduler queues one reference per profile, parks the profile's
+//! points in a waiting list, and releases them when the reference
+//! lands. A failed reference cascades: every waiting point fails with
+//! the sweep's exact `"single-thread reference failed: …"` reason, so a
+//! remote `Degraded` block matches a local one byte for byte.
+//!
+//! Results land in the content-addressed [`crate::cache`] as they are
+//! computed, and cache hits at submit time are streamed back instantly
+//! without touching the pool. Each unit runs in its own fault domain
+//! (`catch_unwind` + the parameters' retry budget), mirroring
+//! [`experiments::par::try_map_mode`] — a panicking point degrades its
+//! job, never the server.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use experiments::decompose::GridStudy;
+use experiments::runner::PointSummary;
+use experiments::study::StudyParams;
+
+use crate::cache::{point_key, ref_key, Cache};
+
+/// One streamed event of a job's lifetime, in completion order.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// A grid point completed; `record` is the exact journal-record
+    /// JSON of its [`PointSummary`].
+    Point {
+        /// Row-major grid index.
+        index: usize,
+        /// Served from the result cache without recomputation.
+        cached: bool,
+        /// Fault-domain attempts spent (1 = first try).
+        attempts: u32,
+        /// The point's `PointSummary::to_record()` JSON.
+        record: String,
+    },
+    /// A grid point failed after exhausting its retry budget.
+    Failed {
+        /// Row-major grid index.
+        index: usize,
+        /// The sweep's label for the point (`"{benchmark} x{n}"`).
+        label: String,
+        /// Why the point failed (reference cascades included).
+        reason: String,
+        /// Fault-domain attempts spent.
+        attempts: u32,
+    },
+    /// The job finished (all points resolved, or cancelled).
+    Done {
+        /// Points computed by the pool.
+        computed: usize,
+        /// Points served from the cache.
+        cached: usize,
+        /// Points that failed.
+        failed: usize,
+        /// The job was cancelled before completing.
+        cancelled: bool,
+    },
+}
+
+/// A schedulable unit of work.
+#[derive(Debug, Clone, Copy)]
+enum Unit {
+    /// Profile `pi`'s single-thread reference.
+    Ref(usize),
+    /// Grid point `index`, unblocked by its profile's reference.
+    Point { index: usize, st: (u64, u64) },
+}
+
+/// Lifecycle of one profile's single-thread reference within a job.
+#[derive(Debug)]
+enum RefState {
+    /// Queued or running; these point indices wait on it.
+    InFlight { waiting: Vec<usize> },
+    /// Completed (waiting points have been released).
+    Done,
+    /// Failed; its waiting points have been cascaded.
+    Failed,
+}
+
+struct Job {
+    grid: Arc<GridStudy>,
+    params: StudyParams,
+    canonical: String,
+    ready: VecDeque<Unit>,
+    refs: HashMap<usize, RefState>,
+    /// Points not yet resolved (neither streamed nor failed).
+    outstanding: usize,
+    /// Units currently executing on workers.
+    in_flight: usize,
+    cancelled: bool,
+    computed: usize,
+    cached: usize,
+    failed: usize,
+    tx: Sender<JobEvent>,
+}
+
+struct SchedState {
+    jobs: HashMap<u64, Job>,
+    /// Round-robin order. Invariant: a job id appears here exactly once
+    /// iff its `ready` queue is non-empty.
+    rr: VecDeque<u64>,
+    next_job: u64,
+    shutdown: bool,
+    jobs_total: u64,
+    points_computed: u64,
+    points_cached: u64,
+    points_failed: u64,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    cond: Condvar,
+    cache: Arc<Cache>,
+}
+
+/// Counters and gauges reported through the `status` request.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerStatus {
+    /// Fixed worker-pool size.
+    pub workers: usize,
+    /// Jobs currently resolving points.
+    pub jobs_active: usize,
+    /// Jobs accepted since startup.
+    pub jobs_total: u64,
+    /// Work units queued but not yet executing.
+    pub queued_units: usize,
+    /// Points computed by the pool since startup.
+    pub points_computed: u64,
+    /// Points served from the cache since startup.
+    pub points_cached: u64,
+    /// Points failed since startup.
+    pub points_failed: u64,
+}
+
+/// The shared worker pool: submit jobs, stream their events, observe
+/// counters, stop cleanly.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    workers: usize,
+}
+
+/// Local mirror of the sweep's panic renderer (private to
+/// `experiments::par`): the common `&str`/`String` payloads as text.
+fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked: (non-string payload)".to_string()
+    }
+}
+
+/// One fault-isolated, bounded-retry run of `f`, mirroring
+/// `try_map_mode`'s budget semantics: `retries` extra attempts after
+/// the first. Returns the outcome and attempts spent.
+fn attempt_with_retries<R>(
+    retries: u32,
+    f: impl Fn() -> Result<R, String>,
+) -> (Result<R, String>, u32) {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let outcome = match catch_unwind(AssertUnwindSafe(&f)) {
+            Ok(r) => r,
+            Err(p) => Err(panic_payload(p.as_ref())),
+        };
+        match outcome {
+            Ok(r) => return (Ok(r), attempts),
+            Err(_) if attempts <= retries => {}
+            Err(e) => return (Err(e), attempts),
+        }
+    }
+}
+
+fn lock(shared: &Shared) -> std::sync::MutexGuard<'_, SchedState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Scheduler {
+    /// Starts a pool of `workers` threads (at least one).
+    #[must_use]
+    pub fn start(workers: usize, cache: Arc<Cache>) -> Scheduler {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                jobs: HashMap::new(),
+                rr: VecDeque::new(),
+                next_job: 1,
+                shutdown: false,
+                jobs_total: 0,
+                points_computed: 0,
+                points_cached: 0,
+                points_failed: 0,
+            }),
+            cond: Condvar::new(),
+            cache,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("studyd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Scheduler {
+            shared,
+            handles: Mutex::new(handles),
+            workers,
+        }
+    }
+
+    /// Submits a job: streams cache hits immediately, queues the rest
+    /// on the pool. Returns the job id and its event stream; the
+    /// receiver always ends with exactly one [`JobEvent::Done`].
+    pub fn submit(&self, grid: GridStudy, params: StudyParams) -> (u64, Receiver<JobEvent>) {
+        let canonical = experiments::journal::canonical(grid.study(), &params);
+        let grid = Arc::new(grid);
+        let (tx, rx) = channel();
+
+        // Resolve cache hits before taking the scheduler lock: streaming
+        // a warm job must not stall behind a busy pool.
+        let mut cached = 0usize;
+        let mut misses_by_profile: Vec<Vec<usize>> = vec![Vec::new(); grid.profiles().len()];
+        for index in 0..grid.n_points() {
+            match self.shared.cache.get(&point_key(&canonical, index)) {
+                Some(record) => {
+                    cached += 1;
+                    tx.send(JobEvent::Point {
+                        index,
+                        cached: true,
+                        attempts: 1,
+                        record,
+                    })
+                    .ok();
+                }
+                None => {
+                    let (pi, _) = grid.point(index);
+                    misses_by_profile[pi].push(index);
+                }
+            }
+        }
+
+        let mut ready = VecDeque::new();
+        let mut refs = HashMap::new();
+        let mut outstanding = 0usize;
+        for (pi, waiting) in misses_by_profile.into_iter().enumerate() {
+            if waiting.is_empty() {
+                continue;
+            }
+            outstanding += waiting.len();
+            let cached_ref = self
+                .shared
+                .cache
+                .get(&ref_key(&canonical, pi))
+                .and_then(|v| parse_ref_value(&v));
+            match cached_ref {
+                Some(st) => {
+                    refs.insert(pi, RefState::Done);
+                    for index in waiting {
+                        ready.push_back(Unit::Point { index, st });
+                    }
+                }
+                None => {
+                    ready.push_back(Unit::Ref(pi));
+                    refs.insert(pi, RefState::InFlight { waiting });
+                }
+            }
+        }
+
+        let mut st = lock(&self.shared);
+        let id = st.next_job;
+        st.next_job += 1;
+        st.jobs_total += 1;
+        st.points_cached += cached as u64;
+        if outstanding == 0 {
+            // Fully warm: the job never touches the pool.
+            tx.send(JobEvent::Done {
+                computed: 0,
+                cached,
+                failed: 0,
+                cancelled: false,
+            })
+            .ok();
+            return (id, rx);
+        }
+        st.jobs.insert(
+            id,
+            Job {
+                grid,
+                params,
+                canonical,
+                ready,
+                refs,
+                outstanding,
+                in_flight: 0,
+                cancelled: false,
+                computed: 0,
+                cached,
+                failed: 0,
+                tx,
+            },
+        );
+        st.rr.push_back(id);
+        drop(st);
+        self.shared.cond.notify_all();
+        (id, rx)
+    }
+
+    /// Cancels a job: queued units are dropped, in-flight units finish
+    /// (their results still land in the cache) without being streamed,
+    /// and the stream ends with `Done { cancelled: true }`. `false` if
+    /// the job is unknown or already finished.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut st = lock(&self.shared);
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return false;
+        };
+        job.cancelled = true;
+        let drained: Vec<Unit> = job.ready.drain(..).collect();
+        for unit in drained {
+            match unit {
+                Unit::Ref(pi) => {
+                    if let Some(RefState::InFlight { waiting }) = job.refs.remove(&pi) {
+                        job.outstanding -= waiting.len();
+                    }
+                }
+                Unit::Point { .. } => job.outstanding -= 1,
+            }
+        }
+        st.rr.retain(|&j| j != id);
+        finish_if_done(&mut st, id);
+        true
+    }
+
+    /// Snapshot of the pool's counters.
+    #[must_use]
+    pub fn status(&self) -> SchedulerStatus {
+        let st = lock(&self.shared);
+        SchedulerStatus {
+            workers: self.workers,
+            jobs_active: st.jobs.len(),
+            jobs_total: st.jobs_total,
+            queued_units: st.jobs.values().map(|j| j.ready.len()).sum(),
+            points_computed: st.points_computed,
+            points_cached: st.points_cached,
+            points_failed: st.points_failed,
+        }
+    }
+
+    /// The result cache this pool writes through.
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.shared.cache
+    }
+
+    /// Stops the pool: workers finish their current unit and exit.
+    /// Queued units are abandoned (their jobs' streams simply end
+    /// without a `Done`; sessions are torn down with the server).
+    pub fn stop(&self) {
+        lock(&self.shared).shutdown = true;
+        self.shared.cond.notify_all();
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            h.join().ok();
+        }
+    }
+}
+
+fn parse_ref_value(v: &str) -> Option<(u64, u64)> {
+    let mut it = v.split(' ');
+    let cycles = it.next()?.parse().ok()?;
+    let instructions = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some((cycles, instructions))
+}
+
+fn format_ref_value(st: (u64, u64)) -> String {
+    format!("{} {}", st.0, st.1)
+}
+
+/// What a worker needs to execute one unit outside the lock.
+struct Claim {
+    id: u64,
+    unit: Unit,
+    grid: Arc<GridStudy>,
+    params: StudyParams,
+    canonical: String,
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let claim = {
+            let mut st = lock(shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(id) = st.rr.pop_front() {
+                    let job = st.jobs.get_mut(&id).expect("rr entries are live jobs");
+                    let unit = job.ready.pop_front().expect("rr entries have ready work");
+                    if !job.ready.is_empty() {
+                        st.rr.push_back(id);
+                    }
+                    let job = st.jobs.get_mut(&id).expect("still live");
+                    job.in_flight += 1;
+                    break Claim {
+                        id,
+                        unit,
+                        grid: Arc::clone(&job.grid),
+                        params: job.params.clone(),
+                        canonical: job.canonical.clone(),
+                    };
+                }
+                st = shared.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        let retries = claim.params.faults.retries;
+        match claim.unit {
+            Unit::Ref(pi) => {
+                let (outcome, attempts) = attempt_with_retries(retries, || {
+                    claim.grid.compute_reference(&claim.params, pi)
+                });
+                if let Ok(st) = outcome {
+                    shared
+                        .cache
+                        .put(&ref_key(&claim.canonical, pi), &format_ref_value(st));
+                }
+                let mut st = lock(shared);
+                apply_ref(&mut st, claim.id, pi, outcome, attempts);
+                drop(st);
+                shared.cond.notify_all();
+            }
+            Unit::Point { index, st: stref } => {
+                let (outcome, attempts) = attempt_with_retries(retries, || {
+                    claim
+                        .grid
+                        .compute_point(&claim.params, index, stref)
+                        .map(|s| s.to_record())
+                });
+                if let Ok(record) = &outcome {
+                    shared
+                        .cache
+                        .put(&point_key(&claim.canonical, index), record);
+                }
+                let mut st = lock(shared);
+                apply_point(&mut st, claim.id, index, outcome, attempts);
+            }
+        }
+    }
+}
+
+fn apply_ref(
+    st: &mut SchedState,
+    id: u64,
+    pi: usize,
+    outcome: Result<(u64, u64), String>,
+    attempts: u32,
+) {
+    let job = st.jobs.get_mut(&id).expect("in-flight jobs stay live");
+    job.in_flight -= 1;
+    let waiting = match job.refs.get_mut(&pi) {
+        Some(RefState::InFlight { waiting }) => std::mem::take(waiting),
+        _ => Vec::new(),
+    };
+    match outcome {
+        Ok(stv) => {
+            job.refs.insert(pi, RefState::Done);
+            if job.cancelled {
+                job.outstanding -= waiting.len();
+            } else {
+                let was_empty = job.ready.is_empty();
+                for index in waiting {
+                    job.ready.push_back(Unit::Point { index, st: stv });
+                }
+                if was_empty && !job.ready.is_empty() {
+                    st.rr.push_back(id);
+                }
+            }
+        }
+        Err(reason) => {
+            job.refs.insert(pi, RefState::Failed);
+            let n = waiting.len();
+            job.outstanding -= n;
+            if !job.cancelled {
+                for index in waiting {
+                    job.tx
+                        .send(JobEvent::Failed {
+                            index,
+                            label: job.grid.label(index),
+                            reason: format!("single-thread reference failed: {reason}"),
+                            attempts,
+                        })
+                        .ok();
+                }
+                job.failed += n;
+                st.points_failed += n as u64;
+            }
+        }
+    }
+    finish_if_done(st, id);
+}
+
+fn apply_point(
+    st: &mut SchedState,
+    id: u64,
+    index: usize,
+    outcome: Result<String, String>,
+    attempts: u32,
+) {
+    let job = st.jobs.get_mut(&id).expect("in-flight jobs stay live");
+    job.in_flight -= 1;
+    job.outstanding -= 1;
+    if !job.cancelled {
+        match outcome {
+            Ok(record) => {
+                job.computed += 1;
+                st.points_computed += 1;
+                let job = st.jobs.get_mut(&id).expect("still live");
+                job.tx
+                    .send(JobEvent::Point {
+                        index,
+                        cached: false,
+                        attempts,
+                        record,
+                    })
+                    .ok();
+            }
+            Err(reason) => {
+                job.failed += 1;
+                st.points_failed += 1;
+                let job = st.jobs.get_mut(&id).expect("still live");
+                job.tx
+                    .send(JobEvent::Failed {
+                        index,
+                        label: job.grid.label(index),
+                        reason,
+                        attempts,
+                    })
+                    .ok();
+            }
+        }
+    }
+    finish_if_done(st, id);
+}
+
+fn finish_if_done(st: &mut SchedState, id: u64) {
+    let done = st
+        .jobs
+        .get(&id)
+        .is_some_and(|j| j.outstanding == 0 && j.in_flight == 0);
+    if done {
+        let job = st.jobs.remove(&id).expect("checked above");
+        st.rr.retain(|&j| j != id);
+        job.tx
+            .send(JobEvent::Done {
+                computed: job.computed,
+                cached: job.cached,
+                failed: job.failed,
+                cancelled: job.cancelled,
+            })
+            .ok();
+    }
+}
+
+/// Re-parse a streamed record into a [`PointSummary`] (used by tests
+/// and the client's reassembly).
+#[must_use]
+pub fn record_to_summary(record: &str) -> Option<PointSummary> {
+    let v = speedup_stacks::report::json::parse(record).ok()?;
+    PointSummary::from_record(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(study: &str, params: &StudyParams) -> GridStudy {
+        experiments::decompose::decompose(study, params).expect("grid study")
+    }
+
+    fn small_params() -> StudyParams {
+        StudyParams {
+            scale: 0.01,
+            threads: Some(vec![2]),
+            ..StudyParams::default()
+        }
+    }
+
+    /// Drains a job's stream to completion, asserting the terminal Done.
+    #[allow(clippy::type_complexity)]
+    fn drain(rx: &Receiver<JobEvent>) -> (Vec<(usize, bool, String)>, usize, usize, usize, bool) {
+        let mut points = Vec::new();
+        loop {
+            match rx.recv().expect("stream ends with Done") {
+                JobEvent::Point {
+                    index,
+                    cached,
+                    record,
+                    ..
+                } => points.push((index, cached, record)),
+                JobEvent::Failed { .. } => points.push((usize::MAX, false, String::new())),
+                JobEvent::Done {
+                    computed,
+                    cached,
+                    failed,
+                    cancelled,
+                } => return (points, computed, cached, failed, cancelled),
+            }
+        }
+    }
+
+    #[test]
+    fn cold_then_warm_submission() {
+        let cache = Arc::new(Cache::new(64 * 1024 * 1024));
+        let sched = Scheduler::start(2, Arc::clone(&cache));
+        let params = small_params();
+        let g = grid("fig1", &params);
+        let n = g.n_points();
+
+        let (_, rx) = sched.submit(g.clone(), params.clone());
+        let (cold, computed, cached, failed, cancelled) = drain(&rx);
+        assert_eq!((computed, cached, failed, cancelled), (n, 0, 0, false));
+        assert_eq!(cold.len(), n);
+
+        let (_, rx) = sched.submit(g, params);
+        let (warm, computed, cached, failed, _) = drain(&rx);
+        assert_eq!((computed, cached, failed), (0, n, 0));
+        // Warm results are byte-identical records, served in index order.
+        let mut cold_sorted = cold.clone();
+        cold_sorted.sort_by_key(|(i, _, _)| *i);
+        for (i, (index, was_cached, record)) in warm.iter().enumerate() {
+            assert_eq!(*index, i);
+            assert!(was_cached);
+            assert_eq!(record, &cold_sorted[i].2, "point {i} record identical");
+        }
+
+        let s = sched.status();
+        assert_eq!(s.points_computed, n as u64);
+        assert_eq!(s.points_cached, n as u64);
+        assert_eq!(s.jobs_total, 2);
+        assert_eq!(s.jobs_active, 0);
+        sched.stop();
+    }
+
+    #[test]
+    fn distinct_params_do_not_share_cache_entries() {
+        let cache = Arc::new(Cache::new(64 * 1024 * 1024));
+        let sched = Scheduler::start(1, Arc::clone(&cache));
+        let a = small_params();
+        let b = StudyParams {
+            scale: 0.02,
+            ..small_params()
+        };
+        let (_, rx) = sched.submit(grid("fig1", &a), a.clone());
+        drain(&rx);
+        let (_, rx) = sched.submit(grid("fig1", &b), b.clone());
+        let (_, computed, cached, _, _) = drain(&rx);
+        assert_eq!(cached, 0, "different scale bits must miss");
+        assert!(computed > 0);
+        sched.stop();
+    }
+
+    #[test]
+    fn cancel_unknown_job_is_false() {
+        let sched = Scheduler::start(1, Arc::new(Cache::new(1024)));
+        assert!(!sched.cancel(42));
+        sched.stop();
+    }
+
+    #[test]
+    fn streamed_records_parse_back() {
+        let cache = Arc::new(Cache::new(64 * 1024 * 1024));
+        let sched = Scheduler::start(2, cache);
+        let params = small_params();
+        let g = grid("fig5", &params);
+        let (_, rx) = sched.submit(g, params);
+        let (points, ..) = drain(&rx);
+        for (_, _, record) in &points {
+            assert!(record_to_summary(record).is_some(), "record round-trips");
+        }
+        sched.stop();
+    }
+}

@@ -1,0 +1,177 @@
+//! The `studyd` TCP server: bind, accept, one session thread per
+//! connection, all sessions sharing one scheduler pool and one result
+//! cache.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use speedup_stacks::SimError;
+
+use crate::cache::Cache;
+use crate::proto::io_err;
+use crate::scheduler::Scheduler;
+use crate::session;
+
+/// Server configuration with offline-friendly defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` asks the OS for a free port.
+    pub addr: String,
+    /// Worker-pool size; `0` = one per available CPU.
+    pub workers: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            cache_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Parses the shared server flags (`--addr HOST:PORT`,
+    /// `--workers N`, `--cache-mib N`) used by both `studyd` and
+    /// `repro serve`. `default_addr` is the bind address when `--addr`
+    /// is absent.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable usage message.
+    pub fn from_args(default_addr: &str, args: &[String]) -> Result<ServeConfig, String> {
+        let mut cfg = ServeConfig {
+            addr: default_addr.to_string(),
+            ..ServeConfig::default()
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--addr" => match it.next() {
+                    Some(addr) if !addr.starts_with("--") => cfg.addr = addr.clone(),
+                    _ => return Err("--addr requires HOST:PORT".to_string()),
+                },
+                "--workers" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => cfg.workers = n,
+                    _ => return Err("--workers requires a worker count >= 1".to_string()),
+                },
+                "--cache-mib" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(mib) if mib >= 1 => cfg.cache_bytes = mib * 1024 * 1024,
+                    _ => return Err("--cache-mib requires a budget in MiB >= 1".to_string()),
+                },
+                other => return Err(format!("unknown option: {other}")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// A running server: its bound address, its scheduler, and the handles
+/// needed to stop it cleanly.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop_flag: Arc<AtomicBool>,
+    shutdown_rx: Receiver<()>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    scheduler: Arc<Scheduler>,
+}
+
+/// Binds and starts serving. Returns as soon as the listener is live;
+/// sessions and sweeps run on background threads.
+///
+/// # Errors
+///
+/// [`SimError::Protocol`] when the bind fails.
+pub fn serve(cfg: &ServeConfig) -> Result<ServerHandle, SimError> {
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| io_err("bind", &e))?;
+    let local_addr = listener.local_addr().map_err(|e| io_err("bind", &e))?;
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.workers
+    };
+    let scheduler = Arc::new(Scheduler::start(
+        workers,
+        Arc::new(Cache::new(cfg.cache_bytes)),
+    ));
+    let stop_flag = Arc::new(AtomicBool::new(false));
+    let (shutdown_tx, shutdown_rx) = channel();
+
+    let accept = {
+        let scheduler = Arc::clone(&scheduler);
+        let stop_flag = Arc::clone(&stop_flag);
+        std::thread::Builder::new()
+            .name("studyd-accept".to_string())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stop_flag.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let scheduler = Arc::clone(&scheduler);
+                        let shutdown_tx = shutdown_tx.clone();
+                        std::thread::Builder::new()
+                            .name("studyd-session".to_string())
+                            .spawn(move || session::run(stream, scheduler, shutdown_tx))
+                            .ok();
+                    }
+                    Err(_) => {
+                        if stop_flag.load(Ordering::SeqCst) {
+                            return;
+                        }
+                    }
+                }
+            })
+            .map_err(|e| io_err("spawn", &e))?
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        stop_flag,
+        shutdown_rx,
+        accept: Mutex::new(Some(accept)),
+        scheduler,
+    })
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared scheduler (status, tests).
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Blocks until some client sends the `shutdown` op.
+    pub fn wait_for_shutdown(&self) {
+        self.shutdown_rx.recv().ok();
+    }
+
+    /// Stops accepting, then stops the worker pool. Live sessions whose
+    /// clients are still connected end when those clients disconnect.
+    pub fn stop(&self) {
+        self.stop_flag.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        TcpStream::connect(self.local_addr).ok();
+        if let Some(h) = self
+            .accept
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            h.join().ok();
+        }
+        self.scheduler.stop();
+    }
+}

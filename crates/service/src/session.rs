@@ -1,0 +1,360 @@
+//! One client connection: handshake, request loop, result streaming.
+//!
+//! Error severity is graded. Frames that prove the peer does not speak
+//! the protocol — malformed JSON, an oversized line, a broken handshake
+//! — get one typed error frame and the connection closes. Frames that
+//! are well-formed but name something invalid — an unknown op, an
+//! unknown study, bad parameters — get a typed error reply and the
+//! connection **stays open**, so an interactive client can correct
+//! itself without reconnecting. No socket failure is ever unwrapped: a
+//! peer that vanishes mid-stream cancels its job and ends the session
+//! quietly.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+use experiments::decompose::decompose;
+use experiments::study::{find_study, registry};
+use speedup_stacks::error::ProtocolError;
+use speedup_stacks::report::json::{self, JsonValue};
+
+use crate::cache::CacheStats;
+use crate::proto::{
+    error_frame, params_from_wire, read_line_bounded, u64_field, write_line, PROTO_VERSION,
+    REQUEST_LINE_CAP,
+};
+use crate::scheduler::{JobEvent, Scheduler, SchedulerStatus};
+
+/// Outcome of handling one request: keep serving or end the session.
+enum Flow {
+    Continue,
+    Close,
+}
+
+/// Serves one accepted connection to completion. Never panics on
+/// socket I/O; all failures end the session.
+pub fn run(stream: TcpStream, scheduler: Arc<Scheduler>, shutdown_tx: Sender<()>) {
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    if handshake(&mut reader, &mut writer).is_none() {
+        return;
+    }
+
+    loop {
+        let line = match read_line_bounded(&mut reader, REQUEST_LINE_CAP) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // clean disconnect
+            Err(ProtocolError::Oversized { limit }) => {
+                send_error(
+                    &mut writer,
+                    "oversized",
+                    &format!("request frame exceeds the {limit}-byte line cap"),
+                );
+                return;
+            }
+            Err(ProtocolError::Malformed { why }) => {
+                send_error(&mut writer, "malformed", &why);
+                return;
+            }
+            Err(_) => return,
+        };
+        let frame = match json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                send_error(&mut writer, "malformed", &format!("invalid JSON: {e}"));
+                return;
+            }
+        };
+        match handle_request(&frame, &mut writer, &scheduler, &shutdown_tx) {
+            Flow::Continue => {}
+            Flow::Close => return,
+        }
+    }
+}
+
+/// The handshake: the first frame must be a version-matching `hello`.
+/// `None` ends the session (the error frame, if any, was already sent).
+fn handshake(reader: &mut BufReader<TcpStream>, writer: &mut BufWriter<TcpStream>) -> Option<()> {
+    let line = match read_line_bounded(reader, REQUEST_LINE_CAP) {
+        Ok(Some(line)) => line,
+        Ok(None) => return None,
+        Err(ProtocolError::Oversized { limit }) => {
+            send_error(
+                writer,
+                "oversized",
+                &format!("request frame exceeds the {limit}-byte line cap"),
+            );
+            return None;
+        }
+        Err(ProtocolError::Malformed { why }) => {
+            send_error(writer, "malformed", &why);
+            return None;
+        }
+        Err(_) => return None,
+    };
+    let Ok(frame) = json::parse(&line) else {
+        send_error(writer, "malformed", "handshake frame is not valid JSON");
+        return None;
+    };
+    if frame.get("op").and_then(JsonValue::as_str) != Some("hello") {
+        send_error(
+            writer,
+            "handshake-required",
+            "the first frame must be {\"op\": \"hello\", \"proto\": 1}",
+        );
+        return None;
+    }
+    let Some(found) = u64_field(&frame, "proto") else {
+        send_error(writer, "malformed", "hello frame lacks an integer 'proto'");
+        return None;
+    };
+    if found != PROTO_VERSION {
+        // A version-mismatch frame carries both versions so the client
+        // can render a precise diagnostic.
+        let msg = format!(
+            "{{\"ok\": false, \"error\": \"version-mismatch\", \"message\": \
+             \"protocol version {found} unsupported (this server speaks version \
+             {PROTO_VERSION})\", \"found\": {found}, \"supported\": {PROTO_VERSION}}}"
+        );
+        write_line(writer, &msg).ok();
+        return None;
+    }
+    write_line(
+        writer,
+        &format!("{{\"ok\": true, \"kind\": \"hello\", \"proto\": {PROTO_VERSION}, \"server\": \"studyd\"}}"),
+    )
+    .ok()?;
+    Some(())
+}
+
+fn send_error(writer: &mut BufWriter<TcpStream>, code: &str, message: &str) {
+    write_line(writer, &error_frame(code, message)).ok();
+}
+
+fn handle_request(
+    frame: &JsonValue,
+    writer: &mut BufWriter<TcpStream>,
+    scheduler: &Arc<Scheduler>,
+    shutdown_tx: &Sender<()>,
+) -> Flow {
+    let Some(op) = frame.get("op").and_then(JsonValue::as_str) else {
+        send_error(writer, "bad-request", "frame lacks a string 'op' field");
+        return Flow::Continue;
+    };
+    match op {
+        "list" => {
+            if write_line(writer, &list_frame()).is_err() {
+                return Flow::Close;
+            }
+            Flow::Continue
+        }
+        "status" => {
+            let frame = status_frame(&scheduler.status(), &scheduler.cache().stats());
+            if write_line(writer, &frame).is_err() {
+                return Flow::Close;
+            }
+            Flow::Continue
+        }
+        "cancel" => {
+            let Some(job) = u64_field(frame, "job") else {
+                send_error(writer, "bad-request", "cancel needs an integer 'job' field");
+                return Flow::Continue;
+            };
+            let found = scheduler.cancel(job);
+            let reply = format!(
+                "{{\"ok\": true, \"kind\": \"cancelled\", \"job\": {job}, \"found\": {found}}}"
+            );
+            if write_line(writer, &reply).is_err() {
+                return Flow::Close;
+            }
+            Flow::Continue
+        }
+        "shutdown" => {
+            write_line(writer, "{\"ok\": true, \"kind\": \"shutdown\"}").ok();
+            shutdown_tx.send(()).ok();
+            Flow::Close
+        }
+        "submit" => handle_submit(frame, writer, scheduler),
+        other => {
+            send_error(writer, "bad-request", &format!("unknown op '{other}'"));
+            Flow::Continue
+        }
+    }
+}
+
+fn handle_submit(
+    frame: &JsonValue,
+    writer: &mut BufWriter<TcpStream>,
+    scheduler: &Arc<Scheduler>,
+) -> Flow {
+    let Some(study) = frame.get("study").and_then(JsonValue::as_str) else {
+        send_error(writer, "bad-request", "submit needs a string 'study' field");
+        return Flow::Continue;
+    };
+    if find_study(study).is_none() {
+        send_error(
+            writer,
+            "unknown-study",
+            &format!("no study named '{study}'"),
+        );
+        return Flow::Continue;
+    }
+    let params = match params_from_wire(frame.get("params")) {
+        Ok(p) => p,
+        Err(why) => {
+            send_error(writer, "bad-params", &why);
+            return Flow::Continue;
+        }
+    };
+    let Some(grid) = decompose(study, &params) else {
+        send_error(
+            writer,
+            "not-grid",
+            &format!("study '{study}' is not a sharded grid study"),
+        );
+        return Flow::Continue;
+    };
+    if let Err(e) = grid.validate() {
+        send_error(writer, "bad-params", &e.to_string());
+        return Flow::Continue;
+    }
+
+    let fingerprint = experiments::journal::fingerprint(study, &params);
+    let points = grid.n_points();
+    let (job, rx) = scheduler.submit(grid, params);
+    let accepted = format!(
+        "{{\"ok\": true, \"kind\": \"accepted\", \"job\": {job}, \"study\": \"{}\", \
+         \"points\": {points}, \"fingerprint\": \"{}\"}}",
+        json::escape(study),
+        json::escape(&fingerprint)
+    );
+    if write_line(writer, &accepted).is_err() {
+        scheduler.cancel(job);
+        drain(&rx);
+        return Flow::Close;
+    }
+
+    // Stream results as they complete. A write failure means the peer
+    // is gone: cancel the job so queued points stop consuming the pool.
+    loop {
+        let event = match rx.recv() {
+            Ok(e) => e,
+            Err(_) => return Flow::Close, // scheduler shut down mid-job
+        };
+        let (line, done) = event_frame(job, &event);
+        if write_line(writer, &line).is_err() {
+            scheduler.cancel(job);
+            if !done {
+                drain(&rx);
+            }
+            return Flow::Close;
+        }
+        if done {
+            return Flow::Continue;
+        }
+    }
+}
+
+/// Renders one job event as its wire frame; `true` marks the terminal
+/// `done` frame.
+fn event_frame(job: u64, event: &JobEvent) -> (String, bool) {
+    match event {
+        JobEvent::Point {
+            index,
+            cached,
+            attempts,
+            record,
+        } => (
+            format!(
+                "{{\"ok\": true, \"kind\": \"point\", \"job\": {job}, \"index\": {index}, \
+                 \"cached\": {cached}, \"attempts\": {attempts}, \"data\": {record}}}"
+            ),
+            false,
+        ),
+        JobEvent::Failed {
+            index,
+            label,
+            reason,
+            attempts,
+        } => (
+            format!(
+                "{{\"ok\": true, \"kind\": \"failed\", \"job\": {job}, \"index\": {index}, \
+                 \"label\": \"{}\", \"reason\": \"{}\", \"attempts\": {attempts}}}",
+                json::escape(label),
+                json::escape(reason)
+            ),
+            false,
+        ),
+        JobEvent::Done {
+            computed,
+            cached,
+            failed,
+            cancelled,
+        } => (
+            format!(
+                "{{\"ok\": true, \"kind\": \"done\", \"job\": {job}, \"computed\": {computed}, \
+                 \"cached\": {cached}, \"failed\": {failed}, \"cancelled\": {cancelled}}}"
+            ),
+            true,
+        ),
+    }
+}
+
+/// Consumes a cancelled job's remaining events so its sender never
+/// blocks (channels are unbounded, but the terminal `Done` should be
+/// observed before the receiver drops).
+fn drain(rx: &std::sync::mpsc::Receiver<JobEvent>) {
+    while let Ok(event) = rx.recv() {
+        if matches!(event, JobEvent::Done { .. }) {
+            return;
+        }
+    }
+}
+
+fn list_frame() -> String {
+    let mut out = String::from("{\"ok\": true, \"kind\": \"list\", \"studies\": [");
+    for (i, s) in registry().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"description\": \"{}\", \"grid\": {}}}",
+            json::escape(s.name()),
+            json::escape(s.description()),
+            s.supports_journal()
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn status_frame(s: &SchedulerStatus, c: &CacheStats) -> String {
+    format!(
+        "{{\"ok\": true, \"kind\": \"status\", \"proto\": {PROTO_VERSION}, \
+         \"workers\": {}, \"jobs_active\": {}, \"jobs_total\": {}, \"queued_units\": {}, \
+         \"points_computed\": {}, \"points_cached\": {}, \"points_failed\": {}, \
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \
+         \"entries\": {}, \"bytes\": {}, \"budget\": {}}}}}",
+        s.workers,
+        s.jobs_active,
+        s.jobs_total,
+        s.queued_units,
+        s.points_computed,
+        s.points_cached,
+        s.points_failed,
+        c.hits,
+        c.misses,
+        c.insertions,
+        c.evictions,
+        c.entries,
+        c.bytes,
+        c.budget
+    )
+}

@@ -1,0 +1,304 @@
+//! Integration tests for the `studyd` service: concurrent-client
+//! stress with bit-identical reassembly and cache-hit accounting, plus
+//! adversarial protocol abuse — every malformed, oversized or
+//! version-drifted frame must produce a typed rejection, never a panic
+//! and never a wedged server.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use experiments::study::{find_study, StudyParams};
+use service::client::Client;
+use service::server::{serve, ServeConfig};
+use speedup_stacks::report::json;
+
+fn test_server(workers: usize) -> service::ServerHandle {
+    serve(&ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn fig6_params() -> StudyParams {
+    StudyParams {
+        scale: 0.02,
+        threads: Some(vec![4]),
+        ..StudyParams::default()
+    }
+}
+
+fn fig4_params() -> StudyParams {
+    StudyParams {
+        scale: 0.02,
+        threads: Some(vec![2, 4]),
+        ..StudyParams::default()
+    }
+}
+
+/// A raw line-protocol peer for speaking deliberately broken frames.
+struct Raw {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Raw {
+    fn connect(addr: &str) -> Raw {
+        let writer = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone"));
+        Raw { reader, writer }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn hello(&mut self) {
+        self.send("{\"op\": \"hello\", \"proto\": 1}");
+        let reply = self.recv().expect("hello reply");
+        assert!(reply.contains("\"kind\": \"hello\""), "{reply}");
+    }
+
+    /// Reads one line; `None` when the server closed the connection.
+    fn recv(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line.trim_end().to_string()),
+            Err(_) => None,
+        }
+    }
+
+    fn expect_error(&mut self, code: &str) {
+        let reply = self
+            .recv()
+            .unwrap_or_else(|| panic!("expected '{code}' error frame"));
+        let v = json::parse(&reply).expect("error frame is valid JSON");
+        assert!(
+            matches!(v.get("ok"), Some(json::JsonValue::Bool(false))),
+            "{reply}"
+        );
+        assert_eq!(
+            v.get("error").and_then(json::JsonValue::as_str),
+            Some(code),
+            "{reply}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_reports_from_the_cache() {
+    let server = test_server(2);
+    let addr = server.local_addr().to_string();
+
+    // Local reference reports, computed once and shared by every client.
+    let local_fig6 = find_study("fig6").unwrap().run(&fig6_params()).unwrap();
+    let local_fig4 = find_study("fig4").unwrap().run(&fig4_params()).unwrap();
+
+    // Warm phase: one client computes both grids remotely, proving
+    // bit-identity on the cold path.
+    let mut warm = Client::connect(&addr).expect("connect");
+    let cold6 = warm.submit("fig6", &fig6_params()).expect("cold fig6");
+    assert_eq!(cold6.report.to_text(), local_fig6.to_text(), "fig6 text");
+    assert_eq!(cold6.report.to_json(), local_fig6.to_json(), "fig6 json");
+    assert_eq!(cold6.report.to_csv(), local_fig6.to_csv(), "fig6 csv");
+    assert_eq!(cold6.cached, 0, "fresh server has nothing cached");
+    let cold4 = warm.submit("fig4", &fig4_params()).expect("cold fig4");
+    assert_eq!(cold4.report.to_text(), local_fig4.to_text(), "fig4 text");
+    assert_eq!(cold4.cached, 0);
+
+    let warm_status = warm.status().expect("status");
+    let computed_after_warm = warm_status.points_computed;
+    let hits_after_warm = warm_status.cache_hits;
+    assert_eq!(
+        computed_after_warm,
+        (cold6.computed + cold4.computed) as u64
+    );
+
+    // Concurrent wave: 8 clients with overlapping fig4/fig6 grids. The
+    // warm cache makes the wave deterministic: every point must be a
+    // hit, nothing may be recomputed.
+    let texts: (String, String) = (local_fig6.to_text(), local_fig4.to_text());
+    let jsons: (String, String) = (local_fig6.to_json(), local_fig4.to_json());
+    let csvs: (String, String) = (local_fig6.to_csv(), local_fig4.to_csv());
+    std::thread::scope(|scope| {
+        for i in 0..8 {
+            let addr = &addr;
+            let (texts, jsons, csvs) = (&texts, &jsons, &csvs);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let (study, params, text, json_out, csv) = if i % 2 == 0 {
+                    ("fig6", fig6_params(), &texts.0, &jsons.0, &csvs.0)
+                } else {
+                    ("fig4", fig4_params(), &texts.1, &jsons.1, &csvs.1)
+                };
+                let outcome = client.submit(study, &params).expect("warm submit");
+                assert_eq!(&outcome.report.to_text(), text, "client {i} text");
+                assert_eq!(&outcome.report.to_json(), json_out, "client {i} json");
+                assert_eq!(&outcome.report.to_csv(), csv, "client {i} csv");
+                assert_eq!(outcome.computed, 0, "client {i} recomputed points");
+                assert_eq!(
+                    outcome.cached,
+                    if i % 2 == 0 { 28 } else { 56 },
+                    "client {i} cache count"
+                );
+            });
+        }
+    });
+
+    // The counters prove it: the wave added cache hits and computed
+    // nothing new.
+    let after = warm.status().expect("status");
+    assert_eq!(
+        after.points_computed, computed_after_warm,
+        "concurrent wave must not recompute warm points"
+    );
+    let expected_hits: u64 = 4 * 28 + 4 * 56; // 4 fig6 clients + 4 fig4 clients
+    assert!(
+        after.cache_hits >= hits_after_warm + expected_hits,
+        "expected at least {expected_hits} new hits, got {} -> {}",
+        hits_after_warm,
+        after.cache_hits
+    );
+    assert_eq!(after.points_failed, 0);
+    server.stop();
+}
+
+#[test]
+fn garbage_line_is_rejected_and_closed() {
+    let server = test_server(1);
+    let addr = server.local_addr().to_string();
+
+    // Garbage instead of the handshake.
+    let mut raw = Raw::connect(&addr);
+    raw.send("this is not json");
+    raw.expect_error("malformed");
+    assert!(raw.recv().is_none(), "connection closes after garbage");
+
+    // Garbage after a valid handshake.
+    let mut raw = Raw::connect(&addr);
+    raw.hello();
+    raw.send("{\"op\": \"submit\", broken");
+    raw.expect_error("malformed");
+    assert!(raw.recv().is_none());
+    server.stop();
+}
+
+#[test]
+fn oversized_frame_is_rejected_without_accumulating() {
+    let server = test_server(1);
+    let mut raw = Raw::connect(&server.local_addr().to_string());
+    raw.hello();
+    let huge = format!("{{\"op\": \"{}\"}}", "x".repeat(80 * 1024));
+    raw.send(&huge);
+    raw.expect_error("oversized");
+    assert!(raw.recv().is_none());
+    server.stop();
+}
+
+#[test]
+fn version_mismatch_hello_is_a_typed_rejection() {
+    let server = test_server(1);
+    let mut raw = Raw::connect(&server.local_addr().to_string());
+    raw.send("{\"op\": \"hello\", \"proto\": 99}");
+    let reply = raw.recv().expect("mismatch frame");
+    let v = json::parse(&reply).expect("valid JSON");
+    assert_eq!(
+        v.get("error").and_then(json::JsonValue::as_str),
+        Some("version-mismatch"),
+        "{reply}"
+    );
+    assert_eq!(v.get("found").and_then(json::JsonValue::as_f64), Some(99.0));
+    assert_eq!(
+        v.get("supported").and_then(json::JsonValue::as_f64),
+        Some(1.0)
+    );
+    assert!(raw.recv().is_none(), "mismatched client is disconnected");
+    server.stop();
+}
+
+#[test]
+fn requests_before_hello_are_rejected() {
+    let server = test_server(1);
+    let mut raw = Raw::connect(&server.local_addr().to_string());
+    raw.send("{\"op\": \"submit\", \"study\": \"fig6\"}");
+    raw.expect_error("handshake-required");
+    assert!(raw.recv().is_none());
+    server.stop();
+}
+
+#[test]
+fn invalid_requests_keep_the_connection_open() {
+    let server = test_server(1);
+    let mut raw = Raw::connect(&server.local_addr().to_string());
+    raw.hello();
+
+    raw.send("{\"op\": \"frobnicate\"}");
+    raw.expect_error("bad-request");
+    raw.send("{\"op\": \"submit\", \"study\": \"nope\"}");
+    raw.expect_error("unknown-study");
+    raw.send("{\"op\": \"submit\", \"study\": \"hwcost\"}");
+    raw.expect_error("not-grid");
+    raw.send("{\"op\": \"submit\", \"study\": \"fig6\", \"params\": {\"scale\": -1}}");
+    raw.expect_error("bad-params");
+    raw.send("{\"op\": \"cancel\"}");
+    raw.expect_error("bad-request");
+
+    // The same connection still serves real requests after five
+    // rejections.
+    raw.send("{\"op\": \"list\"}");
+    let reply = raw.recv().expect("list reply");
+    assert!(reply.contains("\"kind\": \"list\""), "{reply}");
+    assert!(reply.contains("\"fig6\""), "{reply}");
+    server.stop();
+}
+
+#[test]
+fn mid_stream_disconnect_leaves_the_server_serving() {
+    let server = test_server(1);
+    let addr = server.local_addr().to_string();
+
+    // Start a submission, read only the accepted frame, vanish.
+    {
+        let mut raw = Raw::connect(&addr);
+        raw.hello();
+        raw.send(
+            "{\"op\": \"submit\", \"study\": \"fig4\", \
+             \"params\": {\"scale\": 0.01, \"threads\": [2]}}",
+        );
+        let accepted = raw.recv().expect("accepted frame");
+        assert!(accepted.contains("\"kind\": \"accepted\""), "{accepted}");
+        // Dropping `raw` closes the socket mid-stream; the session must
+        // cancel the job rather than panic on the broken pipe.
+    }
+
+    // The server keeps serving new clients afterwards.
+    let mut client = Client::connect(&addr).expect("connect after disconnect");
+    let params = StudyParams {
+        scale: 0.01,
+        threads: Some(vec![2]),
+        ..StudyParams::default()
+    };
+    let outcome = client
+        .submit("fig1", &params)
+        .expect("post-disconnect submit");
+    let local = find_study("fig1").unwrap().run(&params).unwrap();
+    assert_eq!(outcome.report.to_text(), local.to_text());
+    assert!(client.cancel(9999).is_ok_and(|found| !found));
+    server.stop();
+}
+
+#[test]
+fn status_and_list_round_trip_through_the_typed_client() {
+    let server = test_server(1);
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+    let studies = client.list().expect("list");
+    assert_eq!(studies.len(), 12);
+    assert_eq!(studies.iter().filter(|s| s.grid).count(), 4);
+    let status = client.status().expect("status");
+    assert_eq!(status.workers, 1);
+    assert_eq!(status.jobs_total, 0);
+    server.stop();
+}
