@@ -113,7 +113,10 @@ fn first_frame_latency(addr: &str, scale: f64) -> f64 {
         reader.read_line(&mut line).expect("recv");
         line
     };
-    send("{\"op\": \"hello\", \"proto\": 1}");
+    send(&format!(
+        "{{\"op\": \"hello\", \"proto\": {}}}",
+        service::proto::PROTO_VERSION
+    ));
     recv();
     let t0 = Instant::now();
     send(&format!(
@@ -187,8 +190,117 @@ fn service_bench(scale: f64, samples: usize, report: &mut PerfReport) {
     }
 }
 
+/// PR 9 hardening paths: duplicate cold submits collapsing onto one
+/// computation, a restarted daemon serving warm from the cache spill,
+/// and the busy-rejection fast path under admission control.
+fn hardening_bench(scale: f64, samples: usize, report: &mut PerfReport) {
+    use experiments::study::StudyParams;
+    use service::client::Client;
+    use service::server::{serve, ServeConfig};
+
+    let params = StudyParams::with_scale(scale);
+    let spill =
+        std::env::temp_dir().join(format!("studyd-bench-spill-{}.ndjson", std::process::id()));
+    let mut best_coalesced = f64::MAX;
+    let mut best_restart = f64::MAX;
+    let mut best_busy = f64::MAX;
+    let mut points = 0u64;
+    for _ in 0..samples.max(1) {
+        // Eight identical concurrent cold submits: one owner computes
+        // each unit, seven subscribers ride the coalesced fan-out.
+        let server = serve(&ServeConfig::default()).expect("bind loopback");
+        let addr = server.local_addr().to_string();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let addr = &addr;
+                let params = &params;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client.submit("fig6", params).expect("coalesced submit");
+                });
+            }
+        });
+        best_coalesced = best_coalesced.min(t0.elapsed().as_secs_f64());
+        server.stop();
+
+        // Restart-warm: a fresh daemon recovers the spill and serves
+        // the resubmit without recomputing (compare with cold-submit).
+        std::fs::remove_file(&spill).ok();
+        let server = serve(&ServeConfig {
+            cache_spill: Some(spill.clone()),
+            ..ServeConfig::default()
+        })
+        .expect("bind loopback");
+        let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+        let outcome = client.submit("fig6", &params).expect("cold submit");
+        points = (outcome.computed + outcome.cached) as u64;
+        server.stop();
+        let server = serve(&ServeConfig {
+            cache_spill: Some(spill.clone()),
+            ..ServeConfig::default()
+        })
+        .expect("rebind");
+        let mut client = Client::connect(&server.local_addr().to_string()).expect("reconnect");
+        let t0 = Instant::now();
+        client.submit("fig6", &params).expect("restart-warm submit");
+        best_restart = best_restart.min(t0.elapsed().as_secs_f64());
+        server.stop();
+
+        // Busy-rejection fast path: with the queue full, the typed
+        // `busy` answer must come back without touching the pool.
+        let server = serve(&ServeConfig {
+            workers: 1,
+            max_queued_units: 1,
+            ..ServeConfig::default()
+        })
+        .expect("bind loopback");
+        let addr = server.local_addr().to_string();
+        let heavy = {
+            let addr = addr.clone();
+            let params = params.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                client.submit("fig6", &params).expect("heavy submit");
+            })
+        };
+        while server.scheduler().status().queued_units < 1 {
+            std::thread::yield_now();
+        }
+        let light = StudyParams {
+            scale: scale.min(0.01),
+            threads: Some(vec![2]),
+            ..StudyParams::default()
+        };
+        let mut probe = Client::connect(&addr).expect("connect");
+        let t0 = Instant::now();
+        probe
+            .submit("fig1", &light)
+            .expect_err("queue is full: typed busy");
+        best_busy = best_busy.min(t0.elapsed().as_secs_f64());
+        heavy.join().unwrap();
+        server.stop();
+    }
+    std::fs::remove_file(&spill).ok();
+
+    for (config, wall, pts) in [
+        ("coalesced-cold-x8", best_coalesced, points),
+        ("restart-warm-submit", best_restart, points),
+        ("busy-reject", best_busy, 1),
+    ] {
+        eprintln!("service_fig6/{config}: {wall:.4} s");
+        report.push(Entry {
+            name: "service_fig6".into(),
+            config: config.into(),
+            wall_s: wall,
+            events: 0,
+            points: pts,
+        });
+    }
+}
+
 fn main() {
-    let mut out = String::from("BENCH_PR8.json");
+    let mut out = String::from("BENCH_PR9.json");
     let mut scale = 1.0f64;
     let mut samples = 3usize;
     let mut baseline_repro: Option<String> = None;
@@ -229,7 +341,7 @@ fn main() {
     ];
 
     let mut report = PerfReport::default();
-    report.meta("report", "speedup-stacks simulator perf trajectory, PR 8");
+    report.meta("report", "speedup-stacks simulator perf trajectory, PR 9");
     report.meta(
         "workload",
         format!(
@@ -239,7 +351,8 @@ fn main() {
              {{1,2,4,8,16,32,64,128}} cores on a 4 MiB 32-way LLC; \
              service_fig6: the fig6 grid submitted to an in-process studyd \
              over loopback (cold vs cache-served, first-frame latency, 10x \
-             cached burst); scale {scale}"
+             cached burst, 8x coalesced cold submits, restart-warm from the \
+             cache spill, busy-rejection fast path); scale {scale}"
         ),
     );
     report.meta(
@@ -337,6 +450,9 @@ fn main() {
     // The studyd service: cold vs cache-served submissions, first-frame
     // latency and cached request throughput over loopback.
     service_bench(scale, samples, &mut report);
+
+    // The hardening paths: coalescing, spill-warm restart, busy reject.
+    hardening_bench(scale, samples, &mut report);
 
     std::fs::write(&out, report.to_json()).expect("write report");
     eprintln!("wrote {out}");

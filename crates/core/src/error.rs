@@ -328,6 +328,18 @@ pub enum ProtocolError {
         /// `"job 3 stream"`).
         during: String,
     },
+    /// The server's admission control refused the submission: its work
+    /// queue is full. Carries the server's backoff hint so a resilient
+    /// client can retry without guessing.
+    Busy {
+        /// How long the server suggests waiting before retrying, in
+        /// milliseconds (derived deterministically from queue depth).
+        retry_after_ms: u64,
+    },
+    /// A socket read or write hit its configured timeout — on the
+    /// server, the idle-connection reaper closing a session that sat
+    /// silent past `--idle-timeout-ms`.
+    Timeout,
 }
 
 impl fmt::Display for ProtocolError {
@@ -348,6 +360,11 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Closed { during } => {
                 write!(f, "connection closed during {during}")
             }
+            ProtocolError::Busy { retry_after_ms } => write!(
+                f,
+                "server busy: work queue full (retry after {retry_after_ms} ms)"
+            ),
+            ProtocolError::Timeout => f.write_str("socket timed out waiting for the peer"),
         }
     }
 }

@@ -106,6 +106,33 @@ pub fn unwrap_line(line: &str) -> Result<&str, String> {
     Ok(data)
 }
 
+/// One framed line of a checksummed NDJSON stream, as classified by
+/// [`framed_lines`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramedLine<'a> {
+    /// An intact line's exact data substring (checksum verified).
+    Record(&'a str),
+    /// A complete line that failed the layout or checksum; the caller
+    /// quarantines it (counted, recomputed, never served).
+    Corrupt,
+}
+
+/// Splits a checksummed NDJSON buffer into framed lines. A final line
+/// without its trailing newline — the expected artifact of a killed
+/// writer — is dropped silently, never surfaced as corruption. Shared
+/// by the sweep journal reader and the study service's cache spill.
+pub fn framed_lines(content: &str) -> impl Iterator<Item = FramedLine<'_>> {
+    content.split_inclusive('\n').filter_map(|line| {
+        // `?` drops the only chunk that can lack a newline: the
+        // unterminated kill-tail at the very end of the buffer.
+        let line = line.strip_suffix('\n')?;
+        Some(match unwrap_line(line) {
+            Ok(data) => FramedLine::Record(data),
+            Err(_) => FramedLine::Corrupt,
+        })
+    })
+}
+
 /// Fingerprint of the result-affecting study parameters, as recorded in
 /// the journal header. Parallelism, fault policy and journaling options
 /// are deliberately excluded: sweep results are bit-identical across
@@ -238,11 +265,10 @@ pub fn scan(
     expected_fingerprint: &str,
 ) -> Result<JournalScan, JournalError> {
     let content = std::fs::read_to_string(path).map_err(|e| io_err("read", &e))?;
-    let mut lines = content.split_inclusive('\n');
-    let Some(header_line) = lines.next() else {
+    if content.is_empty() {
         return Err(JournalError::MissingHeader);
-    };
-    let Some(header_line) = header_line.strip_suffix('\n') else {
+    }
+    let Some((header_line, rest)) = content.split_once('\n') else {
         // The writer died inside the header write: no identity exists.
         return Err(JournalError::BadHeader {
             why: "header line truncated".to_string(),
@@ -291,16 +317,13 @@ pub fn scan(
 
     let mut records = Vec::new();
     let mut quarantined = 0usize;
-    for line in lines {
-        let Some(line) = line.strip_suffix('\n') else {
-            // Truncated trailing line: the expected artifact of a killed
-            // writer, not corruption — drop it silently; its point is
-            // simply recomputed.
-            break;
-        };
-        match unwrap_line(line).and_then(|data| json::parse(data).map_err(|e| e.to_string())) {
-            Ok(record) => records.push(record),
-            Err(_) => quarantined += 1,
+    for framed in framed_lines(rest) {
+        match framed {
+            FramedLine::Record(data) => match json::parse(data) {
+                Ok(record) => records.push(record),
+                Err(_) => quarantined += 1,
+            },
+            FramedLine::Corrupt => quarantined += 1,
         }
     }
     Ok(JournalScan {

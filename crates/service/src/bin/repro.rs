@@ -11,8 +11,11 @@
 //!       [--trace-out PATH | --trace-in PATH]
 //! repro --list
 //! repro serve [--addr HOST:PORT] [--workers N] [--cache-mib N]
+//!       [--max-queued-units N] [--idle-timeout-ms N] [--cache-spill PATH]
 //! repro submit <study> [--addr HOST:PORT] [--scale F]
 //!       [--threads N[,N...]] [--llc-mib N] [--format text|json|csv]
+//!       [--no-retry]
+//! repro shutdown [--addr HOST:PORT] [--drain]
 //! ```
 //!
 //! `--list` enumerates every registered study with its description.
@@ -50,7 +53,12 @@
 //! sends a grid study to a running server, streams the per-point
 //! results back, and reassembles them into output **byte-identical** to
 //! the local run — repeated submissions are served from the server's
-//! result cache without recomputation.
+//! result cache without recomputation, which `--cache-spill PATH`
+//! persists across restarts (even a `kill -9`). A `busy` server
+//! (admission bound full) is retried with capped deterministic-jitter
+//! backoff honoring its `retry-after-ms` hint; `--no-retry` fails fast
+//! instead. `repro shutdown --drain` stops admission, lets in-flight
+//! jobs finish, flushes the spill, and exits 0.
 //!
 //! Exit codes: 0 success, 1 usage error, then one per
 //! [`SimError`] variant — 3 config, 4 stack, 5 journal, 6 point,
@@ -63,8 +71,9 @@ use experiments::study::{find_study, registry, Study, StudyParams};
 use experiments::JournalSpec;
 use experiments::Parallelism;
 use experiments::TraceSpec;
-use service::client::Client;
-use service::server::{serve, ServeConfig};
+use service::chaos::ChaosPolicy;
+use service::client::{Client, RetryPolicy};
+use service::server::{serve, ServeConfig, ShutdownMode};
 use speedup_stacks::SimError;
 
 const USAGE: &str = "usage: repro <fig1..fig9|hwcost|regions|scaling|all> [--scale F] \
@@ -72,10 +81,11 @@ const USAGE: &str = "usage: repro <fig1..fig9|hwcost|regions|scaling|all> [--sca
         [--retries N] [--deadline-cycles N] [--max-points N] [--journal PATH | --resume PATH]\n   \
         [--trace-out PATH | --trace-in PATH]\n   \
 or: repro --list\n   \
-or: repro serve [--addr HOST:PORT] [--workers N] [--cache-mib N]\n   \
+or: repro serve [--addr HOST:PORT] [--workers N] [--cache-mib N] [--max-queued-units N] \
+[--idle-timeout-ms N] [--cache-spill PATH]\n   \
 or: repro submit <study> [--addr HOST:PORT] [--scale F] [--threads N[,N...]] [--llc-mib N] \
-[--format text|json|csv]\n   \
-or: repro shutdown [--addr HOST:PORT]";
+[--format text|json|csv] [--no-retry]\n   \
+or: repro shutdown [--addr HOST:PORT] [--drain]";
 
 /// The conventional loopback port shared with the `studyd` daemon.
 const DEFAULT_ADDR: &str = "127.0.0.1:7821";
@@ -304,11 +314,20 @@ fn run_all(params: &StudyParams, format: Format) -> Result<(), SimError> {
 
 /// `repro serve`: a foreground `studyd` on the conventional port.
 fn serve_main(args: &[String]) -> ExitCode {
-    let cfg = match ServeConfig::from_args(DEFAULT_ADDR, args) {
+    let mut cfg = match ServeConfig::from_args(DEFAULT_ADDR, args) {
         Ok(cfg) => cfg,
         Err(message) => {
             eprintln!("repro: serve: {message}");
             eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Chaos is deliberately env-only (STUDYD_CHAOS): fault injection is
+    // for the chaos suite and CI smoke tests, not a user-facing flag.
+    cfg.chaos = match ChaosPolicy::from_env() {
+        Ok(chaos) => chaos,
+        Err(message) => {
+            eprintln!("repro: serve: STUDYD_CHAOS: {message}");
             return ExitCode::FAILURE;
         }
     };
@@ -318,7 +337,9 @@ fn serve_main(args: &[String]) -> ExitCode {
             // bound address before the first client connects.
             println!("studyd: listening on {}", handle.local_addr());
             std::io::stdout().flush().ok();
-            handle.wait_for_shutdown();
+            if handle.wait_for_shutdown() == ShutdownMode::Drain {
+                handle.drain();
+            }
             handle.stop();
             ExitCode::SUCCESS
         }
@@ -335,6 +356,7 @@ fn submit_main(args: &[String]) -> ExitCode {
     let mut study: Option<String> = None;
     let mut addr = DEFAULT_ADDR.to_string();
     let mut format = Format::Text;
+    let mut retry = true;
     let mut params = StudyParams::default();
     let mut it = args.iter();
     let usage_err = |message: String| {
@@ -369,6 +391,7 @@ fn submit_main(args: &[String]) -> ExitCode {
                 Some("csv") => format = Format::Csv,
                 _ => return usage_err("--format requires one of: text, json, csv".to_string()),
             },
+            "--no-retry" => retry = false,
             other if other.starts_with("--") => {
                 return usage_err(format!("unknown option: {other}"));
             }
@@ -383,12 +406,18 @@ fn submit_main(args: &[String]) -> ExitCode {
         return usage_err(format!("unknown experiment: {study}"));
     }
 
-    let outcome = Client::connect(&addr).and_then(|mut c| c.submit(&study, &params));
+    let policy = if retry {
+        RetryPolicy::default()
+    } else {
+        RetryPolicy::none()
+    };
+    let outcome =
+        Client::connect(&addr).and_then(|mut c| c.submit_with_retry(&study, &params, &policy));
     match outcome {
         Ok(outcome) => {
             eprintln!(
-                "repro: job {}: {} computed, {} cached, {} failed",
-                outcome.job, outcome.computed, outcome.cached, outcome.failed
+                "repro: job {}: {} computed, {} cached, {} coalesced, {} failed",
+                outcome.job, outcome.computed, outcome.cached, outcome.coalesced, outcome.failed
             );
             print_report(&outcome.report, format);
             ExitCode::SUCCESS
@@ -400,9 +429,11 @@ fn submit_main(args: &[String]) -> ExitCode {
     }
 }
 
-/// `repro shutdown`: ask a running server to exit through the protocol.
+/// `repro shutdown`: ask a running server to exit through the protocol
+/// — immediately, or with `--drain` after finishing in-flight work.
 fn shutdown_main(args: &[String]) -> ExitCode {
     let mut addr = DEFAULT_ADDR.to_string();
+    let mut drain = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -414,6 +445,7 @@ fn shutdown_main(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--drain" => drain = true,
             other => {
                 eprintln!("repro: shutdown: unexpected argument: {other}");
                 eprintln!("{USAGE}");
@@ -421,9 +453,17 @@ fn shutdown_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    match Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+    let outcome = Client::connect(&addr).and_then(|mut c| {
+        if drain {
+            c.shutdown_drain()
+        } else {
+            c.shutdown()
+        }
+    });
+    match outcome {
         Ok(()) => {
-            eprintln!("repro: server at {addr} shutting down");
+            let how = if drain { "draining" } else { "shutting down" };
+            eprintln!("repro: server at {addr} {how}");
             ExitCode::SUCCESS
         }
         Err(e) => {

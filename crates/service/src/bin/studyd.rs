@@ -4,34 +4,56 @@
 //!
 //! ```text
 //! studyd [--addr HOST:PORT] [--workers N] [--cache-mib N]
+//!        [--max-queued-units N] [--idle-timeout-ms N] [--cache-spill PATH]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7821`), prints the bound address, then
 //! serves `repro submit` clients until one sends the `shutdown` op.
 //! `--workers` sizes the shared simulation pool (default: one per
 //! available CPU); `--cache-mib` bounds the content-addressed result
-//! cache (default 64 MiB).
+//! cache (default 64 MiB); `--max-queued-units` bounds the work queue
+//! (overload answers a typed `busy` with `retry_after_ms`; default
+//! unbounded); `--idle-timeout-ms` reaps connections idle past the
+//! deadline; `--cache-spill` persists the result cache to an
+//! append-only CRC-framed file, recovered (with corrupt-record
+//! quarantine) on restart — even after a `kill -9`.
 //!
-//! Exit codes: 0 clean shutdown, 1 usage error, 10 protocol/socket
-//! failure (the [`speedup_stacks::SimError::Protocol`] code).
+//! A `shutdown` with `"mode": "drain"` stops admission, finishes
+//! in-flight jobs, flushes the spill, and exits 0.
+//!
+//! The `STUDYD_CHAOS` environment variable arms deterministic fault
+//! injection for the chaos suite (`panic-unit=N`, `flip-spill=N`).
+//!
+//! Exit codes: 0 clean shutdown, 1 usage error, 5 corrupt spill
+//! header, 10 protocol/socket failure (the
+//! [`speedup_stacks::SimError`] codes).
 
 use std::io::Write;
 use std::process::ExitCode;
 
-use service::server::{serve, ServeConfig};
+use service::chaos::ChaosPolicy;
+use service::server::{serve, ServeConfig, ShutdownMode};
 
-const USAGE: &str = "usage: studyd [--addr HOST:PORT] [--workers N] [--cache-mib N]";
+const USAGE: &str = "usage: studyd [--addr HOST:PORT] [--workers N] [--cache-mib N] \
+[--max-queued-units N] [--idle-timeout-ms N] [--cache-spill PATH]";
 
 /// The conventional loopback port `repro submit` defaults to.
 const DEFAULT_ADDR: &str = "127.0.0.1:7821";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = match ServeConfig::from_args(DEFAULT_ADDR, &args) {
+    let mut cfg = match ServeConfig::from_args(DEFAULT_ADDR, &args) {
         Ok(cfg) => cfg,
         Err(message) => {
             eprintln!("studyd: {message}");
             eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    cfg.chaos = match ChaosPolicy::from_env() {
+        Ok(chaos) => chaos,
+        Err(message) => {
+            eprintln!("studyd: STUDYD_CHAOS: {message}");
             return ExitCode::FAILURE;
         }
     };
@@ -41,7 +63,9 @@ fn main() -> ExitCode {
             // bound address before the first client connects.
             println!("studyd: listening on {}", handle.local_addr());
             std::io::stdout().flush().ok();
-            handle.wait_for_shutdown();
+            if handle.wait_for_shutdown() == ShutdownMode::Drain {
+                handle.drain();
+            }
             handle.stop();
             ExitCode::SUCCESS
         }

@@ -15,9 +15,21 @@
 //! stamps until it finds one that is still the keyed entry's latest.
 //! All counters (hits, misses, insertions, evictions) are reported
 //! through the `status` request.
+//!
+//! With a [`crate::persist::SpillWriter`] attached, every insertion is
+//! also appended write-through to the spill file, and entries recovered
+//! on startup are fed back in through [`Cache::preload`] — so a
+//! `kill -9` + restart serves warm resubmits without recompute. A
+//! spill write failure disables persistence for the rest of the
+//! process (reported once on stderr) rather than failing the job: the
+//! cache's correctness never depends on the disk.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Mutex, PoisonError};
+
+use speedup_stacks::error::JournalError;
+
+use crate::persist::SpillWriter;
 
 /// A point-in-time snapshot of the cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,6 +48,13 @@ pub struct CacheStats {
     pub bytes: usize,
     /// The byte budget.
     pub budget: usize,
+    /// Entries restored from the persistent spill on startup.
+    pub loaded: u64,
+    /// Corrupt spill records quarantined on startup (recomputed, never
+    /// served).
+    pub quarantined: u64,
+    /// Entries appended to the persistent spill since startup.
+    pub spilled: u64,
 }
 
 /// The cache key for one grid point's result.
@@ -67,6 +86,10 @@ struct Inner {
     misses: u64,
     insertions: u64,
     evictions: u64,
+    spill: Option<SpillWriter>,
+    loaded: u64,
+    quarantined: u64,
+    spilled: u64,
 }
 
 /// A thread-safe LRU string cache with a byte budget.
@@ -94,7 +117,46 @@ impl Cache {
                 misses: 0,
                 insertions: 0,
                 evictions: 0,
+                spill: None,
+                loaded: 0,
+                quarantined: 0,
+                spilled: 0,
             }),
+        }
+    }
+
+    /// Attaches the persistent spill: every subsequent [`Cache::put`]
+    /// is appended write-through.
+    pub fn set_spill(&self, writer: SpillWriter) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.spill = Some(writer);
+    }
+
+    /// Feeds entries recovered from the spill back into the cache —
+    /// through the normal LRU insertion (so an over-budget spill is
+    /// clamped), but without re-appending them to the file and without
+    /// counting them as fresh insertions. `quarantined` records the
+    /// reload's corrupt-line count for the stats.
+    pub fn preload(&self, entries: Vec<(String, String)>, quarantined: usize) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.quarantined += quarantined as u64;
+        for (key, value) in entries {
+            insert_locked(&mut inner, &key, &value);
+            inner.loaded += 1;
+        }
+    }
+
+    /// Flushes and syncs the spill to durable storage (the drain-mode
+    /// shutdown barrier). A no-op without an attached spill.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the sync fails.
+    pub fn sync(&self) -> Result<(), JournalError> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match inner.spill.as_mut() {
+            Some(spill) => spill.sync(),
+            None => Ok(()),
         }
     }
 
@@ -122,44 +184,21 @@ impl Cache {
     /// Stores a value (replacing any previous one under the key), then
     /// evicts least-recently-used entries until the budget holds. A
     /// value larger than the whole budget simply doesn't stay cached.
+    /// With a spill attached, the entry is also appended write-through.
     pub fn put(&self, key: &str, value: &str) {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        inner.tick += 1;
-        let tick = inner.tick;
-        let new_bytes = entry_bytes(key, value);
-        if let Some(old) = inner.map.insert(
-            key.to_string(),
-            Entry {
-                value: value.to_string(),
-                tick,
-            },
-        ) {
-            inner.bytes -= entry_bytes(key, &old.value);
-        }
-        inner.bytes += new_bytes;
+        insert_locked(&mut inner, key, value);
         inner.insertions += 1;
-        inner.recency.push_back((key.to_string(), tick));
-
-        while inner.bytes > inner.budget {
-            let Some((old_key, old_tick)) = inner.recency.pop_front() else {
-                break;
-            };
-            let evict = inner.map.get(&old_key).is_some_and(|e| e.tick == old_tick);
-            if evict {
-                let old = inner.map.remove(&old_key).expect("checked above");
-                inner.bytes -= entry_bytes(&old_key, &old.value);
-                inner.evictions += 1;
+        if let Some(spill) = inner.spill.as_mut() {
+            match spill.append(key, value) {
+                Ok(()) => inner.spilled += 1,
+                Err(e) => {
+                    eprintln!(
+                        "studyd: cache spill write failed, persistence disabled for this run: {e}"
+                    );
+                    inner.spill = None;
+                }
             }
-        }
-        // Lazy-cleanup hygiene: drop stale recency stamps once they
-        // outnumber live entries badly, so long-running servers don't
-        // accumulate an unbounded stamp queue.
-        if inner.recency.len() > inner.map.len() * 2 + 64 {
-            let map = std::mem::take(&mut inner.map);
-            inner
-                .recency
-                .retain(|(k, t)| map.get(k).is_some_and(|e| e.tick == *t));
-            inner.map = map;
         }
     }
 
@@ -175,7 +214,51 @@ impl Cache {
             entries: inner.map.len(),
             bytes: inner.bytes,
             budget: inner.budget,
+            loaded: inner.loaded,
+            quarantined: inner.quarantined,
+            spilled: inner.spilled,
         }
+    }
+}
+
+/// The raw LRU insertion (entry + recency + eviction + hygiene), shared
+/// by fresh [`Cache::put`]s and spill [`Cache::preload`]s.
+fn insert_locked(inner: &mut Inner, key: &str, value: &str) {
+    inner.tick += 1;
+    let tick = inner.tick;
+    let new_bytes = entry_bytes(key, value);
+    if let Some(old) = inner.map.insert(
+        key.to_string(),
+        Entry {
+            value: value.to_string(),
+            tick,
+        },
+    ) {
+        inner.bytes -= entry_bytes(key, &old.value);
+    }
+    inner.bytes += new_bytes;
+    inner.recency.push_back((key.to_string(), tick));
+
+    while inner.bytes > inner.budget {
+        let Some((old_key, old_tick)) = inner.recency.pop_front() else {
+            break;
+        };
+        let evict = inner.map.get(&old_key).is_some_and(|e| e.tick == old_tick);
+        if evict {
+            let old = inner.map.remove(&old_key).expect("checked above");
+            inner.bytes -= entry_bytes(&old_key, &old.value);
+            inner.evictions += 1;
+        }
+    }
+    // Lazy-cleanup hygiene: drop stale recency stamps once they
+    // outnumber live entries badly, so long-running servers don't
+    // accumulate an unbounded stamp queue.
+    if inner.recency.len() > inner.map.len() * 2 + 64 {
+        let map = std::mem::take(&mut inner.map);
+        inner
+            .recency
+            .retain(|(k, t)| map.get(k).is_some_and(|e| e.tick == *t));
+        inner.map = map;
     }
 }
 
@@ -222,6 +305,32 @@ mod tests {
         assert_eq!(c.stats().entries, 0, "over-budget entry evicted");
         c.put("a", "1");
         assert!(c.get("a").is_some(), "cache still works");
+    }
+
+    #[test]
+    fn spill_write_through_and_preload_round_trip() {
+        let path = std::env::temp_dir().join(format!(
+            "studyd-cache-spill-{}-roundtrip.ndjson",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let opened = crate::persist::open(&path, None).unwrap();
+        let c = Cache::new(1024);
+        c.set_spill(opened.writer);
+        c.put("point:c:0", "{\"a\": 1}");
+        c.put("ref:c:0", "10 20");
+        c.sync().unwrap();
+        assert_eq!(c.stats().spilled, 2);
+
+        // A fresh cache (a restarted daemon) recovers both entries.
+        let reopened = crate::persist::open(&path, None).unwrap();
+        let warm = Cache::new(1024);
+        warm.preload(reopened.entries, reopened.quarantined);
+        let s = warm.stats();
+        assert_eq!((s.loaded, s.quarantined, s.insertions), (2, 0, 0));
+        assert_eq!(warm.get("point:c:0").as_deref(), Some("{\"a\": 1}"));
+        assert_eq!(warm.get("ref:c:0").as_deref(), Some("10 20"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Deterministic fault injection for the chaos suite.
+//!
+//! A [`ChaosPolicy`] names concrete faults by *position* — "panic while
+//! executing the Nth work unit", "flip a bit in the Nth cache-spill
+//! record" — so an injected failure lands at exactly the same place on
+//! every run: the chaos tests assert on typed outcomes, never on
+//! timing. The policy is off by default and costs two `Option` loads
+//! per unit when disabled.
+//!
+//! Tests construct a policy programmatically (through
+//! [`crate::server::ServeConfig`] or [`crate::scheduler::SchedOptions`]);
+//! the `studyd` and `repro serve` binaries also honor the `STUDYD_CHAOS`
+//! environment variable (`panic-unit=N`, `flip-spill=N`, comma-joined)
+//! so CI can inject faults into a real daemon process.
+
+/// Which deterministic faults to inject. Default: none.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPolicy {
+    /// Panic inside the worker executing the Nth scheduled unit
+    /// (0-based, counted across all jobs since startup). Every retry of
+    /// that unit panics too, so the unit exhausts its budget into a
+    /// typed failure.
+    pub panic_at_unit: Option<u64>,
+    /// Corrupt the Nth data record (0-based, header excluded) as it is
+    /// appended to the cache spill, simulating on-disk bit rot: the
+    /// framing CRC no longer matches, so reload must quarantine it.
+    pub flip_spill_record: Option<u64>,
+}
+
+impl ChaosPolicy {
+    /// Whether any fault is armed.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.panic_at_unit.is_some() || self.flip_spill_record.is_some()
+    }
+
+    /// Parses a `STUDYD_CHAOS`-style spec: comma-separated `key=N`
+    /// pairs, e.g. `panic-unit=3,flip-spill=0`. Empty spec → default.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason for a malformed spec.
+    pub fn parse(spec: &str) -> Result<ChaosPolicy, String> {
+        let mut policy = ChaosPolicy::default();
+        for part in spec.split(',').filter(|s| !s.is_empty()) {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(format!("chaos spec '{part}' is not key=N"));
+            };
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("chaos spec '{part}' needs an integer value"))?;
+            match key {
+                "panic-unit" => policy.panic_at_unit = Some(n),
+                "flip-spill" => policy.flip_spill_record = Some(n),
+                other => return Err(format!("unknown chaos fault '{other}'")),
+            }
+        }
+        Ok(policy)
+    }
+
+    /// Reads the `STUDYD_CHAOS` environment variable (unset or empty →
+    /// no faults; a malformed spec is an error, not a silent no-op —
+    /// a typo must not quietly disarm a chaos run).
+    ///
+    /// # Errors
+    ///
+    /// The [`ChaosPolicy::parse`] reason.
+    pub fn from_env() -> Result<ChaosPolicy, String> {
+        match std::env::var("STUDYD_CHAOS") {
+            Ok(spec) => Self::parse(&spec),
+            Err(_) => Ok(ChaosPolicy::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_specs() {
+        assert_eq!(ChaosPolicy::parse("").unwrap(), ChaosPolicy::default());
+        let p = ChaosPolicy::parse("panic-unit=3,flip-spill=0").unwrap();
+        assert_eq!(p.panic_at_unit, Some(3));
+        assert_eq!(p.flip_spill_record, Some(0));
+        assert!(p.is_active());
+        assert!(!ChaosPolicy::default().is_active());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(ChaosPolicy::parse("panic-unit").is_err());
+        assert!(ChaosPolicy::parse("panic-unit=x").is_err());
+        assert!(ChaosPolicy::parse("frobnicate=1").is_err());
+    }
+}

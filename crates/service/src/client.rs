@@ -6,10 +6,18 @@
 //! and folds them through [`GridStudy::assemble`] — so the report it
 //! returns is **byte-identical** to a local `Study::run` with the same
 //! parameters, whichever order the points arrived in and however many
-//! were served from the server's cache.
+//! were served from the server's cache (or coalesced onto another
+//! job's computation).
+//!
+//! When the server answers `busy` (its admission bound is full),
+//! [`Client::submit_with_retry`] backs off with capped exponential
+//! delays and **deterministic** jitter — drawn from
+//! [`workloads::rng::SmallRng`] seeded by the policy, never from the
+//! wall clock — honoring the server's `retry_after_ms` hint.
 
 use std::io::BufReader;
 use std::net::TcpStream;
+use std::time::Duration;
 
 use experiments::decompose::{decompose, GridStudy};
 use experiments::runner::PointSummary;
@@ -18,11 +26,69 @@ use speedup_stacks::error::ProtocolError;
 use speedup_stacks::report::json::{self, JsonValue};
 use speedup_stacks::report::{Degraded, DegradedPoint, Report};
 use speedup_stacks::SimError;
+use workloads::rng::SmallRng;
 
 use crate::proto::{
     check_reply, io_err, params_to_wire, read_line_bounded, u64_field, write_line, PROTO_VERSION,
     REPLY_LINE_CAP,
 };
+
+/// Capped exponential backoff against `busy` replies, with
+/// deterministic jitter (seeded, never wall-clock) so retry schedules
+/// are reproducible in tests and chaos runs.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total submit attempts, first try included; `1` disables retry.
+    pub max_attempts: u32,
+    /// Delay before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Cap on the exponential component of any single delay.
+    pub max_delay_ms: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_delay_ms: 25,
+            max_delay_ms: 2000,
+            seed: 0x0073_7475_6479_6400, // "studyd"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the `--no-retry` opt-out).
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry number `attempt` (1-based), honoring the
+    /// server's `retry_after_ms` hint: the exponential component is
+    /// doubled per attempt and capped, jitter adds up to a quarter of
+    /// it, and the result never undercuts the hint.
+    #[must_use]
+    pub fn delay_ms(&self, attempt: u32, retry_after_ms: u64) -> u64 {
+        let shift = u64::from(attempt.saturating_sub(1).min(20));
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_delay_ms);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ u64::from(attempt));
+        let jitter = if exp >= 4 {
+            rng.gen_range(0..exp / 4)
+        } else {
+            0
+        };
+        (exp + jitter).max(retry_after_ms)
+    }
+}
 
 /// A connected, handshaken protocol client.
 pub struct Client {
@@ -52,10 +118,16 @@ pub struct ServiceStatus {
     pub jobs_total: u64,
     /// Work units queued but not executing.
     pub queued_units: u64,
+    /// Admission bound on queued units (`0` = unbounded).
+    pub max_queued_units: u64,
+    /// Whether the server is draining (rejecting new work).
+    pub draining: bool,
     /// Points computed by the pool.
     pub points_computed: u64,
     /// Points served from the result cache.
     pub points_cached: u64,
+    /// Points delivered by coalescing onto another job's computation.
+    pub points_coalesced: u64,
     /// Points that failed.
     pub points_failed: u64,
     /// Cache lookups served.
@@ -68,6 +140,12 @@ pub struct ServiceStatus {
     pub cache_entries: u64,
     /// Live cache bytes.
     pub cache_bytes: u64,
+    /// Cache entries restored from the persistent spill on startup.
+    pub cache_loaded: u64,
+    /// Corrupt spill records quarantined on startup.
+    pub cache_quarantined: u64,
+    /// Entries appended to the persistent spill since startup.
+    pub cache_spilled: u64,
 }
 
 /// What a remote submission produced.
@@ -81,6 +159,8 @@ pub struct SubmitOutcome {
     pub computed: usize,
     /// Points the server served from its cache.
     pub cached: usize,
+    /// Points coalesced onto another in-flight job's computation.
+    pub coalesced: usize,
     /// Points that failed (the report carries a `Degraded` block).
     pub failed: usize,
 }
@@ -90,10 +170,23 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// [`SimError::Protocol`]: connect/write/read failures,
+    /// [`SimError::Protocol`]: connect/write/read failures (a refused
+    /// connection names the address and suggests starting a daemon),
     /// version mismatch, or a malformed greeting.
     pub fn connect(addr: &str) -> Result<Client, SimError> {
-        let writer = TcpStream::connect(addr).map_err(|e| io_err("connect", &e))?;
+        let writer = TcpStream::connect(addr).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                ProtocolError::Io {
+                    op: "connect",
+                    message: format!(
+                        "connection refused at {addr} — no studyd is listening there \
+                         (start one with `repro serve --addr {addr}`)"
+                    ),
+                }
+            } else {
+                io_err("connect", &e)
+            }
+        })?;
         writer.set_nodelay(true).ok();
         let read_half = writer.try_clone().map_err(|e| io_err("connect", &e))?;
         let mut client = Client {
@@ -171,14 +264,20 @@ impl Client {
             jobs_active: f(&reply, "jobs_active"),
             jobs_total: f(&reply, "jobs_total"),
             queued_units: f(&reply, "queued_units"),
+            max_queued_units: f(&reply, "max_queued_units"),
+            draining: matches!(reply.get("draining"), Some(JsonValue::Bool(true))),
             points_computed: f(&reply, "points_computed"),
             points_cached: f(&reply, "points_cached"),
+            points_coalesced: f(&reply, "points_coalesced"),
             points_failed: f(&reply, "points_failed"),
             cache_hits: f(&cache, "hits"),
             cache_misses: f(&cache, "misses"),
             cache_evictions: f(&cache, "evictions"),
             cache_entries: f(&cache, "entries"),
             cache_bytes: f(&cache, "bytes"),
+            cache_loaded: f(&cache, "loaded"),
+            cache_quarantined: f(&cache, "quarantined"),
+            cache_spilled: f(&cache, "spilled"),
         })
     }
 
@@ -193,7 +292,8 @@ impl Client {
         Ok(matches!(reply.get("found"), Some(JsonValue::Bool(true))))
     }
 
-    /// Asks the server to shut down (acknowledged before it does).
+    /// Asks the server to shut down immediately (acknowledged before
+    /// it does).
     ///
     /// # Errors
     ///
@@ -204,13 +304,58 @@ impl Client {
         Ok(())
     }
 
+    /// Asks the server to drain: stop admitting work, finish in-flight
+    /// jobs, flush the cache spill, then exit. Acknowledged as soon as
+    /// admission has stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on any wire failure.
+    pub fn shutdown_drain(&mut self) -> Result<(), SimError> {
+        self.send("{\"op\": \"shutdown\", \"mode\": \"drain\"}")?;
+        self.recv("shutdown")?;
+        Ok(())
+    }
+
+    /// [`Client::submit`] with backoff: on a typed `busy` rejection,
+    /// sleeps per `policy` (never less than the server's
+    /// `retry_after_ms` hint) and resubmits on the same connection, up
+    /// to `policy.max_attempts` total tries. Every other outcome —
+    /// success or any non-busy error — is returned immediately.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the final attempt returned; a still-busy server after
+    /// the last attempt surfaces the `busy` error itself.
+    pub fn submit_with_retry(
+        &mut self,
+        study: &str,
+        params: &StudyParams,
+        policy: &RetryPolicy,
+    ) -> Result<SubmitOutcome, SimError> {
+        let mut attempt = 1u32;
+        loop {
+            match self.submit(study, params) {
+                Err(SimError::Protocol(ProtocolError::Busy { retry_after_ms }))
+                    if attempt < policy.max_attempts =>
+                {
+                    let delay = policy.delay_ms(attempt, retry_after_ms);
+                    std::thread::sleep(Duration::from_millis(delay));
+                    attempt += 1;
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
     /// Submits a study and reassembles the streamed points into the
     /// final [`Report`].
     ///
     /// # Errors
     ///
     /// [`SimError::Protocol`] for wire failures and typed server
-    /// rejections (unknown study, bad params, version drift).
+    /// rejections (unknown study, bad params, a full queue (`busy`),
+    /// a draining server, version drift).
     pub fn submit(&mut self, study: &str, params: &StudyParams) -> Result<SubmitOutcome, SimError> {
         let Some(grid) = decompose(study, params) else {
             return Err(ProtocolError::Rejected {
@@ -287,6 +432,7 @@ impl Client {
                 Some("done") => {
                     let computed = u64_field(&frame, "computed").unwrap_or(0) as usize;
                     let cached = u64_field(&frame, "cached").unwrap_or(0) as usize;
+                    let coalesced = u64_field(&frame, "coalesced").unwrap_or(0) as usize;
                     let failed = u64_field(&frame, "failed").unwrap_or(0) as usize;
                     if matches!(frame.get("cancelled"), Some(JsonValue::Bool(true))) {
                         return Err(ProtocolError::Rejected {
@@ -309,6 +455,7 @@ impl Client {
                         report,
                         computed,
                         cached,
+                        coalesced,
                         failed,
                     });
                 }

@@ -9,12 +9,18 @@
 //!   handshake, typed error frames, bounded line lengths);
 //! - [`cache`] — the content-addressed result cache (LRU byte budget,
 //!   keys derived from the journal's canonical parameter string);
+//! - [`persist`] — the cache's append-only, CRC32-framed spill file,
+//!   reloaded with quarantine on restart so `kill -9` loses nothing
+//!   but the line being written;
 //! - [`scheduler`] — the shared worker pool with fair round-robin
-//!   sharding across jobs and per-unit fault domains;
+//!   sharding across jobs, per-unit fault domains, in-flight request
+//!   coalescing, admission control and graceful drain;
 //! - [`server`] / [`session`] — the TCP listener and per-connection
-//!   request loop;
+//!   request loop (idle-connection reaping included);
 //! - [`client`] — connect/submit/reassemble, producing reports
-//!   **byte-identical** to local runs.
+//!   **byte-identical** to local runs, with capped deterministic-jitter
+//!   backoff against `busy` replies;
+//! - [`chaos`] — deterministic fault injection driving the chaos suite.
 //!
 //! Everything is `std`-only — `TcpListener`, `TcpStream` and threads —
 //! matching the repo's no-external-dependencies rule. Protocol and
@@ -51,11 +57,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
+pub mod persist;
 pub mod proto;
 pub mod scheduler;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, SubmitOutcome};
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use client::{Client, RetryPolicy, SubmitOutcome};
+pub use server::{serve, ServeConfig, ServerHandle, ShutdownMode};

@@ -1,0 +1,372 @@
+//! The persistent result-cache spill: an append-only, CRC32-framed
+//! NDJSON file that survives `kill -9`.
+//!
+//! # Format
+//!
+//! Every line reuses the sweep journal's framing
+//! ([`experiments::journal::wrap_line`]):
+//!
+//! ```text
+//! {"crc":"xxxxxxxx","data":<record>}\n
+//! ```
+//!
+//! The first record is the header, `{"spill": "studyd-cache",
+//! "version": 1}`; every following record is one completed cache entry,
+//! `{"key": "<cache key>", "value": "<journal-record JSON, escaped>"}`.
+//! Keys carry the full journal-canonical parameter identity (see
+//! [`crate::cache`]), so the header needs no study or fingerprint of
+//! its own — one spill file serves every parameterization. Each record
+//! is flushed as it is appended, so a killed daemon loses at most the
+//! line it was writing.
+//!
+//! # Crash and corruption semantics (mirrors `experiments::journal`)
+//!
+//! - An **unterminated final line** is the expected kill artifact:
+//!   dropped silently, its unit recomputed on the next submit.
+//! - A **complete but corrupt** record (layout, checksum or JSON shape)
+//!   is quarantined: counted in [`SpillOpen::quarantined`] and in the
+//!   cache's stats, recomputed, never served.
+//! - A file that is empty or dies **inside the header line** is the
+//!   artifact of a kill during creation: silently recreated.
+//! - A **complete but corrupt or version-mismatched header** is a typed
+//!   fatal error — identity failures are never papered over.
+//!
+//! The file is append-only and never compacted: a replaced key simply
+//! appears twice and the later record wins on reload. Reload feeds
+//! entries through the cache's normal LRU insertion, so a spill larger
+//! than the byte budget is clamped on the way in.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use experiments::journal::{framed_lines, wrap_line, FramedLine};
+use speedup_stacks::error::JournalError;
+use speedup_stacks::report::json::{self, JsonValue};
+
+/// The spill format magic recorded in every header.
+pub const SPILL_MAGIC: &str = "studyd-cache";
+/// The spill format version this build reads and writes.
+pub const SPILL_VERSION: u64 = 1;
+
+/// The append side of a spill file. Obtained from [`open`]; handed to
+/// [`crate::cache::Cache::set_spill`], which appends every completed
+/// entry write-through.
+#[derive(Debug)]
+pub struct SpillWriter {
+    file: File,
+    path: PathBuf,
+    /// Data records appended by this process (drives the chaos flip).
+    appended: u64,
+    /// Corrupt the Nth appended record (deterministic chaos fault).
+    flip_record: Option<u64>,
+}
+
+/// Everything [`open`] recovered from a spill file.
+#[derive(Debug)]
+pub struct SpillOpen {
+    /// The append handle, positioned after the last intact record.
+    pub writer: SpillWriter,
+    /// Recovered `(key, value)` entries in file order (a key appearing
+    /// twice is resolved by the caller's insertion order: later wins).
+    pub entries: Vec<(String, String)>,
+    /// Complete-but-corrupt records skipped during reload.
+    pub quarantined: usize,
+}
+
+fn io_err(op: &'static str, e: &std::io::Error) -> JournalError {
+    JournalError::Io {
+        op,
+        message: e.to_string(),
+    }
+}
+
+fn header_record() -> String {
+    format!("{{\"spill\": \"{SPILL_MAGIC}\", \"version\": {SPILL_VERSION}}}")
+}
+
+/// Creates (truncating) a spill file with a fresh header.
+fn create(path: &Path) -> Result<File, JournalError> {
+    let mut file = File::create(path).map_err(|e| io_err("create", &e))?;
+    file.write_all(wrap_line(&header_record()).as_bytes())
+        .map_err(|e| io_err("write-header", &e))?;
+    file.flush().map_err(|e| io_err("flush-header", &e))?;
+    Ok(file)
+}
+
+/// Validates an existing spill's header record. `Ok(true)` means the
+/// header is intact; `Ok(false)` means the file died during creation
+/// (empty, or an unterminated header line) and should be recreated.
+fn check_header(content: &str) -> Result<bool, JournalError> {
+    if content.is_empty() {
+        return Ok(false);
+    }
+    let Some((header_line, _)) = content.split_once('\n') else {
+        // Killed inside the very first write: no identity was ever
+        // durable, so there is nothing to protect — start over.
+        return Ok(false);
+    };
+    let data = experiments::journal::unwrap_line(header_line)
+        .map_err(|why| JournalError::BadHeader { why })?;
+    let header = json::parse(data).map_err(|e| JournalError::BadHeader { why: e.to_string() })?;
+    if header.get("spill").and_then(JsonValue::as_str) != Some(SPILL_MAGIC) {
+        return Err(JournalError::BadHeader {
+            why: format!("not a {SPILL_MAGIC} spill"),
+        });
+    }
+    let version = header
+        .get("version")
+        .and_then(JsonValue::as_f64)
+        .map_or(0, |v| v as u64);
+    if version != SPILL_VERSION {
+        return Err(JournalError::VersionMismatch {
+            found: version,
+            supported: SPILL_VERSION,
+        });
+    }
+    Ok(true)
+}
+
+/// Opens a spill file, creating it if needed, and recovers every intact
+/// entry written before the last shutdown or kill. `flip_record` arms
+/// the deterministic chaos fault (see [`crate::chaos::ChaosPolicy`]).
+///
+/// # Errors
+///
+/// [`JournalError::Io`] on filesystem failure; [`JournalError::BadHeader`]
+/// / [`JournalError::VersionMismatch`] when an existing file's header is
+/// complete but wrong — a kill *during* header creation recreates
+/// silently instead.
+pub fn open(path: &Path, flip_record: Option<u64>) -> Result<SpillOpen, JournalError> {
+    let mut entries: Vec<(String, String)> = Vec::new();
+    let mut quarantined = 0usize;
+    let mut keep_bytes = None;
+    let fresh = match std::fs::read_to_string(path) {
+        Ok(content) => {
+            if check_header(&content)? {
+                let rest = &content[content.find('\n').expect("header checked") + 1..];
+                for framed in framed_lines(rest) {
+                    match framed.and_then_record() {
+                        Some((key, value)) => entries.push((key, value)),
+                        None => quarantined += 1,
+                    }
+                }
+                // Chop an unterminated kill-tail so the next append
+                // starts a fresh line instead of completing garbage.
+                if !content.ends_with('\n') {
+                    keep_bytes = Some(content.rfind('\n').expect("header checked") as u64 + 1);
+                }
+                false
+            } else {
+                true
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => true,
+        Err(e) => return Err(io_err("read", &e)),
+    };
+    let file = if fresh {
+        create(path)?
+    } else {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open", &e))?;
+        if let Some(len) = keep_bytes {
+            file.set_len(len).map_err(|e| io_err("truncate", &e))?;
+        }
+        file
+    };
+    Ok(SpillOpen {
+        writer: SpillWriter {
+            file,
+            path: path.to_path_buf(),
+            appended: 0,
+            flip_record,
+        },
+        entries,
+        quarantined,
+    })
+}
+
+/// Parses one framed data substring into a cache entry.
+trait RecordExt {
+    fn and_then_record(self) -> Option<(String, String)>;
+}
+
+impl RecordExt for FramedLine<'_> {
+    fn and_then_record(self) -> Option<(String, String)> {
+        let FramedLine::Record(data) = self else {
+            return None;
+        };
+        let record = json::parse(data).ok()?;
+        let key = record.get("key").and_then(JsonValue::as_str)?;
+        let value = record.get("value").and_then(JsonValue::as_str)?;
+        Some((key.to_string(), value.to_string()))
+    }
+}
+
+impl SpillWriter {
+    /// The file this writer appends to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed cache entry and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write/flush failure.
+    pub fn append(&mut self, key: &str, value: &str) -> Result<(), JournalError> {
+        let record = format!(
+            "{{\"key\": \"{}\", \"value\": \"{}\"}}",
+            json::escape(key),
+            json::escape(value)
+        );
+        let mut line = wrap_line(&record).into_bytes();
+        if self.flip_record == Some(self.appended) {
+            // Chaos: simulate on-disk bit rot inside the data region so
+            // the framing CRC no longer matches on reload.
+            let mid = line.len() - 3;
+            line[mid] ^= 0x01;
+        }
+        self.appended += 1;
+        self.file
+            .write_all(&line)
+            .map_err(|e| io_err("append", &e))?;
+        self.file.flush().map_err(|e| io_err("flush", &e))
+    }
+
+    /// Forces everything appended so far to durable storage (the
+    /// drain-mode shutdown barrier).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on sync failure.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.flush().map_err(|e| io_err("flush", &e))?;
+        self.file.sync_all().map_err(|e| io_err("sync", &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "studyd-spill-{}-{}-{tag}.ndjson",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn spill_round_trips_entries() {
+        let path = temp_path("roundtrip");
+        let mut opened = open(&path, None).unwrap();
+        assert!(opened.entries.is_empty());
+        opened.writer.append("point:c:0", "{\"a\": 1}").unwrap();
+        opened
+            .writer
+            .append("ref:c:0", "1234 5678 with \"quotes\"")
+            .unwrap();
+        opened.writer.sync().unwrap();
+        drop(opened);
+        let reopened = open(&path, None).unwrap();
+        assert_eq!(reopened.quarantined, 0);
+        assert_eq!(
+            reopened.entries,
+            vec![
+                ("point:c:0".to_string(), "{\"a\": 1}".to_string()),
+                (
+                    "ref:c:0".to_string(),
+                    "1234 5678 with \"quotes\"".to_string()
+                ),
+            ]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kill_tail_dropped_and_corruption_quarantined() {
+        let path = temp_path("chaos");
+        let mut opened = open(&path, Some(1)).unwrap();
+        opened.writer.append("k0", "v0").unwrap();
+        opened.writer.append("k1", "v1").unwrap(); // chaos-flipped
+        opened.writer.append("k2", "v2").unwrap();
+        drop(opened);
+        // Simulate a kill mid-write: half a line, no newline.
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"crc\":\"00000000\",\"data\":{\"key\": \"k3");
+        std::fs::write(&path, &content).unwrap();
+        let mut reopened = open(&path, None).unwrap();
+        assert_eq!(reopened.quarantined, 1, "flipped record quarantined");
+        assert_eq!(
+            reopened.entries,
+            vec![
+                ("k0".to_string(), "v0".to_string()),
+                ("k2".to_string(), "v2".to_string()),
+            ],
+            "kill tail dropped silently, corrupt record never served"
+        );
+        // The kill-tail was chopped on open, so post-recovery appends
+        // start a fresh line and survive the next reload.
+        reopened.writer.append("k4", "v4").unwrap();
+        drop(reopened);
+        let third = open(&path, None).unwrap();
+        assert_eq!(third.quarantined, 1);
+        assert_eq!(third.entries.last().unwrap().0, "k4");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kill_during_creation_recreates_silently() {
+        let path = temp_path("header-kill");
+        std::fs::write(&path, "").unwrap();
+        assert!(open(&path, None).unwrap().entries.is_empty());
+        std::fs::write(&path, "{\"crc\":\"0000").unwrap();
+        assert!(open(&path, None).unwrap().entries.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_header_is_fatal() {
+        let path = temp_path("header-bad");
+        std::fs::write(&path, wrap_line("{\"spill\": \"other\", \"version\": 1}")).unwrap();
+        assert!(matches!(
+            open(&path, None),
+            Err(JournalError::BadHeader { .. })
+        ));
+        std::fs::write(
+            &path,
+            wrap_line(&format!(
+                "{{\"spill\": \"{SPILL_MAGIC}\", \"version\": 99}}"
+            )),
+        )
+        .unwrap();
+        assert!(matches!(
+            open(&path, None),
+            Err(JournalError::VersionMismatch {
+                found: 99,
+                supported: SPILL_VERSION
+            })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn later_records_win_on_reload() {
+        let path = temp_path("replace");
+        let mut opened = open(&path, None).unwrap();
+        opened.writer.append("k", "old").unwrap();
+        opened.writer.append("k", "new").unwrap();
+        drop(opened);
+        let entries = open(&path, None).unwrap().entries;
+        assert_eq!(entries.last().unwrap().1, "new", "file order preserved");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -4,19 +4,35 @@
 //! emitted and parsed by the in-repo [`speedup_stacks::report::json`]
 //! machinery (no external serialization). The exchange is
 //! handshake-first: the client's opening frame must be
-//! `{"op": "hello", "proto": 1}`, which the server answers with a
+//! `{"op": "hello", "proto": 2}`, which the server answers with a
 //! `hello` reply naming its protocol version; any mismatch is a typed
 //! rejection, never a silent downgrade.
 //!
 //! Requests after the handshake: `list`, `status`,
 //! `submit` (a registry study name plus a [`StudyParams`] override
-//! subset), `cancel` and `shutdown`. A `submit` streams back an
-//! `accepted` frame, then one `point` or `failed` frame per grid point
-//! *as points complete* (NDJSON — consumers reassemble in any order via
-//! the `index` field), and finally a `done` frame. Replies carry
+//! subset), `cancel` and `shutdown` (`{"mode": "drain"}` finishes
+//! in-flight jobs and flushes the cache spill before exit; the default
+//! is immediate). A `submit` streams back an `accepted` frame, then one
+//! `point` or `failed` frame per grid point *as points complete*
+//! (NDJSON — consumers reassemble in any order via the `index` field;
+//! each `point` carries a `source` of `computed`, `cached` or
+//! `coalesced`), and finally a `done` frame. Replies carry
 //! `"ok": true`; errors are `{"ok": false, "error": CODE,
 //! "message": ...}` and map onto [`ProtocolError`] (and from there onto
-//! [`speedup_stacks::SimError::Protocol`], exit code 10).
+//! [`speedup_stacks::SimError::Protocol`], exit code 10). Two error
+//! codes carry extra typed payload: `version-mismatch` (`found`,
+//! `supported`) and `busy` (`retry_after_ms`, the admission
+//! controller's deterministic backoff hint).
+//!
+//! # Protocol history
+//!
+//! - **v1** (PR 8): handshake, `list`/`status`/`submit`/`cancel`/
+//!   `shutdown`, `cached` boolean on point frames.
+//! - **v2** (this version): point frames replace the `cached` boolean
+//!   with the three-way `source`; `done` and `status` gain coalescing
+//!   counters; `busy` rejections with `retry_after_ms`; `shutdown`
+//!   accepts `{"mode": "drain"}`; `cancel` replies carry a `state` of
+//!   `cancelled` or `already-done`.
 //!
 //! Line lengths are capped — [`REQUEST_LINE_CAP`] for client→server
 //! frames, [`REPLY_LINE_CAP`] for server→client frames (point frames
@@ -31,7 +47,7 @@ use speedup_stacks::error::ProtocolError;
 use speedup_stacks::report::json::{self, JsonValue};
 
 /// The protocol version this build speaks (`hello` handshake).
-pub const PROTO_VERSION: u64 = 1;
+pub const PROTO_VERSION: u64 = 2;
 
 /// Line cap for client→server request frames.
 pub const REQUEST_LINE_CAP: usize = 64 * 1024;
@@ -40,12 +56,17 @@ pub const REQUEST_LINE_CAP: usize = 64 * 1024;
 /// per-thread breakdown, so this is generous).
 pub const REPLY_LINE_CAP: usize = 4 * 1024 * 1024;
 
-/// Wraps an I/O failure into the protocol error taxonomy.
+/// Wraps an I/O failure into the protocol error taxonomy. Timeouts
+/// (a socket read/write deadline expiring — the idle-connection
+/// reaper's signal) get their own typed variant.
 #[must_use]
 pub fn io_err(op: &'static str, e: &std::io::Error) -> ProtocolError {
-    ProtocolError::Io {
-        op,
-        message: e.to_string(),
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ProtocolError::Timeout,
+        _ => ProtocolError::Io {
+            op,
+            message: e.to_string(),
+        },
     }
 }
 
@@ -162,8 +183,9 @@ pub fn u64_field(v: &JsonValue, key: &str) -> Option<u64> {
 
 /// Turns a reply frame into `Ok(frame)` or the typed [`ProtocolError`]
 /// its `"ok": false` body describes: `version-mismatch` frames become
-/// [`ProtocolError::VersionMismatch`], everything else
-/// [`ProtocolError::Rejected`].
+/// [`ProtocolError::VersionMismatch`], `busy` frames become
+/// [`ProtocolError::Busy`] (carrying the server's backoff hint),
+/// everything else [`ProtocolError::Rejected`].
 ///
 /// # Errors
 ///
@@ -188,6 +210,11 @@ pub fn check_reply(frame: JsonValue) -> Result<JsonValue, ProtocolError> {
                     (u64_field(&frame, "found"), u64_field(&frame, "supported"))
                 {
                     return Err(ProtocolError::VersionMismatch { found, supported });
+                }
+            }
+            if code == "busy" {
+                if let Some(retry_after_ms) = u64_field(&frame, "retry_after_ms") {
+                    return Err(ProtocolError::Busy { retry_after_ms });
                 }
             }
             Err(ProtocolError::Rejected { code, message })
@@ -368,6 +395,16 @@ mod tests {
             Err(ProtocolError::VersionMismatch {
                 found: 9,
                 supported: 1
+            })
+        ));
+        let busy = json::parse(
+            "{\"ok\": false, \"error\": \"busy\", \"message\": \"m\", \"retry_after_ms\": 125}",
+        )
+        .unwrap();
+        assert!(matches!(
+            check_reply(busy),
+            Err(ProtocolError::Busy {
+                retry_after_ms: 125
             })
         ));
         let junk = json::parse("{\"kind\": \"x\"}").unwrap();

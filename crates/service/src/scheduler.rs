@@ -17,15 +17,51 @@
 //! the sweep's exact `"single-thread reference failed: …"` reason, so a
 //! remote `Degraded` block matches a local one byte for byte.
 //!
+//! # Coalescing
+//!
+//! Every unit a job *owns* (its queued references and points, parked or
+//! ready) is registered in a global in-flight table keyed by the same
+//! journal-canonical cache key the result cache uses. A later submit
+//! whose unit is already in that table does not queue a duplicate: it
+//! registers as a **waiter** and the single computation fans out to the
+//! owner and every waiter when it lands — N identical concurrent cold
+//! submits compute each unit exactly once, and all N streams carry
+//! byte-identical records. Fan-out deliveries are tagged
+//! [`PointSource::Coalesced`], distinct from [`PointSource::Cached`]
+//! (resolved from the cache at submit time).
+//!
+//! Cancellation respects waiters: a cancelled job's stream ends
+//! immediately with `Done { cancelled: true }`, its queued units that
+//! nobody waits on are dropped, but any unit with subscribers keeps
+//! computing — the job lingers invisibly (a "zombie") until its last
+//! waiter-backed unit resolves, so cancelling one of N coalesced
+//! submits never starves the other N-1.
+//!
+//! # Admission control and drain
+//!
+//! [`SchedOptions::max_queued_units`] bounds the queued backlog:
+//! a submit that would add new units to a non-empty queue past the
+//! bound is refused with [`SubmitError::Busy`], carrying a
+//! deterministic `retry_after_ms` hint derived from the queue depth.
+//! An idle queue always admits (a job larger than the bound must not
+//! wedge forever), and warm or fully coalesced submits cost zero new
+//! units, so they are admitted even when the queue is full.
+//! [`Scheduler::begin_drain`] flips the scheduler into drain mode: all
+//! new submits are refused with [`SubmitError::Draining`] while
+//! in-flight jobs run to completion ([`Scheduler::wait_idle`] blocks
+//! until they have).
+//!
 //! Results land in the content-addressed [`crate::cache`] as they are
 //! computed, and cache hits at submit time are streamed back instantly
 //! without touching the pool. Each unit runs in its own fault domain
 //! (`catch_unwind` + the parameters' retry budget), mirroring
 //! [`experiments::par::try_map_mode`] — a panicking point degrades its
-//! job, never the server.
+//! job, never the server. The [`crate::chaos`] policy can force that
+//! panic at a chosen unit to prove it.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -35,6 +71,43 @@ use experiments::runner::PointSummary;
 use experiments::study::StudyParams;
 
 use crate::cache::{point_key, ref_key, Cache};
+use crate::chaos::ChaosPolicy;
+
+/// How a streamed point was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointSource {
+    /// Computed by one of this job's own scheduled units.
+    Computed,
+    /// Served from the result cache at submit time.
+    Cached,
+    /// Computed exactly once by another in-flight job and fanned out.
+    Coalesced,
+}
+
+impl PointSource {
+    /// The wire name used in `point` frames.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            PointSource::Computed => "computed",
+            PointSource::Cached => "cached",
+            PointSource::Coalesced => "coalesced",
+        }
+    }
+
+    /// Parses a wire name back (the client side of [`wire_name`]).
+    ///
+    /// [`wire_name`]: PointSource::wire_name
+    #[must_use]
+    pub fn from_wire(s: &str) -> Option<PointSource> {
+        match s {
+            "computed" => Some(PointSource::Computed),
+            "cached" => Some(PointSource::Cached),
+            "coalesced" => Some(PointSource::Coalesced),
+            _ => None,
+        }
+    }
+}
 
 /// One streamed event of a job's lifetime, in completion order.
 #[derive(Debug)]
@@ -44,8 +117,8 @@ pub enum JobEvent {
     Point {
         /// Row-major grid index.
         index: usize,
-        /// Served from the result cache without recomputation.
-        cached: bool,
+        /// How the point was satisfied.
+        source: PointSource,
         /// Fault-domain attempts spent (1 = first try).
         attempts: u32,
         /// The point's `PointSummary::to_record()` JSON.
@@ -64,15 +137,49 @@ pub enum JobEvent {
     },
     /// The job finished (all points resolved, or cancelled).
     Done {
-        /// Points computed by the pool.
+        /// Points computed by this job's own units.
         computed: usize,
-        /// Points served from the cache.
+        /// Points served from the cache at submit time.
         cached: usize,
+        /// Points fanned out from another job's in-flight units.
+        coalesced: usize,
         /// Points that failed.
         failed: usize,
         /// The job was cancelled before completing.
         cancelled: bool,
     },
+}
+
+/// Why a submission was refused admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control refused: the queued backlog is full.
+    Busy {
+        /// Units queued at the moment of refusal.
+        queued: usize,
+        /// The configured `max_queued_units` bound.
+        limit: usize,
+        /// Deterministic backoff hint derived from the queue depth.
+        retry_after_ms: u64,
+    },
+    /// The scheduler is draining and admits no new work.
+    Draining,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy {
+                queued,
+                limit,
+                retry_after_ms,
+            } => write!(
+                f,
+                "work queue full ({queued} units queued, limit {limit}); retry after {retry_after_ms} ms"
+            ),
+            SubmitError::Draining => f.write_str("server is draining and not admitting new work"),
+        }
+    }
 }
 
 /// A schedulable unit of work.
@@ -91,8 +198,16 @@ enum RefState {
     InFlight { waiting: Vec<usize> },
     /// Completed (waiting points have been released).
     Done,
-    /// Failed; its waiting points have been cascaded.
+    /// Failed or abandoned; its waiting points have been resolved.
     Failed,
+}
+
+/// Registry entry for one unit currently queued or executing, keyed by
+/// its cache key: the owning job plus subscriber jobs awaiting fan-out.
+struct Inflight {
+    owner: u64,
+    /// `(job, point index)` for point keys; `(job, profile)` for refs.
+    waiters: Vec<(u64, usize)>,
 }
 
 struct Job {
@@ -106,8 +221,11 @@ struct Job {
     /// Units currently executing on workers.
     in_flight: usize,
     cancelled: bool,
+    /// The terminal `Done` has already been streamed (early, at cancel).
+    done_sent: bool,
     computed: usize,
     cached: usize,
+    coalesced: usize,
     failed: usize,
     tx: Sender<JobEvent>,
 }
@@ -117,11 +235,15 @@ struct SchedState {
     /// Round-robin order. Invariant: a job id appears here exactly once
     /// iff its `ready` queue is non-empty.
     rr: VecDeque<u64>,
+    /// Units queued or executing, keyed by cache key (coalescing).
+    inflight: HashMap<String, Inflight>,
     next_job: u64,
     shutdown: bool,
+    draining: bool,
     jobs_total: u64,
     points_computed: u64,
     points_cached: u64,
+    points_coalesced: u64,
     points_failed: u64,
 }
 
@@ -129,6 +251,9 @@ struct Shared {
     state: Mutex<SchedState>,
     cond: Condvar,
     cache: Arc<Cache>,
+    chaos: ChaosPolicy,
+    /// Units claimed since startup; drives `chaos.panic_at_unit`.
+    chaos_units: AtomicU64,
 }
 
 /// Counters and gauges reported through the `status` request.
@@ -140,14 +265,29 @@ pub struct SchedulerStatus {
     pub jobs_active: usize,
     /// Jobs accepted since startup.
     pub jobs_total: u64,
-    /// Work units queued but not yet executing.
+    /// Work units queued (ready or parked) but not yet executing.
     pub queued_units: usize,
+    /// The admission-control bound on queued units (0 = unbounded).
+    pub max_queued_units: usize,
+    /// The scheduler is draining: no new work is admitted.
+    pub draining: bool,
     /// Points computed by the pool since startup.
     pub points_computed: u64,
     /// Points served from the cache since startup.
     pub points_cached: u64,
+    /// Points fanned out from coalesced in-flight units since startup.
+    pub points_coalesced: u64,
     /// Points failed since startup.
     pub points_failed: u64,
+}
+
+/// Tuning knobs for [`Scheduler::start`].
+#[derive(Debug, Clone, Default)]
+pub struct SchedOptions {
+    /// Admission-control bound on queued units (0 = unbounded).
+    pub max_queued_units: usize,
+    /// Deterministic fault injection (default: none).
+    pub chaos: ChaosPolicy,
 }
 
 /// The shared worker pool: submit jobs, stream their events, observe
@@ -156,6 +296,7 @@ pub struct Scheduler {
     shared: Arc<Shared>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     workers: usize,
+    max_queued: usize,
 }
 
 /// Local mirror of the sweep's panic renderer (private to
@@ -196,24 +337,64 @@ fn lock(shared: &Shared) -> std::sync::MutexGuard<'_, SchedState> {
     shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Units queued (ready) or parked behind a reference, across all jobs.
+/// Executing units are excluded: the bound is on backlog, not capacity.
+fn queued_units(st: &SchedState) -> usize {
+    st.jobs
+        .values()
+        .map(|j| {
+            j.ready.len()
+                + j.refs
+                    .values()
+                    .map(|r| match r {
+                        RefState::InFlight { waiting } => waiting.len(),
+                        _ => 0,
+                    })
+                    .sum::<usize>()
+        })
+        .sum()
+}
+
+/// Deterministic backoff hint: ~25 ms per queued unit per worker,
+/// clamped to a sane window. No randomness here — jitter is the
+/// client's job, seeded on its side.
+fn retry_after_hint(queued: usize, workers: usize) -> u64 {
+    ((queued as u64).saturating_mul(25) / workers.max(1) as u64).clamp(25, 5_000)
+}
+
+/// How a submission plans to satisfy one profile's reference.
+enum RefPlan {
+    /// The reference value was already in the cache.
+    CachedRef((u64, u64)),
+    /// Another job owns the in-flight reference; subscribe to it.
+    Subscribe,
+    /// This job owns the reference and queues it.
+    Own,
+}
+
 impl Scheduler {
     /// Starts a pool of `workers` threads (at least one).
     #[must_use]
-    pub fn start(workers: usize, cache: Arc<Cache>) -> Scheduler {
+    pub fn start(workers: usize, cache: Arc<Cache>, options: SchedOptions) -> Scheduler {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedState {
                 jobs: HashMap::new(),
                 rr: VecDeque::new(),
+                inflight: HashMap::new(),
                 next_job: 1,
                 shutdown: false,
+                draining: false,
                 jobs_total: 0,
                 points_computed: 0,
                 points_cached: 0,
+                points_coalesced: 0,
                 points_failed: 0,
             }),
             cond: Condvar::new(),
             cache,
+            chaos: options.chaos,
+            chaos_units: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -228,83 +409,164 @@ impl Scheduler {
             shared,
             handles: Mutex::new(handles),
             workers,
+            max_queued: options.max_queued_units,
         }
     }
 
-    /// Submits a job: streams cache hits immediately, queues the rest
-    /// on the pool. Returns the job id and its event stream; the
-    /// receiver always ends with exactly one [`JobEvent::Done`].
-    pub fn submit(&self, grid: GridStudy, params: StudyParams) -> (u64, Receiver<JobEvent>) {
+    /// Submits a job: streams cache hits immediately, coalesces onto
+    /// in-flight units owned by other jobs, and queues only what
+    /// remains. Returns the job id and its event stream; the receiver
+    /// always ends with exactly one [`JobEvent::Done`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] when admission control refuses the new
+    /// units, [`SubmitError::Draining`] once a drain has begun.
+    pub fn submit(
+        &self,
+        grid: GridStudy,
+        params: StudyParams,
+    ) -> Result<(u64, Receiver<JobEvent>), SubmitError> {
         let canonical = experiments::journal::canonical(grid.study(), &params);
         let grid = Arc::new(grid);
         let (tx, rx) = channel();
+        let n = grid.n_points();
 
-        // Resolve cache hits before taking the scheduler lock: streaming
-        // a warm job must not stall behind a busy pool.
-        let mut cached = 0usize;
-        let mut misses_by_profile: Vec<Vec<usize>> = vec![Vec::new(); grid.profiles().len()];
-        for index in 0..grid.n_points() {
-            match self.shared.cache.get(&point_key(&canonical, index)) {
-                Some(record) => {
-                    cached += 1;
-                    tx.send(JobEvent::Point {
-                        index,
-                        cached: true,
-                        attempts: 1,
-                        record,
-                    })
-                    .ok();
-                }
-                None => {
-                    let (pi, _) = grid.point(index);
-                    misses_by_profile[pi].push(index);
-                }
+        // Classify every point under the scheduler lock, so the
+        // decision (cache hit / coalesce / own) is atomic with waiter
+        // registration — two racing identical submits cannot both
+        // decide to own the same unit.
+        let mut st = lock(&self.shared);
+        if st.draining {
+            return Err(SubmitError::Draining);
+        }
+        let mut hits: Vec<(usize, String)> = Vec::new();
+        let mut coalesce: Vec<usize> = Vec::new();
+        let mut owned_by_profile: Vec<Vec<usize>> = vec![Vec::new(); grid.profiles().len()];
+        let mut owned_points = 0usize;
+        for index in 0..n {
+            let key = point_key(&canonical, index);
+            if let Some(record) = self.shared.cache.get(&key) {
+                hits.push((index, record));
+            } else if st.inflight.contains_key(&key) {
+                coalesce.push(index);
+            } else {
+                let (pi, _) = grid.point(index);
+                owned_by_profile[pi].push(index);
+                owned_points += 1;
             }
         }
-
-        let mut ready = VecDeque::new();
-        let mut refs = HashMap::new();
-        let mut outstanding = 0usize;
-        for (pi, waiting) in misses_by_profile.into_iter().enumerate() {
+        let mut plans: Vec<(usize, RefPlan, Vec<usize>)> = Vec::new();
+        let mut new_units = owned_points;
+        for (pi, waiting) in owned_by_profile.into_iter().enumerate() {
             if waiting.is_empty() {
                 continue;
             }
-            outstanding += waiting.len();
+            let rkey = ref_key(&canonical, pi);
             let cached_ref = self
                 .shared
                 .cache
-                .get(&ref_key(&canonical, pi))
+                .get(&rkey)
                 .and_then(|v| parse_ref_value(&v));
-            match cached_ref {
-                Some(st) => {
-                    refs.insert(pi, RefState::Done);
-                    for index in waiting {
-                        ready.push_back(Unit::Point { index, st });
-                    }
-                }
-                None => {
-                    ready.push_back(Unit::Ref(pi));
-                    refs.insert(pi, RefState::InFlight { waiting });
-                }
+            let plan = if let Some(stv) = cached_ref {
+                RefPlan::CachedRef(stv)
+            } else if st.inflight.contains_key(&rkey) {
+                RefPlan::Subscribe
+            } else {
+                new_units += 1;
+                RefPlan::Own
+            };
+            plans.push((pi, plan, waiting));
+        }
+
+        // Admission control (see the module docs for the idle-queue and
+        // zero-new-unit exemptions).
+        if self.max_queued > 0 && new_units > 0 {
+            let queued = queued_units(&st);
+            if queued > 0 && queued + new_units > self.max_queued {
+                return Err(SubmitError::Busy {
+                    queued,
+                    limit: self.max_queued,
+                    retry_after_ms: retry_after_hint(queued, self.workers),
+                });
             }
         }
 
-        let mut st = lock(&self.shared);
         let id = st.next_job;
         st.next_job += 1;
         st.jobs_total += 1;
-        st.points_cached += cached as u64;
+        st.points_cached += hits.len() as u64;
+        let cached = hits.len();
+        for (index, record) in hits {
+            tx.send(JobEvent::Point {
+                index,
+                source: PointSource::Cached,
+                attempts: 1,
+                record,
+            })
+            .ok();
+        }
+        let outstanding = coalesce.len() + owned_points;
         if outstanding == 0 {
             // Fully warm: the job never touches the pool.
             tx.send(JobEvent::Done {
                 computed: 0,
                 cached,
+                coalesced: 0,
                 failed: 0,
                 cancelled: false,
             })
             .ok();
-            return (id, rx);
+            return Ok((id, rx));
         }
+        for &index in &coalesce {
+            st.inflight
+                .get_mut(&point_key(&canonical, index))
+                .expect("classified as in-flight under this lock")
+                .waiters
+                .push((id, index));
+        }
+        let mut ready = VecDeque::new();
+        let mut refs = HashMap::new();
+        for (pi, plan, waiting) in plans {
+            for &index in &waiting {
+                st.inflight.insert(
+                    point_key(&canonical, index),
+                    Inflight {
+                        owner: id,
+                        waiters: Vec::new(),
+                    },
+                );
+            }
+            match plan {
+                RefPlan::CachedRef(stv) => {
+                    refs.insert(pi, RefState::Done);
+                    for index in waiting {
+                        ready.push_back(Unit::Point { index, st: stv });
+                    }
+                }
+                RefPlan::Subscribe => {
+                    st.inflight
+                        .get_mut(&ref_key(&canonical, pi))
+                        .expect("classified as in-flight under this lock")
+                        .waiters
+                        .push((id, pi));
+                    refs.insert(pi, RefState::InFlight { waiting });
+                }
+                RefPlan::Own => {
+                    st.inflight.insert(
+                        ref_key(&canonical, pi),
+                        Inflight {
+                            owner: id,
+                            waiters: Vec::new(),
+                        },
+                    );
+                    ready.push_back(Unit::Ref(pi));
+                    refs.insert(pi, RefState::InFlight { waiting });
+                }
+            }
+        }
+        let has_ready = !ready.is_empty();
         st.jobs.insert(
             id,
             Job {
@@ -316,42 +578,158 @@ impl Scheduler {
                 outstanding,
                 in_flight: 0,
                 cancelled: false,
+                done_sent: false,
                 computed: 0,
                 cached,
+                coalesced: 0,
                 failed: 0,
                 tx,
             },
         );
-        st.rr.push_back(id);
+        if has_ready {
+            st.rr.push_back(id);
+        }
         drop(st);
         self.shared.cond.notify_all();
-        (id, rx)
+        Ok((id, rx))
     }
 
-    /// Cancels a job: queued units are dropped, in-flight units finish
-    /// (their results still land in the cache) without being streamed,
-    /// and the stream ends with `Done { cancelled: true }`. `false` if
-    /// the job is unknown or already finished.
+    /// Cancels a job. The stream ends immediately with
+    /// `Done { cancelled: true }`; queued units nobody else waits on
+    /// are dropped; units with coalesced subscribers (and units already
+    /// executing) still complete — their results land in the cache and
+    /// fan out to the waiters, never to the cancelled stream. Returns
+    /// `false` if the job is unknown or already finished.
     pub fn cancel(&self, id: u64) -> bool {
         let mut st = lock(&self.shared);
-        let Some(job) = st.jobs.get_mut(&id) else {
+        if !st.jobs.contains_key(&id) {
             return false;
+        }
+        {
+            let job = st.jobs.get_mut(&id).expect("checked above");
+            if job.cancelled {
+                return true; // idempotent: already a zombie
+            }
+            job.cancelled = true;
+        }
+        let (canonical, drained): (String, Vec<Unit>) = {
+            let job = st.jobs.get_mut(&id).expect("checked above");
+            (job.canonical.clone(), job.ready.drain(..).collect())
         };
-        job.cancelled = true;
-        let drained: Vec<Unit> = job.ready.drain(..).collect();
+        let mut keep: VecDeque<Unit> = VecDeque::new();
+        let mut ready_refs: HashSet<usize> = HashSet::new();
+        let mut dropped_points = 0usize;
         for unit in drained {
             match unit {
-                Unit::Ref(pi) => {
-                    if let Some(RefState::InFlight { waiting }) = job.refs.remove(&pi) {
-                        job.outstanding -= waiting.len();
+                Unit::Point { index, st: stv } => {
+                    let key = point_key(&canonical, index);
+                    let has_waiters = st.inflight.get(&key).is_some_and(|e| !e.waiters.is_empty());
+                    if has_waiters {
+                        keep.push_back(Unit::Point { index, st: stv });
+                    } else {
+                        st.inflight.remove(&key);
+                        dropped_points += 1;
                     }
                 }
-                Unit::Point { .. } => job.outstanding -= 1,
+                Unit::Ref(pi) => {
+                    ready_refs.insert(pi);
+                }
             }
         }
+        // References need a second look: parked points without waiters
+        // are dropped; a queued reference survives only if it still has
+        // dependents (its own waiters, or surviving parked points).
+        let mut refs = std::mem::take(&mut st.jobs.get_mut(&id).expect("checked above").refs);
+        for (pi, state) in &mut refs {
+            let RefState::InFlight { waiting } = state else {
+                continue;
+            };
+            waiting.retain(|&index| {
+                let key = point_key(&canonical, index);
+                let keep_point = st.inflight.get(&key).is_some_and(|e| !e.waiters.is_empty());
+                if !keep_point {
+                    st.inflight.remove(&key);
+                    dropped_points += 1;
+                }
+                keep_point
+            });
+            let rkey = ref_key(&canonical, *pi);
+            let owns = st.inflight.get(&rkey).is_some_and(|e| e.owner == id);
+            let ref_has_waiters = st
+                .inflight
+                .get(&rkey)
+                .is_some_and(|e| !e.waiters.is_empty());
+            if ready_refs.contains(pi) {
+                // Queued (not yet executing) and owned by this job.
+                if waiting.is_empty() && !ref_has_waiters {
+                    st.inflight.remove(&rkey);
+                    *state = RefState::Failed;
+                } else {
+                    keep.push_back(Unit::Ref(*pi));
+                }
+            } else if !owns && waiting.is_empty() {
+                // Subscribed to another job's reference with no parked
+                // points left: unsubscribe.
+                if let Some(e) = st.inflight.get_mut(&rkey) {
+                    e.waiters.retain(|&(j, _)| j != id);
+                }
+                *state = RefState::Failed;
+            }
+            // Owned and executing: apply_ref handles the trimmed list.
+        }
+        {
+            let job = st.jobs.get_mut(&id).expect("checked above");
+            job.refs = refs;
+            job.ready = keep;
+            job.outstanding -= dropped_points;
+            if !job.done_sent {
+                job.done_sent = true;
+                job.tx
+                    .send(JobEvent::Done {
+                        computed: job.computed,
+                        cached: job.cached,
+                        coalesced: job.coalesced,
+                        failed: job.failed,
+                        cancelled: true,
+                    })
+                    .ok();
+            }
+        }
+        let keep_rr = !st.jobs.get(&id).expect("checked above").ready.is_empty();
         st.rr.retain(|&j| j != id);
+        if keep_rr {
+            st.rr.push_back(id);
+        }
         finish_if_done(&mut st, id);
+        drop(st);
+        self.shared.cond.notify_all();
         true
+    }
+
+    /// Stops admitting new work. In-flight jobs run to completion;
+    /// every subsequent [`Scheduler::submit`] returns
+    /// [`SubmitError::Draining`].
+    pub fn begin_drain(&self) {
+        lock(&self.shared).draining = true;
+        self.shared.cond.notify_all();
+    }
+
+    /// Whether [`Scheduler::begin_drain`] has been called.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        lock(&self.shared).draining
+    }
+
+    /// Blocks until no job remains (drain-mode shutdown barrier).
+    pub fn wait_idle(&self) {
+        let mut st = lock(&self.shared);
+        while !st.jobs.is_empty() {
+            st = self
+                .shared
+                .cond
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
     }
 
     /// Snapshot of the pool's counters.
@@ -362,9 +740,12 @@ impl Scheduler {
             workers: self.workers,
             jobs_active: st.jobs.len(),
             jobs_total: st.jobs_total,
-            queued_units: st.jobs.values().map(|j| j.ready.len()).sum(),
+            queued_units: queued_units(&st),
+            max_queued_units: self.max_queued,
+            draining: st.draining,
             points_computed: st.points_computed,
             points_cached: st.points_cached,
+            points_coalesced: st.points_coalesced,
             points_failed: st.points_failed,
         }
     }
@@ -445,9 +826,12 @@ fn worker_loop(shared: &Shared) {
         };
 
         let retries = claim.params.faults.retries;
+        let unit_no = shared.chaos_units.fetch_add(1, Ordering::Relaxed);
+        let chaos_panic = shared.chaos.panic_at_unit == Some(unit_no);
         match claim.unit {
             Unit::Ref(pi) => {
                 let (outcome, attempts) = attempt_with_retries(retries, || {
+                    assert!(!chaos_panic, "chaos: injected panic at unit {unit_no}");
                     claim.grid.compute_reference(&claim.params, pi)
                 });
                 if let Ok(st) = outcome {
@@ -456,12 +840,13 @@ fn worker_loop(shared: &Shared) {
                         .put(&ref_key(&claim.canonical, pi), &format_ref_value(st));
                 }
                 let mut st = lock(shared);
-                apply_ref(&mut st, claim.id, pi, outcome, attempts);
+                apply_ref(&mut st, claim.id, &claim.canonical, pi, outcome, attempts);
                 drop(st);
                 shared.cond.notify_all();
             }
             Unit::Point { index, st: stref } => {
                 let (outcome, attempts) = attempt_with_retries(retries, || {
+                    assert!(!chaos_panic, "chaos: injected panic at unit {unit_no}");
                     claim
                         .grid
                         .compute_point(&claim.params, index, stref)
@@ -473,104 +858,208 @@ fn worker_loop(shared: &Shared) {
                         .put(&point_key(&claim.canonical, index), record);
                 }
                 let mut st = lock(shared);
-                apply_point(&mut st, claim.id, index, outcome, attempts);
+                apply_point(
+                    &mut st,
+                    claim.id,
+                    &claim.canonical,
+                    index,
+                    outcome,
+                    attempts,
+                );
+                drop(st);
+                shared.cond.notify_all();
             }
         }
     }
 }
 
+/// Resolves a completed reference for its owner and every subscribed
+/// job: release parked points on success, cascade the sweep's exact
+/// failure reason otherwise.
 fn apply_ref(
     st: &mut SchedState,
     id: u64,
+    canonical: &str,
     pi: usize,
     outcome: Result<(u64, u64), String>,
     attempts: u32,
 ) {
-    let job = st.jobs.get_mut(&id).expect("in-flight jobs stay live");
-    job.in_flight -= 1;
+    if let Some(job) = st.jobs.get_mut(&id) {
+        job.in_flight -= 1;
+    }
+    let ref_waiters = st
+        .inflight
+        .remove(&ref_key(canonical, pi))
+        .map_or_else(Vec::new, |e| e.waiters);
+    let mut subscribers = Vec::with_capacity(1 + ref_waiters.len());
+    subscribers.push(id);
+    subscribers.extend(ref_waiters.into_iter().map(|(j, _)| j));
+    match outcome {
+        Ok(stv) => {
+            for j in subscribers {
+                release_ref_points(st, j, pi, stv);
+                finish_if_done(st, j);
+            }
+        }
+        Err(reason) => {
+            let reason = format!("single-thread reference failed: {reason}");
+            for j in subscribers {
+                fail_ref_points(st, j, canonical, pi, &reason, attempts);
+                finish_if_done(st, j);
+            }
+        }
+    }
+}
+
+/// Moves a job's parked points for profile `pi` onto its ready queue.
+fn release_ref_points(st: &mut SchedState, id: u64, pi: usize, stv: (u64, u64)) {
+    let Some(job) = st.jobs.get_mut(&id) else {
+        return;
+    };
     let waiting = match job.refs.get_mut(&pi) {
         Some(RefState::InFlight { waiting }) => std::mem::take(waiting),
         _ => Vec::new(),
     };
+    job.refs.insert(pi, RefState::Done);
+    if waiting.is_empty() {
+        return;
+    }
+    let was_empty = job.ready.is_empty();
+    for index in waiting {
+        job.ready.push_back(Unit::Point { index, st: stv });
+    }
+    if was_empty {
+        st.rr.push_back(id);
+    }
+}
+
+/// Cascades a failed reference onto a job's parked points (and onto
+/// their own coalesced waiters).
+fn fail_ref_points(
+    st: &mut SchedState,
+    id: u64,
+    canonical: &str,
+    pi: usize,
+    reason: &str,
+    attempts: u32,
+) {
+    let waiting = {
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        let waiting = match job.refs.get_mut(&pi) {
+            Some(RefState::InFlight { waiting }) => std::mem::take(waiting),
+            _ => Vec::new(),
+        };
+        job.refs.insert(pi, RefState::Failed);
+        waiting
+    };
+    for index in waiting {
+        let point_waiters = st
+            .inflight
+            .remove(&point_key(canonical, index))
+            .map_or_else(Vec::new, |e| e.waiters);
+        deliver_failed(st, id, index, reason, attempts);
+        for (wj, windex) in point_waiters {
+            deliver_failed(st, wj, windex, reason, attempts);
+            finish_if_done(st, wj);
+        }
+    }
+}
+
+/// Resolves a completed point for its owner and fans it out to every
+/// coalesced waiter.
+fn apply_point(
+    st: &mut SchedState,
+    id: u64,
+    canonical: &str,
+    index: usize,
+    outcome: Result<String, String>,
+    attempts: u32,
+) {
+    if let Some(job) = st.jobs.get_mut(&id) {
+        job.in_flight -= 1;
+    }
+    let waiters = st
+        .inflight
+        .remove(&point_key(canonical, index))
+        .map_or_else(Vec::new, |e| e.waiters);
     match outcome {
-        Ok(stv) => {
-            job.refs.insert(pi, RefState::Done);
-            if job.cancelled {
-                job.outstanding -= waiting.len();
-            } else {
-                let was_empty = job.ready.is_empty();
-                for index in waiting {
-                    job.ready.push_back(Unit::Point { index, st: stv });
-                }
-                if was_empty && !job.ready.is_empty() {
-                    st.rr.push_back(id);
-                }
+        Ok(record) => {
+            // Count the computation even if the owner was cancelled:
+            // the work happened and the result is cached.
+            st.points_computed += 1;
+            deliver_point(st, id, index, PointSource::Computed, attempts, &record);
+            for (wj, windex) in waiters {
+                deliver_point(st, wj, windex, PointSource::Coalesced, attempts, &record);
+                finish_if_done(st, wj);
             }
         }
         Err(reason) => {
-            job.refs.insert(pi, RefState::Failed);
-            let n = waiting.len();
-            job.outstanding -= n;
-            if !job.cancelled {
-                for index in waiting {
-                    job.tx
-                        .send(JobEvent::Failed {
-                            index,
-                            label: job.grid.label(index),
-                            reason: format!("single-thread reference failed: {reason}"),
-                            attempts,
-                        })
-                        .ok();
-                }
-                job.failed += n;
-                st.points_failed += n as u64;
+            deliver_failed(st, id, index, &reason, attempts);
+            for (wj, windex) in waiters {
+                deliver_failed(st, wj, windex, &reason, attempts);
+                finish_if_done(st, wj);
             }
         }
     }
     finish_if_done(st, id);
 }
 
-fn apply_point(
+/// Streams one resolved point to a job (suppressed after cancel).
+fn deliver_point(
     st: &mut SchedState,
     id: u64,
     index: usize,
-    outcome: Result<String, String>,
+    source: PointSource,
     attempts: u32,
+    record: &str,
 ) {
-    let job = st.jobs.get_mut(&id).expect("in-flight jobs stay live");
-    job.in_flight -= 1;
+    let Some(job) = st.jobs.get_mut(&id) else {
+        return;
+    };
     job.outstanding -= 1;
-    if !job.cancelled {
-        match outcome {
-            Ok(record) => {
-                job.computed += 1;
-                st.points_computed += 1;
-                let job = st.jobs.get_mut(&id).expect("still live");
-                job.tx
-                    .send(JobEvent::Point {
-                        index,
-                        cached: false,
-                        attempts,
-                        record,
-                    })
-                    .ok();
-            }
-            Err(reason) => {
-                job.failed += 1;
-                st.points_failed += 1;
-                let job = st.jobs.get_mut(&id).expect("still live");
-                job.tx
-                    .send(JobEvent::Failed {
-                        index,
-                        label: job.grid.label(index),
-                        reason,
-                        attempts,
-                    })
-                    .ok();
-            }
+    if job.cancelled {
+        return;
+    }
+    match source {
+        PointSource::Computed => job.computed += 1,
+        PointSource::Cached => job.cached += 1,
+        PointSource::Coalesced => {
+            job.coalesced += 1;
+            st.points_coalesced += 1;
         }
     }
-    finish_if_done(st, id);
+    job.tx
+        .send(JobEvent::Point {
+            index,
+            source,
+            attempts,
+            record: record.to_string(),
+        })
+        .ok();
+}
+
+/// Streams one failed point to a job (suppressed after cancel).
+fn deliver_failed(st: &mut SchedState, id: u64, index: usize, reason: &str, attempts: u32) {
+    let Some(job) = st.jobs.get_mut(&id) else {
+        return;
+    };
+    job.outstanding -= 1;
+    if job.cancelled {
+        return;
+    }
+    job.failed += 1;
+    st.points_failed += 1;
+    let job = st.jobs.get_mut(&id).expect("still live");
+    job.tx
+        .send(JobEvent::Failed {
+            index,
+            label: job.grid.label(index),
+            reason: reason.to_string(),
+            attempts,
+        })
+        .ok();
 }
 
 fn finish_if_done(st: &mut SchedState, id: u64) {
@@ -581,14 +1070,17 @@ fn finish_if_done(st: &mut SchedState, id: u64) {
     if done {
         let job = st.jobs.remove(&id).expect("checked above");
         st.rr.retain(|&j| j != id);
-        job.tx
-            .send(JobEvent::Done {
-                computed: job.computed,
-                cached: job.cached,
-                failed: job.failed,
-                cancelled: job.cancelled,
-            })
-            .ok();
+        if !job.done_sent {
+            job.tx
+                .send(JobEvent::Done {
+                    computed: job.computed,
+                    cached: job.cached,
+                    coalesced: job.coalesced,
+                    failed: job.failed,
+                    cancelled: job.cancelled,
+                })
+                .ok();
+        }
     }
 }
 
@@ -598,6 +1090,62 @@ fn finish_if_done(st: &mut SchedState, id: u64) {
 pub fn record_to_summary(record: &str) -> Option<PointSummary> {
     let v = speedup_stacks::report::json::parse(record).ok()?;
     PointSummary::from_record(&v)
+}
+
+/// Everything a fully drained job stream contained, in arrival order.
+///
+/// This is the one shared stream collector: the session uses it to
+/// drain a job whose peer vanished, and the unit/integration suites
+/// use it to assert on terminal counters.
+#[derive(Debug, Default)]
+pub struct DrainedJob {
+    /// `(index, source, record)` for each streamed point.
+    pub points: Vec<(usize, PointSource, String)>,
+    /// `(index, reason)` for each failed point.
+    pub failures: Vec<(usize, String)>,
+    /// Points computed by the job's own units (from `Done`).
+    pub computed: usize,
+    /// Points served from the cache (from `Done`).
+    pub cached: usize,
+    /// Points fanned out from coalesced units (from `Done`).
+    pub coalesced: usize,
+    /// Points failed (from `Done`).
+    pub failed: usize,
+    /// The job was cancelled (from `Done`).
+    pub cancelled: bool,
+}
+
+/// Collects a job's event stream up to its terminal [`JobEvent::Done`].
+/// Returns `None` if the stream ended without one (scheduler stopped).
+#[must_use]
+pub fn drain_events(rx: &Receiver<JobEvent>) -> Option<DrainedJob> {
+    let mut out = DrainedJob::default();
+    loop {
+        match rx.recv() {
+            Ok(JobEvent::Point {
+                index,
+                source,
+                record,
+                ..
+            }) => out.points.push((index, source, record)),
+            Ok(JobEvent::Failed { index, reason, .. }) => out.failures.push((index, reason)),
+            Ok(JobEvent::Done {
+                computed,
+                cached,
+                coalesced,
+                failed,
+                cancelled,
+            }) => {
+                out.computed = computed;
+                out.cached = cached;
+                out.coalesced = coalesced;
+                out.failed = failed;
+                out.cancelled = cancelled;
+                return Some(out);
+            }
+            Err(_) => return None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -616,52 +1164,37 @@ mod tests {
         }
     }
 
-    /// Drains a job's stream to completion, asserting the terminal Done.
-    #[allow(clippy::type_complexity)]
-    fn drain(rx: &Receiver<JobEvent>) -> (Vec<(usize, bool, String)>, usize, usize, usize, bool) {
-        let mut points = Vec::new();
-        loop {
-            match rx.recv().expect("stream ends with Done") {
-                JobEvent::Point {
-                    index,
-                    cached,
-                    record,
-                    ..
-                } => points.push((index, cached, record)),
-                JobEvent::Failed { .. } => points.push((usize::MAX, false, String::new())),
-                JobEvent::Done {
-                    computed,
-                    cached,
-                    failed,
-                    cancelled,
-                } => return (points, computed, cached, failed, cancelled),
-            }
-        }
+    fn sorted_records(d: &DrainedJob) -> Vec<(usize, String)> {
+        let mut v: Vec<_> = d.points.iter().map(|(i, _, r)| (*i, r.clone())).collect();
+        v.sort();
+        v
     }
 
     #[test]
     fn cold_then_warm_submission() {
         let cache = Arc::new(Cache::new(64 * 1024 * 1024));
-        let sched = Scheduler::start(2, Arc::clone(&cache));
+        let sched = Scheduler::start(2, Arc::clone(&cache), SchedOptions::default());
         let params = small_params();
         let g = grid("fig1", &params);
         let n = g.n_points();
 
-        let (_, rx) = sched.submit(g.clone(), params.clone());
-        let (cold, computed, cached, failed, cancelled) = drain(&rx);
-        assert_eq!((computed, cached, failed, cancelled), (n, 0, 0, false));
-        assert_eq!(cold.len(), n);
+        let (_, rx) = sched.submit(g.clone(), params.clone()).expect("admitted");
+        let cold = drain_events(&rx).expect("done");
+        assert_eq!(
+            (cold.computed, cold.cached, cold.failed, cold.cancelled),
+            (n, 0, 0, false)
+        );
+        assert_eq!(cold.points.len(), n);
 
-        let (_, rx) = sched.submit(g, params);
-        let (warm, computed, cached, failed, _) = drain(&rx);
-        assert_eq!((computed, cached, failed), (0, n, 0));
+        let (_, rx) = sched.submit(g, params).expect("admitted");
+        let warm = drain_events(&rx).expect("done");
+        assert_eq!((warm.computed, warm.cached, warm.failed), (0, n, 0));
         // Warm results are byte-identical records, served in index order.
-        let mut cold_sorted = cold.clone();
-        cold_sorted.sort_by_key(|(i, _, _)| *i);
-        for (i, (index, was_cached, record)) in warm.iter().enumerate() {
+        let cold_sorted = sorted_records(&cold);
+        for (i, (index, source, record)) in warm.points.iter().enumerate() {
             assert_eq!(*index, i);
-            assert!(was_cached);
-            assert_eq!(record, &cold_sorted[i].2, "point {i} record identical");
+            assert_eq!(*source, PointSource::Cached);
+            assert_eq!(record, &cold_sorted[i].1, "point {i} record identical");
         }
 
         let s = sched.status();
@@ -675,24 +1208,24 @@ mod tests {
     #[test]
     fn distinct_params_do_not_share_cache_entries() {
         let cache = Arc::new(Cache::new(64 * 1024 * 1024));
-        let sched = Scheduler::start(1, Arc::clone(&cache));
+        let sched = Scheduler::start(1, Arc::clone(&cache), SchedOptions::default());
         let a = small_params();
         let b = StudyParams {
             scale: 0.02,
             ..small_params()
         };
-        let (_, rx) = sched.submit(grid("fig1", &a), a.clone());
-        drain(&rx);
-        let (_, rx) = sched.submit(grid("fig1", &b), b.clone());
-        let (_, computed, cached, _, _) = drain(&rx);
-        assert_eq!(cached, 0, "different scale bits must miss");
-        assert!(computed > 0);
+        let (_, rx) = sched.submit(grid("fig1", &a), a.clone()).expect("admitted");
+        drain_events(&rx).expect("done");
+        let (_, rx) = sched.submit(grid("fig1", &b), b.clone()).expect("admitted");
+        let d = drain_events(&rx).expect("done");
+        assert_eq!(d.cached, 0, "different scale bits must miss");
+        assert!(d.computed > 0);
         sched.stop();
     }
 
     #[test]
     fn cancel_unknown_job_is_false() {
-        let sched = Scheduler::start(1, Arc::new(Cache::new(1024)));
+        let sched = Scheduler::start(1, Arc::new(Cache::new(1024)), SchedOptions::default());
         assert!(!sched.cancel(42));
         sched.stop();
     }
@@ -700,14 +1233,196 @@ mod tests {
     #[test]
     fn streamed_records_parse_back() {
         let cache = Arc::new(Cache::new(64 * 1024 * 1024));
-        let sched = Scheduler::start(2, cache);
+        let sched = Scheduler::start(2, cache, SchedOptions::default());
         let params = small_params();
         let g = grid("fig5", &params);
-        let (_, rx) = sched.submit(g, params);
-        let (points, ..) = drain(&rx);
-        for (_, _, record) in &points {
+        let (_, rx) = sched.submit(g, params).expect("admitted");
+        let d = drain_events(&rx).expect("done");
+        for (_, _, record) in &d.points {
             assert!(record_to_summary(record).is_some(), "record round-trips");
         }
+        sched.stop();
+    }
+
+    #[test]
+    fn identical_concurrent_submits_coalesce_each_unit_once() {
+        let cache = Arc::new(Cache::new(64 * 1024 * 1024));
+        let sched = Scheduler::start(1, Arc::clone(&cache), SchedOptions::default());
+        let params = small_params();
+        let g = grid("fig1", &params);
+        let n = g.n_points();
+        let (_, rx_owner) = sched.submit(g.clone(), params.clone()).expect("admitted");
+        let followers: Vec<_> = (0..3)
+            .map(|_| sched.submit(g.clone(), params.clone()).expect("admitted").1)
+            .collect();
+        let owner = drain_events(&rx_owner).expect("done");
+        assert_eq!(owner.points.len(), n);
+        assert_eq!(owner.failed, 0);
+        let owner_records = sorted_records(&owner);
+        for rx in &followers {
+            let f = drain_events(rx).expect("done");
+            assert_eq!(f.computed, 0, "followers never compute");
+            assert_eq!(f.cached + f.coalesced, n);
+            assert_eq!(f.failed, 0);
+            assert_eq!(sorted_records(&f), owner_records, "bit-identical fan-out");
+        }
+        let s = sched.status();
+        assert_eq!(
+            s.points_computed, n as u64,
+            "each unit computed exactly once"
+        );
+        sched.stop();
+    }
+
+    #[test]
+    fn cancelled_owner_keeps_streaming_to_coalesced_subscribers() {
+        let cache = Arc::new(Cache::new(64 * 1024 * 1024));
+        let sched = Scheduler::start(1, Arc::clone(&cache), SchedOptions::default());
+        // Pin the lone worker on an unrelated job first, so the owner
+        // below is provably still live when the cancel lands — no race
+        // against a fast grid finishing early.
+        let blocker_params = StudyParams {
+            scale: 0.015,
+            ..small_params()
+        };
+        let (_, rx_blocker) = sched
+            .submit(grid("fig1", &blocker_params), blocker_params.clone())
+            .expect("admitted");
+        let params = small_params();
+        let g = grid("fig1", &params);
+        let n = g.n_points();
+        let (id_owner, rx_owner) = sched.submit(g.clone(), params.clone()).expect("admitted");
+        let (_, rx_sub) = sched.submit(g, params).expect("admitted");
+        assert!(sched.cancel(id_owner), "live job cancels");
+        let _ = drain_events(&rx_blocker);
+        let owner = drain_events(&rx_owner).expect("done");
+        assert!(owner.cancelled);
+        // The subscriber still receives every point, byte for byte.
+        let sub = drain_events(&rx_sub).expect("done");
+        assert_eq!(sub.computed, 0);
+        assert_eq!(sub.failed, 0);
+        assert_eq!(sub.cached + sub.coalesced, n);
+        for (_, _, record) in &sub.points {
+            assert!(record_to_summary(record).is_some());
+        }
+        // By the time the subscriber's Done has been observed, the
+        // cancelled zombie has been reaped under the same lock.
+        assert!(!sched.cancel(id_owner), "zombie reaped after fan-out");
+        sched.stop();
+    }
+
+    #[test]
+    fn busy_admission_bounds_the_backlog() {
+        let cache = Arc::new(Cache::new(64 * 1024 * 1024));
+        let sched = Scheduler::start(
+            1,
+            Arc::clone(&cache),
+            SchedOptions {
+                max_queued_units: 1,
+                ..SchedOptions::default()
+            },
+        );
+        // Heavy enough that its units are still queued while we probe.
+        let a = StudyParams {
+            scale: 0.03,
+            threads: Some(vec![2]),
+            ..StudyParams::default()
+        };
+        let (_, rx_a) = sched
+            .submit(grid("fig6", &a), a.clone())
+            .expect("idle queue always admits, even past the bound");
+        let b = StudyParams {
+            scale: 0.02,
+            ..small_params()
+        };
+        match sched.submit(grid("fig1", &b), b.clone()) {
+            Err(SubmitError::Busy {
+                queued,
+                limit,
+                retry_after_ms,
+            }) => {
+                assert!(queued >= 1);
+                assert_eq!(limit, 1);
+                assert!((25..=5_000).contains(&retry_after_ms));
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+        // An identical submit coalesces: zero new units, admitted even
+        // while the queue is full.
+        let (_, rx_dup) = sched
+            .submit(grid("fig6", &a), a.clone())
+            .expect("coalesced submit costs zero units");
+        let first = drain_events(&rx_a).expect("done");
+        assert_eq!(first.failed, 0);
+        let dup = drain_events(&rx_dup).expect("done");
+        assert_eq!(dup.computed, 0);
+        // Once the backlog clears, the refused study is admitted.
+        let (_, rx_b) = sched
+            .submit(grid("fig1", &b), b)
+            .expect("idle queue admits");
+        assert_eq!(drain_events(&rx_b).expect("done").failed, 0);
+        sched.stop();
+    }
+
+    #[test]
+    fn drain_stops_admission_and_waits_for_idle() {
+        let cache = Arc::new(Cache::new(64 * 1024 * 1024));
+        let sched = Scheduler::start(2, cache, SchedOptions::default());
+        let params = small_params();
+        let (_, rx) = sched
+            .submit(grid("fig1", &params), params.clone())
+            .expect("admitted");
+        sched.begin_drain();
+        assert!(sched.is_draining());
+        match sched.submit(grid("fig1", &params), params.clone()) {
+            Err(SubmitError::Draining) => {}
+            other => panic!("expected draining, got {other:?}"),
+        }
+        // In-flight work still runs to completion.
+        let d = drain_events(&rx).expect("done");
+        assert_eq!(d.failed, 0);
+        sched.wait_idle();
+        assert_eq!(sched.status().jobs_active, 0);
+        sched.stop();
+    }
+
+    #[test]
+    fn chaos_panic_at_unit_degrades_to_typed_failures() {
+        let cache = Arc::new(Cache::new(64 * 1024 * 1024));
+        let sched = Scheduler::start(
+            1,
+            Arc::clone(&cache),
+            SchedOptions {
+                chaos: ChaosPolicy {
+                    panic_at_unit: Some(0),
+                    ..ChaosPolicy::default()
+                },
+                ..SchedOptions::default()
+            },
+        );
+        let params = small_params();
+        let g = grid("fig1", &params);
+        let n = g.n_points();
+        let (_, rx) = sched.submit(g, params.clone()).expect("admitted");
+        let d = drain_events(&rx).expect("done");
+        // Unit 0 is the first reference: its profile's points cascade a
+        // typed failure carrying the injected panic's payload.
+        assert!(d.failed > 0, "injected panic must surface");
+        assert_eq!(d.computed + d.failed, n);
+        for (_, reason) in &d.failures {
+            assert!(
+                reason.contains("chaos: injected panic at unit 0"),
+                "typed reason carries the panic payload: {reason}"
+            );
+        }
+        // The scheduler itself survived: a resubmit recomputes the
+        // failed (never-cached) points cleanly.
+        let (_, rx) = sched
+            .submit(grid("fig1", &params), params)
+            .expect("admitted");
+        let d2 = drain_events(&rx).expect("done");
+        assert_eq!(d2.failed, 0, "recovered retry completes");
+        assert_eq!(d2.computed + d2.cached, n);
         sched.stop();
     }
 }

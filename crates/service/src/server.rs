@@ -1,19 +1,40 @@
 //! The `studyd` TCP server: bind, accept, one session thread per
 //! connection, all sessions sharing one scheduler pool and one result
 //! cache.
+//!
+//! Production hardening lives here: the cache's persistent spill is
+//! opened (and recovered, with corrupt-record quarantine) before the
+//! listener binds, admission control and chaos policy are threaded into
+//! the scheduler, and the `shutdown` op carries a [`ShutdownMode`] so a
+//! drain — stop admitting, finish in-flight work, flush the spill —
+//! can be distinguished from an immediate stop.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use speedup_stacks::SimError;
 
 use crate::cache::Cache;
+use crate::chaos::ChaosPolicy;
+use crate::persist;
 use crate::proto::io_err;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{SchedOptions, Scheduler};
 use crate::session;
+
+/// How a client asked the server to shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Stop now; queued work is abandoned.
+    Immediate,
+    /// Stop admitting new work, finish in-flight jobs, flush the cache
+    /// spill, then stop.
+    Drain,
+}
 
 /// Server configuration with offline-friendly defaults.
 #[derive(Debug, Clone)]
@@ -24,6 +45,14 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Result-cache byte budget.
     pub cache_bytes: usize,
+    /// Admission bound on queued work units; `0` = unbounded.
+    pub max_queued_units: usize,
+    /// Idle-connection reaper timeout; `None` = never reap.
+    pub idle_timeout_ms: Option<u64>,
+    /// Path of the persistent cache spill; `None` = in-memory only.
+    pub cache_spill: Option<PathBuf>,
+    /// Deterministic fault injection for the chaos suite.
+    pub chaos: ChaosPolicy,
 }
 
 impl Default for ServeConfig {
@@ -32,15 +61,20 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
             cache_bytes: 64 * 1024 * 1024,
+            max_queued_units: 0,
+            idle_timeout_ms: None,
+            cache_spill: None,
+            chaos: ChaosPolicy::default(),
         }
     }
 }
 
 impl ServeConfig {
     /// Parses the shared server flags (`--addr HOST:PORT`,
-    /// `--workers N`, `--cache-mib N`) used by both `studyd` and
-    /// `repro serve`. `default_addr` is the bind address when `--addr`
-    /// is absent.
+    /// `--workers N`, `--cache-mib N`, `--max-queued-units N`,
+    /// `--idle-timeout-ms N`, `--cache-spill PATH`) used by both
+    /// `studyd` and `repro serve`. `default_addr` is the bind address
+    /// when `--addr` is absent.
     ///
     /// # Errors
     ///
@@ -65,6 +99,24 @@ impl ServeConfig {
                     Some(mib) if mib >= 1 => cfg.cache_bytes = mib * 1024 * 1024,
                     _ => return Err("--cache-mib requires a budget in MiB >= 1".to_string()),
                 },
+                "--max-queued-units" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => cfg.max_queued_units = n,
+                    _ => {
+                        return Err(
+                            "--max-queued-units requires a unit count (0 = unbounded)".to_string()
+                        )
+                    }
+                },
+                "--idle-timeout-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ms) if ms >= 1 => cfg.idle_timeout_ms = Some(ms),
+                    _ => return Err("--idle-timeout-ms requires a timeout in ms >= 1".to_string()),
+                },
+                "--cache-spill" => match it.next() {
+                    Some(path) if !path.starts_with("--") => {
+                        cfg.cache_spill = Some(PathBuf::from(path));
+                    }
+                    _ => return Err("--cache-spill requires a file path".to_string()),
+                },
                 other => return Err(format!("unknown option: {other}")),
             }
         }
@@ -77,18 +129,31 @@ impl ServeConfig {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     stop_flag: Arc<AtomicBool>,
-    shutdown_rx: Receiver<()>,
+    shutdown_rx: Receiver<ShutdownMode>,
     accept: Mutex<Option<JoinHandle<()>>>,
     scheduler: Arc<Scheduler>,
+    cache: Arc<Cache>,
 }
 
 /// Binds and starts serving. Returns as soon as the listener is live;
-/// sessions and sweeps run on background threads.
+/// sessions and sweeps run on background threads. With a configured
+/// spill path the cache is recovered from disk first — complete,
+/// CRC-valid records warm the cache, corrupt records are quarantined
+/// (counted, recomputed, never served), and a torn final line from a
+/// `kill -9` is dropped silently.
 ///
 /// # Errors
 ///
-/// [`SimError::Protocol`] when the bind fails.
+/// [`SimError::Protocol`] when the bind fails; [`SimError::Journal`]
+/// when the spill file exists but has a wrong or non-matching header.
 pub fn serve(cfg: &ServeConfig) -> Result<ServerHandle, SimError> {
+    let cache = Arc::new(Cache::new(cfg.cache_bytes));
+    if let Some(path) = &cfg.cache_spill {
+        let opened = persist::open(path, cfg.chaos.flip_spill_record)?;
+        cache.preload(opened.entries, opened.quarantined);
+        cache.set_spill(opened.writer);
+    }
+
     let listener = TcpListener::bind(&cfg.addr).map_err(|e| io_err("bind", &e))?;
     let local_addr = listener.local_addr().map_err(|e| io_err("bind", &e))?;
     let workers = if cfg.workers == 0 {
@@ -98,10 +163,15 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServerHandle, SimError> {
     };
     let scheduler = Arc::new(Scheduler::start(
         workers,
-        Arc::new(Cache::new(cfg.cache_bytes)),
+        Arc::clone(&cache),
+        SchedOptions {
+            max_queued_units: cfg.max_queued_units,
+            chaos: cfg.chaos.clone(),
+        },
     ));
     let stop_flag = Arc::new(AtomicBool::new(false));
     let (shutdown_tx, shutdown_rx) = channel();
+    let idle_timeout = cfg.idle_timeout_ms.map(Duration::from_millis);
 
     let accept = {
         let scheduler = Arc::clone(&scheduler);
@@ -118,7 +188,9 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServerHandle, SimError> {
                         let shutdown_tx = shutdown_tx.clone();
                         std::thread::Builder::new()
                             .name("studyd-session".to_string())
-                            .spawn(move || session::run(stream, scheduler, shutdown_tx))
+                            .spawn(move || {
+                                session::run(stream, scheduler, shutdown_tx, idle_timeout);
+                            })
                             .ok();
                     }
                     Err(_) => {
@@ -137,6 +209,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServerHandle, SimError> {
         shutdown_rx,
         accept: Mutex::new(Some(accept)),
         scheduler,
+        cache,
     })
 }
 
@@ -153,9 +226,29 @@ impl ServerHandle {
         &self.scheduler
     }
 
-    /// Blocks until some client sends the `shutdown` op.
-    pub fn wait_for_shutdown(&self) {
-        self.shutdown_rx.recv().ok();
+    /// The shared result cache (stats, tests).
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Blocks until some client sends the `shutdown` op; returns the
+    /// requested mode (immediate when the channel closed unexpectedly).
+    pub fn wait_for_shutdown(&self) -> ShutdownMode {
+        self.shutdown_rx.recv().unwrap_or(ShutdownMode::Immediate)
+    }
+
+    /// The drain barrier: waits for every in-flight job to finish (the
+    /// session already stopped admission before acknowledging the
+    /// drain), then flushes and syncs the cache spill. Call between
+    /// [`ServerHandle::wait_for_shutdown`] returning
+    /// [`ShutdownMode::Drain`] and [`ServerHandle::stop`].
+    pub fn drain(&self) {
+        self.scheduler.begin_drain();
+        self.scheduler.wait_idle();
+        if let Err(e) = self.cache.sync() {
+            eprintln!("studyd: cache spill sync failed during drain: {e}");
+        }
     }
 
     /// Stops accepting, then stops the worker pool. Live sessions whose

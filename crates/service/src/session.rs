@@ -4,16 +4,19 @@
 //! the protocol — malformed JSON, an oversized line, a broken handshake
 //! — get one typed error frame and the connection closes. Frames that
 //! are well-formed but name something invalid — an unknown op, an
-//! unknown study, bad parameters — get a typed error reply and the
-//! connection **stays open**, so an interactive client can correct
-//! itself without reconnecting. No socket failure is ever unwrapped: a
-//! peer that vanishes mid-stream cancels its job and ends the session
-//! quietly.
+//! unknown study, bad parameters, a full queue (`busy`), a draining
+//! server — get a typed error reply and the connection **stays open**,
+//! so an interactive client can correct itself (or back off and retry)
+//! without reconnecting. No socket failure is ever unwrapped: a peer
+//! that vanishes mid-stream cancels its job and ends the session
+//! quietly, and a peer that sits silent past the configured idle
+//! timeout is reaped with a typed `idle-timeout` frame.
 
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
+use std::time::Duration;
 
 use experiments::decompose::decompose;
 use experiments::study::{find_study, registry};
@@ -25,7 +28,8 @@ use crate::proto::{
     error_frame, params_from_wire, read_line_bounded, u64_field, write_line, PROTO_VERSION,
     REQUEST_LINE_CAP,
 };
-use crate::scheduler::{JobEvent, Scheduler, SchedulerStatus};
+use crate::scheduler::{drain_events, JobEvent, Scheduler, SchedulerStatus, SubmitError};
+use crate::server::ShutdownMode;
 
 /// Outcome of handling one request: keep serving or end the session.
 enum Flow {
@@ -34,9 +38,20 @@ enum Flow {
 }
 
 /// Serves one accepted connection to completion. Never panics on
-/// socket I/O; all failures end the session.
-pub fn run(stream: TcpStream, scheduler: Arc<Scheduler>, shutdown_tx: Sender<()>) {
+/// socket I/O; all failures end the session. A non-zero `idle_timeout`
+/// arms the idle-connection reaper: a peer that sends nothing for that
+/// long is sent a typed `idle-timeout` error frame and disconnected,
+/// so slow or dead clients cannot pin session threads forever.
+pub fn run(
+    stream: TcpStream,
+    scheduler: Arc<Scheduler>,
+    shutdown_tx: Sender<ShutdownMode>,
+    idle_timeout: Option<Duration>,
+) {
     stream.set_nodelay(true).ok();
+    if let Some(timeout) = idle_timeout {
+        stream.set_read_timeout(Some(timeout)).ok();
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -61,6 +76,14 @@ pub fn run(stream: TcpStream, scheduler: Arc<Scheduler>, shutdown_tx: Sender<()>
             }
             Err(ProtocolError::Malformed { why }) => {
                 send_error(&mut writer, "malformed", &why);
+                return;
+            }
+            Err(ProtocolError::Timeout) => {
+                send_error(
+                    &mut writer,
+                    "idle-timeout",
+                    "connection idle past the server's idle timeout",
+                );
                 return;
             }
             Err(_) => return,
@@ -97,6 +120,14 @@ fn handshake(reader: &mut BufReader<TcpStream>, writer: &mut BufWriter<TcpStream
             send_error(writer, "malformed", &why);
             return None;
         }
+        Err(ProtocolError::Timeout) => {
+            send_error(
+                writer,
+                "idle-timeout",
+                "connection idle past the server's idle timeout",
+            );
+            return None;
+        }
         Err(_) => return None,
     };
     let Ok(frame) = json::parse(&line) else {
@@ -107,7 +138,7 @@ fn handshake(reader: &mut BufReader<TcpStream>, writer: &mut BufWriter<TcpStream
         send_error(
             writer,
             "handshake-required",
-            "the first frame must be {\"op\": \"hello\", \"proto\": 1}",
+            &format!("the first frame must be {{\"op\": \"hello\", \"proto\": {PROTO_VERSION}}}"),
         );
         return None;
     }
@@ -142,7 +173,7 @@ fn handle_request(
     frame: &JsonValue,
     writer: &mut BufWriter<TcpStream>,
     scheduler: &Arc<Scheduler>,
-    shutdown_tx: &Sender<()>,
+    shutdown_tx: &Sender<ShutdownMode>,
 ) -> Flow {
     let Some(op) = frame.get("op").and_then(JsonValue::as_str) else {
         send_error(writer, "bad-request", "frame lacks a string 'op' field");
@@ -168,8 +199,13 @@ fn handle_request(
                 return Flow::Continue;
             };
             let found = scheduler.cancel(job);
+            // A cancel racing job completion is answered deterministically:
+            // a live (or zombie) job reports `cancelled`, a job whose final
+            // point already streamed reports `already-done`.
+            let state = if found { "cancelled" } else { "already-done" };
             let reply = format!(
-                "{{\"ok\": true, \"kind\": \"cancelled\", \"job\": {job}, \"found\": {found}}}"
+                "{{\"ok\": true, \"kind\": \"cancelled\", \"job\": {job}, \"found\": {found}, \
+                 \"state\": \"{state}\"}}"
             );
             if write_line(writer, &reply).is_err() {
                 return Flow::Close;
@@ -177,8 +213,33 @@ fn handle_request(
             Flow::Continue
         }
         "shutdown" => {
-            write_line(writer, "{\"ok\": true, \"kind\": \"shutdown\"}").ok();
-            shutdown_tx.send(()).ok();
+            let mode = match frame.get("mode").and_then(JsonValue::as_str) {
+                None | Some("now") => ShutdownMode::Immediate,
+                Some("drain") => ShutdownMode::Drain,
+                Some(other) => {
+                    send_error(
+                        writer,
+                        "bad-request",
+                        &format!("unknown shutdown mode '{other}' (expected 'now' or 'drain')"),
+                    );
+                    return Flow::Continue;
+                }
+            };
+            // Stop admission *before* acknowledging, so a client that sees
+            // the ok can rely on no further work being admitted.
+            if mode == ShutdownMode::Drain {
+                scheduler.begin_drain();
+            }
+            let word = match mode {
+                ShutdownMode::Immediate => "now",
+                ShutdownMode::Drain => "drain",
+            };
+            write_line(
+                writer,
+                &format!("{{\"ok\": true, \"kind\": \"shutdown\", \"mode\": \"{word}\"}}"),
+            )
+            .ok();
+            shutdown_tx.send(mode).ok();
             Flow::Close
         }
         "submit" => handle_submit(frame, writer, scheduler),
@@ -228,7 +289,31 @@ fn handle_submit(
 
     let fingerprint = experiments::journal::fingerprint(study, &params);
     let points = grid.n_points();
-    let (job, rx) = scheduler.submit(grid, params);
+    let (job, rx) = match scheduler.submit(grid, params) {
+        Ok(accepted) => accepted,
+        Err(SubmitError::Busy {
+            queued,
+            limit,
+            retry_after_ms,
+        }) => {
+            let busy = format!(
+                "{{\"ok\": false, \"error\": \"busy\", \"message\": \"work queue full \
+                 ({queued} units queued, limit {limit})\", \"retry_after_ms\": {retry_after_ms}}}"
+            );
+            if write_line(writer, &busy).is_err() {
+                return Flow::Close;
+            }
+            return Flow::Continue;
+        }
+        Err(SubmitError::Draining) => {
+            send_error(
+                writer,
+                "draining",
+                "server is draining and not admitting new work",
+            );
+            return Flow::Continue;
+        }
+    };
     let accepted = format!(
         "{{\"ok\": true, \"kind\": \"accepted\", \"job\": {job}, \"study\": \"{}\", \
          \"points\": {points}, \"fingerprint\": \"{}\"}}",
@@ -237,7 +322,7 @@ fn handle_submit(
     );
     if write_line(writer, &accepted).is_err() {
         scheduler.cancel(job);
-        drain(&rx);
+        let _ = drain_events(&rx);
         return Flow::Close;
     }
 
@@ -252,7 +337,7 @@ fn handle_submit(
         if write_line(writer, &line).is_err() {
             scheduler.cancel(job);
             if !done {
-                drain(&rx);
+                let _ = drain_events(&rx);
             }
             return Flow::Close;
         }
@@ -268,13 +353,14 @@ fn event_frame(job: u64, event: &JobEvent) -> (String, bool) {
     match event {
         JobEvent::Point {
             index,
-            cached,
+            source,
             attempts,
             record,
         } => (
             format!(
                 "{{\"ok\": true, \"kind\": \"point\", \"job\": {job}, \"index\": {index}, \
-                 \"cached\": {cached}, \"attempts\": {attempts}, \"data\": {record}}}"
+                 \"source\": \"{}\", \"attempts\": {attempts}, \"data\": {record}}}",
+                source.wire_name()
             ),
             false,
         ),
@@ -295,26 +381,17 @@ fn event_frame(job: u64, event: &JobEvent) -> (String, bool) {
         JobEvent::Done {
             computed,
             cached,
+            coalesced,
             failed,
             cancelled,
         } => (
             format!(
                 "{{\"ok\": true, \"kind\": \"done\", \"job\": {job}, \"computed\": {computed}, \
-                 \"cached\": {cached}, \"failed\": {failed}, \"cancelled\": {cancelled}}}"
+                 \"cached\": {cached}, \"coalesced\": {coalesced}, \"failed\": {failed}, \
+                 \"cancelled\": {cancelled}}}"
             ),
             true,
         ),
-    }
-}
-
-/// Consumes a cancelled job's remaining events so its sender never
-/// blocks (channels are unbounded, but the terminal `Done` should be
-/// observed before the receiver drops).
-fn drain(rx: &std::sync::mpsc::Receiver<JobEvent>) {
-    while let Ok(event) = rx.recv() {
-        if matches!(event, JobEvent::Done { .. }) {
-            return;
-        }
     }
 }
 
@@ -339,15 +416,21 @@ fn status_frame(s: &SchedulerStatus, c: &CacheStats) -> String {
     format!(
         "{{\"ok\": true, \"kind\": \"status\", \"proto\": {PROTO_VERSION}, \
          \"workers\": {}, \"jobs_active\": {}, \"jobs_total\": {}, \"queued_units\": {}, \
-         \"points_computed\": {}, \"points_cached\": {}, \"points_failed\": {}, \
+         \"max_queued_units\": {}, \"draining\": {}, \
+         \"points_computed\": {}, \"points_cached\": {}, \"points_coalesced\": {}, \
+         \"points_failed\": {}, \
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \
-         \"entries\": {}, \"bytes\": {}, \"budget\": {}}}}}",
+         \"entries\": {}, \"bytes\": {}, \"budget\": {}, \"loaded\": {}, \"quarantined\": {}, \
+         \"spilled\": {}}}}}",
         s.workers,
         s.jobs_active,
         s.jobs_total,
         s.queued_units,
+        s.max_queued_units,
+        s.draining,
         s.points_computed,
         s.points_cached,
+        s.points_coalesced,
         s.points_failed,
         c.hits,
         c.misses,
@@ -355,6 +438,9 @@ fn status_frame(s: &SchedulerStatus, c: &CacheStats) -> String {
         c.evictions,
         c.entries,
         c.bytes,
-        c.budget
+        c.budget,
+        c.loaded,
+        c.quarantined,
+        c.spilled
     )
 }

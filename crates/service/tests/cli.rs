@@ -214,6 +214,31 @@ fn hwcost_text_json_and_csv_come_from_one_report() {
 }
 
 #[test]
+fn connection_refused_names_the_address_and_hints_serve() {
+    // Port 1 on loopback is never listening; both service subcommands
+    // must turn the bare I/O error into a typed protocol failure (exit
+    // 10) that names the address and points at `repro serve`.
+    for sub in ["submit", "shutdown"] {
+        let args: Vec<&str> = if sub == "submit" {
+            vec!["submit", "fig1", "--addr", "127.0.0.1:1", "--no-retry"]
+        } else {
+            vec!["shutdown", "--addr", "127.0.0.1:1"]
+        };
+        let out = repro(&args);
+        assert_eq!(out.status.code(), Some(10), "{sub}: {}", stderr(&out));
+        let err = stderr(&out);
+        assert!(
+            err.contains("127.0.0.1:1"),
+            "{sub} must name the address: {err}"
+        );
+        assert!(
+            err.contains("repro serve"),
+            "{sub} must hint the fix: {err}"
+        );
+    }
+}
+
+#[test]
 fn threads_override_reaches_the_study() {
     // hwcost sizes the CMP total by the last --threads entry.
     let out = repro(&["hwcost", "--threads", "8"]);

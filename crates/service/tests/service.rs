@@ -56,7 +56,10 @@ impl Raw {
     }
 
     fn hello(&mut self) {
-        self.send("{\"op\": \"hello\", \"proto\": 1}");
+        self.send(&format!(
+            "{{\"op\": \"hello\", \"proto\": {}}}",
+            service::proto::PROTO_VERSION
+        ));
         let reply = self.recv().expect("hello reply");
         assert!(reply.contains("\"kind\": \"hello\""), "{reply}");
     }
@@ -211,10 +214,11 @@ fn version_mismatch_hello_is_a_typed_rejection() {
         "{reply}"
     );
     assert_eq!(v.get("found").and_then(json::JsonValue::as_f64), Some(99.0));
-    assert_eq!(
-        v.get("supported").and_then(json::JsonValue::as_f64),
-        Some(1.0)
-    );
+    let supported = v
+        .get("supported")
+        .and_then(json::JsonValue::as_f64)
+        .expect("supported field");
+    assert_eq!(supported as u64, service::proto::PROTO_VERSION);
     assert!(raw.recv().is_none(), "mismatched client is disconnected");
     server.stop();
 }
