@@ -13,7 +13,10 @@
 //!   (>16-way) LRU encoding end to end;
 //! - the **studyd service** (`service_fig6`): the Figure 6 grid submitted
 //!   to an in-process `studyd` over loopback — cold submission, cache-
-//!   served submission, first-frame latency and a 10-request cached burst.
+//!   served submission, first-frame latency and a 10-request cached burst;
+//! - the **federation** (`fed_fig6`): the same grid sharded across a
+//!   fleet by the coordinator — cold 1-backend vs 2-backend runs, and
+//!   kill-one-mid-sweep failover against a chaos-killed child backend.
 //!
 //! The figure grids are measured under three in-binary configurations:
 //!
@@ -299,8 +302,113 @@ fn hardening_bench(scale: f64, samples: usize, report: &mut PerfReport) {
     }
 }
 
+/// PR 10 federation: the fig6 grid sharded across a fleet by the
+/// in-process coordinator — one backend vs two, and kill-one-mid-sweep
+/// failover against a real child backend dying via `exit-unit` chaos.
+fn federation_bench(scale: f64, samples: usize, report: &mut PerfReport) {
+    use experiments::decompose::decompose;
+    use experiments::study::StudyParams;
+    use service::federation::{assemble_events, Federation, FleetConfig};
+    use service::server::{serve, ServeConfig};
+    use service::session::Dispatch;
+
+    let params = StudyParams::with_scale(scale);
+    let grid = decompose("fig6", &params).expect("fig6 decomposes");
+    let n = grid.n_points() as u64;
+
+    let run_fleet = |backends: Vec<String>| -> f64 {
+        let fed = Federation::start(FleetConfig {
+            backends,
+            hedge_after_ms: None,
+            heartbeat_ms: 100,
+            dead_after: 1,
+            ..FleetConfig::default()
+        })
+        .expect("start fleet");
+        let t0 = Instant::now();
+        let (_, rx) = fed
+            .submit_units(grid.clone(), params.clone(), None)
+            .expect("admitted");
+        assemble_events(&grid, &params, &rx).expect("reassemble");
+        let wall = t0.elapsed().as_secs_f64();
+        fed.stop();
+        wall
+    };
+
+    let mut best_one = f64::MAX;
+    let mut best_two = f64::MAX;
+    for _ in 0..samples.max(1) {
+        // Fresh backends per sample keep the fleet genuinely cold.
+        let a = serve(&ServeConfig::default()).expect("bind loopback");
+        best_one = best_one.min(run_fleet(vec![a.local_addr().to_string()]));
+        a.stop();
+        let a = serve(&ServeConfig::default()).expect("bind loopback");
+        let b = serve(&ServeConfig::default()).expect("bind loopback");
+        best_two = best_two.min(run_fleet(vec![
+            a.local_addr().to_string(),
+            b.local_addr().to_string(),
+        ]));
+        a.stop();
+        b.stop();
+    }
+
+    // Kill-one needs a real process death; the studyd binary sits next
+    // to bench_report in a workspace build. Skip loudly if absent.
+    let studyd = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("studyd")))
+        .filter(|p| p.exists());
+    let mut best_kill = f64::MAX;
+    if let Some(studyd) = &studyd {
+        use std::io::{BufRead, BufReader};
+        for _ in 0..samples.max(1) {
+            let a = serve(&ServeConfig::default()).expect("bind loopback");
+            let mut child = std::process::Command::new(studyd)
+                .args(["--addr", "127.0.0.1:0", "--workers", "1"])
+                .env("STUDYD_CHAOS", "exit-unit=2")
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn studyd");
+            let mut banner = String::new();
+            BufReader::new(child.stdout.take().expect("stdout piped"))
+                .read_line(&mut banner)
+                .expect("read banner");
+            let b_addr = banner
+                .trim()
+                .strip_prefix("studyd: listening on ")
+                .expect("studyd banner")
+                .to_string();
+            best_kill = best_kill.min(run_fleet(vec![a.local_addr().to_string(), b_addr]));
+            a.stop();
+            child.kill().ok();
+            child.wait().ok();
+        }
+    } else {
+        eprintln!("fed_fig6/kill-one-mid-sweep: skipped (no studyd binary next to bench_report)");
+    }
+
+    for (config, wall) in [
+        ("cold-1-backend", best_one),
+        ("cold-2-backends", best_two),
+        ("kill-one-mid-sweep", best_kill),
+    ] {
+        if wall == f64::MAX {
+            continue;
+        }
+        eprintln!("fed_fig6/{config}: {wall:.4} s");
+        report.push(Entry {
+            name: "fed_fig6".into(),
+            config: config.into(),
+            wall_s: wall,
+            events: 0,
+            points: n,
+        });
+    }
+}
+
 fn main() {
-    let mut out = String::from("BENCH_PR9.json");
+    let mut out = String::from("BENCH_PR10.json");
     let mut scale = 1.0f64;
     let mut samples = 3usize;
     let mut baseline_repro: Option<String> = None;
@@ -341,7 +449,7 @@ fn main() {
     ];
 
     let mut report = PerfReport::default();
-    report.meta("report", "speedup-stacks simulator perf trajectory, PR 9");
+    report.meta("report", "speedup-stacks simulator perf trajectory, PR 10");
     report.meta(
         "workload",
         format!(
@@ -352,7 +460,10 @@ fn main() {
              service_fig6: the fig6 grid submitted to an in-process studyd \
              over loopback (cold vs cache-served, first-frame latency, 10x \
              cached burst, 8x coalesced cold submits, restart-warm from the \
-             cache spill, busy-rejection fast path); scale {scale}"
+             cache spill, busy-rejection fast path); \
+             fed_fig6: the fig6 grid sharded by the federation coordinator \
+             (cold 1-backend vs 2-backend fleets, and kill-one-mid-sweep \
+             failover against a chaos-killed child backend); scale {scale}"
         ),
     );
     report.meta(
@@ -453,6 +564,9 @@ fn main() {
 
     // The hardening paths: coalescing, spill-warm restart, busy reject.
     hardening_bench(scale, samples, &mut report);
+
+    // The federation: fleet sharding and kill-one failover.
+    federation_bench(scale, samples, &mut report);
 
     std::fs::write(&out, report.to_json()).expect("write report");
     eprintln!("wrote {out}");

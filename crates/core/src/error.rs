@@ -14,11 +14,13 @@
 //! | [`SimError::Interrupted`]| sweep checkpointed before completion      | 8         |
 //! | [`SimError::Trace`]      | workload trace unreadable or inconsistent | 9         |
 //! | [`SimError::Protocol`]   | study-service wire protocol / socket I/O  | 10        |
+//! | [`SimError::Federation`] | multi-backend fleet unusable              | 11        |
 //!
 //! The leaf types ([`ConfigError`], [`StackError`], [`JournalError`],
-//! [`PointError`], [`TraceError`], [`ProtocolError`]) are owned by the
-//! layers that raise them and convert into [`SimError`] via `From`, so
-//! callers can `?` across layers.
+//! [`PointError`], [`TraceError`], [`ProtocolError`],
+//! [`FederationError`]) are owned by the layers that raise them and
+//! convert into [`SimError`] via `From`, so callers can `?` across
+//! layers.
 
 use core::fmt;
 use core::time::Duration;
@@ -371,6 +373,50 @@ impl fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
+/// A multi-backend studyd fleet that cannot serve a federated sweep at
+/// all.
+///
+/// Individual backend deaths are *not* a [`FederationError`]: the
+/// coordinator fails their units over to survivors (or falls back to
+/// local in-process execution) and the sweep completes. Only a fleet
+/// that cannot be formed or used in the first place is fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FederationError {
+    /// A fleet was requested with no backend addresses.
+    NoBackends,
+    /// Every backend is marked dead and local fallback is disabled, so
+    /// no work can be placed anywhere.
+    AllBackendsDead {
+        /// Number of backends in the fleet, all dead.
+        backends: usize,
+    },
+    /// A fleet option could not be parsed.
+    BadOption {
+        /// Name of the offending option.
+        what: &'static str,
+        /// What was wrong with it.
+        why: String,
+    },
+}
+
+impl fmt::Display for FederationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederationError::NoBackends => f.write_str("federated fleet has no backend addresses"),
+            FederationError::AllBackendsDead { backends } => write!(
+                f,
+                "all {backends} fleet backend(s) are dead and local fallback is disabled"
+            ),
+            FederationError::BadOption { what, why } => {
+                write!(f, "invalid fleet option {what}: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
 /// One failed grid point: the point's identity plus the captured failure
 /// payload (panic message, engine error or deadline overrun).
 ///
@@ -448,6 +494,9 @@ pub enum SimError {
     /// oversized frame, handshake mismatch, typed peer rejection, or a
     /// mid-stream disconnect).
     Protocol(ProtocolError),
+    /// A multi-backend studyd fleet is unusable (no backends, or every
+    /// backend dead with local fallback disabled).
+    Federation(FederationError),
 }
 
 impl SimError {
@@ -464,6 +513,7 @@ impl SimError {
             SimError::Interrupted { .. } => 8,
             SimError::Trace(_) => 9,
             SimError::Protocol(_) => 10,
+            SimError::Federation(_) => 11,
         }
     }
 }
@@ -483,6 +533,7 @@ impl fmt::Display for SimError {
             ),
             SimError::Trace(e) => e.fmt(f),
             SimError::Protocol(e) => e.fmt(f),
+            SimError::Federation(e) => e.fmt(f),
         }
     }
 }
@@ -522,6 +573,12 @@ impl From<TraceError> for SimError {
 impl From<ProtocolError> for SimError {
     fn from(e: ProtocolError) -> Self {
         SimError::Protocol(e)
+    }
+}
+
+impl From<FederationError> for SimError {
+    fn from(e: FederationError) -> Self {
+        SimError::Federation(e)
     }
 }
 
@@ -592,6 +649,7 @@ mod tests {
                 during: "submit".to_string(),
             }
             .into(),
+            FederationError::AllBackendsDead { backends: 2 }.into(),
         ];
         let mut codes: Vec<u8> = errors.iter().map(SimError::exit_code).collect();
         codes.sort_unstable();
@@ -608,6 +666,7 @@ mod tests {
         assert_send_sync::<JournalError>();
         assert_send_sync::<PointError>();
         assert_send_sync::<TraceError>();
+        assert_send_sync::<FederationError>();
         assert_send_sync::<SimError>();
     }
 

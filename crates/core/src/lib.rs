@@ -87,7 +87,9 @@ pub use accounting::{AccountingConfig, ThreadBreakdown};
 pub use classify::{ClassificationConfig, ClassificationTree, ClassifiedBenchmark, ScalingClass};
 pub use components::{Breakdown, Component};
 pub use counters::ThreadCounters;
-pub use error::{ConfigError, JournalError, PointError, SimError, StackError, TraceError};
+pub use error::{
+    ConfigError, FederationError, JournalError, PointError, SimError, StackError, TraceError,
+};
 pub use estimate::{estimated_speedup, speedup_error, ValidationPoint};
 pub use hwcost::HardwareCostModel;
 pub use report::Report;

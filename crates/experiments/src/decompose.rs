@@ -208,6 +208,30 @@ impl GridStudy {
         Ok(())
     }
 
+    /// Validates a point-index subset (a sharded submit's `units`
+    /// field) and normalizes it: sorted ascending, duplicates removed.
+    /// The subset must be non-empty and every index must be in range.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason suitable for a `bad-units` protocol
+    /// rejection.
+    pub fn validate_units(&self, units: &[usize]) -> Result<Vec<usize>, String> {
+        if units.is_empty() {
+            return Err("units must name at least one grid point".to_string());
+        }
+        let n = self.n_points();
+        if let Some(bad) = units.iter().find(|&&u| u >= n) {
+            return Err(format!(
+                "unit index {bad} is out of range (this grid has {n} points)"
+            ));
+        }
+        let mut subset = units.to_vec();
+        subset.sort_unstable();
+        subset.dedup();
+        Ok(subset)
+    }
+
     /// Computes one profile's single-thread reference `(Ts, instructions)`
     /// with the identical options the sweep uses (including the fault
     /// policy's cooperative deadline).

@@ -12,9 +12,10 @@
 //! repro --list
 //! repro serve [--addr HOST:PORT] [--workers N] [--cache-mib N]
 //!       [--max-queued-units N] [--idle-timeout-ms N] [--cache-spill PATH]
-//! repro submit <study> [--addr HOST:PORT] [--scale F]
-//!       [--threads N[,N...]] [--llc-mib N] [--format text|json|csv]
-//!       [--no-retry]
+//! repro submit <study> [--addr HOST:PORT | --fleet HOST:PORT,...]
+//!       [--scale F] [--threads N[,N...]] [--llc-mib N]
+//!       [--format text|json|csv] [--no-retry] [--no-hedge]
+//!       [--no-local-fallback]
 //! repro shutdown [--addr HOST:PORT] [--drain]
 //! ```
 //!
@@ -57,7 +58,13 @@
 //! persists across restarts (even a `kill -9`). A `busy` server
 //! (admission bound full) is retried with capped deterministic-jitter
 //! backoff honoring its `retry-after-ms` hint; `--no-retry` fails fast
-//! instead. `repro shutdown --drain` stops admission, lets in-flight
+//! instead. `repro submit --fleet A,B` runs the federation coordinator
+//! in-process: grid units shard across the listed backends with health
+//! checks, failover from dead backends, hedged straggler retries
+//! (`--no-hedge` disables) and local fallback when the whole fleet is
+//! dead (`--no-local-fallback` rejects instead, exit 11) — the
+//! reassembled report is still byte-identical to the local run.
+//! `repro shutdown --drain` stops admission, lets in-flight
 //! jobs finish, flushes the spill, and exits 0.
 //!
 //! Exit codes: 0 success, 1 usage error, then one per
@@ -73,7 +80,10 @@ use experiments::Parallelism;
 use experiments::TraceSpec;
 use service::chaos::ChaosPolicy;
 use service::client::{Client, RetryPolicy};
+use service::federation::{assemble_events, Federation, FleetConfig};
 use service::server::{serve, ServeConfig, ShutdownMode};
+use service::session::Dispatch;
+use speedup_stacks::error::FederationError;
 use speedup_stacks::SimError;
 
 const USAGE: &str = "usage: repro <fig1..fig9|hwcost|regions|scaling|all> [--scale F] \
@@ -83,8 +93,9 @@ const USAGE: &str = "usage: repro <fig1..fig9|hwcost|regions|scaling|all> [--sca
 or: repro --list\n   \
 or: repro serve [--addr HOST:PORT] [--workers N] [--cache-mib N] [--max-queued-units N] \
 [--idle-timeout-ms N] [--cache-spill PATH]\n   \
-or: repro submit <study> [--addr HOST:PORT] [--scale F] [--threads N[,N...]] [--llc-mib N] \
-[--format text|json|csv] [--no-retry]\n   \
+or: repro submit <study> [--addr HOST:PORT | --fleet HOST:PORT,HOST:PORT...] [--scale F] \
+[--threads N[,N...]] [--llc-mib N]\n   \
+        [--format text|json|csv] [--no-retry] [--no-hedge] [--no-local-fallback]\n   \
 or: repro shutdown [--addr HOST:PORT] [--drain]";
 
 /// The conventional loopback port shared with the `studyd` daemon.
@@ -357,6 +368,9 @@ fn submit_main(args: &[String]) -> ExitCode {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut format = Format::Text;
     let mut retry = true;
+    let mut fleet: Option<FleetConfig> = None;
+    let mut no_hedge = false;
+    let mut no_local_fallback = false;
     let mut params = StudyParams::default();
     let mut it = args.iter();
     let usage_err = |message: String| {
@@ -392,6 +406,34 @@ fn submit_main(args: &[String]) -> ExitCode {
                 _ => return usage_err("--format requires one of: text, json, csv".to_string()),
             },
             "--no-retry" => retry = false,
+            "--fleet" => match it.next() {
+                Some(list) if !list.starts_with("--") => {
+                    let backends: Vec<String> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if backends.is_empty() {
+                        let e: SimError = FederationError::BadOption {
+                            what: "--fleet",
+                            why: "no backend addresses given".to_string(),
+                        }
+                        .into();
+                        eprintln!("repro: {e}");
+                        return ExitCode::from(e.exit_code());
+                    }
+                    fleet = Some(FleetConfig {
+                        backends,
+                        ..FleetConfig::default()
+                    });
+                }
+                _ => {
+                    return usage_err("--fleet requires HOST:PORT[,HOST:PORT...]".to_string());
+                }
+            },
+            "--no-hedge" => no_hedge = true,
+            "--no-local-fallback" => no_local_fallback = true,
             other if other.starts_with("--") => {
                 return usage_err(format!("unknown option: {other}"));
             }
@@ -404,6 +446,14 @@ fn submit_main(args: &[String]) -> ExitCode {
     };
     if find_study(&study).is_none() {
         return usage_err(format!("unknown experiment: {study}"));
+    }
+
+    if let Some(mut fleet) = fleet {
+        if no_hedge {
+            fleet.hedge_after_ms = None;
+        }
+        fleet.local_fallback = !no_local_fallback;
+        return submit_fleet(&study, &params, fleet, format);
     }
 
     let policy = if retry {
@@ -422,6 +472,59 @@ fn submit_main(args: &[String]) -> ExitCode {
             print_report(&outcome.report, format);
             ExitCode::SUCCESS
         }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+/// `repro submit --fleet`: run the federation coordinator in-process —
+/// decompose the study locally, shard its units across the named
+/// backends with health checks, failover and hedging, and reassemble a
+/// report byte-identical to a local run. The fleet summary (per-backend
+/// units served, failovers, hedge wins) goes to stderr with the job
+/// line; the report goes to stdout.
+fn submit_fleet(study: &str, params: &StudyParams, fleet: FleetConfig, format: Format) -> ExitCode {
+    let Some(grid) = experiments::decompose::decompose(study, params) else {
+        eprintln!("repro: submit: {study} is not a grid study (federation shards grids)");
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let run = || -> Result<(), SimError> {
+        let fed = Federation::start(fleet)?;
+        let submitted = fed.submit_units(grid.clone(), params.clone(), None);
+        let (job, rx) = match submitted {
+            Ok(ok) => ok,
+            Err(e) => {
+                let backends = fed.status().backends.len();
+                fed.stop();
+                return Err(match e {
+                    service::scheduler::SubmitError::Unavailable { backends } => {
+                        FederationError::AllBackendsDead { backends }.into()
+                    }
+                    other => FederationError::BadOption {
+                        what: "--fleet",
+                        why: format!("{other} ({backends} backend(s))"),
+                    }
+                    .into(),
+                });
+            }
+        };
+        let outcome = assemble_events(&grid, params, &rx);
+        let summary = fed.status().summary();
+        fed.stop();
+        let outcome = outcome?;
+        eprintln!(
+            "repro: job {}: {} computed, {} cached, {} coalesced, {} failed",
+            job, outcome.computed, outcome.cached, outcome.coalesced, outcome.failed
+        );
+        eprint!("{summary}");
+        print_report(&outcome.report, format);
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("repro: {e}");
             ExitCode::from(e.exit_code())

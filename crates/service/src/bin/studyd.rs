@@ -5,6 +5,9 @@
 //! ```text
 //! studyd [--addr HOST:PORT] [--workers N] [--cache-mib N]
 //!        [--max-queued-units N] [--idle-timeout-ms N] [--cache-spill PATH]
+//!        [--compact-spill] [--backend-id NAME]
+//!        [--backend HOST:PORT ...] [--hedge-after-ms N] [--no-hedge]
+//!        [--no-local-fallback] [--heartbeat-ms N] [--dead-after N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7821`), prints the bound address, then
@@ -16,32 +19,94 @@
 //! unbounded); `--idle-timeout-ms` reaps connections idle past the
 //! deadline; `--cache-spill` persists the result cache to an
 //! append-only CRC-framed file, recovered (with corrupt-record
-//! quarantine) on restart — even after a `kill -9`.
+//! quarantine) on restart — even after a `kill -9`; `--compact-spill`
+//! rewrites that file from the live cache at startup (drain always
+//! compacts); `--backend-id` names this daemon in `hello`/`status`
+//! frames.
+//!
+//! With one or more `--backend HOST:PORT` flags the daemon runs as a
+//! **federation coordinator** instead: it serves the same wire protocol
+//! but shards each submitted grid across the named backends, health
+//! checks them, fails work over from dead backends, hedges stragglers
+//! (`--hedge-after-ms`, default 2000; `--no-hedge` disables) and falls
+//! back to local in-process execution when the whole fleet is dead
+//! (unless `--no-local-fallback`). `--heartbeat-ms` and `--dead-after`
+//! tune the health monitor.
 //!
 //! A `shutdown` with `"mode": "drain"` stops admission, finishes
-//! in-flight jobs, flushes the spill, and exits 0.
+//! in-flight jobs, flushes (and compacts) the spill, and exits 0.
 //!
 //! The `STUDYD_CHAOS` environment variable arms deterministic fault
-//! injection for the chaos suite (`panic-unit=N`, `flip-spill=N`).
+//! injection for the chaos suite (`panic-unit=N`, `flip-spill=N`,
+//! `stall-unit=N`, `exit-unit=N`).
 //!
 //! Exit codes: 0 clean shutdown, 1 usage error, 5 corrupt spill
-//! header, 10 protocol/socket failure (the
+//! header, 10 protocol/socket failure, 11 federation failure (the
 //! [`speedup_stacks::SimError`] codes).
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use service::chaos::ChaosPolicy;
-use service::server::{serve, ServeConfig, ShutdownMode};
+use service::federation::FleetConfig;
+use service::server::{serve, serve_coordinator, ServeConfig, ShutdownMode};
 
 const USAGE: &str = "usage: studyd [--addr HOST:PORT] [--workers N] [--cache-mib N] \
-[--max-queued-units N] [--idle-timeout-ms N] [--cache-spill PATH]";
+[--max-queued-units N] [--idle-timeout-ms N] [--cache-spill PATH] [--compact-spill] \
+[--backend-id NAME] [--backend HOST:PORT ...] [--hedge-after-ms N] [--no-hedge] \
+[--no-local-fallback] [--heartbeat-ms N] [--dead-after N]";
 
 /// The conventional loopback port `repro submit` defaults to.
 const DEFAULT_ADDR: &str = "127.0.0.1:7821";
 
+/// Splits the fleet (coordinator) flags out of `args`, leaving only
+/// the flags [`ServeConfig::from_args`] understands. Returns the
+/// remaining args and, when at least one `--backend` was given, the
+/// assembled [`FleetConfig`].
+fn split_fleet_args(args: &[String]) -> Result<(Vec<String>, Option<FleetConfig>), String> {
+    let mut rest: Vec<String> = Vec::new();
+    let mut fleet = FleetConfig::default();
+    let mut saw_backend = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--backend" => match it.next() {
+                Some(addr) if !addr.starts_with("--") => {
+                    fleet.backends.push(addr.clone());
+                    saw_backend = true;
+                }
+                _ => return Err("--backend requires HOST:PORT".to_string()),
+            },
+            "--hedge-after-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => fleet.hedge_after_ms = Some(ms),
+                _ => return Err("--hedge-after-ms requires a deadline in ms".to_string()),
+            },
+            "--no-hedge" => fleet.hedge_after_ms = None,
+            "--no-local-fallback" => fleet.local_fallback = false,
+            "--heartbeat-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => fleet.heartbeat_ms = ms,
+                _ => return Err("--heartbeat-ms requires a period in ms >= 1".to_string()),
+            },
+            "--dead-after" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => fleet.dead_after = n,
+                _ => return Err("--dead-after requires a failure count >= 1".to_string()),
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((rest, saw_backend.then_some(fleet)))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, fleet) = match split_fleet_args(&args) {
+        Ok(split) => split,
+        Err(message) => {
+            eprintln!("studyd: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut cfg = match ServeConfig::from_args(DEFAULT_ADDR, &args) {
         Ok(cfg) => cfg,
         Err(message) => {
@@ -57,7 +122,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match serve(&cfg) {
+    let served = match fleet {
+        Some(fleet) => serve_coordinator(&cfg, fleet),
+        None => serve(&cfg),
+    };
+    match served {
         Ok(handle) => {
             // Flush explicitly: supervisors reading a pipe must see the
             // bound address before the first client connects.

@@ -202,6 +202,47 @@ impl Cache {
         }
     }
 
+    /// Snapshot of the live entries in least-recently-used-first order
+    /// (ascending access tick). Feeding this snapshot back through
+    /// [`Cache::preload`] reconstructs the same entries *and* the same
+    /// relative recency ranking, which is what makes a compacted spill
+    /// reload to the identical cache state.
+    #[must_use]
+    pub fn live_entries(&self) -> Vec<(String, String)> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut items: Vec<(&String, &Entry)> = inner.map.iter().collect();
+        items.sort_by_key(|(_, e)| e.tick);
+        items
+            .into_iter()
+            .map(|(k, e)| (k.clone(), e.value.clone()))
+            .collect()
+    }
+
+    /// Rewrites the attached spill file from the live LRU state (see
+    /// [`SpillWriter::compact`]), dropping replaced and evicted records
+    /// so the append-only file stops growing without bound. Returns
+    /// `Ok(false)` when no spill is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the rewrite fails; the original spill
+    /// file is left untouched and appends continue against it.
+    pub fn compact_spill(&self) -> Result<bool, JournalError> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let inner = &mut *inner;
+        let Some(spill) = inner.spill.as_mut() else {
+            return Ok(false);
+        };
+        let mut items: Vec<(&String, &Entry)> = inner.map.iter().collect();
+        items.sort_by_key(|(_, e)| e.tick);
+        let entries: Vec<(String, String)> = items
+            .into_iter()
+            .map(|(k, e)| (k.clone(), e.value.clone()))
+            .collect();
+        spill.compact(&entries)?;
+        Ok(true)
+    }
+
     /// Snapshot of the counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -330,6 +371,51 @@ mod tests {
         assert_eq!((s.loaded, s.quarantined, s.insertions), (2, 0, 0));
         assert_eq!(warm.get("point:c:0").as_deref(), Some("{\"a\": 1}"));
         assert_eq!(warm.get("ref:c:0").as_deref(), Some("10 20"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compacted_spill_reloads_to_identical_cache_state() {
+        let path = std::env::temp_dir().join(format!(
+            "studyd-cache-spill-{}-compact.ndjson",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let opened = crate::persist::open(&path, None).unwrap();
+        let c = Cache::new(1024);
+        c.set_spill(opened.writer);
+        c.put("point:c:0", "first");
+        c.put("point:c:1", "b");
+        c.put("point:c:0", "replaced");
+        c.put("ref:c:0", "10 20");
+        // Shuffle recency so the compacted order is not insertion order.
+        assert!(c.get("point:c:1").is_some());
+        let live = c.live_entries();
+        assert_eq!(live.len(), 3);
+        assert_eq!(live.last().unwrap().0, "point:c:1", "most recent last");
+
+        assert!(c.compact_spill().unwrap(), "spill attached");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            content.lines().count(),
+            1 + live.len(),
+            "header + live entries only: replaced record dropped"
+        );
+        // Appends after compaction keep persisting.
+        c.put("point:c:9", "late");
+
+        // A restarted daemon reloads the identical live state, in the
+        // identical recency order.
+        let reopened = crate::persist::open(&path, None).unwrap();
+        let warm = Cache::new(1024);
+        warm.preload(reopened.entries, reopened.quarantined);
+        let mut expect = live;
+        expect.push(("point:c:9".to_string(), "late".to_string()));
+        assert_eq!(warm.live_entries(), expect);
+        assert_eq!(warm.get("point:c:0").as_deref(), Some("replaced"));
+
+        let bare = Cache::new(64);
+        assert!(!bare.compact_spill().unwrap(), "no spill → Ok(false)");
         std::fs::remove_file(&path).ok();
     }
 

@@ -10,8 +10,10 @@
 //! Tests construct a policy programmatically (through
 //! [`crate::server::ServeConfig`] or [`crate::scheduler::SchedOptions`]);
 //! the `studyd` and `repro serve` binaries also honor the `STUDYD_CHAOS`
-//! environment variable (`panic-unit=N`, `flip-spill=N`, comma-joined)
-//! so CI can inject faults into a real daemon process.
+//! environment variable (`panic-unit=N`, `flip-spill=N`, `stall-unit=N`,
+//! `exit-unit=N`, comma-joined) so CI and the federation suite can
+//! inject faults into a real daemon process — including killing or
+//! stalling one *specific* backend of a fleet deterministically.
 
 /// Which deterministic faults to inject. Default: none.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -25,13 +27,25 @@ pub struct ChaosPolicy {
     /// appended to the cache spill, simulating on-disk bit rot: the
     /// framing CRC no longer matches, so reload must quarantine it.
     pub flip_spill_record: Option<u64>,
+    /// Stall the worker that claims the Nth scheduled unit forever (it
+    /// parks until shutdown), simulating a wedged straggler backend: the
+    /// unit never completes, but the daemon keeps answering control
+    /// frames so only a hedge or failover can rescue the unit.
+    pub stall_at_unit: Option<u64>,
+    /// Kill the whole process (`exit(9)`, as abrupt as a `kill -9`) the
+    /// moment a worker claims the Nth scheduled unit, simulating a
+    /// backend dying mid-sweep with streams open.
+    pub exit_at_unit: Option<u64>,
 }
 
 impl ChaosPolicy {
     /// Whether any fault is armed.
     #[must_use]
     pub fn is_active(&self) -> bool {
-        self.panic_at_unit.is_some() || self.flip_spill_record.is_some()
+        self.panic_at_unit.is_some()
+            || self.flip_spill_record.is_some()
+            || self.stall_at_unit.is_some()
+            || self.exit_at_unit.is_some()
     }
 
     /// Parses a `STUDYD_CHAOS`-style spec: comma-separated `key=N`
@@ -52,6 +66,8 @@ impl ChaosPolicy {
             match key {
                 "panic-unit" => policy.panic_at_unit = Some(n),
                 "flip-spill" => policy.flip_spill_record = Some(n),
+                "stall-unit" => policy.stall_at_unit = Some(n),
+                "exit-unit" => policy.exit_at_unit = Some(n),
                 other => return Err(format!("unknown chaos fault '{other}'")),
             }
         }
@@ -85,6 +101,10 @@ mod tests {
         assert_eq!(p.flip_spill_record, Some(0));
         assert!(p.is_active());
         assert!(!ChaosPolicy::default().is_active());
+        let p = ChaosPolicy::parse("stall-unit=0,exit-unit=7").unwrap();
+        assert_eq!(p.stall_at_unit, Some(0));
+        assert_eq!(p.exit_at_unit, Some(7));
+        assert!(p.is_active());
     }
 
     #[test]

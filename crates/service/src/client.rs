@@ -90,10 +90,27 @@ impl RetryPolicy {
     }
 }
 
+/// Default bound on control-plane replies (`status`, `list`, `cancel`,
+/// `shutdown`, the handshake): long enough for a healthy server under
+/// load, short enough that a wedged backend is detected in bounded
+/// time by the federation health monitor.
+pub const DEFAULT_CONTROL_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// A connected, handshaken protocol client.
+///
+/// Replies are read under two independent deadlines: **control-plane**
+/// calls (`status`, `list`, `cancel`, `shutdown`, the handshake) answer
+/// from memory and must come back within a short
+/// [`DEFAULT_CONTROL_TIMEOUT`], while **data-plane** reads (the submit
+/// result stream) may legitimately block for as long as a point takes
+/// to compute and default to no deadline. Before this split a wedged
+/// backend could stall a heartbeat `status` probe indefinitely because
+/// it shared whatever read deadline the submit path had configured.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    control_timeout: Option<Duration>,
+    data_timeout: Option<Duration>,
 }
 
 /// One study entry from the server's `list` reply.
@@ -130,6 +147,9 @@ pub struct ServiceStatus {
     pub points_coalesced: u64,
     /// Points that failed.
     pub points_failed: u64,
+    /// Jobs cancelled with the federation's `hedge` reason (the server
+    /// lost a hedged race and its duplicate work was reclaimed).
+    pub hedge_cancels: u64,
     /// Cache lookups served.
     pub cache_hits: u64,
     /// Cache lookups missed.
@@ -146,6 +166,51 @@ pub struct ServiceStatus {
     pub cache_quarantined: u64,
     /// Entries appended to the persistent spill since startup.
     pub cache_spilled: u64,
+}
+
+/// One frame from an in-flight submit stream (the
+/// [`Client::start_submit`] / [`Client::next_event`] low-level pair the
+/// federation coordinator drives; [`Client::submit`] folds the same
+/// stream into an assembled report).
+#[derive(Debug)]
+pub enum StreamEvent {
+    /// A resolved point.
+    Point {
+        /// Grid point index (global — subset submits keep grid indices).
+        index: usize,
+        /// How the backend resolved it: `computed`, `cached` or
+        /// `coalesced` (empty if the frame omitted it).
+        source: String,
+        /// Execution attempts (>1 means the point was retried).
+        attempts: u64,
+        /// The parsed point record; [`PointSummary::to_record`]
+        /// round-trips it byte-identically for forwarding.
+        summary: PointSummary,
+    },
+    /// A point that exhausted its retry budget.
+    Failed {
+        /// Grid point index.
+        index: usize,
+        /// Human-readable point label (may be empty).
+        label: String,
+        /// Why the point failed.
+        reason: String,
+        /// Execution attempts consumed.
+        attempts: u64,
+    },
+    /// End of stream: the job's final tallies.
+    Done {
+        /// Points computed by the backend's pool for this job.
+        computed: u64,
+        /// Points served from the backend's result cache.
+        cached: u64,
+        /// Points coalesced onto another job's computation.
+        coalesced: u64,
+        /// Points that failed.
+        failed: u64,
+        /// Whether the job was cancelled before completing.
+        cancelled: bool,
+    },
 }
 
 /// What a remote submission produced.
@@ -192,11 +257,13 @@ impl Client {
         let mut client = Client {
             reader: BufReader::new(read_half),
             writer,
+            control_timeout: Some(DEFAULT_CONTROL_TIMEOUT),
+            data_timeout: None,
         };
         client.send(&format!(
             "{{\"op\": \"hello\", \"proto\": {PROTO_VERSION}}}"
         ))?;
-        let reply = client.recv("handshake")?;
+        let reply = client.recv_control("handshake")?;
         if reply.get("kind").and_then(JsonValue::as_str) != Some("hello") {
             return Err(ProtocolError::Malformed {
                 why: "server greeting is not a hello frame".to_string(),
@@ -206,8 +273,44 @@ impl Client {
         Ok(client)
     }
 
+    /// Overrides the control-plane reply deadline (`None` blocks
+    /// forever; must be non-zero). Federation health monitors shorten
+    /// it so heartbeats against a wedged backend fail fast.
+    pub fn set_control_timeout(&mut self, timeout: Option<Duration>) {
+        self.control_timeout = timeout;
+    }
+
+    /// Sets a deadline on data-plane reads (submit result frames),
+    /// default `None`: a healthy backend may take arbitrarily long to
+    /// compute a point, but a federation that can fail work over
+    /// elsewhere bounds the wait. Must be non-zero.
+    pub fn set_data_timeout(&mut self, timeout: Option<Duration>) {
+        self.data_timeout = timeout;
+    }
+
     fn send(&mut self, frame: &str) -> Result<(), ProtocolError> {
         write_line(&mut self.writer, frame)
+    }
+
+    /// [`Client::recv`] under the control-plane deadline.
+    fn recv_control(&mut self, during: &str) -> Result<JsonValue, ProtocolError> {
+        self.recv_deadline(during, self.control_timeout)
+    }
+
+    /// [`Client::recv`] under the data-plane deadline.
+    fn recv_data(&mut self, during: &str) -> Result<JsonValue, ProtocolError> {
+        self.recv_deadline(during, self.data_timeout)
+    }
+
+    fn recv_deadline(
+        &mut self,
+        during: &str,
+        timeout: Option<Duration>,
+    ) -> Result<JsonValue, ProtocolError> {
+        self.writer
+            .set_read_timeout(timeout)
+            .map_err(|e| io_err("set-read-timeout", &e))?;
+        self.recv(during)
     }
 
     /// Reads one reply frame, unwrapping `ok:false` into its typed
@@ -231,7 +334,7 @@ impl Client {
     /// [`SimError::Protocol`] on any wire failure.
     pub fn list(&mut self) -> Result<Vec<RemoteStudy>, SimError> {
         self.send("{\"op\": \"list\"}")?;
-        let reply = self.recv("list")?;
+        let reply = self.recv_control("list")?;
         let studies = reply
             .get("studies")
             .and_then(JsonValue::as_array)
@@ -256,7 +359,7 @@ impl Client {
     /// [`SimError::Protocol`] on any wire failure.
     pub fn status(&mut self) -> Result<ServiceStatus, SimError> {
         self.send("{\"op\": \"status\"}")?;
-        let reply = self.recv("status")?;
+        let reply = self.recv_control("status")?;
         let cache = reply.get("cache").cloned().unwrap_or(JsonValue::Null);
         let f = |v: &JsonValue, k: &str| u64_field(v, k).unwrap_or(0);
         Ok(ServiceStatus {
@@ -270,6 +373,7 @@ impl Client {
             points_cached: f(&reply, "points_cached"),
             points_coalesced: f(&reply, "points_coalesced"),
             points_failed: f(&reply, "points_failed"),
+            hedge_cancels: f(&reply, "hedge_cancels"),
             cache_hits: f(&cache, "hits"),
             cache_misses: f(&cache, "misses"),
             cache_evictions: f(&cache, "evictions"),
@@ -287,8 +391,26 @@ impl Client {
     ///
     /// [`SimError::Protocol`] on any wire failure.
     pub fn cancel(&mut self, job: u64) -> Result<bool, SimError> {
-        self.send(&format!("{{\"op\": \"cancel\", \"job\": {job}}}"))?;
-        let reply = self.recv("cancel")?;
+        self.cancel_with_reason(job, None)
+    }
+
+    /// [`Client::cancel`] with an optional reason the server accounts
+    /// separately — the federation sends `"hedge"` when the job lost a
+    /// hedged race, so backend operators can tell reclaimed duplicate
+    /// work from user-initiated cancellation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on any wire failure.
+    pub fn cancel_with_reason(&mut self, job: u64, reason: Option<&str>) -> Result<bool, SimError> {
+        match reason {
+            Some(r) => self.send(&format!(
+                "{{\"op\": \"cancel\", \"job\": {job}, \"reason\": \"{}\"}}",
+                json::escape(r)
+            ))?,
+            None => self.send(&format!("{{\"op\": \"cancel\", \"job\": {job}}}"))?,
+        }
+        let reply = self.recv_control("cancel")?;
         Ok(matches!(reply.get("found"), Some(JsonValue::Bool(true))))
     }
 
@@ -300,7 +422,7 @@ impl Client {
     /// [`SimError::Protocol`] on any wire failure.
     pub fn shutdown(&mut self) -> Result<(), SimError> {
         self.send("{\"op\": \"shutdown\"}")?;
-        self.recv("shutdown")?;
+        self.recv_control("shutdown")?;
         Ok(())
     }
 
@@ -313,7 +435,7 @@ impl Client {
     /// [`SimError::Protocol`] on any wire failure.
     pub fn shutdown_drain(&mut self) -> Result<(), SimError> {
         self.send("{\"op\": \"shutdown\", \"mode\": \"drain\"}")?;
-        self.recv("shutdown")?;
+        self.recv_control("shutdown")?;
         Ok(())
     }
 
@@ -364,31 +486,118 @@ impl Client {
             }
             .into());
         };
+        let n = grid.n_points();
+        let (job, points) = self.start_submit(study, params, None)?;
+        if points != n as u64 {
+            return Err(ProtocolError::Malformed {
+                why: format!(
+                    "server decomposed '{study}' into {points} points, this client expects {n} \
+                     (build drift between client and server?)"
+                ),
+            }
+            .into());
+        }
+        self.reassemble(job, &grid, params, n)
+    }
+
+    /// Low-level submit: sends the frame (optionally restricted to a
+    /// `units` subset of grid point indices — the federation's shard
+    /// primitive) and returns `(job, accepted_points)` without
+    /// consuming the result stream; drive it with
+    /// [`Client::next_event`]. [`Client::submit`] wraps this pair into
+    /// a fully assembled report.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for wire failures and typed server
+    /// rejections (unknown study, bad params or units, a full queue
+    /// (`busy`), a draining server).
+    pub fn start_submit(
+        &mut self,
+        study: &str,
+        params: &StudyParams,
+        units: Option<&[usize]>,
+    ) -> Result<(u64, u64), SimError> {
+        let units_json = match units {
+            Some(subset) => {
+                let mut list = String::from(", \"units\": [");
+                for (i, u) in subset.iter().enumerate() {
+                    if i > 0 {
+                        list.push_str(", ");
+                    }
+                    list.push_str(&u.to_string());
+                }
+                list.push(']');
+                list
+            }
+            None => String::new(),
+        };
         self.send(&format!(
-            "{{\"op\": \"submit\", \"study\": \"{}\", \"params\": {}}}",
+            "{{\"op\": \"submit\", \"study\": \"{}\", \"params\": {}{units_json}}}",
             json::escape(study),
             params_to_wire(params)
         ))?;
-        let accepted = self.recv("submit")?;
+        let accepted = self.recv_data("submit")?;
         if accepted.get("kind").and_then(JsonValue::as_str) != Some("accepted") {
             return Err(ProtocolError::Malformed {
                 why: "submit reply is not an accepted frame".to_string(),
             }
             .into());
         }
-        let n = grid.n_points();
-        if u64_field(&accepted, "points") != Some(n as u64) {
-            return Err(ProtocolError::Malformed {
-                why: format!(
-                    "server decomposed '{study}' into {} points, this client expects {n} \
-                     (build drift between client and server?)",
-                    u64_field(&accepted, "points").unwrap_or(0)
-                ),
+        Ok((
+            u64_field(&accepted, "job").unwrap_or(0),
+            u64_field(&accepted, "points").unwrap_or(0),
+        ))
+    }
+
+    /// Reads the next frame of an in-flight submit stream started with
+    /// [`Client::start_submit`]. `n` is the full grid size, used to
+    /// range-check point indices. Reads block under the data-plane
+    /// deadline ([`Client::set_data_timeout`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on wire failures, a timed-out read, or a
+    /// malformed frame.
+    pub fn next_event(&mut self, n: usize) -> Result<StreamEvent, SimError> {
+        let frame = self.recv_data("result stream")?;
+        match frame.get("kind").and_then(JsonValue::as_str) {
+            Some("point") => {
+                let index = frame_index(&frame, n)?;
+                let summary = frame
+                    .get("data")
+                    .and_then(PointSummary::from_record)
+                    .ok_or_else(|| ProtocolError::Malformed {
+                        why: format!("point {index} carries an unparsable record"),
+                    })?;
+                Ok(StreamEvent::Point {
+                    index,
+                    source: field_str(&frame, "source").unwrap_or_default(),
+                    attempts: u64_field(&frame, "attempts").unwrap_or(1),
+                    summary,
+                })
             }
-            .into());
+            Some("failed") => {
+                let index = frame_index(&frame, n)?;
+                Ok(StreamEvent::Failed {
+                    index,
+                    label: field_str(&frame, "label").unwrap_or_default(),
+                    reason: field_str(&frame, "reason").unwrap_or_else(|_| "unknown".to_string()),
+                    attempts: u64_field(&frame, "attempts").unwrap_or(1),
+                })
+            }
+            Some("done") => Ok(StreamEvent::Done {
+                computed: u64_field(&frame, "computed").unwrap_or(0),
+                cached: u64_field(&frame, "cached").unwrap_or(0),
+                coalesced: u64_field(&frame, "coalesced").unwrap_or(0),
+                failed: u64_field(&frame, "failed").unwrap_or(0),
+                cancelled: matches!(frame.get("cancelled"), Some(JsonValue::Bool(true))),
+            }),
+            _ => Err(ProtocolError::Malformed {
+                why: "unexpected frame in result stream".to_string(),
+            }
+            .into()),
         }
-        let job = u64_field(&accepted, "job").unwrap_or(0);
-        self.reassemble(job, &grid, params, n)
     }
 
     fn reassemble(
@@ -402,39 +611,46 @@ impl Client {
         let mut failures: Vec<(usize, DegradedPoint)> = Vec::new();
         let mut retried = 0usize;
         loop {
-            let frame = self.recv("result stream")?;
-            match frame.get("kind").and_then(JsonValue::as_str) {
-                Some("point") => {
-                    let index = frame_index(&frame, n)?;
-                    let summary = frame
-                        .get("data")
-                        .and_then(PointSummary::from_record)
-                        .ok_or_else(|| ProtocolError::Malformed {
-                            why: format!("point {index} carries an unparsable record"),
-                        })?;
-                    if u64_field(&frame, "attempts").unwrap_or(1) > 1 {
+            match self.next_event(n)? {
+                StreamEvent::Point {
+                    index,
+                    attempts,
+                    summary,
+                    ..
+                } => {
+                    if attempts > 1 {
                         retried += 1;
                     }
                     slots[index] = Some(summary);
                 }
-                Some("failed") => {
-                    let index = frame_index(&frame, n)?;
+                StreamEvent::Failed {
+                    index,
+                    label,
+                    reason,
+                    attempts,
+                } => {
+                    let label = if label.is_empty() {
+                        grid.label(index)
+                    } else {
+                        label
+                    };
                     failures.push((
                         index,
                         DegradedPoint {
-                            label: field_str(&frame, "label").unwrap_or_else(|_| grid.label(index)),
-                            reason: field_str(&frame, "reason")
-                                .unwrap_or_else(|_| "unknown".to_string()),
-                            attempts: u64_field(&frame, "attempts").unwrap_or(1) as u32,
+                            label,
+                            reason,
+                            attempts: attempts as u32,
                         },
                     ));
                 }
-                Some("done") => {
-                    let computed = u64_field(&frame, "computed").unwrap_or(0) as usize;
-                    let cached = u64_field(&frame, "cached").unwrap_or(0) as usize;
-                    let coalesced = u64_field(&frame, "coalesced").unwrap_or(0) as usize;
-                    let failed = u64_field(&frame, "failed").unwrap_or(0) as usize;
-                    if matches!(frame.get("cancelled"), Some(JsonValue::Bool(true))) {
+                StreamEvent::Done {
+                    computed,
+                    cached,
+                    coalesced,
+                    failed,
+                    cancelled,
+                } => {
+                    if cancelled {
                         return Err(ProtocolError::Rejected {
                             code: "cancelled".to_string(),
                             message: format!("job {job} was cancelled before completing"),
@@ -453,17 +669,11 @@ impl Client {
                     return Ok(SubmitOutcome {
                         job,
                         report,
-                        computed,
-                        cached,
-                        coalesced,
-                        failed,
+                        computed: computed as usize,
+                        cached: cached as usize,
+                        coalesced: coalesced as usize,
+                        failed: failed as usize,
                     });
-                }
-                _ => {
-                    return Err(ProtocolError::Malformed {
-                        why: "unexpected frame in result stream".to_string(),
-                    }
-                    .into())
                 }
             }
         }
@@ -485,5 +695,59 @@ fn frame_index(frame: &JsonValue, n: usize) -> Result<usize, ProtocolError> {
         _ => Err(ProtocolError::Malformed {
             why: "frame carries an out-of-range point index".to_string(),
         }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, Write};
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    /// A wedged backend — one that accepts the connection and completes
+    /// the handshake but never answers another frame — must fail a
+    /// control-plane call within the control timeout, not hang forever.
+    /// (Before the control/data deadline split, `status` inherited the
+    /// submit path's unbounded read and a heartbeat could wedge with
+    /// its backend.)
+    #[test]
+    fn control_calls_time_out_against_a_wedged_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap(); // hello
+            let mut w = &stream;
+            w.write_all(b"{\"ok\": true, \"kind\": \"hello\", \"proto\": 2}\n")
+                .unwrap();
+            // Read requests but never reply — wedged. Returns at EOF
+            // when the client gives up and drops the connection.
+            loop {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+            }
+        });
+        let mut client = Client::connect(&addr).unwrap();
+        client.set_control_timeout(Some(Duration::from_millis(50)));
+        let start = Instant::now();
+        let err = client.status().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::Protocol(ProtocolError::Timeout | ProtocolError::Io { .. })
+            ),
+            "expected a timeout, got: {err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "wedged server was not detected in bounded time"
+        );
+        drop(client);
+        server.join().unwrap();
     }
 }

@@ -19,7 +19,12 @@
 //!   request loop (idle-connection reaping included);
 //! - [`client`] — connect/submit/reassemble, producing reports
 //!   **byte-identical** to local runs, with capped deterministic-jitter
-//!   backoff against `busy` replies;
+//!   backoff against `busy` replies and split control/data read
+//!   deadlines so a wedged backend is detected in bounded time;
+//! - [`federation`] — the multi-backend coordinator: health-checked
+//!   fan-out of grid units across a fleet, automatic failover, hedged
+//!   straggler retries and graceful local fallback, still
+//!   byte-identical;
 //! - [`chaos`] — deterministic fault injection driving the chaos suite.
 //!
 //! Everything is `std`-only — `TcpListener`, `TcpStream` and threads —
@@ -59,6 +64,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod federation;
 pub mod persist;
 pub mod proto;
 pub mod scheduler;
@@ -66,4 +72,5 @@ pub mod server;
 pub mod session;
 
 pub use client::{Client, RetryPolicy, SubmitOutcome};
-pub use server::{serve, ServeConfig, ServerHandle, ShutdownMode};
+pub use federation::{Federation, FederationStatus, FleetConfig, HealthState};
+pub use server::{serve, serve_coordinator, ServeConfig, ServerHandle, ShutdownMode};

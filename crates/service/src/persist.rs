@@ -31,10 +31,22 @@
 //! - A **complete but corrupt or version-mismatched header** is a typed
 //!   fatal error — identity failures are never papered over.
 //!
-//! The file is append-only and never compacted: a replaced key simply
+//! The file is append-only between compactions: a replaced key simply
 //! appears twice and the later record wins on reload. Reload feeds
 //! entries through the cache's normal LRU insertion, so a spill larger
 //! than the byte budget is clamped on the way in.
+//!
+//! # Compaction
+//!
+//! Replaced keys and evicted entries would otherwise grow the file
+//! without bound, so [`SpillWriter::compact`] rewrites it from the live
+//! LRU state: the survivors are written to a `.compact-tmp` sibling
+//! (header first, entries in least-recently-used-first order so a
+//! reload reconstructs the same recency ranking), synced, then
+//! atomically renamed over the original. A crash at any point leaves
+//! either the old file or the complete new one — never a torn mix.
+//! `studyd` compacts on drain shutdown and, with `--compact-spill`, at
+//! startup right after reload.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -83,6 +95,14 @@ fn io_err(op: &'static str, e: &std::io::Error) -> JournalError {
 
 fn header_record() -> String {
     format!("{{\"spill\": \"{SPILL_MAGIC}\", \"version\": {SPILL_VERSION}}}")
+}
+
+fn entry_record(key: &str, value: &str) -> String {
+    format!(
+        "{{\"key\": \"{}\", \"value\": \"{}\"}}",
+        json::escape(key),
+        json::escape(value)
+    )
 }
 
 /// Creates (truncating) a spill file with a fresh header.
@@ -218,11 +238,7 @@ impl SpillWriter {
     ///
     /// [`JournalError::Io`] on write/flush failure.
     pub fn append(&mut self, key: &str, value: &str) -> Result<(), JournalError> {
-        let record = format!(
-            "{{\"key\": \"{}\", \"value\": \"{}\"}}",
-            json::escape(key),
-            json::escape(value)
-        );
+        let record = entry_record(key, value);
         let mut line = wrap_line(&record).into_bytes();
         if self.flip_record == Some(self.appended) {
             // Chaos: simulate on-disk bit rot inside the data region so
@@ -246,6 +262,46 @@ impl SpillWriter {
     pub fn sync(&mut self) -> Result<(), JournalError> {
         self.file.flush().map_err(|e| io_err("flush", &e))?;
         self.file.sync_all().map_err(|e| io_err("sync", &e))
+    }
+
+    /// Rewrites the spill to exactly `entries` (header + one record
+    /// each, in the given order), replacing the file atomically. The
+    /// survivors are written to a `.compact-tmp` sibling, synced, then
+    /// renamed over the original; on any error the original file — and
+    /// this writer — are left untouched and still usable. Compaction
+    /// writes bypass the chaos bit-flip (they carry already-validated
+    /// data); the flip counter keeps targeting fresh appends.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write, sync, or rename failure.
+    pub fn compact(&mut self, entries: &[(String, String)]) -> Result<(), JournalError> {
+        let mut tmp_name = self.path.clone().into_os_string();
+        tmp_name.push(".compact-tmp");
+        let tmp = PathBuf::from(tmp_name);
+        let result = (|| {
+            let mut file = create(&tmp)?;
+            for (key, value) in entries {
+                file.write_all(wrap_line(&entry_record(key, value)).as_bytes())
+                    .map_err(|e| io_err("compact-write", &e))?;
+            }
+            file.flush().map_err(|e| io_err("compact-flush", &e))?;
+            file.sync_all().map_err(|e| io_err("compact-sync", &e))?;
+            std::fs::rename(&tmp, &self.path).map_err(|e| io_err("compact-rename", &e))?;
+            Ok(file)
+        })();
+        match result {
+            Ok(file) => {
+                // The renamed handle *is* the live file now; appends
+                // continue at its end.
+                self.file = file;
+                Ok(())
+            }
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                Err(e)
+            }
+        }
     }
 }
 
@@ -355,6 +411,37 @@ mod tests {
                 supported: SPILL_VERSION
             })
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_drops_dead_records_and_survives_reload() {
+        let path = temp_path("compact");
+        let mut opened = open(&path, None).unwrap();
+        opened.writer.append("k", "old").unwrap();
+        opened.writer.append("k", "mid").unwrap();
+        opened.writer.append("gone", "x").unwrap();
+        opened.writer.append("k", "new").unwrap();
+        let lines_before = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines_before, 5, "header + 4 appended records");
+        opened
+            .writer
+            .compact(&[("k".to_string(), "new".to_string())])
+            .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2, "header + 1 live record");
+        // Post-compaction appends land in the rewritten file.
+        opened.writer.append("k2", "v2").unwrap();
+        drop(opened);
+        let reopened = open(&path, None).unwrap();
+        assert_eq!(reopened.quarantined, 0);
+        assert_eq!(
+            reopened.entries,
+            vec![
+                ("k".to_string(), "new".to_string()),
+                ("k2".to_string(), "v2".to_string()),
+            ]
+        );
         std::fs::remove_file(&path).ok();
     }
 

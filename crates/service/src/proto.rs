@@ -33,6 +33,16 @@
 //!   counters; `busy` rejections with `retry_after_ms`; `shutdown`
 //!   accepts `{"mode": "drain"}`; `cancel` replies carry a `state` of
 //!   `cancelled` or `already-done`.
+//! - **v2 federation extensions** (additive, still proto 2 — every
+//!   field is optional and ignored by older peers): `submit` accepts a
+//!   `units` array of grid indices to run only that shard (the
+//!   `accepted` frame's `points` then counts the deduplicated subset);
+//!   `cancel` accepts a `reason` string (`"hedge"` marks a lost hedged
+//!   race, counted in the `hedge_cancels` status field); `hello` and
+//!   `status` replies echo a `backend` identity when the server was
+//!   started with one; a coordinator's `status` reply carries a
+//!   `federation` block with per-backend health, units served,
+//!   failovers and hedge wins.
 //!
 //! Line lengths are capped — [`REQUEST_LINE_CAP`] for client→server
 //! frames, [`REPLY_LINE_CAP`] for server→client frames (point frames

@@ -164,6 +164,13 @@ pub enum SubmitError {
     },
     /// The scheduler is draining and admits no new work.
     Draining,
+    /// The federated fleet has no live backend and local fallback is
+    /// disabled. Only [`crate::federation::Federation`] admission
+    /// returns this; the local scheduler never does.
+    Unavailable {
+        /// Backends configured in the fleet.
+        backends: usize,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -178,6 +185,10 @@ impl std::fmt::Display for SubmitError {
                 "work queue full ({queued} units queued, limit {limit}); retry after {retry_after_ms} ms"
             ),
             SubmitError::Draining => f.write_str("server is draining and not admitting new work"),
+            SubmitError::Unavailable { backends } => write!(
+                f,
+                "all {backends} fleet backend(s) are dead and local fallback is disabled"
+            ),
         }
     }
 }
@@ -245,6 +256,7 @@ struct SchedState {
     points_cached: u64,
     points_coalesced: u64,
     points_failed: u64,
+    hedge_cancels: u64,
 }
 
 struct Shared {
@@ -279,6 +291,9 @@ pub struct SchedulerStatus {
     pub points_coalesced: u64,
     /// Points failed since startup.
     pub points_failed: u64,
+    /// Jobs cancelled with the federation's `"hedge"` reason — this
+    /// backend lost a hedged race and its duplicate work was reclaimed.
+    pub hedge_cancels: u64,
 }
 
 /// Tuning knobs for [`Scheduler::start`].
@@ -390,6 +405,7 @@ impl Scheduler {
                 points_cached: 0,
                 points_coalesced: 0,
                 points_failed: 0,
+                hedge_cancels: 0,
             }),
             cond: Condvar::new(),
             cache,
@@ -427,10 +443,39 @@ impl Scheduler {
         grid: GridStudy,
         params: StudyParams,
     ) -> Result<(u64, Receiver<JobEvent>), SubmitError> {
+        self.submit_units(grid, params, None)
+    }
+
+    /// Like [`Scheduler::submit`], but restricted to a subset of the
+    /// grid's point indices — the federation coordinator's shard
+    /// primitive. `None` schedules the full grid; indices are
+    /// deduplicated and scheduled in ascending order, and only the
+    /// references those points need are queued. Out-of-range indices
+    /// must be rejected by the caller (the session validates them
+    /// against `grid.n_points()`).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] when admission control refuses the new
+    /// units, [`SubmitError::Draining`] once a drain has begun.
+    pub fn submit_units(
+        &self,
+        grid: GridStudy,
+        params: StudyParams,
+        units: Option<Vec<usize>>,
+    ) -> Result<(u64, Receiver<JobEvent>), SubmitError> {
         let canonical = experiments::journal::canonical(grid.study(), &params);
         let grid = Arc::new(grid);
         let (tx, rx) = channel();
         let n = grid.n_points();
+        let indices: Vec<usize> = match units {
+            Some(mut subset) => {
+                subset.sort_unstable();
+                subset.dedup();
+                subset
+            }
+            None => (0..n).collect(),
+        };
 
         // Classify every point under the scheduler lock, so the
         // decision (cache hit / coalesce / own) is atomic with waiter
@@ -444,7 +489,7 @@ impl Scheduler {
         let mut coalesce: Vec<usize> = Vec::new();
         let mut owned_by_profile: Vec<Vec<usize>> = vec![Vec::new(); grid.profiles().len()];
         let mut owned_points = 0usize;
-        for index in 0..n {
+        for index in indices {
             let key = point_key(&canonical, index);
             if let Some(record) = self.shared.cache.get(&key) {
                 hits.push((index, record));
@@ -601,6 +646,14 @@ impl Scheduler {
     /// fan out to the waiters, never to the cancelled stream. Returns
     /// `false` if the job is unknown or already finished.
     pub fn cancel(&self, id: u64) -> bool {
+        self.cancel_with_reason(id, false)
+    }
+
+    /// [`Scheduler::cancel`] with the cancellation's provenance: `hedge`
+    /// marks the federation reclaiming a lost hedged race, counted in
+    /// [`SchedulerStatus::hedge_cancels`] (only when this call actually
+    /// transitions a live job to cancelled).
+    pub fn cancel_with_reason(&self, id: u64, hedge: bool) -> bool {
         let mut st = lock(&self.shared);
         if !st.jobs.contains_key(&id) {
             return false;
@@ -611,6 +664,9 @@ impl Scheduler {
                 return true; // idempotent: already a zombie
             }
             job.cancelled = true;
+        }
+        if hedge {
+            st.hedge_cancels += 1;
         }
         let (canonical, drained): (String, Vec<Unit>) = {
             let job = st.jobs.get_mut(&id).expect("checked above");
@@ -747,6 +803,7 @@ impl Scheduler {
             points_cached: st.points_cached,
             points_coalesced: st.points_coalesced,
             points_failed: st.points_failed,
+            hedge_cancels: st.hedge_cancels,
         }
     }
 
@@ -827,6 +884,21 @@ fn worker_loop(shared: &Shared) {
 
         let retries = claim.params.faults.retries;
         let unit_no = shared.chaos_units.fetch_add(1, Ordering::Relaxed);
+        if shared.chaos.exit_at_unit == Some(unit_no) {
+            // Chaos: die as abruptly as a kill -9 — no drain, no flush,
+            // streams cut mid-frame. (Only ever reached in a dedicated
+            // chaos child process, never an in-process test scheduler.)
+            std::process::exit(9);
+        }
+        if shared.chaos.stall_at_unit == Some(unit_no) {
+            // Chaos: wedge this worker forever (until shutdown), holding
+            // its claimed unit — the straggler a hedge must race around.
+            let mut st = lock(shared);
+            while !st.shutdown {
+                st = shared.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            return;
+        }
         let chaos_panic = shared.chaos.panic_at_unit == Some(unit_no);
         match claim.unit {
             Unit::Ref(pi) => {
@@ -1220,6 +1292,71 @@ mod tests {
         let d = drain_events(&rx).expect("done");
         assert_eq!(d.cached, 0, "different scale bits must miss");
         assert!(d.computed > 0);
+        sched.stop();
+    }
+
+    #[test]
+    fn subset_submit_schedules_only_requested_units() {
+        let cache = Arc::new(Cache::new(64 * 1024 * 1024));
+        let sched = Scheduler::start(2, Arc::clone(&cache), SchedOptions::default());
+        let params = small_params();
+        let g = grid("fig1", &params);
+        let n = g.n_points();
+        assert!(n >= 2);
+        // Duplicates are deduplicated; only the subset is scheduled.
+        let (_, rx) = sched
+            .submit_units(g.clone(), params.clone(), Some(vec![n - 1, 0, n - 1]))
+            .expect("admitted");
+        let d = drain_events(&rx).expect("done");
+        let mut got: Vec<usize> = d.points.iter().map(|(i, _, _)| *i).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, n - 1]);
+        assert_eq!((d.computed, d.failed, d.cancelled), (2, 0, false));
+        assert_eq!(
+            sched.status().points_computed,
+            2,
+            "unrequested units never computed"
+        );
+        // The complementary subset completes the grid without
+        // recomputing what the first shard already cached.
+        let rest: Vec<usize> = (1..n - 1).collect();
+        let (_, rx) = sched
+            .submit_units(g, params, Some(rest.clone()))
+            .expect("admitted");
+        let d2 = drain_events(&rx).expect("done");
+        assert_eq!(d2.computed + d2.cached, rest.len());
+        sched.stop();
+    }
+
+    #[test]
+    fn hedge_cancel_counts_only_live_transitions() {
+        let cache = Arc::new(Cache::new(64 * 1024 * 1024));
+        let sched = Scheduler::start(1, Arc::clone(&cache), SchedOptions::default());
+        // Pin the lone worker so the hedged job is provably still live.
+        let blocker_params = StudyParams {
+            scale: 0.015,
+            ..small_params()
+        };
+        let (_, rx_blocker) = sched
+            .submit(grid("fig1", &blocker_params), blocker_params)
+            .expect("admitted");
+        let params = small_params();
+        let (id, rx) = sched
+            .submit(grid("fig1", &params), params)
+            .expect("admitted");
+        assert_eq!(sched.status().hedge_cancels, 0);
+        assert!(sched.cancel_with_reason(id, true));
+        assert_eq!(sched.status().hedge_cancels, 1);
+        // Re-cancel never double-counts: the job is either a zombie
+        // (returns true) or already finished (returns false), and the
+        // counter moves only on the live transition either way.
+        let _ = sched.cancel_with_reason(id, true);
+        assert_eq!(sched.status().hedge_cancels, 1);
+        assert!(!sched.cancel_with_reason(999, true), "unknown job");
+        assert_eq!(sched.status().hedge_cancels, 1);
+        let _ = drain_events(&rx_blocker);
+        let d = drain_events(&rx).expect("done");
+        assert!(d.cancelled);
         sched.stop();
     }
 

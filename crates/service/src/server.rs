@@ -21,10 +21,11 @@ use speedup_stacks::SimError;
 
 use crate::cache::Cache;
 use crate::chaos::ChaosPolicy;
+use crate::federation::{Federation, FleetConfig};
 use crate::persist;
 use crate::proto::io_err;
 use crate::scheduler::{SchedOptions, Scheduler};
-use crate::session;
+use crate::session::{self, Dispatch, SessionCtx};
 
 /// How a client asked the server to shut down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,11 @@ pub struct ServeConfig {
     pub idle_timeout_ms: Option<u64>,
     /// Path of the persistent cache spill; `None` = in-memory only.
     pub cache_spill: Option<PathBuf>,
+    /// Rewrite the spill from the live cache right after startup
+    /// recovery, dropping dead (superseded/quarantined) records.
+    pub compact_spill: bool,
+    /// This daemon's fleet identity, echoed in hello and status frames.
+    pub backend_id: Option<String>,
     /// Deterministic fault injection for the chaos suite.
     pub chaos: ChaosPolicy,
 }
@@ -64,6 +70,8 @@ impl Default for ServeConfig {
             max_queued_units: 0,
             idle_timeout_ms: None,
             cache_spill: None,
+            compact_spill: false,
+            backend_id: None,
             chaos: ChaosPolicy::default(),
         }
     }
@@ -72,9 +80,9 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Parses the shared server flags (`--addr HOST:PORT`,
     /// `--workers N`, `--cache-mib N`, `--max-queued-units N`,
-    /// `--idle-timeout-ms N`, `--cache-spill PATH`) used by both
-    /// `studyd` and `repro serve`. `default_addr` is the bind address
-    /// when `--addr` is absent.
+    /// `--idle-timeout-ms N`, `--cache-spill PATH`, `--compact-spill`,
+    /// `--backend-id NAME`) used by both `studyd` and `repro serve`.
+    /// `default_addr` is the bind address when `--addr` is absent.
     ///
     /// # Errors
     ///
@@ -117,6 +125,11 @@ impl ServeConfig {
                     }
                     _ => return Err("--cache-spill requires a file path".to_string()),
                 },
+                "--compact-spill" => cfg.compact_spill = true,
+                "--backend-id" => match it.next() {
+                    Some(id) if !id.starts_with("--") => cfg.backend_id = Some(id.clone()),
+                    _ => return Err("--backend-id requires a name".to_string()),
+                },
                 other => return Err(format!("unknown option: {other}")),
             }
         }
@@ -124,15 +137,24 @@ impl ServeConfig {
     }
 }
 
-/// A running server: its bound address, its scheduler, and the handles
+/// What executes the work behind a server: a local scheduler pool (a
+/// backend daemon) or a federation coordinator (a fleet front).
+enum Engine {
+    Local {
+        scheduler: Arc<Scheduler>,
+        cache: Arc<Cache>,
+    },
+    Fed(Arc<Federation>),
+}
+
+/// A running server: its bound address, its engine, and the handles
 /// needed to stop it cleanly.
 pub struct ServerHandle {
     local_addr: SocketAddr,
     stop_flag: Arc<AtomicBool>,
     shutdown_rx: Receiver<ShutdownMode>,
     accept: Mutex<Option<JoinHandle<()>>>,
-    scheduler: Arc<Scheduler>,
-    cache: Arc<Cache>,
+    engine: Engine,
 }
 
 /// Binds and starts serving. Returns as soon as the listener is live;
@@ -152,10 +174,15 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServerHandle, SimError> {
         let opened = persist::open(path, cfg.chaos.flip_spill_record)?;
         cache.preload(opened.entries, opened.quarantined);
         cache.set_spill(opened.writer);
+        if cfg.compact_spill {
+            // Startup compaction: the freshly recovered live set is
+            // exactly what the rewritten spill should hold.
+            if let Err(e) = cache.compact_spill() {
+                eprintln!("studyd: startup spill compaction failed: {e}");
+            }
+        }
     }
 
-    let listener = TcpListener::bind(&cfg.addr).map_err(|e| io_err("bind", &e))?;
-    let local_addr = listener.local_addr().map_err(|e| io_err("bind", &e))?;
     let workers = if cfg.workers == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -169,12 +196,51 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServerHandle, SimError> {
             chaos: cfg.chaos.clone(),
         },
     ));
+    serve_with_engine(
+        cfg,
+        Arc::clone(&scheduler) as Arc<dyn Dispatch>,
+        Engine::Local { scheduler, cache },
+    )
+}
+
+/// Binds and starts serving a **federation coordinator**: the identical
+/// wire protocol as [`serve`], but submits are sharded across
+/// `fleet.backends` (with health checks, failover, hedging and local
+/// fallback) instead of executed by a local pool. Cache flags in `cfg`
+/// are ignored — results live in the backends' caches.
+///
+/// # Errors
+///
+/// [`SimError::Protocol`] when the bind fails; [`SimError::Federation`]
+/// when the fleet configuration is unusable (e.g. no backends).
+pub fn serve_coordinator(cfg: &ServeConfig, fleet: FleetConfig) -> Result<ServerHandle, SimError> {
+    let federation = Arc::new(Federation::start(fleet)?);
+    serve_with_engine(
+        cfg,
+        Arc::clone(&federation) as Arc<dyn Dispatch>,
+        Engine::Fed(federation),
+    )
+}
+
+/// The shared bind/accept scaffolding behind [`serve`] and
+/// [`serve_coordinator`].
+fn serve_with_engine(
+    cfg: &ServeConfig,
+    dispatch: Arc<dyn Dispatch>,
+    engine: Engine,
+) -> Result<ServerHandle, SimError> {
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| io_err("bind", &e))?;
+    let local_addr = listener.local_addr().map_err(|e| io_err("bind", &e))?;
     let stop_flag = Arc::new(AtomicBool::new(false));
     let (shutdown_tx, shutdown_rx) = channel();
-    let idle_timeout = cfg.idle_timeout_ms.map(Duration::from_millis);
+    let ctx = Arc::new(SessionCtx {
+        engine: dispatch,
+        backend_id: cfg.backend_id.clone(),
+        shutdown_tx,
+        idle_timeout: cfg.idle_timeout_ms.map(Duration::from_millis),
+    });
 
     let accept = {
-        let scheduler = Arc::clone(&scheduler);
         let stop_flag = Arc::clone(&stop_flag);
         std::thread::Builder::new()
             .name("studyd-accept".to_string())
@@ -184,12 +250,11 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServerHandle, SimError> {
                         if stop_flag.load(Ordering::SeqCst) {
                             return;
                         }
-                        let scheduler = Arc::clone(&scheduler);
-                        let shutdown_tx = shutdown_tx.clone();
+                        let ctx = Arc::clone(&ctx);
                         std::thread::Builder::new()
                             .name("studyd-session".to_string())
                             .spawn(move || {
-                                session::run(stream, scheduler, shutdown_tx, idle_timeout);
+                                session::run(stream, &ctx);
                             })
                             .ok();
                     }
@@ -208,8 +273,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServerHandle, SimError> {
         stop_flag,
         shutdown_rx,
         accept: Mutex::new(Some(accept)),
-        scheduler,
-        cache,
+        engine,
     })
 }
 
@@ -221,15 +285,45 @@ impl ServerHandle {
     }
 
     /// The shared scheduler (status, tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a coordinator handle — a fleet front has no local
+    /// scheduler; use [`ServerHandle::federation`].
     #[must_use]
     pub fn scheduler(&self) -> &Scheduler {
-        &self.scheduler
+        match &self.engine {
+            Engine::Local { scheduler, .. } => scheduler,
+            Engine::Fed(_) => panic!("a federation coordinator has no local scheduler"),
+        }
     }
 
     /// The shared result cache (stats, tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a coordinator handle — results live in the backends'
+    /// caches.
     #[must_use]
     pub fn cache(&self) -> &Cache {
-        &self.cache
+        match &self.engine {
+            Engine::Local { cache, .. } => cache,
+            Engine::Fed(_) => panic!("a federation coordinator has no local cache"),
+        }
+    }
+
+    /// The federation coordinator (status, tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a plain backend handle; use
+    /// [`ServerHandle::scheduler`].
+    #[must_use]
+    pub fn federation(&self) -> &Federation {
+        match &self.engine {
+            Engine::Fed(federation) => federation,
+            Engine::Local { .. } => panic!("this server is a backend, not a coordinator"),
+        }
     }
 
     /// Blocks until some client sends the `shutdown` op; returns the
@@ -240,19 +334,40 @@ impl ServerHandle {
 
     /// The drain barrier: waits for every in-flight job to finish (the
     /// session already stopped admission before acknowledging the
-    /// drain), then flushes and syncs the cache spill. Call between
+    /// drain), then — on a backend — **compacts** the cache spill,
+    /// rewriting it from the live LRU so dead (superseded or
+    /// quarantined) records do not accumulate across restarts. If
+    /// compaction fails the spill is synced as-is instead, so a drain
+    /// never loses data it already had. Call between
     /// [`ServerHandle::wait_for_shutdown`] returning
     /// [`ShutdownMode::Drain`] and [`ServerHandle::stop`].
     pub fn drain(&self) {
-        self.scheduler.begin_drain();
-        self.scheduler.wait_idle();
-        if let Err(e) = self.cache.sync() {
-            eprintln!("studyd: cache spill sync failed during drain: {e}");
+        match &self.engine {
+            Engine::Local { scheduler, cache } => {
+                scheduler.begin_drain();
+                scheduler.wait_idle();
+                match cache.compact_spill() {
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!(
+                            "studyd: spill compaction failed during drain ({e}); syncing as-is"
+                        );
+                        if let Err(e) = cache.sync() {
+                            eprintln!("studyd: cache spill sync failed during drain: {e}");
+                        }
+                    }
+                }
+            }
+            Engine::Fed(federation) => {
+                federation.begin_drain();
+                federation.wait_idle();
+            }
         }
     }
 
-    /// Stops accepting, then stops the worker pool. Live sessions whose
-    /// clients are still connected end when those clients disconnect.
+    /// Stops accepting, then stops the engine (worker pool or
+    /// federation monitor). Live sessions whose clients are still
+    /// connected end when those clients disconnect.
     pub fn stop(&self) {
         self.stop_flag.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
@@ -265,6 +380,9 @@ impl ServerHandle {
         {
             h.join().ok();
         }
-        self.scheduler.stop();
+        match &self.engine {
+            Engine::Local { scheduler, .. } => scheduler.stop(),
+            Engine::Fed(federation) => federation.stop(),
+        }
     }
 }

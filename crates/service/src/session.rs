@@ -14,12 +14,12 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
-use std::sync::mpsc::Sender;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
-use experiments::decompose::decompose;
-use experiments::study::{find_study, registry};
+use experiments::decompose::{decompose, GridStudy};
+use experiments::study::{find_study, registry, StudyParams};
 use speedup_stacks::error::ProtocolError;
 use speedup_stacks::report::json::{self, JsonValue};
 
@@ -31,6 +31,86 @@ use crate::proto::{
 use crate::scheduler::{drain_events, JobEvent, Scheduler, SchedulerStatus, SubmitError};
 use crate::server::ShutdownMode;
 
+/// The execution engine behind a session: a backend daemon's local
+/// [`Scheduler`], or the federation coordinator fanning work out across
+/// a fleet ([`crate::federation::Federation`]). The wire protocol is
+/// identical either way, so a client cannot tell (and need not care)
+/// whether it is talking to one machine or a fleet.
+pub trait Dispatch: Send + Sync {
+    /// Admits a job for `grid`, optionally restricted to a sorted,
+    /// deduplicated, range-checked subset of point indices (the
+    /// session validates via [`GridStudy::validate_units`] first).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when admission is refused.
+    fn submit_units(
+        &self,
+        grid: GridStudy,
+        params: StudyParams,
+        units: Option<Vec<usize>>,
+    ) -> Result<(u64, Receiver<JobEvent>), SubmitError>;
+
+    /// Cancels a job; `hedge` marks a federation hedge-loser reclaim
+    /// (accounted separately from user cancellation). `false` when the
+    /// job is unknown or already finished.
+    fn cancel_job(&self, job: u64, hedge: bool) -> bool;
+
+    /// Stops admitting new work (the drain-mode shutdown's first step).
+    fn begin_drain(&self);
+
+    /// Renders the engine's `status` reply frame; `backend_id` is this
+    /// daemon's fleet identity, echoed when set.
+    fn render_status(&self, backend_id: Option<&str>) -> String;
+}
+
+impl Dispatch for Scheduler {
+    fn submit_units(
+        &self,
+        grid: GridStudy,
+        params: StudyParams,
+        units: Option<Vec<usize>>,
+    ) -> Result<(u64, Receiver<JobEvent>), SubmitError> {
+        Scheduler::submit_units(self, grid, params, units)
+    }
+
+    fn cancel_job(&self, job: u64, hedge: bool) -> bool {
+        self.cancel_with_reason(job, hedge)
+    }
+
+    fn begin_drain(&self) {
+        Scheduler::begin_drain(self);
+    }
+
+    fn render_status(&self, backend_id: Option<&str>) -> String {
+        status_frame(&self.status(), &self.cache().stats(), backend_id)
+    }
+}
+
+/// Everything a session needs beyond its socket: the engine it
+/// dispatches into, the daemon's fleet identity, the shutdown channel
+/// and the idle-reaper deadline. One shared instance per server.
+pub struct SessionCtx {
+    /// The engine requests dispatch into.
+    pub engine: Arc<dyn Dispatch>,
+    /// This daemon's `--backend-id`, echoed in hello and status frames
+    /// so fleet operators can tell which backend answered.
+    pub backend_id: Option<String>,
+    /// Channel to the main thread's shutdown loop.
+    pub shutdown_tx: Sender<ShutdownMode>,
+    /// Idle-connection reaper deadline; `None` = never reap.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl std::fmt::Debug for SessionCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCtx")
+            .field("backend_id", &self.backend_id)
+            .field("idle_timeout", &self.idle_timeout)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Outcome of handling one request: keep serving or end the session.
 enum Flow {
     Continue,
@@ -38,18 +118,13 @@ enum Flow {
 }
 
 /// Serves one accepted connection to completion. Never panics on
-/// socket I/O; all failures end the session. A non-zero `idle_timeout`
+/// socket I/O; all failures end the session. A non-zero idle timeout
 /// arms the idle-connection reaper: a peer that sends nothing for that
 /// long is sent a typed `idle-timeout` error frame and disconnected,
 /// so slow or dead clients cannot pin session threads forever.
-pub fn run(
-    stream: TcpStream,
-    scheduler: Arc<Scheduler>,
-    shutdown_tx: Sender<ShutdownMode>,
-    idle_timeout: Option<Duration>,
-) {
+pub fn run(stream: TcpStream, ctx: &SessionCtx) {
     stream.set_nodelay(true).ok();
-    if let Some(timeout) = idle_timeout {
+    if let Some(timeout) = ctx.idle_timeout {
         stream.set_read_timeout(Some(timeout)).ok();
     }
     let Ok(read_half) = stream.try_clone() else {
@@ -58,7 +133,7 @@ pub fn run(
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
 
-    if handshake(&mut reader, &mut writer).is_none() {
+    if handshake(&mut reader, &mut writer, ctx.backend_id.as_deref()).is_none() {
         return;
     }
 
@@ -95,7 +170,7 @@ pub fn run(
                 return;
             }
         };
-        match handle_request(&frame, &mut writer, &scheduler, &shutdown_tx) {
+        match handle_request(&frame, &mut writer, ctx) {
             Flow::Continue => {}
             Flow::Close => return,
         }
@@ -104,7 +179,11 @@ pub fn run(
 
 /// The handshake: the first frame must be a version-matching `hello`.
 /// `None` ends the session (the error frame, if any, was already sent).
-fn handshake(reader: &mut BufReader<TcpStream>, writer: &mut BufWriter<TcpStream>) -> Option<()> {
+fn handshake(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    backend_id: Option<&str>,
+) -> Option<()> {
     let line = match read_line_bounded(reader, REQUEST_LINE_CAP) {
         Ok(Some(line)) => line,
         Ok(None) => return None,
@@ -157,9 +236,16 @@ fn handshake(reader: &mut BufReader<TcpStream>, writer: &mut BufWriter<TcpStream
         write_line(writer, &msg).ok();
         return None;
     }
+    let backend = match backend_id {
+        Some(id) => format!(", \"backend\": \"{}\"", json::escape(id)),
+        None => String::new(),
+    };
     write_line(
         writer,
-        &format!("{{\"ok\": true, \"kind\": \"hello\", \"proto\": {PROTO_VERSION}, \"server\": \"studyd\"}}"),
+        &format!(
+            "{{\"ok\": true, \"kind\": \"hello\", \"proto\": {PROTO_VERSION}, \
+             \"server\": \"studyd\"{backend}}}"
+        ),
     )
     .ok()?;
     Some(())
@@ -169,12 +255,7 @@ fn send_error(writer: &mut BufWriter<TcpStream>, code: &str, message: &str) {
     write_line(writer, &error_frame(code, message)).ok();
 }
 
-fn handle_request(
-    frame: &JsonValue,
-    writer: &mut BufWriter<TcpStream>,
-    scheduler: &Arc<Scheduler>,
-    shutdown_tx: &Sender<ShutdownMode>,
-) -> Flow {
+fn handle_request(frame: &JsonValue, writer: &mut BufWriter<TcpStream>, ctx: &SessionCtx) -> Flow {
     let Some(op) = frame.get("op").and_then(JsonValue::as_str) else {
         send_error(writer, "bad-request", "frame lacks a string 'op' field");
         return Flow::Continue;
@@ -187,7 +268,7 @@ fn handle_request(
             Flow::Continue
         }
         "status" => {
-            let frame = status_frame(&scheduler.status(), &scheduler.cache().stats());
+            let frame = ctx.engine.render_status(ctx.backend_id.as_deref());
             if write_line(writer, &frame).is_err() {
                 return Flow::Close;
             }
@@ -198,7 +279,11 @@ fn handle_request(
                 send_error(writer, "bad-request", "cancel needs an integer 'job' field");
                 return Flow::Continue;
             };
-            let found = scheduler.cancel(job);
+            // An optional reason: the federation sends "hedge" when the
+            // job lost a hedged race, so reclaimed duplicate work is
+            // accounted apart from user cancellation.
+            let hedge = frame.get("reason").and_then(JsonValue::as_str) == Some("hedge");
+            let found = ctx.engine.cancel_job(job, hedge);
             // A cancel racing job completion is answered deterministically:
             // a live (or zombie) job reports `cancelled`, a job whose final
             // point already streamed reports `already-done`.
@@ -228,7 +313,7 @@ fn handle_request(
             // Stop admission *before* acknowledging, so a client that sees
             // the ok can rely on no further work being admitted.
             if mode == ShutdownMode::Drain {
-                scheduler.begin_drain();
+                ctx.engine.begin_drain();
             }
             let word = match mode {
                 ShutdownMode::Immediate => "now",
@@ -239,10 +324,10 @@ fn handle_request(
                 &format!("{{\"ok\": true, \"kind\": \"shutdown\", \"mode\": \"{word}\"}}"),
             )
             .ok();
-            shutdown_tx.send(mode).ok();
+            ctx.shutdown_tx.send(mode).ok();
             Flow::Close
         }
-        "submit" => handle_submit(frame, writer, scheduler),
+        "submit" => handle_submit(frame, writer, ctx),
         other => {
             send_error(writer, "bad-request", &format!("unknown op '{other}'"));
             Flow::Continue
@@ -250,11 +335,7 @@ fn handle_request(
     }
 }
 
-fn handle_submit(
-    frame: &JsonValue,
-    writer: &mut BufWriter<TcpStream>,
-    scheduler: &Arc<Scheduler>,
-) -> Flow {
+fn handle_submit(frame: &JsonValue, writer: &mut BufWriter<TcpStream>, ctx: &SessionCtx) -> Flow {
     let Some(study) = frame.get("study").and_then(JsonValue::as_str) else {
         send_error(writer, "bad-request", "submit needs a string 'study' field");
         return Flow::Continue;
@@ -287,9 +368,46 @@ fn handle_submit(
         return Flow::Continue;
     }
 
+    // An optional subset of point indices — the federation's shard
+    // primitive. Absent = the full grid.
+    let units = match frame.get("units") {
+        None => None,
+        Some(JsonValue::Array(list)) => {
+            let mut subset = Vec::with_capacity(list.len());
+            for v in list {
+                match v.as_f64() {
+                    Some(x) if x >= 0.0 && x.fract() == 0.0 => subset.push(x as usize),
+                    _ => {
+                        send_error(
+                            writer,
+                            "bad-units",
+                            "units must be an array of non-negative point indices",
+                        );
+                        return Flow::Continue;
+                    }
+                }
+            }
+            match grid.validate_units(&subset) {
+                Ok(normalized) => Some(normalized),
+                Err(why) => {
+                    send_error(writer, "bad-units", &why);
+                    return Flow::Continue;
+                }
+            }
+        }
+        Some(_) => {
+            send_error(
+                writer,
+                "bad-units",
+                "units must be an array of point indices",
+            );
+            return Flow::Continue;
+        }
+    };
+
     let fingerprint = experiments::journal::fingerprint(study, &params);
-    let points = grid.n_points();
-    let (job, rx) = match scheduler.submit(grid, params) {
+    let points = units.as_ref().map_or(grid.n_points(), Vec::len);
+    let (job, rx) = match ctx.engine.submit_units(grid, params, units) {
         Ok(accepted) => accepted,
         Err(SubmitError::Busy {
             queued,
@@ -313,6 +431,10 @@ fn handle_submit(
             );
             return Flow::Continue;
         }
+        Err(e @ SubmitError::Unavailable { .. }) => {
+            send_error(writer, "unavailable", &e.to_string());
+            return Flow::Continue;
+        }
     };
     let accepted = format!(
         "{{\"ok\": true, \"kind\": \"accepted\", \"job\": {job}, \"study\": \"{}\", \
@@ -321,7 +443,7 @@ fn handle_submit(
         json::escape(&fingerprint)
     );
     if write_line(writer, &accepted).is_err() {
-        scheduler.cancel(job);
+        ctx.engine.cancel_job(job, false);
         let _ = drain_events(&rx);
         return Flow::Close;
     }
@@ -335,7 +457,7 @@ fn handle_submit(
         };
         let (line, done) = event_frame(job, &event);
         if write_line(writer, &line).is_err() {
-            scheduler.cancel(job);
+            ctx.engine.cancel_job(job, false);
             if !done {
                 let _ = drain_events(&rx);
             }
@@ -412,13 +534,17 @@ fn list_frame() -> String {
     out
 }
 
-fn status_frame(s: &SchedulerStatus, c: &CacheStats) -> String {
+fn status_frame(s: &SchedulerStatus, c: &CacheStats, backend_id: Option<&str>) -> String {
+    let backend = match backend_id {
+        Some(id) => format!("\"backend\": \"{}\", ", json::escape(id)),
+        None => String::new(),
+    };
     format!(
-        "{{\"ok\": true, \"kind\": \"status\", \"proto\": {PROTO_VERSION}, \
+        "{{\"ok\": true, \"kind\": \"status\", \"proto\": {PROTO_VERSION}, {backend}\
          \"workers\": {}, \"jobs_active\": {}, \"jobs_total\": {}, \"queued_units\": {}, \
          \"max_queued_units\": {}, \"draining\": {}, \
          \"points_computed\": {}, \"points_cached\": {}, \"points_coalesced\": {}, \
-         \"points_failed\": {}, \
+         \"points_failed\": {}, \"hedge_cancels\": {}, \
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \
          \"entries\": {}, \"bytes\": {}, \"budget\": {}, \"loaded\": {}, \"quarantined\": {}, \
          \"spilled\": {}}}}}",
@@ -432,6 +558,7 @@ fn status_frame(s: &SchedulerStatus, c: &CacheStats) -> String {
         s.points_cached,
         s.points_coalesced,
         s.points_failed,
+        s.hedge_cancels,
         c.hits,
         c.misses,
         c.insertions,
